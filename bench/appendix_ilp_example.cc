@@ -1,0 +1,54 @@
+// Reproduces Appendix A: the worked ILP instance for two-application
+// execution with the paper's published weight vector (Eq 5.1) and queue
+// population (2 M, 5 MC, 2 C, 5 A).
+//
+// Expected optimum (Eq 5.7): L3 = 2 (M-C), L5 = 2 (MC-MC), L7 = 1 (MC-A),
+// L10 = 2 (A-A), objective 0.4718.
+#include <iostream>
+
+#include "common/table.h"
+#include "ilp/pattern.h"
+
+int main() {
+  using namespace gpumas;
+  print_banner("Appendix A — worked ILP example with the paper's weights");
+
+  ilp::MatchingProblem prob;
+  prob.patterns = ilp::enumerate_patterns(4, 2);
+  prob.weights = {0.0072, 0.0110, 0.0146, 0.03584, 0.0204,
+                  0.0202, 0.0698, 0.0178, 0.0412, 0.166};
+  prob.class_counts = {2, 5, 2, 5};
+
+  const ilp::MatchingSolution sol = ilp::solve_matching(prob);
+  const ilp::MatchingSolution brute = ilp::solve_matching_bruteforce(prob);
+
+  const char* names[] = {"M", "MC", "C", "A"};
+  Table table({"pattern", "classes", "e_k", "L_k (B&B)", "L_k (brute)",
+               "L_k (paper)"});
+  const int paper[] = {0, 0, 2, 0, 2, 0, 1, 0, 0, 2};
+  for (size_t k = 0; k < prob.patterns.size(); ++k) {
+    std::string cls;
+    for (int c : prob.patterns[k].classes()) {
+      if (!cls.empty()) cls += "-";
+      cls += names[c];
+    }
+    table.begin_row()
+        .cell("p" + std::to_string(k + 1))
+        .cell(cls)
+        .cell(prob.weights[k], 4)
+        .cell(sol.multiplicity[k])
+        .cell(brute.multiplicity[k])
+        .cell(paper[k]);
+  }
+  table.print();
+  std::cout << "\nObjective: B&B " << sol.objective << ", brute "
+            << brute.objective << ", paper 0.4718 ("
+            << "nodes explored: " << sol.nodes_explored << ")\n";
+
+  const bool match =
+      sol.multiplicity == std::vector<int>(paper, paper + 10) &&
+      brute.multiplicity == std::vector<int>(paper, paper + 10);
+  std::cout << (match ? "REPRODUCED: solution matches Eq 5.7 exactly.\n"
+                      : "MISMATCH versus the paper's Eq 5.7!\n");
+  return match ? 0 : 1;
+}

@@ -1,0 +1,46 @@
+// Shared helpers for the figure/table reproduction benches: the Table 4.1
+// configuration banner and suite profiling shortcuts.
+#pragma once
+
+#include <iostream>
+
+#include "common/table.h"
+#include "profile/profile.h"
+#include "sim/gpu_config.h"
+#include "workloads/suite.h"
+
+namespace gpumas::bench {
+
+// Prints the experimental setup (paper Table 4.1) so every bench's output is
+// self-describing.
+inline void print_setup(const sim::GpuConfig& cfg) {
+  std::cout << "Experimental setup (Table 4.1):\n"
+            << "  GPU architecture        GTX 480-class\n"
+            << "  # of SMs                " << cfg.num_sms << "\n"
+            << "  Core frequency          " << cfg.core_freq_ghz * 1000
+            << " MHz\n"
+            << "  Warps per SM            " << cfg.max_warps_per_sm << "\n"
+            << "  Blocks per SM           " << cfg.max_blocks_per_sm << "\n"
+            << "  L1 data cache           " << cfg.l1d.size_bytes / 1024
+            << " kB per SM\n"
+            << "  L2 cache                " << cfg.l2.size_bytes / 1024
+            << " kB shared, " << cfg.num_channels << " slices\n"
+            << "  Warp scheduler          "
+            << (cfg.warp_sched == sim::WarpSchedPolicy::kGto ? "GTO" : "LRR")
+            << "\n"
+            << "  Memory scheduler        "
+            << (cfg.mem_sched == sim::MemSchedPolicy::kFrFcfs ? "FR-FCFS"
+                                                              : "FCFS")
+            << "\n"
+            << "  Peak DRAM bandwidth     " << cfg.peak_bandwidth_gbps()
+            << " GB/s\n";
+}
+
+// Profiles the whole suite once (solo runs on the full device).
+inline std::vector<profile::AppProfile> profile_suite(
+    const sim::GpuConfig& cfg) {
+  profile::Profiler profiler(cfg);
+  return profiler.profile_suite(workloads::suite());
+}
+
+}  // namespace gpumas::bench

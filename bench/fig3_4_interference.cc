@@ -1,0 +1,58 @@
+// Reproduces Fig 3.4: average per-class slowdown under pairwise
+// co-execution. Every application is co-run with every other application
+// (equal SM split) and slowdowns versus the solo run are averaged per
+// (row class, column class) — S[row][col] is the slowdown a row-class app
+// suffers when co-running with a col-class app.
+//
+// Paper shape to match: class M imposes slowdown on every class; M with MC
+// hurts the MC app more than the M app; pairs containing class A are the
+// most benign (the published Eq 5.1 weights order A-A best, M-M worst).
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "ilp/pattern.h"
+#include "interference/interference.h"
+#include "sched/policies.h"
+
+int main() {
+  using namespace gpumas;
+  const sim::GpuConfig cfg;
+  bench::print_setup(cfg);
+  print_banner("Fig 3.4 — average application slowdown due to co-execution");
+
+  const auto profiles = bench::profile_suite(cfg);
+  const auto model = interference::SlowdownModel::measure_pairwise(
+      cfg, workloads::suite(), profiles, /*max_samples_per_cell=*/0);
+
+  const char* names[] = {"M", "MC", "C", "A"};
+  Table table({"slowdown of \\ with", "M", "MC", "C", "A"});
+  for (int me = 0; me < profile::kNumClasses; ++me) {
+    table.begin_row().cell(std::string("class ") + names[me]);
+    for (int other = 0; other < profile::kNumClasses; ++other) {
+      table.cell(model.pair_slowdown(static_cast<profile::AppClass>(me),
+                                     static_cast<profile::AppClass>(other)),
+                 3);
+    }
+  }
+  table.print();
+
+  print_banner("Derived Eq 3.4 pattern weights e_k (2 concurrent apps)");
+  const auto patterns = ilp::enumerate_patterns(profile::kNumClasses, 2);
+  const auto weights = sched::pattern_weights(patterns, model);
+  Table wt({"pattern", "classes", "e_k"});
+  for (size_t k = 0; k < patterns.size(); ++k) {
+    std::string cls;
+    for (int c : patterns[k].classes()) {
+      if (!cls.empty()) cls += "-";
+      cls += names[c];
+    }
+    wt.begin_row()
+        .cell("p" + std::to_string(k + 1))
+        .cell(cls)
+        .cell(weights[k], 4);
+  }
+  wt.print();
+  std::cout << "\nPaper Eq 5.1 weight ordering: A-A > MC-A > C-A > M-A > "
+               "MC-MC ~ MC-C > C-C > M-C > M-MC > M-M\n";
+  return 0;
+}

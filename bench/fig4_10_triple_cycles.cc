@@ -1,0 +1,65 @@
+// Reproduces Fig 4.10: cycles taken by each three-application group
+// relative to its serial execution time, for (a) ILP grouping and (b) FCFS.
+//
+// Paper shape to match: 3 of 4 ILP groups finish in under 40% of serial
+// time; only 1 of 4 FCFS groups does.
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "sched/runner.h"
+
+namespace {
+
+void report(const char* title, const gpumas::sched::RunReport& run,
+            int* under_40) {
+  using namespace gpumas;
+  print_banner(title);
+  Table table({"group", "group cycles", "serial cycles", "ratio"});
+  *under_40 = 0;
+  for (const auto& g : run.groups) {
+    const double ratio = static_cast<double>(g.cycles) /
+                         static_cast<double>(g.serial_cycles);
+    if (ratio < 0.4) ++*under_40;
+    table.begin_row()
+        .cell(g.label())
+        .cell(g.cycles)
+        .cell(g.serial_cycles)
+        .cell(ratio, 3);
+  }
+  table.print();
+}
+
+}  // namespace
+
+int main() {
+  using namespace gpumas;
+  const sim::GpuConfig cfg;
+  bench::print_setup(cfg);
+
+  const auto profiles = bench::profile_suite(cfg);
+  const auto model = interference::SlowdownModel::measure_pairwise(
+      cfg, workloads::suite(), profiles, /*max_samples_per_cell=*/0);
+  // 3-way weights use additive composition of the exhaustively sampled
+  // pairwise matrix; measured triples with one representative per class
+  // inherit that representative's idiosyncrasies (see EXPERIMENTS.md).
+  const sched::QueueRunner runner(cfg, profiles, model);
+
+  std::vector<sched::Job> queue;
+  for (const auto& job :
+       sched::make_suite_queue(workloads::suite(), profiles)) {
+    if (job.kernel.name != "RAY" && job.kernel.name != "NN") {
+      queue.push_back(job);
+    }
+  }
+
+  int ilp_fast = 0;
+  int fcfs_fast = 0;
+  const auto ilp = runner.run(queue, sched::Policy::kIlp, 3);
+  report("Fig 4.10(a) — ILP triples vs serial time", ilp, &ilp_fast);
+  const auto fcfs = runner.run(queue, sched::Policy::kEven, 3);
+  report("Fig 4.10(b) — FCFS triples vs serial time", fcfs, &fcfs_fast);
+
+  std::cout << "\nGroups finishing in < 40% of serial time: ILP " << ilp_fast
+            << "/4 (paper: 3/4), FCFS " << fcfs_fast << "/4 (paper: 1/4)\n";
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Reproduces Fig 4.1: device throughput of the 14-application queue (2 M,
+// 5 MC, 2 C, 5 A — the whole suite) under Serial, FCFS pairing and ILP
+// pairing, normalized to Serial.
+//
+// Paper shape to match: ILP > FCFS > Serial, with ILP roughly ~1.8x Serial
+// and ~20% above FCFS.
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "sched/runner.h"
+
+int main() {
+  using namespace gpumas;
+  const sim::GpuConfig cfg;
+  bench::print_setup(cfg);
+  print_banner("Fig 4.1 — two-application execution: Serial vs FCFS vs ILP");
+
+  const auto profiles = bench::profile_suite(cfg);
+  const auto model = interference::SlowdownModel::measure_pairwise(
+      cfg, workloads::suite(), profiles, /*max_samples_per_cell=*/0);
+  const sched::QueueRunner runner(cfg, profiles, model);
+  const auto queue = sched::make_suite_queue(workloads::suite(), profiles);
+
+  const auto serial = runner.run(queue, sched::Policy::kSerial, 2);
+  const auto fcfs = runner.run(queue, sched::Policy::kEven, 2);
+  const auto ilp = runner.run(queue, sched::Policy::kIlp, 2);
+
+  const double base = serial.device_throughput();
+  Table table({"policy", "throughput (IPC)", "normalized to Serial"});
+  table.begin_row().cell("Serial").cell(base, 1).cell(1.0, 3);
+  table.begin_row()
+      .cell("FCFS")
+      .cell(fcfs.device_throughput(), 1)
+      .cell(fcfs.device_throughput() / base, 3);
+  table.begin_row()
+      .cell("ILP")
+      .cell(ilp.device_throughput(), 1)
+      .cell(ilp.device_throughput() / base, 3);
+  table.print();
+
+  std::cout << "\nILP vs FCFS: "
+            << 100.0 * (ilp.device_throughput() / fcfs.device_throughput() -
+                        1.0)
+            << "% (paper: ~21%); ILP vs Serial: "
+            << 100.0 * (ilp.device_throughput() / base - 1.0)
+            << "% (paper: >80%)\n";
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Reproduces Fig 4.2: cycles taken by each co-run pair relative to its
+// serial execution time (sum of the two members' solo runtimes), for pairs
+// formed by (a) ILP matching and (b) FCFS order.
+//
+// Paper shape to match: 5 of 7 ILP pairs finish in under 50% of their
+// serial time, but only 2 of 7 FCFS pairs do.
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "sched/runner.h"
+
+namespace {
+
+void report(const char* title, const gpumas::sched::RunReport& run,
+            int* under_half) {
+  using namespace gpumas;
+  print_banner(title);
+  Table table({"pair", "pair cycles", "serial cycles", "ratio"});
+  *under_half = 0;
+  for (const auto& g : run.groups) {
+    const double ratio = static_cast<double>(g.cycles) /
+                         static_cast<double>(g.serial_cycles);
+    if (ratio < 0.5) ++*under_half;
+    table.begin_row()
+        .cell(g.label())
+        .cell(g.cycles)
+        .cell(g.serial_cycles)
+        .cell(ratio, 3);
+  }
+  table.print();
+}
+
+}  // namespace
+
+int main() {
+  using namespace gpumas;
+  const sim::GpuConfig cfg;
+  bench::print_setup(cfg);
+
+  const auto profiles = bench::profile_suite(cfg);
+  const auto model = interference::SlowdownModel::measure_pairwise(
+      cfg, workloads::suite(), profiles, /*max_samples_per_cell=*/0);
+  const sched::QueueRunner runner(cfg, profiles, model);
+  const auto queue = sched::make_suite_queue(workloads::suite(), profiles);
+
+  int ilp_fast = 0;
+  int fcfs_fast = 0;
+  const auto ilp = runner.run(queue, sched::Policy::kIlp, 2);
+  report("Fig 4.2(a) — pairs formed by ILP vs serial time", ilp, &ilp_fast);
+  const auto fcfs = runner.run(queue, sched::Policy::kEven, 2);
+  report("Fig 4.2(b) — pairs formed by FCFS vs serial time", fcfs,
+         &fcfs_fast);
+
+  std::cout << "\nPairs finishing in < 50% of serial time: ILP " << ilp_fast
+            << "/7 (paper: 5/7), FCFS " << fcfs_fast << "/7 (paper: 2/7)\n";
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Reproduces Figs 4.5-4.8: per-benchmark throughput under two-application
+// execution for the A-, M-, MC- and C-oriented queues, for Even,
+// Profile-based, ILP and ILP-SMRA (normalized to Even).
+//
+// Paper shape to match (queue-average throughput vs Even):
+//   Fig 4.5 (A-oriented): ILP slightly below Even, ILP-SMRA ~ +2%.
+//   Fig 4.6 (M-oriented): ILP ~ +32%, ILP-SMRA ~ +32%.
+//   Fig 4.7 (MC-oriented): ILP ~ Even, ILP-SMRA ~ +3%.
+//   Fig 4.8 (C-oriented): ILP ~ Even, ILP-SMRA ~ +29%.
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "sched/runner.h"
+
+namespace {
+
+void run_distribution(const gpumas::sim::GpuConfig& cfg,
+                      const std::vector<gpumas::profile::AppProfile>& profiles,
+                      const gpumas::sched::QueueRunner& runner,
+                      gpumas::sched::QueueDistribution dist,
+                      const char* figure) {
+  using namespace gpumas;
+  print_banner(std::string(figure) + " — " + sched::distribution_name(dist) +
+               " work queue");
+  const auto queue = sched::make_queue(workloads::suite(), profiles, dist,
+                                       /*length=*/20, /*seed=*/17);
+
+  const auto even = runner.run(queue, sched::Policy::kEven, 2);
+  const auto prof = runner.run(queue, sched::Policy::kProfileBased, 2);
+  const auto ilp = runner.run(queue, sched::Policy::kIlp, 2);
+  const auto smra = runner.run(queue, sched::Policy::kIlpSmra, 2);
+
+  const auto e = even.per_app_ipc();
+  const auto p = prof.per_app_ipc();
+  const auto i = ilp.per_app_ipc();
+  const auto s = smra.per_app_ipc();
+
+  Table table({"Benchmark", "Even IPC", "Profile/Even", "ILP/Even",
+               "ILP-SMRA/Even"});
+  for (const auto& pr : profiles) {
+    if (e.find(pr.name) == e.end()) continue;
+    const double ev = e.at(pr.name);
+    table.begin_row()
+        .cell(pr.name)
+        .cell(ev, 1)
+        .cell(p.count(pr.name) ? p.at(pr.name) / ev : 0.0, 3)
+        .cell(i.count(pr.name) ? i.at(pr.name) / ev : 0.0, 3)
+        .cell(s.count(pr.name) ? s.at(pr.name) / ev : 0.0, 3);
+  }
+  table.print();
+  const double base = even.device_throughput();
+  std::cout << "Queue device throughput vs Even:  Profile-based "
+            << prof.device_throughput() / base << "  ILP "
+            << ilp.device_throughput() / base << "  ILP-SMRA "
+            << smra.device_throughput() / base << "\n";
+}
+
+}  // namespace
+
+int main() {
+  using namespace gpumas;
+  const sim::GpuConfig cfg;
+  bench::print_setup(cfg);
+
+  const auto profiles = bench::profile_suite(cfg);
+  const auto model = interference::SlowdownModel::measure_pairwise(
+      cfg, workloads::suite(), profiles, /*max_samples_per_cell=*/0);
+  const sched::QueueRunner runner(cfg, profiles, model);
+
+  run_distribution(cfg, profiles, runner,
+                   sched::QueueDistribution::kAOriented, "Fig 4.5");
+  run_distribution(cfg, profiles, runner,
+                   sched::QueueDistribution::kMOriented, "Fig 4.6");
+  run_distribution(cfg, profiles, runner,
+                   sched::QueueDistribution::kMCOriented, "Fig 4.7");
+  run_distribution(cfg, profiles, runner,
+                   sched::QueueDistribution::kCOriented, "Fig 4.8");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// google-benchmark microbenchmarks for the LP/ILP solver: simplex solve
+// time versus problem size, branch-and-bound on matching instances, and
+// pattern enumeration.
+#include <benchmark/benchmark.h>
+
+#include "common/prng.h"
+#include "ilp/branch_bound.h"
+#include "ilp/pattern.h"
+#include "ilp/simplex.h"
+
+namespace {
+
+using namespace gpumas;
+
+ilp::LpProblem random_lp(int n, int m, uint64_t seed) {
+  Prng prng(seed);
+  ilp::LpProblem p;
+  p.num_vars = n;
+  std::vector<double> x0(static_cast<size_t>(n));
+  for (auto& v : x0) v = prng.next_double() * 5.0;
+  for (int j = 0; j < n; ++j) p.objective.push_back(prng.next_double());
+  for (int i = 0; i < m; ++i) {
+    std::vector<double> row(static_cast<size_t>(n));
+    double rhs = 0.0;
+    for (int j = 0; j < n; ++j) {
+      row[static_cast<size_t>(j)] = prng.next_double();
+      rhs += row[static_cast<size_t>(j)] * x0[static_cast<size_t>(j)];
+    }
+    p.add_le(std::move(row), rhs);
+  }
+  return p;
+}
+
+void BM_SimplexSolve(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto p = random_lp(n, n, 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ilp::solve_lp(p));
+  }
+}
+BENCHMARK(BM_SimplexSolve)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_MatchingTwoApps(benchmark::State& state) {
+  ilp::MatchingProblem prob;
+  prob.patterns = ilp::enumerate_patterns(4, 2);
+  prob.weights = {0.0072, 0.0110, 0.0146, 0.03584, 0.0204,
+                  0.0202, 0.0698, 0.0178, 0.0412, 0.166};
+  const int scale = static_cast<int>(state.range(0));
+  prob.class_counts = {2 * scale, 5 * scale, 2 * scale, 5 * scale};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ilp::solve_matching(prob));
+  }
+}
+BENCHMARK(BM_MatchingTwoApps)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_MatchingThreeApps(benchmark::State& state) {
+  ilp::MatchingProblem prob;
+  prob.patterns = ilp::enumerate_patterns(4, 3);
+  Prng prng(7);
+  for (size_t k = 0; k < prob.patterns.size(); ++k) {
+    prob.weights.push_back(0.01 + prng.next_double() * 0.1);
+  }
+  const int scale = static_cast<int>(state.range(0));
+  prob.class_counts = {3 * scale, 6 * scale, 3 * scale, 6 * scale};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ilp::solve_matching(prob));
+  }
+}
+BENCHMARK(BM_MatchingThreeApps)->Arg(1)->Arg(4);
+
+void BM_EnumeratePatterns(benchmark::State& state) {
+  const int nc = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ilp::enumerate_patterns(4, nc));
+  }
+}
+BENCHMARK(BM_EnumeratePatterns)->Arg(2)->Arg(3)->Arg(4);
+
+}  // namespace
+
+BENCHMARK_MAIN();

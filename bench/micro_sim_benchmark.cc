@@ -1,0 +1,76 @@
+// google-benchmark microbenchmarks for the simulator substrate: cycle rate
+// for compute- and memory-bound kernels and for a co-scheduled pair.
+#include <benchmark/benchmark.h>
+
+#include "sim/gpu.h"
+#include "workloads/suite.h"
+
+namespace {
+
+using namespace gpumas;
+
+sim::KernelParams small_kernel(double mem_ratio) {
+  sim::KernelParams kp;
+  kp.name = "micro";
+  kp.num_blocks = 60;
+  kp.warps_per_block = 4;
+  kp.insns_per_warp = 500;
+  kp.mem_ratio = mem_ratio;
+  kp.footprint_bytes = 32ull << 20;
+  kp.pattern = sim::AccessPattern::kTiled;
+  kp.hot_fraction = 0.7;
+  kp.divergence = 2;
+  kp.ilp = 4;
+  kp.mlp = 4;
+  kp.seed = 3;
+  return kp;
+}
+
+void run_once(const std::vector<sim::KernelParams>& kernels,
+              benchmark::State& state) {
+  uint64_t cycles = 0;
+  uint64_t insns = 0;
+  for (auto _ : state) {
+    sim::Gpu gpu(sim::GpuConfig{});
+    for (const auto& kp : kernels) gpu.launch(kp);
+    const sim::RunResult r = gpu.run_to_completion();
+    cycles += r.cycles;
+    insns += r.total_thread_insns();
+    benchmark::DoNotOptimize(r.cycles);
+  }
+  state.counters["sim_cycles/s"] = benchmark::Counter(
+      static_cast<double>(cycles), benchmark::Counter::kIsRate);
+  state.counters["thread_insns/s"] = benchmark::Counter(
+      static_cast<double>(insns), benchmark::Counter::kIsRate);
+}
+
+void BM_ComputeBoundKernel(benchmark::State& state) {
+  run_once({small_kernel(0.02)}, state);
+}
+BENCHMARK(BM_ComputeBoundKernel)->Unit(benchmark::kMillisecond);
+
+void BM_MemoryBoundKernel(benchmark::State& state) {
+  run_once({small_kernel(0.3)}, state);
+}
+BENCHMARK(BM_MemoryBoundKernel)->Unit(benchmark::kMillisecond);
+
+void BM_CoScheduledPair(benchmark::State& state) {
+  auto a = small_kernel(0.02);
+  auto b = small_kernel(0.3);
+  b.name = "micro2";
+  b.seed = 11;
+  run_once({a, b}, state);
+}
+BENCHMARK(BM_CoScheduledPair)->Unit(benchmark::kMillisecond);
+
+void BM_SuiteSoloRun(benchmark::State& state) {
+  const auto& kp =
+      workloads::suite()[static_cast<size_t>(state.range(0))];
+  state.SetLabel(kp.name);
+  run_once({kp}, state);
+}
+BENCHMARK(BM_SuiteSoloRun)->DenseRange(0, 13)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,40 @@
+// Reproduces Table 3.2: per-benchmark profile statistics and classification.
+//
+// Paper reference values (GTX 480, GPGPU-Sim):
+//   BFS2 -> C, BLK -> M, BP -> MC, LUD -> A, FFT -> MC, JPEG -> A,
+//   3DS -> MC, HS -> A, LPS -> MC, RAY -> MC, GUPS -> M, SPMV -> C,
+//   SAD -> A, NN -> A.
+// The reproduction must land every benchmark in the same class; absolute
+// GB/s and IPC values are expected to be in the same region, not identical.
+#include <iostream>
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace gpumas;
+  const sim::GpuConfig cfg;
+  bench::print_setup(cfg);
+  print_banner("Table 3.2 — classification of the benchmark suite");
+
+  const auto profiles = bench::profile_suite(cfg);
+
+  Table table({"Benchmark", "MemoryBW (GB/s)", "L2->L1 (GB/s)", "IPC", "R",
+               "L1 hit", "L2 hit", "cycles", "class"});
+  for (const auto& p : profiles) {
+    table.begin_row()
+        .cell(p.name)
+        .cell(p.mb_gbps, 2)
+        .cell(p.l2l1_gbps, 2)
+        .cell(p.ipc, 1)
+        .cell(p.r, 3)
+        .cell(p.l1_hit_rate, 3)
+        .cell(p.l2_hit_rate, 3)
+        .cell(p.solo_cycles)
+        .cell(std::string(profile::class_name(p.cls)));
+  }
+  table.print();
+
+  std::cout << "\nPaper classes: BFS2=C BLK=M BP=MC LUD=A FFT=MC JPEG=A "
+               "3DS=MC HS=A LPS=MC RAY=MC GUPS=M SPMV=C SAD=A NN=A\n";
+  return 0;
+}

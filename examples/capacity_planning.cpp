@@ -1,0 +1,54 @@
+// Capacity planning: how should two co-located applications split the SMs?
+//
+// Sweeps every static partition of the 60 SMs between a compute-intensive
+// app (HS) and a memory-intensive app (GUPS), reporting per-app IPC and
+// device throughput — the data a resource manager needs to pick a quota,
+// and the effect the paper's SMRA algorithm discovers dynamically.
+//
+//   ./build/examples/capacity_planning
+#include <iostream>
+
+#include "common/table.h"
+#include "sim/gpu.h"
+#include "workloads/suite.h"
+
+int main() {
+  using namespace gpumas;
+  const sim::GpuConfig cfg;
+  const auto hs = workloads::benchmark("HS");
+  const auto gups = workloads::benchmark("GUPS");
+
+  std::cout << "Static SM partition sweep: HS (compute) vs GUPS (memory)\n\n";
+  Table table({"HS SMs", "GUPS SMs", "HS IPC", "GUPS IPC", "device IPC",
+               "group cycles"});
+
+  double best_throughput = 0.0;
+  int best_hs = 0;
+  for (int hs_sms = 10; hs_sms <= 50; hs_sms += 10) {
+    sim::Gpu gpu(cfg);
+    gpu.launch(hs);
+    gpu.launch(gups);
+    gpu.set_partition_counts({hs_sms, cfg.num_sms - hs_sms});
+    const sim::RunResult r = gpu.run_to_completion();
+    const double throughput = r.device_throughput();
+    table.begin_row()
+        .cell(hs_sms)
+        .cell(cfg.num_sms - hs_sms)
+        .cell(r.app_ipc(0), 1)
+        .cell(r.app_ipc(1), 1)
+        .cell(throughput, 1)
+        .cell(r.cycles);
+    if (throughput > best_throughput) {
+      best_throughput = throughput;
+      best_hs = hs_sms;
+    }
+  }
+  table.print();
+
+  std::cout << "\nBest static split: " << best_hs << "/"
+            << cfg.num_sms - best_hs
+            << " — GUPS is DRAM-bound, so SMs beyond its minimum are wasted "
+               "on it;\nthe paper's SMRA (Algorithm 1) converges to this "
+               "allocation at runtime without offline sweeps.\n";
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Invariant-checking helpers used throughout gpumas.
+//
+// GPUMAS_CHECK is an always-on assertion: simulator state corruption must
+// never be silently ignored, because downstream experiment numbers would be
+// quietly wrong. Failures throw std::logic_error so tests can observe them.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace gpumas {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << file << ":" << line << ": check failed: " << expr;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace gpumas
+
+#define GPUMAS_CHECK(expr)                                            \
+  do {                                                                \
+    if (!(expr)) ::gpumas::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define GPUMAS_CHECK_MSG(expr, msg)                                        \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      std::ostringstream os_;                                              \
+      os_ << msg;                                                          \
+      ::gpumas::check_failed(#expr, __FILE__, __LINE__, os_.str());        \
+    }                                                                      \
+  } while (0)

@@ -1,0 +1,51 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic behaviour in the simulator (synthetic address streams,
+// instruction-mix draws, queue shuffles) is derived from SplitMix64 so that
+// every experiment is bit-reproducible from its seed. std::mt19937 is
+// deliberately avoided in the hot path: SplitMix64 is an order of magnitude
+// faster and its statistical quality is more than sufficient for workload
+// synthesis.
+#pragma once
+
+#include <cstdint>
+
+namespace gpumas {
+
+// One SplitMix64 step: maps any 64-bit value to a well-mixed 64-bit value.
+// Stateless, so it doubles as a hash for (seed, warp, insn) tuples.
+constexpr uint64_t splitmix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+// Combine two values into one hash, e.g. hash_combine(seed, warp_index).
+constexpr uint64_t hash_combine(uint64_t a, uint64_t b) {
+  return splitmix64(a ^ (b + 0x9E3779B97F4A7C15ull + (a << 6) + (a >> 2)));
+}
+
+// Small stateful generator for queue shuffles and parameter jitter.
+class Prng {
+ public:
+  explicit constexpr Prng(uint64_t seed) : state_(splitmix64(seed)) {}
+
+  constexpr uint64_t next() {
+    state_ = splitmix64(state_);
+    return state_;
+  }
+
+  // Uniform in [0, n). n must be > 0.
+  constexpr uint64_t next_below(uint64_t n) { return next() % n; }
+
+  // Uniform double in [0, 1).
+  constexpr double next_double() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace gpumas

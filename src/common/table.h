@@ -1,0 +1,84 @@
+// Console table printer used by the benchmark harness to emit the rows and
+// series of each paper figure/table in a readable, diffable format.
+#pragma once
+
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace gpumas {
+
+// Collects rows of string cells and prints them with aligned columns.
+// Numeric convenience overloads format with a fixed precision.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+  Table& begin_row() {
+    rows_.emplace_back();
+    return *this;
+  }
+
+  Table& cell(const std::string& s) {
+    rows_.back().push_back(s);
+    return *this;
+  }
+
+  Table& cell(double v, int precision = 3) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    rows_.back().push_back(os.str());
+    return *this;
+  }
+
+  Table& cell(uint64_t v) {
+    rows_.back().push_back(std::to_string(v));
+    return *this;
+  }
+
+  Table& cell(int v) {
+    rows_.back().push_back(std::to_string(v));
+    return *this;
+  }
+
+  void print(std::ostream& os = std::cout) const {
+    std::vector<size_t> widths(header_.size(), 0);
+    for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+    for (const auto& row : rows_) {
+      for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+        widths[c] = std::max(widths[c], row[c].size());
+      }
+    }
+    print_row(os, header_, widths);
+    std::string rule;
+    for (size_t c = 0; c < widths.size(); ++c) {
+      rule += std::string(widths[c], '-');
+      if (c + 1 < widths.size()) rule += "-+-";
+    }
+    os << rule << "\n";
+    for (const auto& row : rows_) print_row(os, row, widths);
+  }
+
+ private:
+  static void print_row(std::ostream& os, const std::vector<std::string>& row,
+                        const std::vector<size_t>& widths) {
+    for (size_t c = 0; c < widths.size(); ++c) {
+      const std::string& s = c < row.size() ? row[c] : std::string();
+      os << std::left << std::setw(static_cast<int>(widths[c])) << s;
+      if (c + 1 < widths.size()) os << " | ";
+    }
+    os << "\n";
+  }
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Prints a section banner so multi-figure bench output is easy to scan.
+inline void print_banner(const std::string& title, std::ostream& os = std::cout) {
+  os << "\n== " << title << " ==\n";
+}
+
+}  // namespace gpumas

@@ -1,0 +1,118 @@
+#include "ilp/branch_bound.h"
+
+#include <cmath>
+#include <tuple>
+#include <utility>
+
+#include "common/check.h"
+
+namespace gpumas::ilp {
+
+namespace {
+
+constexpr double kIntTol = 1e-6;
+
+struct Node {
+  // Extra variable bounds accumulated along the branch: (var, bound, is_upper)
+  std::vector<std::tuple<int, double, bool>> bounds;
+};
+
+// Returns the most fractional integer variable, or -1 if x is integral.
+int most_fractional(const std::vector<double>& x,
+                    const std::vector<bool>& integer) {
+  int best = -1;
+  double best_dist = kIntTol;
+  for (size_t j = 0; j < x.size(); ++j) {
+    if (!integer[j]) continue;
+    const double frac = x[j] - std::floor(x[j]);
+    const double dist = std::min(frac, 1.0 - frac);
+    if (dist > best_dist) {
+      best_dist = dist;
+      best = static_cast<int>(j);
+    }
+  }
+  return best;
+}
+
+LpProblem with_bounds(const LpProblem& base, const Node& node) {
+  LpProblem p = base;
+  for (const auto& [var, bound, is_upper] : node.bounds) {
+    std::vector<double> row(static_cast<size_t>(p.num_vars), 0.0);
+    row[static_cast<size_t>(var)] = 1.0;
+    if (is_upper) {
+      p.add_le(std::move(row), bound);
+    } else {
+      p.add_ge(std::move(row), bound);
+    }
+  }
+  return p;
+}
+
+}  // namespace
+
+IlpSolution solve_ilp(const LpProblem& problem, const IlpOptions& opts) {
+  std::vector<bool> integer = opts.integer;
+  if (integer.empty()) {
+    integer.assign(static_cast<size_t>(problem.num_vars), true);
+  }
+  GPUMAS_CHECK(integer.size() == static_cast<size_t>(problem.num_vars));
+
+  IlpSolution best;
+  best.status = LpStatus::kInfeasible;
+  bool have_incumbent = false;
+
+  std::vector<Node> stack;
+  stack.push_back(Node{});
+
+  while (!stack.empty()) {
+    if (best.nodes_explored >= opts.max_nodes) {
+      // Return the incumbent (if any) as an iteration-limited result.
+      if (!have_incumbent) best.status = LpStatus::kIterLimit;
+      return best;
+    }
+    const Node node = std::move(stack.back());
+    stack.pop_back();
+    ++best.nodes_explored;
+
+    const LpSolution relax = solve_lp(with_bounds(problem, node));
+    if (relax.status == LpStatus::kInfeasible) continue;
+    if (relax.status == LpStatus::kUnbounded) {
+      // An unbounded relaxation means the ILP itself is unbounded (the
+      // integer lattice tracks the recession direction for rational data).
+      best.status = LpStatus::kUnbounded;
+      return best;
+    }
+    if (relax.status == LpStatus::kIterLimit) continue;
+    if (have_incumbent && relax.objective <= best.objective + 1e-9) {
+      continue;  // bound: cannot beat the incumbent
+    }
+
+    const int branch_var = most_fractional(relax.x, integer);
+    if (branch_var < 0) {
+      // Integral: new incumbent.
+      if (!have_incumbent || relax.objective > best.objective) {
+        best.status = LpStatus::kOptimal;
+        best.objective = relax.objective;
+        best.x = relax.x;
+        for (size_t j = 0; j < best.x.size(); ++j) {
+          if (integer[j]) best.x[j] = std::round(best.x[j]);
+        }
+        have_incumbent = true;
+      }
+      continue;
+    }
+
+    const double v = relax.x[static_cast<size_t>(branch_var)];
+    Node down = node;
+    down.bounds.emplace_back(branch_var, std::floor(v), true);
+    Node up = node;
+    up.bounds.emplace_back(branch_var, std::ceil(v), false);
+    // Explore the rounded-up branch first: matching problems tend to pack
+    // high-weight patterns at their maximum multiplicity.
+    stack.push_back(std::move(down));
+    stack.push_back(std::move(up));
+  }
+  return best;
+}
+
+}  // namespace gpumas::ilp

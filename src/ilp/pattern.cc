@@ -1,0 +1,155 @@
+#include "ilp/pattern.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace gpumas::ilp {
+
+namespace {
+
+void enumerate_rec(int num_classes, int nc, int start, Pattern& current,
+                   std::vector<Pattern>& out) {
+  if (nc == 0) {
+    out.push_back(current);
+    return;
+  }
+  for (int c = start; c < num_classes; ++c) {
+    current.counts[static_cast<size_t>(c)]++;
+    enumerate_rec(num_classes, nc - 1, c, current, out);
+    current.counts[static_cast<size_t>(c)]--;
+  }
+}
+
+void validate(const MatchingProblem& p) {
+  GPUMAS_CHECK(!p.patterns.empty());
+  GPUMAS_CHECK(p.weights.size() == p.patterns.size());
+  const int nc = p.patterns.front().group_size();
+  for (const auto& pat : p.patterns) {
+    GPUMAS_CHECK_MSG(pat.group_size() == nc, "mixed pattern sizes");
+    GPUMAS_CHECK(pat.counts.size() == p.class_counts.size());
+  }
+  int total = 0;
+  for (int c : p.class_counts) {
+    GPUMAS_CHECK(c >= 0);
+    total += c;
+  }
+  GPUMAS_CHECK_MSG(total % nc == 0,
+                   "queue length " << total
+                                   << " not divisible by group size " << nc);
+}
+
+}  // namespace
+
+std::vector<Pattern> enumerate_patterns(int num_classes, int nc) {
+  GPUMAS_CHECK(num_classes >= 1 && nc >= 1);
+  std::vector<Pattern> out;
+  Pattern current;
+  current.counts.assign(static_cast<size_t>(num_classes), 0);
+  enumerate_rec(num_classes, nc, 0, current, out);
+  GPUMAS_CHECK(out.size() == num_patterns(num_classes, nc));
+  return out;
+}
+
+uint64_t num_patterns(int num_classes, int nc) {
+  // C(num_classes + nc - 1, nc) computed without overflow for small inputs.
+  uint64_t result = 1;
+  for (int i = 1; i <= nc; ++i) {
+    result = result * static_cast<uint64_t>(num_classes + nc - i) /
+             static_cast<uint64_t>(i);
+  }
+  return result;
+}
+
+MatchingSolution solve_matching(const MatchingProblem& problem) {
+  validate(problem);
+  const int np = static_cast<int>(problem.patterns.size());
+  const int nt = static_cast<int>(problem.class_counts.size());
+  const int nc = problem.patterns.front().group_size();
+  int total = 0;
+  for (int c : problem.class_counts) total += c;
+  const int groups = total / nc;
+
+  LpProblem lp;
+  lp.num_vars = np;
+  lp.objective = problem.weights;
+  // Eq 3.6: per-class population must be consumed exactly.
+  for (int c = 0; c < nt; ++c) {
+    std::vector<double> row(static_cast<size_t>(np), 0.0);
+    for (int k = 0; k < np; ++k) {
+      row[static_cast<size_t>(k)] =
+          problem.patterns[static_cast<size_t>(k)].counts[static_cast<size_t>(c)];
+    }
+    lp.add_eq(std::move(row),
+              problem.class_counts[static_cast<size_t>(c)]);
+  }
+  // Eq 3.7: total number of groups (redundant given Eq 3.6 but kept as the
+  // paper states it).
+  lp.add_eq(std::vector<double>(static_cast<size_t>(np), 1.0),
+            static_cast<double>(groups));
+
+  const IlpSolution ilp = solve_ilp(lp);
+  MatchingSolution sol;
+  sol.nodes_explored = ilp.nodes_explored;
+  if (ilp.status != LpStatus::kOptimal) return sol;
+  sol.feasible = true;
+  sol.objective = ilp.objective;
+  sol.multiplicity.resize(static_cast<size_t>(np));
+  for (int k = 0; k < np; ++k) {
+    sol.multiplicity[static_cast<size_t>(k)] =
+        static_cast<int>(ilp.x[static_cast<size_t>(k)] + 0.5);
+  }
+  return sol;
+}
+
+namespace {
+
+void brute_rec(const MatchingProblem& p, size_t k, std::vector<int>& remaining,
+               std::vector<int>& mult, double objective,
+               MatchingSolution& best) {
+  if (k == p.patterns.size()) {
+    for (int r : remaining) {
+      if (r != 0) return;
+    }
+    if (!best.feasible || objective > best.objective) {
+      best.feasible = true;
+      best.objective = objective;
+      best.multiplicity = mult;
+    }
+    return;
+  }
+  const Pattern& pat = p.patterns[k];
+  // Maximum multiplicity of this pattern given the remaining population.
+  int max_mult = INT32_MAX;
+  for (size_t c = 0; c < remaining.size(); ++c) {
+    if (pat.counts[c] > 0) {
+      max_mult = std::min(max_mult, remaining[c] / pat.counts[c]);
+    }
+  }
+  if (max_mult == INT32_MAX) max_mult = 0;  // pattern uses no classes
+  for (int m = max_mult; m >= 0; --m) {
+    for (size_t c = 0; c < remaining.size(); ++c) {
+      remaining[c] -= pat.counts[c] * m;
+    }
+    mult[k] = m;
+    brute_rec(p, k + 1, remaining, mult, objective + p.weights[k] * m, best);
+    for (size_t c = 0; c < remaining.size(); ++c) {
+      remaining[c] += pat.counts[c] * m;
+    }
+    mult[k] = 0;
+  }
+}
+
+}  // namespace
+
+MatchingSolution solve_matching_bruteforce(const MatchingProblem& problem) {
+  validate(problem);
+  MatchingSolution best;
+  std::vector<int> remaining = problem.class_counts;
+  std::vector<int> mult(problem.patterns.size(), 0);
+  brute_rec(problem, 0, remaining, mult, 0.0, best);
+  best.nodes_explored = 0;
+  return best;
+}
+
+}  // namespace gpumas::ilp

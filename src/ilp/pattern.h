@@ -1,0 +1,65 @@
+// Class-pattern matching (§3.2.3, Appendix A).
+//
+// A pattern is a multiset of NC application classes that co-run as one
+// group, e.g. (M, C) or (MC, MC, A). For NT classes and NC concurrent
+// applications there are NP = C(NT + NC - 1, NC) patterns (Eq 3.2),
+// enumerated in the paper's lexicographic order (M-M, M-MC, M-C, M-A,
+// MC-MC, ...). The matching problem maximizes
+//     f = sum_k e_k L_k                                   (Eq 3.3)
+// over pattern multiplicities L_k subject to the per-class population
+// constraints (Eq 3.6) and the group-count constraint (Eq 3.7).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "ilp/branch_bound.h"
+
+namespace gpumas::ilp {
+
+// counts[c] = number of class-c applications in the pattern; sums to NC.
+struct Pattern {
+  std::vector<int> counts;
+
+  int group_size() const {
+    int s = 0;
+    for (int c : counts) s += c;
+    return s;
+  }
+  // The classes in the pattern, expanded (e.g. {0, 2} for M-C).
+  std::vector<int> classes() const {
+    std::vector<int> out;
+    for (size_t c = 0; c < counts.size(); ++c) {
+      for (int k = 0; k < counts[c]; ++k) out.push_back(static_cast<int>(c));
+    }
+    return out;
+  }
+};
+
+// All multisets of size `nc` over `num_classes` classes, lexicographic.
+std::vector<Pattern> enumerate_patterns(int num_classes, int nc);
+
+// NP = C(num_classes + nc - 1, nc), Eq 3.2.
+uint64_t num_patterns(int num_classes, int nc);
+
+struct MatchingProblem {
+  std::vector<Pattern> patterns;
+  std::vector<double> weights;   // e_k, Eq 3.4
+  std::vector<int> class_counts; // N_q^c: queue population per class
+};
+
+struct MatchingSolution {
+  bool feasible = false;
+  std::vector<int> multiplicity;  // L_k per pattern
+  double objective = 0.0;
+  uint64_t nodes_explored = 0;
+};
+
+// Solves the matching via branch-and-bound ILP (exact).
+MatchingSolution solve_matching(const MatchingProblem& problem);
+
+// Exhaustive reference solver used to cross-check solve_matching in tests.
+MatchingSolution solve_matching_bruteforce(const MatchingProblem& problem);
+
+}  // namespace gpumas::ilp

@@ -1,0 +1,263 @@
+#include "ilp/simplex.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace gpumas::ilp {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+constexpr int kMaxIterations = 20000;
+constexpr int kBlandAfter = 2000;  // switch to Bland's rule to break cycles
+
+// Dense simplex tableau. Columns: [structural | slack/surplus | artificial |
+// rhs]. Rows carry one basic variable each.
+class Tableau {
+ public:
+  Tableau(const LpProblem& p) : n_(p.num_vars), m_(static_cast<int>(p.constraints.size())) {
+    // Count auxiliary columns.
+    for (const auto& c : p.constraints) {
+      const bool flip = c.rhs < 0.0;
+      const ConstraintType t = flip ? flipped(c.type) : c.type;
+      if (t == ConstraintType::kLe) {
+        ++num_slack_;
+      } else if (t == ConstraintType::kGe) {
+        ++num_slack_;
+        ++num_art_;
+      } else {
+        ++num_art_;
+      }
+    }
+    cols_ = n_ + num_slack_ + num_art_ + 1;
+    a_.assign(static_cast<size_t>(m_) * cols_, 0.0);
+    basis_.assign(static_cast<size_t>(m_), -1);
+
+    int slack = 0;
+    int art = 0;
+    for (int i = 0; i < m_; ++i) {
+      const Constraint& c = p.constraints[static_cast<size_t>(i)];
+      const bool flip = c.rhs < 0.0;
+      const double sign = flip ? -1.0 : 1.0;
+      const ConstraintType t = flip ? flipped(c.type) : c.type;
+      for (int j = 0; j < n_ && j < static_cast<int>(c.coeffs.size()); ++j) {
+        at(i, j) = sign * c.coeffs[static_cast<size_t>(j)];
+      }
+      rhs(i) = sign * c.rhs;
+      if (t == ConstraintType::kLe) {
+        at(i, n_ + slack) = 1.0;
+        basis_[static_cast<size_t>(i)] = n_ + slack;
+        ++slack;
+      } else if (t == ConstraintType::kGe) {
+        at(i, n_ + slack) = -1.0;
+        ++slack;
+        at(i, n_ + num_slack_ + art) = 1.0;
+        basis_[static_cast<size_t>(i)] = n_ + num_slack_ + art;
+        ++art;
+      } else {
+        at(i, n_ + num_slack_ + art) = 1.0;
+        basis_[static_cast<size_t>(i)] = n_ + num_slack_ + art;
+        ++art;
+      }
+    }
+  }
+
+  // Minimizes the sum of artificial variables. Returns the attained sum.
+  double phase1() {
+    // cost row: 1 for artificials, 0 elsewhere; express in terms of the
+    // (artificial) basis by subtracting basic rows.
+    std::vector<double> cost(static_cast<size_t>(cols_), 0.0);
+    for (int j = art_begin(); j < art_end(); ++j) {
+      cost[static_cast<size_t>(j)] = 1.0;
+    }
+    for (int i = 0; i < m_; ++i) {
+      if (basis_[static_cast<size_t>(i)] >= art_begin()) {
+        for (int j = 0; j < cols_; ++j) cost[static_cast<size_t>(j)] -= at(i, j);
+      }
+    }
+    const LpStatus st = optimize(cost, /*allow_artificials=*/true);
+    GPUMAS_CHECK_MSG(st != LpStatus::kUnbounded,
+                     "phase-1 objective is bounded by construction");
+    // Remaining infeasibility = sum of the still-basic artificial values.
+    double value = 0.0;
+    for (int i = 0; i < m_; ++i) {
+      if (basis_[static_cast<size_t>(i)] >= art_begin()) value += rhs(i);
+    }
+    return value;
+  }
+
+  // Pivots out any artificial variables still basic at value 0, dropping
+  // redundant rows where no structural pivot exists.
+  void purge_artificials() {
+    for (int i = 0; i < m_; ++i) {
+      if (basis_[static_cast<size_t>(i)] < art_begin()) continue;
+      int pivot_col = -1;
+      for (int j = 0; j < art_begin(); ++j) {
+        if (std::fabs(at(i, j)) > kEps) {
+          pivot_col = j;
+          break;
+        }
+      }
+      if (pivot_col >= 0) {
+        pivot(i, pivot_col);
+      } else {
+        // Redundant constraint: zero the row so it can never pivot again.
+        for (int j = 0; j < cols_; ++j) at(i, j) = 0.0;
+        basis_[static_cast<size_t>(i)] = -1;
+      }
+    }
+  }
+
+  // Maximizes objective (length num_vars) over the current basis. Artificial
+  // columns are excluded from entering.
+  LpStatus phase2(const std::vector<double>& objective) {
+    // Minimize -objective; reduce by the current basis.
+    std::vector<double> cost(static_cast<size_t>(cols_), 0.0);
+    for (int j = 0; j < n_ && j < static_cast<int>(objective.size()); ++j) {
+      cost[static_cast<size_t>(j)] = -objective[static_cast<size_t>(j)];
+    }
+    for (int i = 0; i < m_; ++i) {
+      const int b = basis_[static_cast<size_t>(i)];
+      if (b < 0) continue;
+      const double cb = cost[static_cast<size_t>(b)];
+      if (std::fabs(cb) > kEps) {
+        for (int j = 0; j < cols_; ++j) at_cost(cost, j) -= cb * at(i, j);
+      }
+    }
+    return optimize(cost, /*allow_artificials=*/false);
+  }
+
+  std::vector<double> extract(int num_vars) const {
+    std::vector<double> x(static_cast<size_t>(num_vars), 0.0);
+    for (int i = 0; i < m_; ++i) {
+      const int b = basis_[static_cast<size_t>(i)];
+      if (b >= 0 && b < num_vars) x[static_cast<size_t>(b)] = rhs(i);
+    }
+    return x;
+  }
+
+ private:
+  static ConstraintType flipped(ConstraintType t) {
+    if (t == ConstraintType::kLe) return ConstraintType::kGe;
+    if (t == ConstraintType::kGe) return ConstraintType::kLe;
+    return ConstraintType::kEq;
+  }
+
+  double& at(int row, int col) {
+    return a_[static_cast<size_t>(row) * cols_ + static_cast<size_t>(col)];
+  }
+  double at(int row, int col) const {
+    return a_[static_cast<size_t>(row) * cols_ + static_cast<size_t>(col)];
+  }
+  double& rhs(int row) { return at(row, cols_ - 1); }
+  double rhs(int row) const { return at(row, cols_ - 1); }
+  static double& at_cost(std::vector<double>& cost, int j) {
+    return cost[static_cast<size_t>(j)];
+  }
+
+  int art_begin() const { return n_ + num_slack_; }
+  int art_end() const { return n_ + num_slack_ + num_art_; }
+
+  void pivot(int prow, int pcol) {
+    const double pivot_val = at(prow, pcol);
+    GPUMAS_CHECK(std::fabs(pivot_val) > kEps);
+    const double inv = 1.0 / pivot_val;
+    for (int j = 0; j < cols_; ++j) at(prow, j) *= inv;
+    at(prow, pcol) = 1.0;  // cancel roundoff
+    for (int i = 0; i < m_; ++i) {
+      if (i == prow) continue;
+      const double f = at(i, pcol);
+      if (std::fabs(f) <= kEps) continue;
+      for (int j = 0; j < cols_; ++j) at(i, j) -= f * at(prow, j);
+      at(i, pcol) = 0.0;
+    }
+    basis_[static_cast<size_t>(prow)] = pcol;
+  }
+
+  // Minimizes cost'x with the revised cost row maintained alongside pivots.
+  LpStatus optimize(std::vector<double>& cost, bool allow_artificials) {
+    const int enter_end = allow_artificials ? art_end() : art_begin();
+    for (int iter = 0; iter < kMaxIterations; ++iter) {
+      const bool bland = iter >= kBlandAfter;
+      // Entering column: most negative reduced cost (or first, for Bland).
+      int pcol = -1;
+      double best = -kEps;
+      for (int j = 0; j < enter_end; ++j) {
+        const double cj = cost[static_cast<size_t>(j)];
+        if (cj < (bland ? -kEps : best)) {
+          pcol = j;
+          if (bland) break;
+          best = cj;
+        }
+      }
+      if (pcol < 0) return LpStatus::kOptimal;
+
+      // Leaving row: ratio test.
+      int prow = -1;
+      double best_ratio = std::numeric_limits<double>::infinity();
+      for (int i = 0; i < m_; ++i) {
+        const double aij = at(i, pcol);
+        if (aij <= kEps) continue;
+        const double ratio = rhs(i) / aij;
+        if (ratio < best_ratio - kEps ||
+            (ratio < best_ratio + kEps && prow >= 0 &&
+             basis_[static_cast<size_t>(i)] <
+                 basis_[static_cast<size_t>(prow)])) {
+          best_ratio = ratio;
+          prow = i;
+        }
+      }
+      if (prow < 0) return LpStatus::kUnbounded;
+
+      // Update the cost row, then pivot.
+      const double f = cost[static_cast<size_t>(pcol)];
+      const double inv = 1.0 / at(prow, pcol);
+      for (int j = 0; j < cols_; ++j) {
+        cost[static_cast<size_t>(j)] -= f * at(prow, j) * inv;
+      }
+      cost[static_cast<size_t>(pcol)] = 0.0;
+      pivot(prow, pcol);
+    }
+    return LpStatus::kIterLimit;
+  }
+
+  int n_;
+  int m_;
+  int num_slack_ = 0;
+  int num_art_ = 0;
+  int cols_ = 0;
+  std::vector<double> a_;
+  std::vector<int> basis_;
+};
+
+}  // namespace
+
+LpSolution solve_lp(const LpProblem& problem) {
+  GPUMAS_CHECK(problem.num_vars > 0);
+  GPUMAS_CHECK(static_cast<int>(problem.objective.size()) <=
+               problem.num_vars);
+  for (const auto& c : problem.constraints) {
+    GPUMAS_CHECK(static_cast<int>(c.coeffs.size()) <= problem.num_vars);
+  }
+
+  Tableau tab(problem);
+  LpSolution sol;
+  if (tab.phase1() > 1e-6) {
+    sol.status = LpStatus::kInfeasible;
+    return sol;
+  }
+  tab.purge_artificials();
+  sol.status = tab.phase2(problem.objective);
+  if (sol.status != LpStatus::kOptimal) return sol;
+
+  sol.x = tab.extract(problem.num_vars);
+  sol.objective = 0.0;
+  for (size_t j = 0; j < sol.x.size() && j < problem.objective.size(); ++j) {
+    sol.objective += problem.objective[j] * sol.x[j];
+  }
+  return sol;
+}
+
+}  // namespace gpumas::ilp

@@ -1,0 +1,54 @@
+// Dense two-phase primal simplex for linear programs.
+//
+//   maximize    c' x
+//   subject to  A x {<=, >=, =} b,   x >= 0
+//
+// This is the LP engine underneath the branch-and-bound integer solver used
+// for the paper's contention-minimization step (§1.4, §3.2.3). The paper's
+// instances are tiny (tens of variables), so a dense tableau with Dantzig
+// pricing and a Bland's-rule anti-cycling fallback is the right tool.
+#pragma once
+
+#include <vector>
+
+namespace gpumas::ilp {
+
+enum class LpStatus { kOptimal, kInfeasible, kUnbounded, kIterLimit };
+
+enum class ConstraintType { kLe, kGe, kEq };
+
+struct Constraint {
+  std::vector<double> coeffs;  // length = num_vars (missing -> 0)
+  ConstraintType type = ConstraintType::kLe;
+  double rhs = 0.0;
+};
+
+struct LpProblem {
+  int num_vars = 0;
+  std::vector<double> objective;  // maximize objective' x
+  std::vector<Constraint> constraints;
+
+  void add_constraint(std::vector<double> coeffs, ConstraintType type,
+                      double rhs) {
+    constraints.push_back(Constraint{std::move(coeffs), type, rhs});
+  }
+  void add_le(std::vector<double> c, double b) {
+    add_constraint(std::move(c), ConstraintType::kLe, b);
+  }
+  void add_ge(std::vector<double> c, double b) {
+    add_constraint(std::move(c), ConstraintType::kGe, b);
+  }
+  void add_eq(std::vector<double> c, double b) {
+    add_constraint(std::move(c), ConstraintType::kEq, b);
+  }
+};
+
+struct LpSolution {
+  LpStatus status = LpStatus::kInfeasible;
+  std::vector<double> x;
+  double objective = 0.0;
+};
+
+LpSolution solve_lp(const LpProblem& problem);
+
+}  // namespace gpumas::ilp

@@ -1,0 +1,163 @@
+#include "interference/interference.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace gpumas::interference {
+
+using profile::AppClass;
+using profile::AppProfile;
+
+CoRunResult co_run(const sim::GpuConfig& cfg,
+                   const std::vector<sim::KernelParams>& kernels,
+                   const std::vector<uint64_t>& solo_cycles,
+                   const std::vector<int>& partition) {
+  GPUMAS_CHECK(!kernels.empty());
+  GPUMAS_CHECK(solo_cycles.size() == kernels.size());
+  sim::Gpu gpu(cfg);
+  for (const auto& kp : kernels) gpu.launch(kp);
+  if (partition.empty()) {
+    gpu.set_even_partition();
+  } else {
+    gpu.set_partition_counts(partition);
+  }
+  const sim::RunResult run = gpu.run_to_completion();
+
+  CoRunResult result;
+  result.group_cycles = run.cycles;
+  result.total_thread_insns = run.total_thread_insns();
+  result.device_throughput = run.device_throughput();
+  for (size_t i = 0; i < kernels.size(); ++i) {
+    CoRunAppResult app;
+    app.name = kernels[i].name;
+    app.solo_cycles = solo_cycles[i];
+    app.co_cycles = run.apps[i].finish_cycle;
+    app.slowdown = solo_cycles[i] == 0
+                       ? 0.0
+                       : static_cast<double>(app.co_cycles) /
+                             static_cast<double>(solo_cycles[i]);
+    result.apps.push_back(app);
+  }
+  return result;
+}
+
+SlowdownModel SlowdownModel::measure_pairwise(
+    const sim::GpuConfig& cfg, const std::vector<sim::KernelParams>& kernels,
+    const std::vector<AppProfile>& profiles, int max_samples_per_cell) {
+  GPUMAS_CHECK(kernels.size() == profiles.size());
+  SlowdownModel model;
+  double sum[profile::kNumClasses][profile::kNumClasses] = {};
+  int count[profile::kNumClasses][profile::kNumClasses] = {};
+
+  for (size_t i = 0; i < kernels.size(); ++i) {
+    for (size_t j = 0; j < kernels.size(); ++j) {
+      if (i == j) continue;
+      const size_t mi = idx(profiles[i].cls);
+      const size_t mj = idx(profiles[j].cls);
+      if (max_samples_per_cell > 0 &&
+          count[mi][mj] >= max_samples_per_cell) {
+        continue;
+      }
+      const CoRunResult r =
+          co_run(cfg, {kernels[i], kernels[j]},
+                 {profiles[i].solo_cycles, profiles[j].solo_cycles});
+      // Slowdown "due to co-execution": the group occupies the device until
+      // its last member finishes, so the effective completion of every
+      // member is the group completion (see DESIGN.md). This is what makes
+      // Eq 3.4's weight of a pattern proportional to its throughput
+      // efficiency.
+      sum[mi][mj] += static_cast<double>(r.group_cycles) /
+                     static_cast<double>(profiles[i].solo_cycles);
+      count[mi][mj]++;
+    }
+  }
+
+  for (int a = 0; a < profile::kNumClasses; ++a) {
+    for (int b = 0; b < profile::kNumClasses; ++b) {
+      // Cells with no samples (a class absent from the suite) default to a
+      // neutral halved-device slowdown of 2.0.
+      model.pair_[a][b] = count[a][b] > 0 ? sum[a][b] / count[a][b] : 2.0;
+      model.samples_[a][b] = count[a][b];
+    }
+  }
+  return model;
+}
+
+double SlowdownModel::pair_slowdown(AppClass me, AppClass other) const {
+  return pair_[idx(me)][idx(other)];
+}
+
+int SlowdownModel::pair_samples(AppClass me, AppClass other) const {
+  return samples_[idx(me)][idx(other)];
+}
+
+void SlowdownModel::set_pair_slowdown(AppClass me, AppClass other, double s) {
+  GPUMAS_CHECK(s > 0.0);
+  pair_[idx(me)][idx(other)] = s;
+  samples_[idx(me)][idx(other)] = 1;
+}
+
+double SlowdownModel::slowdown(AppClass me,
+                               const std::vector<AppClass>& others) const {
+  GPUMAS_CHECK(!others.empty());
+  if (others.size() == 1) return pair_slowdown(me, others[0]);
+
+  std::vector<int> key;
+  key.reserve(others.size());
+  for (AppClass c : others) key.push_back(static_cast<int>(c));
+  std::sort(key.begin(), key.end());
+  const auto it = multi_.find({static_cast<int>(me), key});
+  if (it != multi_.end()) return it->second;
+
+  // Additive composition of pairwise interference. It underestimates the
+  // extra pressure of the smaller SM share, but preserves the ordering the
+  // ILP matching needs; measure_triples() replaces it with measurements.
+  double s = 1.0;
+  for (AppClass c : others) s += pair_slowdown(me, c) - 1.0;
+  return s;
+}
+
+void SlowdownModel::measure_triples(
+    const sim::GpuConfig& cfg, const std::vector<sim::KernelParams>& kernels,
+    const std::vector<AppProfile>& profiles) {
+  GPUMAS_CHECK(kernels.size() == profiles.size());
+  // One representative application per class. Cells needing two apps of the
+  // same class use the first two representatives of that class.
+  std::vector<std::vector<size_t>> members(profile::kNumClasses);
+  for (size_t i = 0; i < profiles.size(); ++i) {
+    members[idx(profiles[i].cls)].push_back(i);
+  }
+
+  for (int me = 0; me < profile::kNumClasses; ++me) {
+    if (members[static_cast<size_t>(me)].empty()) continue;
+    for (int a = 0; a < profile::kNumClasses; ++a) {
+      for (int b = a; b < profile::kNumClasses; ++b) {
+        // Choose distinct representative apps for (me, a, b).
+        std::vector<size_t> chosen;
+        auto pick = [&](int cls) -> bool {
+          for (size_t cand : members[static_cast<size_t>(cls)]) {
+            if (std::find(chosen.begin(), chosen.end(), cand) ==
+                chosen.end()) {
+              chosen.push_back(cand);
+              return true;
+            }
+          }
+          return false;
+        };
+        if (!pick(me) || !pick(a) || !pick(b)) continue;
+
+        const CoRunResult r = co_run(
+            cfg,
+            {kernels[chosen[0]], kernels[chosen[1]], kernels[chosen[2]]},
+            {profiles[chosen[0]].solo_cycles, profiles[chosen[1]].solo_cycles,
+             profiles[chosen[2]].solo_cycles});
+        multi_[{me, {a < b ? a : b, a < b ? b : a}}] =
+            static_cast<double>(r.group_cycles) /
+            static_cast<double>(profiles[chosen[0]].solo_cycles);
+      }
+    }
+  }
+}
+
+}  // namespace gpumas::interference

@@ -1,0 +1,87 @@
+// Step (ii) of the methodology: per-class interference analysis.
+//
+// Every application is co-run with every other application (equal SM split,
+// as in §3.2.2) and its slowdown versus the solo run is recorded. Slowdowns
+// are then averaged per (class of the app, class of the co-runner) to build
+// the Fig 3.4 matrix, whose inverses weight the ILP objective (Eq 3.4).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "profile/profile.h"
+#include "sim/gpu.h"
+#include "sim/gpu_config.h"
+#include "sim/kernel.h"
+
+namespace gpumas::interference {
+
+struct CoRunAppResult {
+  std::string name;
+  uint64_t solo_cycles = 0;
+  uint64_t co_cycles = 0;  // the app's own finish cycle during the co-run
+  double slowdown = 0.0;   // co_cycles / solo_cycles
+};
+
+struct CoRunResult {
+  std::vector<CoRunAppResult> apps;
+  uint64_t group_cycles = 0;        // cycle at which the whole group finished
+  uint64_t total_thread_insns = 0;
+  double device_throughput = 0.0;   // Eq 1.1 over the group
+};
+
+// Runs `kernels` concurrently. `partition` gives the SM count per app (empty
+// = even split). `solo_cycles[i]` is app i's solo runtime on the full device
+// (the slowdown denominator, exactly as the paper defines it).
+CoRunResult co_run(const sim::GpuConfig& cfg,
+                   const std::vector<sim::KernelParams>& kernels,
+                   const std::vector<uint64_t>& solo_cycles,
+                   const std::vector<int>& partition = {});
+
+// Class-level slowdown model (Fig 3.4), extended to class multisets so the
+// 3-application ILP can be weighted.
+class SlowdownModel {
+ public:
+  // Measures the pairwise matrix by co-running applications of each class
+  // pair with an even split. `max_samples_per_cell` bounds the number of
+  // distinct app pairs averaged per matrix cell (0 = exhaustive, i.e. every
+  // ordered app pair as in the paper).
+  static SlowdownModel measure_pairwise(
+      const sim::GpuConfig& cfg,
+      const std::vector<sim::KernelParams>& kernels,
+      const std::vector<profile::AppProfile>& profiles,
+      int max_samples_per_cell = 0);
+
+  // Average slowdown of a class-`me` app co-running with one class-`other`
+  // app (an entry of Fig 3.4).
+  double pair_slowdown(profile::AppClass me, profile::AppClass other) const;
+
+  // Slowdown of a class-`me` app co-running with the given class multiset.
+  // Uses a measured multi-way entry when available, otherwise composes
+  // pairwise interference additively:
+  //   S(me | {a, b}) = 1 + (S(me|a) - 1) + (S(me|b) - 1).
+  double slowdown(profile::AppClass me,
+                  const std::vector<profile::AppClass>& others) const;
+
+  // Optionally measures 3-way entries (one representative app per class) so
+  // that 3-application weights use direct measurements.
+  void measure_triples(const sim::GpuConfig& cfg,
+                       const std::vector<sim::KernelParams>& kernels,
+                       const std::vector<profile::AppProfile>& profiles);
+
+  void set_pair_slowdown(profile::AppClass me, profile::AppClass other,
+                         double s);
+  int pair_samples(profile::AppClass me, profile::AppClass other) const;
+
+ private:
+  static size_t idx(profile::AppClass c) { return static_cast<size_t>(c); }
+
+  double pair_[profile::kNumClasses][profile::kNumClasses] = {};
+  int samples_[profile::kNumClasses][profile::kNumClasses] = {};
+  // Key: (me, sorted co-runner classes); value: measured slowdown.
+  std::map<std::pair<int, std::vector<int>>, double> multi_;
+};
+
+}  // namespace gpumas::interference

@@ -1,0 +1,100 @@
+#include "profile/profile.h"
+
+#include "common/check.h"
+
+namespace gpumas::profile {
+
+const char* class_name(AppClass c) {
+  switch (c) {
+    case AppClass::kM:
+      return "M";
+    case AppClass::kMC:
+      return "MC";
+    case AppClass::kC:
+      return "C";
+    case AppClass::kA:
+      return "A";
+  }
+  return "?";
+}
+
+AppClass classify(const AppProfile& p, const ClassifierThresholds& t) {
+  if (p.mb_gbps > t.alpha) return AppClass::kM;
+  if (p.mb_gbps > t.beta) return AppClass::kMC;
+  if ((p.l2l1_gbps > t.gamma || p.r > 0.2) && p.ipc < t.epsilon) {
+    return AppClass::kC;
+  }
+  // Table 3.2 assigns apps matching no rule (LUD, NN: low bandwidth, low
+  // cache traffic, low IPC) to class A, so A doubles as the fallback.
+  return AppClass::kA;
+}
+
+AppProfile profile_from_run(const sim::RunResult& result, size_t app,
+                            const std::string& name, double freq_ghz,
+                            uint32_t line_bytes,
+                            const ClassifierThresholds& thresholds) {
+  const sim::AppStats& s = result.apps.at(app);
+  // Rates are computed over the app's own residency, not the whole run, so
+  // that a short app co-running with a long one is not diluted.
+  const uint64_t cycles = s.finish_cycle > 0 ? s.finish_cycle : result.cycles;
+  AppProfile p;
+  p.name = name;
+  p.solo_cycles = cycles;
+  p.thread_insns = s.thread_insns(result.warp_size);
+  p.ipc = cycles == 0 ? 0.0
+                      : static_cast<double>(p.thread_insns) /
+                            static_cast<double>(cycles);
+  p.mb_gbps =
+      sim::bandwidth_gbps(s.dram_transactions * line_bytes, cycles, freq_ghz);
+  p.l2l1_gbps =
+      sim::bandwidth_gbps(s.l1_fills * line_bytes, cycles, freq_ghz);
+  p.r = s.warp_insns == 0 ? 0.0
+                          : static_cast<double>(s.mem_insns) /
+                                static_cast<double>(s.warp_insns);
+  p.l1_hit_rate = s.l1_accesses == 0
+                      ? 0.0
+                      : static_cast<double>(s.l1_hits) /
+                            static_cast<double>(s.l1_accesses);
+  p.l2_hit_rate = s.l2_accesses == 0
+                      ? 0.0
+                      : static_cast<double>(s.l2_hits) /
+                            static_cast<double>(s.l2_accesses);
+  p.cls = classify(p, thresholds);
+  return p;
+}
+
+AppProfile Profiler::profile(const sim::KernelParams& kp, int num_sms,
+                             const ClassifierThresholds& thresholds) const {
+  sim::Gpu gpu(cfg_);
+  gpu.launch(kp);
+  if (num_sms > 0) {
+    gpu.set_partition_counts({num_sms});
+  }
+  const sim::RunResult result = gpu.run_to_completion();
+  return profile_from_run(result, 0, kp.name, cfg_.core_freq_ghz,
+                          cfg_.l2.line_bytes, thresholds);
+}
+
+std::vector<ScalabilityPoint> Profiler::scalability(
+    const sim::KernelParams& kp, const std::vector<int>& sm_counts) const {
+  std::vector<ScalabilityPoint> points;
+  for (int n : sm_counts) {
+    GPUMAS_CHECK(n > 0 && n <= cfg_.num_sms);
+    const AppProfile p = profile(kp, n);
+    points.push_back(ScalabilityPoint{n, p.ipc});
+  }
+  return points;
+}
+
+std::vector<AppProfile> Profiler::profile_suite(
+    const std::vector<sim::KernelParams>& kernels,
+    const ClassifierThresholds& thresholds) const {
+  std::vector<AppProfile> profiles;
+  profiles.reserve(kernels.size());
+  for (const auto& kp : kernels) {
+    profiles.push_back(profile(kp, -1, thresholds));
+  }
+  return profiles;
+}
+
+}  // namespace gpumas::profile

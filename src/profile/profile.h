@@ -1,0 +1,86 @@
+// Solo-run profiling and Table 3.1 classification.
+//
+// Step (i) of the paper's methodology: run each application alone on the
+// full device, collect memory bandwidth (MB), L2->L1 fill bandwidth, IPC and
+// the memory-to-compute ratio R, then classify into
+//   class M  (memory intensive)          MB > alpha
+//   class MC (memory + cache intensive)  beta < MB <= alpha
+//   class C  (cache intensive)           (L2->L1 > gamma OR R > 0.2) AND IPC < epsilon
+//   class A  (compute intensive)         everything else
+// The thresholds default to the values consistent with the thesis' Table 3.2
+// (see DESIGN.md for the threshold reconciliation).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/gpu.h"
+#include "sim/gpu_config.h"
+#include "sim/kernel.h"
+
+namespace gpumas::profile {
+
+enum class AppClass { kM = 0, kMC = 1, kC = 2, kA = 3 };
+constexpr int kNumClasses = 4;
+
+const char* class_name(AppClass c);
+
+struct AppProfile {
+  std::string name;
+  AppClass cls = AppClass::kA;
+  double mb_gbps = 0.0;    // DRAM bandwidth (reads + write-through stores)
+  double l2l1_gbps = 0.0;  // L2->L1 fill bandwidth
+  double ipc = 0.0;        // thread instructions per cycle
+  double r = 0.0;          // memory instructions / all instructions
+  double l1_hit_rate = 0.0;
+  double l2_hit_rate = 0.0;
+  uint64_t solo_cycles = 0;
+  uint64_t thread_insns = 0;
+};
+
+struct ClassifierThresholds {
+  double alpha = 107.0;    // GB/s, class M lower bound
+  double beta = 58.0;      // GB/s, class MC lower bound
+  double gamma = 100.0;    // GB/s, L2->L1 bound for class C
+  double epsilon = 200.0;  // thread IPC, cache/compute boundary
+};
+
+AppClass classify(const AppProfile& p, const ClassifierThresholds& t = {});
+
+// One (sm_count, ipc) sample of a scalability curve (Fig 3.5 / 3.6).
+struct ScalabilityPoint {
+  int sms = 0;
+  double ipc = 0.0;
+};
+
+class Profiler {
+ public:
+  explicit Profiler(const sim::GpuConfig& cfg) : cfg_(cfg) {}
+
+  // Runs `kp` alone on `num_sms` SMs (default: whole device) and extracts
+  // the profile. Classification uses `thresholds`.
+  AppProfile profile(const sim::KernelParams& kp, int num_sms = -1,
+                     const ClassifierThresholds& thresholds = {}) const;
+
+  // Solo IPC at each SM count, for the scalability studies.
+  std::vector<ScalabilityPoint> scalability(
+      const sim::KernelParams& kp, const std::vector<int>& sm_counts) const;
+
+  // Profiles the whole suite (convenience for benches and the scheduler).
+  std::vector<AppProfile> profile_suite(
+      const std::vector<sim::KernelParams>& kernels,
+      const ClassifierThresholds& thresholds = {}) const;
+
+  const sim::GpuConfig& config() const { return cfg_; }
+
+ private:
+  sim::GpuConfig cfg_;
+};
+
+// Profile statistics from an already-finished run (used by co-run analyses).
+AppProfile profile_from_run(const sim::RunResult& result, size_t app,
+                            const std::string& name, double freq_ghz,
+                            uint32_t line_bytes,
+                            const ClassifierThresholds& thresholds = {});
+
+}  // namespace gpumas::profile

@@ -1,0 +1,134 @@
+#include "sched/policies.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/check.h"
+
+namespace gpumas::sched {
+
+using profile::AppClass;
+
+const char* policy_name(Policy p) {
+  switch (p) {
+    case Policy::kSerial:
+      return "Serial";
+    case Policy::kEven:
+      return "Even";
+    case Policy::kProfileBased:
+      return "Profile-based";
+    case Policy::kIlp:
+      return "ILP";
+    case Policy::kIlpSmra:
+      return "ILP-SMRA";
+  }
+  return "?";
+}
+
+std::vector<double> pattern_weights(
+    const std::vector<ilp::Pattern>& patterns,
+    const interference::SlowdownModel& model) {
+  std::vector<double> weights;
+  weights.reserve(patterns.size());
+  for (const auto& pat : patterns) {
+    const std::vector<int> classes = pat.classes();
+    const int nc = static_cast<int>(classes.size());
+    double e = 0.0;
+    for (size_t i = 0; i < classes.size(); ++i) {
+      std::vector<AppClass> others;
+      for (size_t j = 0; j < classes.size(); ++j) {
+        if (j != i) others.push_back(static_cast<AppClass>(classes[j]));
+      }
+      const double s =
+          model.slowdown(static_cast<AppClass>(classes[i]), others);
+      GPUMAS_CHECK_MSG(s > 0.0, "non-positive slowdown in model");
+      e += 1.0 / s;
+    }
+    weights.push_back(e / nc);
+  }
+  return weights;
+}
+
+ilp::MatchingProblem build_matching_problem(
+    const std::vector<Job>& queue, int nc,
+    const interference::SlowdownModel& model) {
+  GPUMAS_CHECK(nc >= 2);
+  ilp::MatchingProblem problem;
+  problem.patterns = ilp::enumerate_patterns(profile::kNumClasses, nc);
+  problem.weights = pattern_weights(problem.patterns, model);
+  problem.class_counts.assign(profile::kNumClasses, 0);
+  for (const Job& job : queue) {
+    problem.class_counts[static_cast<size_t>(job.cls)]++;
+  }
+  return problem;
+}
+
+namespace {
+
+std::vector<std::vector<Job>> arrival_groups(const std::vector<Job>& queue,
+                                             int nc) {
+  std::vector<std::vector<Job>> groups;
+  for (size_t i = 0; i < queue.size(); i += static_cast<size_t>(nc)) {
+    std::vector<Job> group;
+    for (size_t j = i; j < queue.size() && j < i + static_cast<size_t>(nc);
+         ++j) {
+      group.push_back(queue[j]);
+    }
+    groups.push_back(std::move(group));
+  }
+  return groups;
+}
+
+std::vector<std::vector<Job>> ilp_groups(
+    const std::vector<Job>& queue, int nc,
+    const interference::SlowdownModel& model) {
+  GPUMAS_CHECK_MSG(queue.size() % static_cast<size_t>(nc) == 0,
+                   "ILP grouping needs a queue divisible by NC");
+  const ilp::MatchingProblem problem =
+      build_matching_problem(queue, nc, model);
+  const ilp::MatchingSolution sol = ilp::solve_matching(problem);
+  GPUMAS_CHECK_MSG(sol.feasible, "pattern matching infeasible");
+
+  // Per-class FIFO of jobs so pattern slots respect arrival order.
+  std::vector<std::deque<Job>> per_class(profile::kNumClasses);
+  for (const Job& job : queue) {
+    per_class[static_cast<size_t>(job.cls)].push_back(job);
+  }
+
+  std::vector<std::vector<Job>> groups;
+  for (size_t k = 0; k < problem.patterns.size(); ++k) {
+    for (int rep = 0; rep < sol.multiplicity[k]; ++rep) {
+      std::vector<Job> group;
+      for (int cls : problem.patterns[k].classes()) {
+        auto& fifo = per_class[static_cast<size_t>(cls)];
+        GPUMAS_CHECK(!fifo.empty());
+        group.push_back(fifo.front());
+        fifo.pop_front();
+      }
+      groups.push_back(std::move(group));
+    }
+  }
+  for (const auto& fifo : per_class) GPUMAS_CHECK(fifo.empty());
+  return groups;
+}
+
+}  // namespace
+
+std::vector<std::vector<Job>> form_groups(
+    const std::vector<Job>& queue, Policy policy, int nc,
+    const interference::SlowdownModel& model) {
+  GPUMAS_CHECK(!queue.empty());
+  switch (policy) {
+    case Policy::kSerial:
+      return arrival_groups(queue, 1);
+    case Policy::kEven:
+    case Policy::kProfileBased:
+      return arrival_groups(queue, nc);
+    case Policy::kIlp:
+    case Policy::kIlpSmra:
+      return ilp_groups(queue, nc, model);
+  }
+  return {};
+}
+
+}  // namespace gpumas::sched

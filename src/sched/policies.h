@@ -1,0 +1,45 @@
+// Scheduling policies of Chapter 4.
+//
+//  Serial        one application at a time on the whole device (the
+//                "serial" baseline of Figs 4.1/4.2/4.9/4.10).
+//  Even (=FCFS)  co-run NC applications in arrival order with an equal SM
+//                split (the baseline of Figs 4.3-4.8 and 4.11-4.12).
+//  ProfileBased  arrival-order grouping, SM split chosen from offline solo
+//                scalability profiles (the spatial-multitasking scheme of
+//                Adriaens et al. [17] the paper compares against).
+//  Ilp           groups chosen by the Eq 3.3-3.7 integer program to minimize
+//                class interference; equal SM split.
+//  IlpSmra       Ilp grouping plus the Algorithm 1 runtime SM reallocation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ilp/pattern.h"
+#include "interference/interference.h"
+#include "sched/queue_gen.h"
+
+namespace gpumas::sched {
+
+enum class Policy { kSerial = 0, kEven, kProfileBased, kIlp, kIlpSmra };
+const char* policy_name(Policy p);
+
+// Eq 3.4: e_k = (1/NC) * sum_i 1/S(class_i | other classes in pattern k).
+std::vector<double> pattern_weights(
+    const std::vector<ilp::Pattern>& patterns,
+    const interference::SlowdownModel& model);
+
+// Builds the ILP matching instance for a queue (class counts + weights).
+ilp::MatchingProblem build_matching_problem(
+    const std::vector<Job>& queue, int nc,
+    const interference::SlowdownModel& model);
+
+// Forms the co-run groups of size `nc` the policy would execute. Serial
+// always yields singleton groups. For the ILP policies the queue length
+// must be divisible by nc. Jobs within a pattern slot are taken in arrival
+// order, preserving FCFS fairness within a class.
+std::vector<std::vector<Job>> form_groups(
+    const std::vector<Job>& queue, Policy policy, int nc,
+    const interference::SlowdownModel& model);
+
+}  // namespace gpumas::sched

@@ -1,0 +1,130 @@
+#include "sched/queue_gen.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/prng.h"
+
+namespace gpumas::sched {
+
+using profile::AppClass;
+
+const char* distribution_name(QueueDistribution d) {
+  switch (d) {
+    case QueueDistribution::kEqual:
+      return "Equal-dist";
+    case QueueDistribution::kMOriented:
+      return "M-oriented";
+    case QueueDistribution::kMCOriented:
+      return "MC-oriented";
+    case QueueDistribution::kCOriented:
+      return "C-oriented";
+    case QueueDistribution::kAOriented:
+      return "A-oriented";
+  }
+  return "?";
+}
+
+std::vector<int> class_mix(QueueDistribution dist, int length) {
+  GPUMAS_CHECK(length >= profile::kNumClasses);
+  std::vector<int> mix(profile::kNumClasses, 0);
+  if (dist == QueueDistribution::kEqual) {
+    for (int c = 0; c < profile::kNumClasses; ++c) {
+      mix[static_cast<size_t>(c)] = length / profile::kNumClasses;
+    }
+    for (int r = 0; r < length % profile::kNumClasses; ++r) {
+      mix[static_cast<size_t>(r)]++;
+    }
+    return mix;
+  }
+  const int oriented = static_cast<int>(dist) - 1;  // maps to AppClass order
+  int majority = static_cast<int>(0.55 * length + 0.5);
+  const int rest = length - majority;
+  int per_other = rest / (profile::kNumClasses - 1);
+  int leftover = rest % (profile::kNumClasses - 1);
+  for (int c = 0; c < profile::kNumClasses; ++c) {
+    if (c == oriented) {
+      mix[static_cast<size_t>(c)] = majority;
+    } else {
+      mix[static_cast<size_t>(c)] = per_other + (leftover > 0 ? 1 : 0);
+      if (leftover > 0) --leftover;
+    }
+  }
+  return mix;
+}
+
+std::vector<Job> make_queue(const std::vector<sim::KernelParams>& kernels,
+                            const std::vector<profile::AppProfile>& profiles,
+                            QueueDistribution dist, int length,
+                            uint64_t seed) {
+  GPUMAS_CHECK(kernels.size() == profiles.size());
+  // Members of each class, in suite order.
+  std::vector<std::vector<size_t>> members(profile::kNumClasses);
+  for (size_t i = 0; i < profiles.size(); ++i) {
+    members[static_cast<size_t>(profiles[i].cls)].push_back(i);
+  }
+  const std::vector<int> mix = class_mix(dist, length);
+  for (int c = 0; c < profile::kNumClasses; ++c) {
+    GPUMAS_CHECK_MSG(mix[static_cast<size_t>(c)] == 0 ||
+                         !members[static_cast<size_t>(c)].empty(),
+                     "queue needs class " << profile::class_name(
+                         static_cast<AppClass>(c))
+                                          << " but the suite has none");
+  }
+
+  std::vector<Job> jobs;
+  for (int c = 0; c < profile::kNumClasses; ++c) {
+    const auto& m = members[static_cast<size_t>(c)];
+    for (int k = 0; k < mix[static_cast<size_t>(c)]; ++k) {
+      const size_t pick = m[static_cast<size_t>(k) % m.size()];
+      jobs.push_back(Job{kernels[pick], static_cast<AppClass>(c), 0});
+    }
+  }
+
+  // Deterministic Fisher-Yates shuffle for the arrival order.
+  Prng prng(seed);
+  for (size_t i = jobs.size(); i > 1; --i) {
+    const size_t j = prng.next_below(i);
+    std::swap(jobs[i - 1], jobs[j]);
+  }
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    jobs[i].arrival = static_cast<int>(i);
+  }
+  return jobs;
+}
+
+std::vector<Job> make_suite_queue(
+    const std::vector<sim::KernelParams>& kernels,
+    const std::vector<profile::AppProfile>& profiles) {
+  GPUMAS_CHECK(kernels.size() == profiles.size());
+  // The paper's arrival order: consecutive FCFS pairs are exactly the pairs
+  // of Fig 4.2(b) (BFS2-GUPS, FFT-SPMV, 3DS-BP, JPEG-BLK, LUD-HS, LPS-SAD,
+  // NN-RAY). Benchmarks absent from `kernels` are skipped.
+  static const char* kArrivalOrder[] = {"BFS2", "GUPS", "FFT", "SPMV", "3DS",
+                                        "BP",   "JPEG", "BLK", "LUD",  "HS",
+                                        "LPS",  "SAD",  "NN",  "RAY"};
+  std::vector<Job> jobs;
+  for (const char* name : kArrivalOrder) {
+    for (size_t i = 0; i < kernels.size(); ++i) {
+      if (kernels[i].name == name) {
+        jobs.push_back(
+            Job{kernels[i], profiles[i].cls, static_cast<int>(jobs.size())});
+        break;
+      }
+    }
+  }
+  // Any kernels outside the canonical suite keep their input order.
+  for (size_t i = 0; i < kernels.size(); ++i) {
+    bool placed = false;
+    for (const Job& j : jobs) {
+      if (j.kernel.name == kernels[i].name) placed = true;
+    }
+    if (!placed) {
+      jobs.push_back(
+          Job{kernels[i], profiles[i].cls, static_cast<int>(jobs.size())});
+    }
+  }
+  return jobs;
+}
+
+}  // namespace gpumas::sched

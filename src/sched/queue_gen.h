@@ -1,0 +1,52 @@
+// Work-queue construction for the Chapter 4 experiments.
+//
+// The paper evaluates on (a) a 14-application queue containing the whole
+// suite (2 M + 5 MC + 2 C + 5 A) and (b) longer queues with controlled class
+// mixes: equal distribution, or 55% of one class and 15% of each other
+// class. Queues are deterministic in (distribution, length, seed).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "profile/profile.h"
+#include "sim/kernel.h"
+
+namespace gpumas::sched {
+
+// One queued application awaiting execution.
+struct Job {
+  sim::KernelParams kernel;
+  profile::AppClass cls = profile::AppClass::kA;
+  int arrival = 0;  // position in the queue (FCFS order)
+};
+
+enum class QueueDistribution {
+  kEqual = 0,
+  kMOriented,
+  kMCOriented,
+  kCOriented,
+  kAOriented,
+};
+const char* distribution_name(QueueDistribution d);
+
+// Number of jobs of each class for a queue of `length` under `dist`:
+// equal -> length/4 per class (remainder to the first classes);
+// oriented -> round(0.55 * length) of the oriented class, rest split evenly.
+std::vector<int> class_mix(QueueDistribution dist, int length);
+
+// Builds the queue. Jobs of each class are drawn round-robin from the suite
+// members of that class (per `profiles`); the final arrival order is a
+// deterministic shuffle seeded by `seed`.
+std::vector<Job> make_queue(const std::vector<sim::KernelParams>& kernels,
+                            const std::vector<profile::AppProfile>& profiles,
+                            QueueDistribution dist, int length, uint64_t seed);
+
+// The paper's base queue: every suite benchmark exactly once, in suite
+// order (2 M, 5 MC, 2 C, 5 A for the calibrated suite).
+std::vector<Job> make_suite_queue(
+    const std::vector<sim::KernelParams>& kernels,
+    const std::vector<profile::AppProfile>& profiles);
+
+}  // namespace gpumas::sched

@@ -1,0 +1,177 @@
+#include "sched/runner.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "sim/gpu.h"
+
+namespace gpumas::sched {
+
+namespace {
+// SM-count grid at which ProfileBased's offline curves are sampled.
+constexpr int kScalabilityGrid[] = {5, 10, 15, 20, 25, 30, 40, 50};
+constexpr int kSplitStep = 5;  // granularity of the ProfileBased split search
+}  // namespace
+
+QueueRunner::QueueRunner(const sim::GpuConfig& cfg,
+                         const std::vector<profile::AppProfile>& suite_profiles,
+                         const interference::SlowdownModel& model)
+    : cfg_(cfg), model_(&model) {
+  for (const auto& p : suite_profiles) profiles_[p.name] = p;
+}
+
+uint64_t QueueRunner::solo_cycles(const std::string& name) const {
+  const auto it = profiles_.find(name);
+  GPUMAS_CHECK_MSG(it != profiles_.end(), "no profile for '" << name << "'");
+  return it->second.solo_cycles;
+}
+
+double QueueRunner::scalability_ipc(const sim::KernelParams& kernel,
+                                    int sms) const {
+  auto it = scalability_cache_.find(kernel.name);
+  if (it == scalability_cache_.end()) {
+    profile::Profiler profiler(cfg_);
+    std::vector<int> grid;
+    for (int n : kScalabilityGrid) {
+      if (n <= cfg_.num_sms) grid.push_back(n);
+    }
+    it = scalability_cache_
+             .emplace(kernel.name, profiler.scalability(kernel, grid))
+             .first;
+  }
+  const auto& pts = it->second;
+  GPUMAS_CHECK(!pts.empty());
+  if (sms <= pts.front().sms) return pts.front().ipc;
+  if (sms >= pts.back().sms) return pts.back().ipc;
+  for (size_t i = 1; i < pts.size(); ++i) {
+    if (sms <= pts[i].sms) {
+      const double t = static_cast<double>(sms - pts[i - 1].sms) /
+                       static_cast<double>(pts[i].sms - pts[i - 1].sms);
+      return pts[i - 1].ipc + t * (pts[i].ipc - pts[i - 1].ipc);
+    }
+  }
+  return pts.back().ipc;
+}
+
+std::vector<int> QueueRunner::profile_based_partition(
+    const std::vector<Job>& group) const {
+  const int total = cfg_.num_sms;
+  const int k = static_cast<int>(group.size());
+  if (k == 1) return {total};
+
+  // Maximize the sum of profiled solo IPCs over the split grid. This is
+  // exactly the offline scheme of [17]: it knows each app's scalability but
+  // is blind to contention and runtime phase behaviour.
+  if (k == 2) {
+    int best_a = total / 2;
+    double best_score = -1.0;
+    for (int a = kSplitStep; a <= total - kSplitStep; a += kSplitStep) {
+      const double score = scalability_ipc(group[0].kernel, a) +
+                           scalability_ipc(group[1].kernel, total - a);
+      if (score > best_score) {
+        best_score = score;
+        best_a = a;
+      }
+    }
+    return {best_a, total - best_a};
+  }
+  if (k == 3) {
+    std::vector<int> best{total / 3, total / 3, total - 2 * (total / 3)};
+    double best_score = -1.0;
+    for (int a = kSplitStep; a <= total - 2 * kSplitStep; a += kSplitStep) {
+      for (int b = kSplitStep; b <= total - a - kSplitStep; b += kSplitStep) {
+        const int c = total - a - b;
+        const double score = scalability_ipc(group[0].kernel, a) +
+                             scalability_ipc(group[1].kernel, b) +
+                             scalability_ipc(group[2].kernel, c);
+        if (score > best_score) {
+          best_score = score;
+          best = {a, b, c};
+        }
+      }
+    }
+    return best;
+  }
+  // Larger groups: fall back to an even split.
+  std::vector<int> even(static_cast<size_t>(k), total / k);
+  for (int i = 0; i < total % k; ++i) even[static_cast<size_t>(i)]++;
+  return even;
+}
+
+GroupReport QueueRunner::run_group(const std::vector<Job>& group,
+                                   Policy policy,
+                                   const SmraParams& smra) const {
+  sim::Gpu gpu(cfg_);
+  for (const Job& job : group) gpu.launch(job.kernel);
+
+  if (group.size() == 1) {
+    gpu.set_partition_counts({cfg_.num_sms});
+  } else if (policy == Policy::kProfileBased) {
+    gpu.set_partition_counts(profile_based_partition(group));
+  } else {
+    gpu.set_even_partition();
+  }
+
+  if (policy == Policy::kIlpSmra && group.size() > 1) {
+    SmraController controller(smra, cfg_);
+    while (!gpu.done()) {
+      GPUMAS_CHECK_MSG(gpu.cycle() < cfg_.max_cycles,
+                       "group exceeded max_cycles");
+      gpu.tick();
+      controller.on_tick(gpu);
+    }
+  } else {
+    while (!gpu.done()) {
+      GPUMAS_CHECK_MSG(gpu.cycle() < cfg_.max_cycles,
+                       "group exceeded max_cycles");
+      gpu.tick();
+    }
+  }
+
+  GroupReport report;
+  report.cycles = gpu.cycle();
+  for (size_t i = 0; i < group.size(); ++i) {
+    const sim::AppStats& s = gpu.stats()[i];
+    const uint64_t solo = solo_cycles(group[i].kernel.name);
+    report.names.push_back(group[i].kernel.name);
+    report.app_cycles.push_back(s.finish_cycle);
+    report.app_thread_insns.push_back(s.thread_insns(cfg_.warp_size));
+    report.slowdowns.push_back(static_cast<double>(s.finish_cycle) /
+                               static_cast<double>(solo));
+    report.serial_cycles += solo;
+  }
+  return report;
+}
+
+RunReport QueueRunner::run(const std::vector<Job>& queue, Policy policy,
+                           int nc, const SmraParams& smra) const {
+  RunReport report;
+  report.policy = policy;
+  const auto groups = form_groups(queue, policy, nc, *model_);
+  for (const auto& group : groups) {
+    GroupReport g = run_group(group, policy, smra);
+    report.total_cycles += g.cycles;
+    for (uint64_t insns : g.app_thread_insns) {
+      report.total_thread_insns += insns;
+    }
+    report.groups.push_back(std::move(g));
+  }
+  return report;
+}
+
+std::map<std::string, double> RunReport::per_app_ipc() const {
+  std::map<std::string, double> sums;
+  std::map<std::string, int> counts;
+  for (const auto& g : groups) {
+    for (size_t i = 0; i < g.names.size(); ++i) {
+      if (g.app_cycles[i] == 0) continue;
+      sums[g.names[i]] += static_cast<double>(g.app_thread_insns[i]) /
+                          static_cast<double>(g.app_cycles[i]);
+      counts[g.names[i]]++;
+    }
+  }
+  for (auto& [name, sum] : sums) sum /= counts[name];
+  return sums;
+}
+
+}  // namespace gpumas::sched

@@ -1,0 +1,84 @@
+// Queue runner: executes a job queue under a scheduling policy and reports
+// the metrics the paper's evaluation plots — device throughput (Eq 1.1),
+// per-group cycles versus serial time, and per-application throughput.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "interference/interference.h"
+#include "profile/profile.h"
+#include "sched/policies.h"
+#include "sched/queue_gen.h"
+#include "sched/smra.h"
+#include "sim/gpu_config.h"
+
+namespace gpumas::sched {
+
+// One executed co-run group.
+struct GroupReport {
+  std::vector<std::string> names;
+  std::vector<uint64_t> app_cycles;        // each member's finish cycle
+  std::vector<uint64_t> app_thread_insns;
+  std::vector<double> slowdowns;           // vs. solo on the full device
+  uint64_t cycles = 0;                     // group completion cycle
+  uint64_t serial_cycles = 0;              // sum of members' solo cycles
+
+  std::string label() const {
+    std::string s;
+    for (size_t i = 0; i < names.size(); ++i) {
+      if (i) s += "-";
+      s += names[i];
+    }
+    return s;
+  }
+};
+
+struct RunReport {
+  Policy policy = Policy::kSerial;
+  std::vector<GroupReport> groups;
+  uint64_t total_cycles = 0;
+  uint64_t total_thread_insns = 0;
+
+  // Device throughput over the whole queue, Eq 1.1.
+  double device_throughput() const {
+    return total_cycles == 0
+               ? 0.0
+               : static_cast<double>(total_thread_insns) /
+                     static_cast<double>(total_cycles);
+  }
+
+  // Average per-benchmark IPC during its group run (Figs 4.4-4.8, 4.12).
+  std::map<std::string, double> per_app_ipc() const;
+};
+
+class QueueRunner {
+ public:
+  QueueRunner(const sim::GpuConfig& cfg,
+              const std::vector<profile::AppProfile>& suite_profiles,
+              const interference::SlowdownModel& model);
+
+  RunReport run(const std::vector<Job>& queue, Policy policy, int nc,
+                const SmraParams& smra = {}) const;
+
+  // The SM split ProfileBased [17] chooses for a group, from offline solo
+  // scalability curves (exposed for tests and ablations).
+  std::vector<int> profile_based_partition(
+      const std::vector<Job>& group) const;
+
+ private:
+  GroupReport run_group(const std::vector<Job>& group, Policy policy,
+                        const SmraParams& smra) const;
+  uint64_t solo_cycles(const std::string& name) const;
+  double scalability_ipc(const sim::KernelParams& kernel, int sms) const;
+
+  sim::GpuConfig cfg_;
+  std::map<std::string, profile::AppProfile> profiles_;
+  const interference::SlowdownModel* model_;
+  // Lazily measured solo scalability curves for ProfileBased.
+  mutable std::map<std::string, std::vector<profile::ScalabilityPoint>>
+      scalability_cache_;
+};
+
+}  // namespace gpumas::sched

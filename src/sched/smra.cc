@@ -1,0 +1,133 @@
+#include "sched/smra.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace gpumas::sched {
+
+SmraController::SmraController(const SmraParams& params,
+                               const sim::GpuConfig& cfg)
+    : params_(params),
+      peak_lines_per_cycle_(static_cast<double>(cfg.num_channels) /
+                            cfg.data_bus_cycles),
+      warp_size_(cfg.warp_size) {
+  GPUMAS_CHECK(params_.tc > 0);
+  GPUMAS_CHECK(params_.nr > 0);
+  GPUMAS_CHECK(params_.rmin >= 1);
+  next_eval_ = params_.tc;
+}
+
+void SmraController::on_tick(sim::Gpu& gpu) {
+  redistribute_finished(gpu);
+  if (gpu.cycle() < next_eval_) return;
+  evaluate(gpu);
+  next_eval_ = gpu.cycle() + params_.tc;
+}
+
+void SmraController::redistribute_finished(sim::Gpu& gpu) {
+  // Natural extension of Algorithm 1: when an application retires, its SMs
+  // are handed to the remaining applications immediately instead of idling
+  // (see DESIGN.md).
+  const std::vector<int> counts = gpu.partition_counts();
+  std::vector<int> running;
+  for (int a = 0; a < gpu.num_apps(); ++a) {
+    if (!gpu.stats()[static_cast<size_t>(a)].done) running.push_back(a);
+  }
+  if (running.empty() || running.size() == counts.size()) return;
+  size_t next = 0;
+  for (int a = 0; a < gpu.num_apps(); ++a) {
+    if (gpu.stats()[static_cast<size_t>(a)].done &&
+        counts[static_cast<size_t>(a)] > 0) {
+      gpu.repartition(a, running[next % running.size()],
+                      counts[static_cast<size_t>(a)]);
+      ++next;
+    }
+  }
+}
+
+void SmraController::evaluate(sim::Gpu& gpu) {
+  const std::vector<sim::AppStats>& now = gpu.stats();
+  if (window_start_.empty()) {
+    window_start_ = now;
+    return;  // first window only establishes the baseline
+  }
+
+  // Windowed per-app IPC and bandwidth utilization.
+  const double window = static_cast<double>(params_.tc);
+  double device_throughput = 0.0;
+  scores_.assign(now.size(), 0);
+  std::vector<bool> running(now.size(), false);
+  for (size_t a = 0; a < now.size(); ++a) {
+    const uint64_t insns =
+        (now[a].warp_insns - window_start_[a].warp_insns) *
+        static_cast<uint64_t>(warp_size_);
+    const uint64_t dram =
+        now[a].dram_transactions - window_start_[a].dram_transactions;
+    const double ipc = static_cast<double>(insns) / window;
+    const double bw_util =
+        static_cast<double>(dram) / (window * peak_lines_per_cycle_);
+    device_throughput += ipc;
+    running[a] = !now[a].done;
+    if (!running[a]) continue;
+    if (ipc < params_.ipc_thr) scores_[a] += 1;
+    if (bw_util > params_.bw_thr) scores_[a] += 2;
+  }
+  window_start_ = now;
+
+  const std::vector<int> counts = gpu.partition_counts();
+
+  // Throughput guard: if the last move hurt the device, restore the
+  // partition that preceded it and skip adjustments this window.
+  if (moved_last_window_ && prev_window_throughput_ >= 0.0 &&
+      device_throughput < prev_window_throughput_) {
+    for (size_t a = 0; a < counts.size(); ++a) {
+      const int delta = counts[a] - prev_partition_[a];
+      if (delta <= 0) continue;
+      // Give the surplus back to apps that lost SMs.
+      int remaining = delta;
+      for (size_t b = 0; b < counts.size() && remaining > 0; ++b) {
+        const int deficit = prev_partition_[b] - counts[b];
+        if (deficit <= 0) continue;
+        const int n = std::min(remaining, deficit);
+        gpu.repartition(static_cast<int>(a), static_cast<int>(b), n);
+        remaining -= n;
+      }
+    }
+    ++reverts_;
+    moved_last_window_ = false;
+    prev_window_throughput_ = device_throughput;
+    return;
+  }
+  prev_window_throughput_ = device_throughput;
+  moved_last_window_ = false;
+
+  // Donor: highest score with SMs to spare; recipient: lowest score.
+  int donor = -1;
+  int recipient = -1;
+  for (size_t a = 0; a < scores_.size(); ++a) {
+    if (!running[a]) continue;
+    if (counts[a] > params_.rmin &&
+        (donor < 0 || scores_[a] > scores_[static_cast<size_t>(donor)])) {
+      donor = static_cast<int>(a);
+    }
+    if (recipient < 0 ||
+        scores_[a] < scores_[static_cast<size_t>(recipient)]) {
+      recipient = static_cast<int>(a);
+    }
+  }
+  if (donor < 0 || recipient < 0 || donor == recipient) return;
+  if (scores_[static_cast<size_t>(donor)] ==
+      scores_[static_cast<size_t>(recipient)]) {
+    return;  // similar behaviour: keep the present partitioning
+  }
+  const int movable = std::min(
+      params_.nr, counts[static_cast<size_t>(donor)] - params_.rmin);
+  if (movable <= 0) return;
+  prev_partition_ = counts;
+  gpu.repartition(donor, recipient, movable);
+  moved_last_window_ = true;
+  ++adjustments_;
+}
+
+}  // namespace gpumas::sched

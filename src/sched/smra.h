@@ -1,0 +1,65 @@
+// SMRA — dynamic SM reallocation (Algorithm 1, §3.2.4).
+//
+// Every TC cycles the controller scores each running application from its
+// windowed IPC and memory-bandwidth utilization:
+//   V += 1 if IPC < IPCthr        (cannot use its compute resources)
+//   V += 2 if BWutil > BWthr      (leans on the memory system instead)
+// A high score marks an application whose SMs would serve the device better
+// elsewhere, so `nr` SMs migrate from the highest- to the lowest-scoring
+// application (drain-based, never below Rmin). If the device-wide window
+// throughput dropped after a move, the previous partition is restored.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/gpu.h"
+#include "sim/gpu_config.h"
+
+namespace gpumas::sched {
+
+// Thresholds are set so that only genuinely SM-insensitive applications
+// score as donors: ipc_thr catches GUPS/LUD-like low-throughput apps and
+// bw_thr (0.60 x peak ~= 107 GB/s, the class-M boundary) catches DRAM
+// saturators. Cache- and mixed-class apps, which still scale with SMs,
+// score 0 and keep (or receive) resources.
+struct SmraParams {
+  uint64_t tc = 3000;    // evaluation window, cycles
+  double ipc_thr = 60;   // thread-IPC threshold
+  double bw_thr = 0.60;  // fraction of peak DRAM bandwidth
+  int nr = 3;            // SMs moved per adjustment
+  int rmin = 6;          // minimum SMs any running application keeps
+};
+
+class SmraController {
+ public:
+  SmraController(const SmraParams& params, const sim::GpuConfig& cfg);
+
+  // Call once per cycle after Gpu::tick(). Evaluates and possibly adjusts
+  // the partition at window boundaries.
+  void on_tick(sim::Gpu& gpu);
+
+  // --- observability for tests and ablation benches ---
+  uint64_t adjustments() const { return adjustments_; }
+  uint64_t reverts() const { return reverts_; }
+  const std::vector<int>& last_scores() const { return scores_; }
+
+ private:
+  void evaluate(sim::Gpu& gpu);
+  void redistribute_finished(sim::Gpu& gpu);
+
+  SmraParams params_;
+  double peak_lines_per_cycle_;
+  int warp_size_;
+
+  uint64_t next_eval_ = 0;
+  std::vector<sim::AppStats> window_start_;
+  double prev_window_throughput_ = -1.0;
+  std::vector<int> prev_partition_;
+  bool moved_last_window_ = false;
+  std::vector<int> scores_;
+  uint64_t adjustments_ = 0;
+  uint64_t reverts_ = 0;
+};
+
+}  // namespace gpumas::sched

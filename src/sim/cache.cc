@@ -1,0 +1,59 @@
+#include "sim/cache.h"
+
+#include "common/check.h"
+
+namespace gpumas::sim {
+
+Cache::Cache(const CacheConfig& cfg) : sets_(cfg.num_sets()), ways_(cfg.ways) {
+  GPUMAS_CHECK_MSG(sets_ > 0, "cache '" << cfg.size_bytes
+                                        << " B' has zero sets");
+  ways_store_.resize(static_cast<size_t>(sets_) * ways_);
+}
+
+bool Cache::access(uint64_t line) {
+  Way* set = &ways_store_[static_cast<size_t>(set_of(line)) * ways_];
+  for (uint32_t w = 0; w < ways_; ++w) {
+    if (set[w].valid && set[w].tag == line) {
+      set[w].last_use = ++use_clock_;
+      ++hits_;
+      return true;
+    }
+  }
+  ++misses_;
+  return false;
+}
+
+void Cache::fill(uint64_t line) {
+  Way* set = &ways_store_[static_cast<size_t>(set_of(line)) * ways_];
+  // Refill of a line that raced in via another fill: just refresh LRU.
+  for (uint32_t w = 0; w < ways_; ++w) {
+    if (set[w].valid && set[w].tag == line) {
+      set[w].last_use = ++use_clock_;
+      return;
+    }
+  }
+  uint32_t victim = 0;
+  for (uint32_t w = 0; w < ways_; ++w) {
+    if (!set[w].valid) {
+      victim = w;
+      break;
+    }
+    if (set[w].last_use < set[victim].last_use) victim = w;
+  }
+  set[victim] = Way{line, ++use_clock_, true};
+}
+
+bool Cache::contains(uint64_t line) const {
+  const Way* set = &ways_store_[static_cast<size_t>(set_of(line)) * ways_];
+  for (uint32_t w = 0; w < ways_; ++w) {
+    if (set[w].valid && set[w].tag == line) return true;
+  }
+  return false;
+}
+
+void Cache::reset() {
+  for (auto& w : ways_store_) w = Way{};
+  use_clock_ = hits_ = misses_ = 0;
+}
+
+}  // namespace gpumas::sim

@@ -1,0 +1,54 @@
+// Set-associative tag array with LRU replacement.
+//
+// The cache is a pure tag store: MSHR bookkeeping lives with the owner (SM
+// for L1, L2 slice for L2) because the payload attached to a pending miss
+// differs per level. GPU data caches are modeled as read-allocate with
+// allocate-on-fill, which is how GPGPU-Sim configures Fermi's L1/L2 for
+// global loads.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/gpu_config.h"
+
+namespace gpumas::sim {
+
+class Cache {
+ public:
+  explicit Cache(const CacheConfig& cfg);
+
+  // Looks up `line` and updates LRU on hit. Returns true on hit.
+  bool access(uint64_t line);
+
+  // Inserts `line`, evicting the LRU way of its set if needed.
+  void fill(uint64_t line);
+
+  // Probe without LRU update (used by tests).
+  bool contains(uint64_t line) const;
+
+  void reset();
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  uint32_t num_sets() const { return sets_; }
+  uint32_t ways() const { return ways_; }
+
+ private:
+  struct Way {
+    uint64_t tag = 0;
+    uint64_t last_use = 0;
+    bool valid = false;
+  };
+
+  uint32_t set_of(uint64_t line) const { return line % sets_; }
+
+  uint32_t sets_;
+  uint32_t ways_;
+  std::vector<Way> ways_store_;  // sets_ x ways_, row-major
+  uint64_t use_clock_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace gpumas::sim

@@ -1,0 +1,174 @@
+#include "sim/config_io.h"
+
+#include <fstream>
+#include <functional>
+#include <map>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace gpumas::sim {
+
+namespace {
+
+struct Field {
+  std::function<std::string(const GpuConfig&)> get;
+  std::function<void(GpuConfig&, const std::string&)> set;
+};
+
+template <typename T>
+T parse_number(const std::string& s) {
+  std::istringstream is(s);
+  T v{};
+  is >> v;
+  GPUMAS_CHECK_MSG(!is.fail(), "cannot parse value '" << s << "'");
+  std::string rest;
+  is >> rest;
+  GPUMAS_CHECK_MSG(rest.empty(), "trailing junk in value '" << s << "'");
+  return v;
+}
+
+template <typename T>
+Field number_field(T GpuConfig::* member) {
+  return Field{
+      [member](const GpuConfig& c) {
+        std::ostringstream os;
+        os << c.*member;
+        return os.str();
+      },
+      [member](GpuConfig& c, const std::string& s) {
+        c.*member = parse_number<T>(s);
+      }};
+}
+
+Field cache_field(CacheConfig GpuConfig::* cache,
+                  uint32_t CacheConfig::* member) {
+  return Field{
+      [cache, member](const GpuConfig& c) {
+        return std::to_string(c.*cache.*member);
+      },
+      [cache, member](GpuConfig& c, const std::string& s) {
+        c.*cache.*member = parse_number<uint32_t>(s);
+      }};
+}
+
+const std::map<std::string, Field>& fields() {
+  static const std::map<std::string, Field> kFields = {
+      {"num_sms", number_field(&GpuConfig::num_sms)},
+      {"core_freq_ghz", number_field(&GpuConfig::core_freq_ghz)},
+      {"warp_size", number_field(&GpuConfig::warp_size)},
+      {"max_warps_per_sm", number_field(&GpuConfig::max_warps_per_sm)},
+      {"max_blocks_per_sm", number_field(&GpuConfig::max_blocks_per_sm)},
+      {"schedulers_per_sm", number_field(&GpuConfig::schedulers_per_sm)},
+      {"alu_pipes", number_field(&GpuConfig::alu_pipes)},
+      {"alu_initiation_interval",
+       number_field(&GpuConfig::alu_initiation_interval)},
+      {"alu_dep_latency", number_field(&GpuConfig::alu_dep_latency)},
+      {"lsu_queue_size", number_field(&GpuConfig::lsu_queue_size)},
+      {"l1_hit_latency", number_field(&GpuConfig::l1_hit_latency)},
+      {"l1d_size_bytes",
+       cache_field(&GpuConfig::l1d, &CacheConfig::size_bytes)},
+      {"l1d_ways", cache_field(&GpuConfig::l1d, &CacheConfig::ways)},
+      {"l1d_mshr_entries",
+       cache_field(&GpuConfig::l1d, &CacheConfig::mshr_entries)},
+      {"l2_size_bytes",
+       cache_field(&GpuConfig::l2, &CacheConfig::size_bytes)},
+      {"l2_ways", cache_field(&GpuConfig::l2, &CacheConfig::ways)},
+      {"l2_mshr_entries",
+       cache_field(&GpuConfig::l2, &CacheConfig::mshr_entries)},
+      {"l2_latency", number_field(&GpuConfig::l2_latency)},
+      {"icnt_latency", number_field(&GpuConfig::icnt_latency)},
+      {"icnt_vq_size", number_field(&GpuConfig::icnt_vq_size)},
+      {"num_channels", number_field(&GpuConfig::num_channels)},
+      {"banks_per_channel",
+       number_field(&GpuConfig::banks_per_channel)},
+      {"lines_per_row", number_field(&GpuConfig::lines_per_row)},
+      {"row_hit_cycles", number_field(&GpuConfig::row_hit_cycles)},
+      {"row_miss_cycles", number_field(&GpuConfig::row_miss_cycles)},
+      {"data_bus_cycles", number_field(&GpuConfig::data_bus_cycles)},
+      {"channel_queue_size",
+       number_field(&GpuConfig::channel_queue_size)},
+      {"max_cycles", number_field(&GpuConfig::max_cycles)},
+  };
+  return kFields;
+}
+
+std::string trim(const std::string& s) {
+  const size_t a = s.find_first_not_of(" \t\r");
+  if (a == std::string::npos) return "";
+  const size_t b = s.find_last_not_of(" \t\r");
+  return s.substr(a, b - a + 1);
+}
+
+}  // namespace
+
+std::string config_to_string(const GpuConfig& cfg) {
+  std::ostringstream os;
+  os << "# gpumas device configuration (Table 4.1 schema)\n";
+  // Enums rendered as names.
+  os << "warp_sched = "
+     << (cfg.warp_sched == WarpSchedPolicy::kGto ? "gto" : "lrr")
+     << "\n";
+  os << "mem_sched = "
+     << (cfg.mem_sched == MemSchedPolicy::kFrFcfs ? "frfcfs" : "fcfs")
+     << "\n";
+  for (const auto& [name, field] : fields()) {
+    os << name << " = " << field.get(cfg) << "\n";
+  }
+  return os.str();
+}
+
+void config_from_string(const std::string& text, GpuConfig& cfg) {
+  std::istringstream is(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    line = trim(line);
+    if (line.empty()) continue;
+    const size_t eq = line.find('=');
+    GPUMAS_CHECK_MSG(eq != std::string::npos,
+                     "config line " << line_no << ": missing '='");
+    const std::string key = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+    if (key == "warp_sched") {
+      GPUMAS_CHECK_MSG(value == "gto" || value == "lrr",
+                       "unknown warp_sched '" << value << "'");
+      cfg.warp_sched = value == "gto" ? WarpSchedPolicy::kGto
+                                      : WarpSchedPolicy::kLrr;
+      continue;
+    }
+    if (key == "mem_sched") {
+      GPUMAS_CHECK_MSG(value == "frfcfs" || value == "fcfs",
+                       "unknown mem_sched '" << value << "'");
+      cfg.mem_sched = value == "frfcfs" ? MemSchedPolicy::kFrFcfs
+                                        : MemSchedPolicy::kFcfs;
+      continue;
+    }
+    const auto it = fields().find(key);
+    GPUMAS_CHECK_MSG(it != fields().end(),
+                     "unknown config key '" << key << "' (line " << line_no
+                                            << ")");
+    it->second.set(cfg, value);
+  }
+}
+
+void save_config(const std::string& path, const GpuConfig& cfg) {
+  std::ofstream out(path);
+  GPUMAS_CHECK_MSG(out.good(), "cannot open '" << path << "' for writing");
+  out << config_to_string(cfg);
+}
+
+GpuConfig load_config(const std::string& path) {
+  std::ifstream in(path);
+  GPUMAS_CHECK_MSG(in.good(), "cannot open '" << path << "'");
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  GpuConfig cfg;
+  config_from_string(buffer.str(), cfg);
+  return cfg;
+}
+
+}  // namespace gpumas::sim

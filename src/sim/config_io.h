@@ -1,0 +1,24 @@
+// GpuConfig serialization: load/save the device description as simple
+// `key = value` text, so experiments can be parameterized without
+// recompiling (the gpgpusim.config analogue for this simulator).
+#pragma once
+
+#include <string>
+
+#include "sim/gpu_config.h"
+
+namespace gpumas::sim {
+
+// Renders the full configuration as key = value lines.
+std::string config_to_string(const GpuConfig& cfg);
+
+// Parses `key = value` lines ('#' starts a comment; unknown keys throw
+// std::logic_error, malformed values throw std::logic_error). Keys not
+// mentioned keep their current value in `cfg`.
+void config_from_string(const std::string& text, GpuConfig& cfg);
+
+// File variants.
+void save_config(const std::string& path, const GpuConfig& cfg);
+GpuConfig load_config(const std::string& path);
+
+}  // namespace gpumas::sim

@@ -1,0 +1,84 @@
+#include "sim/dram.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace gpumas::sim {
+
+DramChannel::DramChannel(const GpuConfig& cfg, int /*channel_index*/)
+    : policy_(cfg.mem_sched),
+      queue_capacity_(cfg.channel_queue_size),
+      row_hit_cycles_(cfg.row_hit_cycles),
+      row_miss_cycles_(cfg.row_miss_cycles),
+      data_bus_cycles_(cfg.data_bus_cycles),
+      banks_(static_cast<size_t>(cfg.banks_per_channel)) {
+  queue_.reserve(static_cast<size_t>(queue_capacity_));
+}
+
+bool DramChannel::enqueue(const DramRequest& req) {
+  if (full()) return false;
+  GPUMAS_CHECK(req.bank < banks_.size());
+  queue_.push_back(req);
+  return true;
+}
+
+int DramChannel::select_request(uint64_t cycle) const {
+  int oldest_ready = -1;
+  for (size_t i = 0; i < queue_.size(); ++i) {
+    const DramRequest& r = queue_[i];
+    const Bank& b = banks_[r.bank];
+    if (b.busy_until > cycle) continue;
+    if (policy_ == MemSchedPolicy::kFrFcfs && b.open_row == r.row) {
+      return static_cast<int>(i);  // first-ready row hit wins immediately
+    }
+    if (oldest_ready < 0) oldest_ready = static_cast<int>(i);
+    if (policy_ == MemSchedPolicy::kFcfs) break;  // strict order: only head
+  }
+  return oldest_ready;
+}
+
+void DramChannel::tick(uint64_t cycle) {
+  if (bus_busy_until_ > cycle || queue_.empty()) return;
+  const int idx = select_request(cycle);
+  if (idx < 0) return;
+
+  const DramRequest req = queue_[static_cast<size_t>(idx)];
+  queue_.erase(queue_.begin() + idx);
+
+  Bank& bank = banks_[req.bank];
+  const bool hit = bank.open_row == req.row;
+  const int access = hit ? row_hit_cycles_ : row_miss_cycles_;
+  hit ? ++row_hits_ : ++row_misses_;
+
+  bank.open_row = req.row;
+  bank.busy_until = cycle + static_cast<uint64_t>(access);
+  bus_busy_until_ = cycle + static_cast<uint64_t>(data_bus_cycles_);
+
+  total_queue_wait_ += cycle - req.enqueue_cycle;
+  ++serviced_;
+
+  inflight_.push_back(DramCompletion{
+      req.line, req.app,
+      cycle + static_cast<uint64_t>(access + data_bus_cycles_),
+      req.is_write});
+}
+
+const std::vector<DramCompletion>& DramChannel::drain_completions(
+    uint64_t cycle) {
+  ready_buffer_.clear();
+  for (size_t i = 0; i < inflight_.size();) {
+    if (inflight_[i].ready_cycle <= cycle) {
+      ready_buffer_.push_back(inflight_[i]);
+      inflight_[i] = inflight_.back();
+      inflight_.pop_back();
+    } else {
+      ++i;
+    }
+  }
+  return ready_buffer_;
+}
+
+bool DramChannel::idle() const { return queue_.empty() && inflight_.empty(); }
+
+}  // namespace gpumas::sim

@@ -1,0 +1,92 @@
+// DRAM channel with FR-FCFS scheduling.
+//
+// Each channel owns a bounded request queue, a set of banks with open-row
+// tracking, and a shared data bus. FR-FCFS (first-ready, first-come
+// first-served) prioritizes row-buffer hits, which — exactly as the paper
+// observes in §3.2.2 — favors streaming memory-class applications and is one
+// of the two physical mechanisms behind inter-class interference (the other
+// being L2 capacity contention).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/gpu_config.h"
+
+namespace gpumas::sim {
+
+// One L2-miss read or write-through store heading to DRAM.
+struct DramRequest {
+  uint64_t line = 0;
+  uint32_t bank = 0;
+  uint64_t row = 0;
+  uint8_t app = 0;
+  uint64_t enqueue_cycle = 0;
+  bool is_write = false;
+};
+
+// A serviced request, returned to the owning L2 slice. Writes complete
+// without filling the L2 or waking requesters.
+struct DramCompletion {
+  uint64_t line = 0;
+  uint8_t app = 0;
+  uint64_t ready_cycle = 0;
+  bool is_write = false;
+};
+
+class DramChannel {
+ public:
+  DramChannel(const GpuConfig& cfg, int channel_index);
+
+  bool full() const {
+    return queue_.size() >= static_cast<size_t>(queue_capacity_);
+  }
+  bool enqueue(const DramRequest& req);
+
+  // Advances one cycle: issues at most one request if the data bus and a
+  // bank are available, honoring the configured scheduling policy.
+  void tick(uint64_t cycle);
+
+  // Completions whose data is available at `cycle` (call once per cycle;
+  // returns them in ready order and removes them).
+  const std::vector<DramCompletion>& drain_completions(uint64_t cycle);
+
+  // --- statistics ---
+  uint64_t serviced() const { return serviced_; }
+  uint64_t row_hits() const { return row_hits_; }
+  uint64_t row_misses() const { return row_misses_; }
+  uint64_t total_queue_wait() const { return total_queue_wait_; }
+  size_t queue_depth() const { return queue_.size(); }
+  bool idle() const;
+
+ private:
+  struct Bank {
+    uint64_t open_row = ~0ull;
+    uint64_t busy_until = 0;
+  };
+
+  int select_request(uint64_t cycle) const;  // index into queue_ or -1
+
+  MemSchedPolicy policy_;
+  int queue_capacity_;
+  int row_hit_cycles_;
+  int row_miss_cycles_;
+  int data_bus_cycles_;
+
+  std::vector<DramRequest> queue_;
+  std::vector<Bank> banks_;
+  uint64_t bus_busy_until_ = 0;
+
+  // In-flight completions, kept sorted by insertion (ready cycles are
+  // monotonically increasing per issue order only approximately, so we scan).
+  std::vector<DramCompletion> inflight_;
+  std::vector<DramCompletion> ready_buffer_;
+
+  uint64_t serviced_ = 0;
+  uint64_t row_hits_ = 0;
+  uint64_t row_misses_ = 0;
+  uint64_t total_queue_wait_ = 0;
+};
+
+}  // namespace gpumas::sim

@@ -1,0 +1,283 @@
+#include "sim/gpu.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace gpumas::sim {
+
+namespace {
+// Each app gets a disjoint 1-TiB address region so that co-running apps
+// never share lines: all cross-app interaction is capacity/bandwidth
+// contention, as on real hardware with distinct contexts.
+constexpr uint64_t kAppRegionLines = 1ull << 33;
+
+// Capacity of the post-MSHR miss queue in front of each DRAM channel.
+constexpr size_t kMissQueueCapacity = 96;
+}  // namespace
+
+Gpu::Gpu(const GpuConfig& cfg) : cfg_(cfg), distributor_(cfg.num_sms) {
+  GPUMAS_CHECK(cfg_.num_sms > 0);
+  GPUMAS_CHECK(cfg_.num_channels > 0);
+  sms_.reserve(static_cast<size_t>(cfg_.num_sms));
+  for (int i = 0; i < cfg_.num_sms; ++i) sms_.emplace_back(cfg_, i);
+  slices_.reserve(static_cast<size_t>(cfg_.num_channels));
+  for (int i = 0; i < cfg_.num_channels; ++i) slices_.emplace_back(cfg_, i);
+}
+
+int Gpu::launch(const KernelParams& kernel) {
+  GPUMAS_CHECK_MSG(!started_, "launch after simulation started");
+  GPUMAS_CHECK_MSG(kernel.num_blocks > 0 && kernel.warps_per_block > 0 &&
+                       kernel.insns_per_warp > 0,
+                   "empty kernel '" << kernel.name << "'");
+  GPUMAS_CHECK_MSG(kernel.warps_per_block <= cfg_.max_warps_per_sm,
+                   "block of '" << kernel.name << "' exceeds SM warp capacity");
+  GPUMAS_CHECK_MSG(apps_.size() < 200, "too many concurrent apps");
+  const int app = static_cast<int>(apps_.size());
+  LaunchedApp la;
+  la.kernel = kernel;
+  la.base_line = (static_cast<uint64_t>(app) + 1) * kAppRegionLines;
+  apps_.push_back(std::move(la));
+  stats_.emplace_back();
+  return app;
+}
+
+void Gpu::set_even_partition() {
+  GPUMAS_CHECK(!apps_.empty());
+  const int n = static_cast<int>(apps_.size());
+  std::vector<int> counts(static_cast<size_t>(n), cfg_.num_sms / n);
+  for (int i = 0; i < cfg_.num_sms % n; ++i) counts[static_cast<size_t>(i)]++;
+  set_partition_counts(counts);
+}
+
+void Gpu::set_partition_counts(const std::vector<int>& counts) {
+  GPUMAS_CHECK(counts.size() == apps_.size());
+  const int total = std::accumulate(counts.begin(), counts.end(), 0);
+  GPUMAS_CHECK_MSG(total <= cfg_.num_sms, "partition exceeds SM count");
+  int sm = 0;
+  for (size_t app = 0; app < counts.size(); ++app) {
+    GPUMAS_CHECK(counts[app] >= 0);
+    for (int k = 0; k < counts[app]; ++k) {
+      if (!started_) {
+        distributor_.set_owner(sm, static_cast<int>(app));
+      } else {
+        distributor_.request_owner(sm, static_cast<int>(app));
+      }
+      ++sm;
+    }
+  }
+  for (; sm < cfg_.num_sms; ++sm) {
+    // Unassigned SMs stay idle (used by scalability sweeps with < 60 SMs).
+    if (!started_) distributor_.set_owner(sm, -1);
+  }
+}
+
+int Gpu::repartition(int from_app, int to_app, int n) {
+  GPUMAS_CHECK(from_app >= 0 && from_app < num_apps());
+  GPUMAS_CHECK(to_app >= 0 && to_app < num_apps());
+  GPUMAS_CHECK(from_app != to_app && n >= 0);
+  // Move the SMs that will drain fastest: fewest resident blocks first.
+  std::vector<int> candidates;
+  for (int sm = 0; sm < cfg_.num_sms; ++sm) {
+    if (distributor_.effective_owner(sm) == from_app) candidates.push_back(sm);
+  }
+  std::sort(candidates.begin(), candidates.end(), [this](int a, int b) {
+    return sms_[static_cast<size_t>(a)].resident_blocks() <
+           sms_[static_cast<size_t>(b)].resident_blocks();
+  });
+  int moved = 0;
+  for (int sm : candidates) {
+    if (moved >= n) break;
+    distributor_.request_owner(sm, to_app);
+    ++moved;
+  }
+  return moved;
+}
+
+std::vector<int> Gpu::partition_counts() const {
+  return distributor_.partition_counts(num_apps());
+}
+
+void Gpu::decompose(uint64_t line, uint32_t& bank, uint64_t& row) const {
+  const uint64_t in_chan = line / static_cast<uint64_t>(cfg_.num_channels);
+  const uint64_t lines_per_row = static_cast<uint64_t>(cfg_.lines_per_row);
+  const uint64_t banks = static_cast<uint64_t>(cfg_.banks_per_channel);
+  bank = static_cast<uint32_t>((in_chan / lines_per_row) % banks);
+  row = in_chan / (lines_per_row * banks);
+}
+
+bool Gpu::try_send(const MemRequest& req, uint64_t cycle) {
+  L2Slice& slice = slices_[static_cast<size_t>(slice_of(req.line))];
+  std::deque<IcntPacket>& q = slice.vq[req.sm];
+  if (q.size() >= static_cast<size_t>(cfg_.icnt_vq_size)) {
+    return false;  // backpressure to this SM's LSU only
+  }
+  q.push_back(
+      IcntPacket{cycle + static_cast<uint64_t>(cfg_.icnt_latency), req});
+  return true;
+}
+
+void Gpu::tick_l2_slice(L2Slice& slice) {
+  // 1. DRAM completions: install lines in L2 and answer merged requesters.
+  for (const DramCompletion& c : slice.dram.drain_completions(cycle_)) {
+    if (c.is_write) continue;  // stores retire silently
+    if (!apps_[c.app].kernel.l2_streaming_bypass) slice.cache.fill(c.line);
+    auto it = slice.mshr.find(c.line);
+    GPUMAS_CHECK_MSG(it != slice.mshr.end(), "DRAM fill without L2 MSHR entry");
+    for (const L2Waiter& w : it->second) {
+      sms_[w.sm].schedule_fill(
+          c.line, cycle_ + static_cast<uint64_t>(cfg_.icnt_latency));
+    }
+    slice.mshr.erase(it);
+  }
+
+  // 2. Accept at most one request per cycle from the interconnect,
+  // arbitrating round-robin across the per-SM virtual queues. A head
+  // blocked on full L2 MSHRs or a full miss queue does not stall other
+  // sources (hit-under-miss across queues).
+  const int n_vq = static_cast<int>(slice.vq.size());
+  for (int k = 0; k < n_vq; ++k) {
+    const int src = (slice.rr + k) % n_vq;
+    std::deque<IcntPacket>& q = slice.vq[static_cast<size_t>(src)];
+    if (q.empty() || q.front().ready_cycle > cycle_) continue;
+    const MemRequest req = q.front().req;
+    bool processed = false;
+    if (req.is_store) {
+      // Write-through: update the L2 copy if present (no timing effect) and
+      // queue the write toward DRAM, where it competes for banks and bus.
+      if (slice.miss_queue.size() < kMissQueueCapacity) {
+        if (slice.cache.contains(req.line)) slice.cache.fill(req.line);
+        stats_[req.app].l2_accesses++;
+        stats_[req.app].dram_transactions++;
+        uint32_t bank = 0;
+        uint64_t row = 0;
+        decompose(req.line, bank, row);
+        slice.miss_queue.push_back(
+            DramRequest{req.line, bank, row, req.app, cycle_, true});
+        processed = true;
+      }
+    } else if (auto pending = slice.mshr.find(req.line);
+               pending != slice.mshr.end()) {
+      // Merge with the in-flight DRAM fetch of the same line.
+      stats_[req.app].l2_accesses++;
+      pending->second.push_back(L2Waiter{req.sm, req.app});
+      processed = true;
+    } else if (slice.cache.access(req.line)) {
+      stats_[req.app].l2_accesses++;
+      stats_[req.app].l2_hits++;
+      sms_[req.sm].schedule_fill(
+          req.line, cycle_ + static_cast<uint64_t>(cfg_.l2_latency +
+                                                   cfg_.icnt_latency));
+      processed = true;
+    } else if (slice.mshr.size() < cfg_.l2.mshr_entries &&
+               slice.miss_queue.size() < kMissQueueCapacity) {
+      stats_[req.app].l2_accesses++;
+      stats_[req.app].dram_transactions++;
+      slice.mshr.emplace(req.line,
+                         std::vector<L2Waiter>{L2Waiter{req.sm, req.app}});
+      uint32_t bank = 0;
+      uint64_t row = 0;
+      decompose(req.line, bank, row);
+      slice.miss_queue.push_back(
+          DramRequest{req.line, bank, row, req.app, cycle_});
+      processed = true;
+    }
+    if (processed) {
+      q.pop_front();
+      slice.rr = (src + 1) % n_vq;
+      break;
+    }
+  }
+
+  // 3. Drain accepted misses into the memory controller as space frees up,
+  // then let it issue.
+  while (!slice.miss_queue.empty() && !slice.dram.full()) {
+    GPUMAS_CHECK(slice.dram.enqueue(slice.miss_queue.front()));
+    slice.miss_queue.pop_front();
+  }
+  slice.dram.tick(cycle_);
+}
+
+void Gpu::check_app_completion() {
+  for (const auto& sm : sms_) {
+    for (uint8_t app : sm.completed_blocks()) {
+      LaunchedApp& la = apps_[app];
+      la.blocks_done++;
+      GPUMAS_CHECK(la.blocks_done <=
+                   static_cast<uint32_t>(la.kernel.num_blocks));
+      if (la.blocks_done == static_cast<uint32_t>(la.kernel.num_blocks)) {
+        la.done = true;
+        stats_[app].done = true;
+        stats_[app].finish_cycle = cycle_ + 1;
+      }
+    }
+  }
+}
+
+void Gpu::tick() {
+  started_ = true;
+  distributor_.dispatch(sms_, apps_);
+  // Rotate the SM service order every cycle: within a cycle, earlier SMs
+  // enqueue interconnect packets ahead of later ones, so a fixed order would
+  // hand low-numbered SMs (hence the first-launched app) systematically
+  // better memory service under saturation.
+  const size_t n = sms_.size();
+  const size_t start = static_cast<size_t>(cycle_ % n);
+  for (size_t k = 0; k < n; ++k) {
+    sms_[(start + k) % n].tick(cycle_, *this, stats_);
+  }
+  for (auto& slice : slices_) tick_l2_slice(slice);
+  check_app_completion();
+  ++cycle_;
+}
+
+bool Gpu::done() const {
+  for (const auto& a : apps_) {
+    if (!a.done) return false;
+  }
+  return true;
+}
+
+double Gpu::device_ipc() const {
+  if (cycle_ == 0) return 0.0;
+  uint64_t insns = 0;
+  for (const auto& s : stats_) insns += s.thread_insns(cfg_.warp_size);
+  return static_cast<double>(insns) / static_cast<double>(cycle_);
+}
+
+RunResult Gpu::run_to_completion() {
+  GPUMAS_CHECK_MSG(!apps_.empty(), "nothing launched");
+  if (!started_) {
+    // Default to an even split if the caller never partitioned.
+    bool any = false;
+    for (int sm = 0; sm < cfg_.num_sms; ++sm) {
+      if (distributor_.owner(sm) >= 0) any = true;
+    }
+    if (!any) set_even_partition();
+  }
+  while (!done()) {
+    GPUMAS_CHECK_MSG(cycle_ < cfg_.max_cycles,
+                     "simulation exceeded max_cycles = " << cfg_.max_cycles);
+    tick();
+  }
+  RunResult r;
+  r.cycles = cycle_;
+  r.apps = stats_;
+  r.warp_size = cfg_.warp_size;
+  return r;
+}
+
+uint64_t Gpu::dram_row_hits() const {
+  uint64_t v = 0;
+  for (const auto& s : slices_) v += s.dram.row_hits();
+  return v;
+}
+
+uint64_t Gpu::dram_row_misses() const {
+  uint64_t v = 0;
+  for (const auto& s : slices_) v += s.dram.row_misses();
+  return v;
+}
+
+}  // namespace gpumas::sim

@@ -1,0 +1,135 @@
+// Top-level GPU device model.
+//
+// Composes the substrate of Fig 3.1: an array of SMs, a crossbar
+// interconnect, a sliced shared L2, and per-slice FR-FCFS DRAM channels,
+// plus the multi-application work distributor. Multiple kernels may be
+// resident simultaneously; each owns a disjoint set of SMs (spatial
+// multitasking) while physically sharing L2 capacity and DRAM bandwidth —
+// the two contention surfaces the paper's methodology manages.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/cache.h"
+#include "sim/dram.h"
+#include "sim/gpu_config.h"
+#include "sim/kernel.h"
+#include "sim/sm.h"
+#include "sim/stats.h"
+#include "sim/work_distributor.h"
+
+namespace gpumas::sim {
+
+// Result of running all launched kernels to completion.
+struct RunResult {
+  uint64_t cycles = 0;
+  std::vector<AppStats> apps;
+  int warp_size = 32;
+
+  uint64_t total_thread_insns() const {
+    uint64_t t = 0;
+    for (const auto& a : apps) t += a.thread_insns(warp_size);
+    return t;
+  }
+  // Device throughput, Eq 1.1 (thread instructions per cycle).
+  double device_throughput() const {
+    return cycles == 0 ? 0.0
+                       : static_cast<double>(total_thread_insns()) /
+                             static_cast<double>(cycles);
+  }
+  // Per-app IPC over that app's own residency (until its finish cycle).
+  double app_ipc(size_t app) const {
+    const uint64_t c = apps[app].finish_cycle;
+    return c == 0 ? 0.0
+                  : static_cast<double>(apps[app].thread_insns(warp_size)) /
+                        static_cast<double>(c);
+  }
+};
+
+class Gpu final : public MemoryFabric {
+ public:
+  explicit Gpu(const GpuConfig& cfg);
+
+  // Launches a kernel as a new application context; returns its app id.
+  // All launches must precede the first tick.
+  int launch(const KernelParams& kernel);
+
+  // --- SM partitioning ---
+  // Splits the SMs as evenly as possible among all launched apps.
+  void set_even_partition();
+  // Assigns counts[i] SMs to app i (sum must not exceed num_sms; leftovers
+  // round-robin to the first apps).
+  void set_partition_counts(const std::vector<int>& counts);
+  // Drain-based move of up to n SMs from one app to another; returns the
+  // number of SMs actually redirected (SMRA's actuation primitive).
+  int repartition(int from_app, int to_app, int n);
+  std::vector<int> partition_counts() const;
+
+  // --- execution ---
+  void tick();
+  bool done() const;
+  uint64_t cycle() const { return cycle_; }
+  RunResult run_to_completion();
+
+  const std::vector<AppStats>& stats() const { return stats_; }
+  const GpuConfig& config() const { return cfg_; }
+  int num_apps() const { return static_cast<int>(apps_.size()); }
+  double device_ipc() const;
+
+  // MemoryFabric: SM -> L2 request injection with per-slice buffering.
+  bool try_send(const MemRequest& req, uint64_t cycle) override;
+
+  // Diagnostics (tests / benches).
+  uint64_t dram_row_hits() const;
+  uint64_t dram_row_misses() const;
+
+ private:
+  struct IcntPacket {
+    uint64_t ready_cycle;
+    MemRequest req;
+  };
+  struct L2Waiter {
+    uint16_t sm;
+    uint8_t app;
+  };
+  struct L2Slice {
+    Cache cache;
+    std::unordered_map<uint64_t, std::vector<L2Waiter>> mshr;
+    // Per-source-SM virtual queues with round-robin arbitration: a
+    // saturating application backpressures only its own SMs' LSUs instead
+    // of starving co-runners' injections (crossbar fairness).
+    std::vector<std::deque<IcntPacket>> vq;
+    int rr = 0;  // round-robin arbitration pointer
+    // Accepted misses (and write-throughs) waiting for DRAM-queue space.
+    // Keeping them out of the acceptance path means a saturated memory
+    // controller does not head-of-line-block lookups that would hit.
+    std::deque<DramRequest> miss_queue;
+    DramChannel dram;
+    explicit L2Slice(const GpuConfig& cfg, int index)
+        : cache(CacheConfig{cfg.l2_slice_bytes(), cfg.l2.line_bytes,
+                            cfg.l2.ways, cfg.l2.mshr_entries}),
+          vq(static_cast<size_t>(cfg.num_sms)),
+          dram(cfg, index) {}
+  };
+
+  int slice_of(uint64_t line) const {
+    return static_cast<int>(line % static_cast<uint64_t>(cfg_.num_channels));
+  }
+  void decompose(uint64_t line, uint32_t& bank, uint64_t& row) const;
+  void tick_l2_slice(L2Slice& slice);
+  void check_app_completion();
+
+  GpuConfig cfg_;
+  uint64_t cycle_ = 0;
+  std::vector<StreamingMultiprocessor> sms_;
+  std::vector<L2Slice> slices_;
+  std::vector<LaunchedApp> apps_;
+  std::vector<AppStats> stats_;
+  WorkDistributor distributor_;
+  bool started_ = false;
+};
+
+}  // namespace gpumas::sim

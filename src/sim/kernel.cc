@@ -1,0 +1,91 @@
+#include "sim/kernel.h"
+
+#include "common/check.h"
+
+namespace gpumas::sim {
+
+namespace {
+constexpr uint64_t kLineBytes = 128;
+
+uint64_t footprint_lines(const KernelParams& kp) {
+  uint64_t lines = kp.footprint_bytes / kLineBytes;
+  return lines == 0 ? 1 : lines;
+}
+}  // namespace
+
+void generate_addresses(const KernelParams& kp, uint64_t base_line,
+                        uint32_t gwarp, uint32_t mem_idx,
+                        std::vector<uint64_t>& out) {
+  GPUMAS_CHECK(kp.divergence >= 1);
+  const uint64_t fp = footprint_lines(kp);
+
+  switch (kp.pattern) {
+    case AccessPattern::kStreaming: {
+      // Each warp owns a contiguous chunk and walks it with fully coalesced
+      // accesses; consecutive memory instructions touch consecutive lines,
+      // which maximizes DRAM row-buffer hits.
+      const uint64_t warps = static_cast<uint64_t>(kp.total_warps());
+      uint64_t chunk = fp / warps;
+      if (chunk == 0) chunk = 1;
+      const uint64_t start = (gwarp * chunk) % fp;
+      for (int t = 0; t < kp.divergence; ++t) {
+        const uint64_t off =
+            (static_cast<uint64_t>(mem_idx) * kp.divergence + t) % chunk;
+        out.push_back(base_line + (start + off) % fp);
+      }
+      break;
+    }
+    case AccessPattern::kRandom: {
+      // Lanes are grouped into runs of `burst_lines` consecutive lines at a
+      // random base (a semi-coalesced gather). The run gives the memory
+      // controller row-buffer hits *only while all of the run's requests
+      // coexist in its scheduling window* — with many SMs interleaving, the
+      // window dilutes and the locality evaporates, which is what makes
+      // GUPS-style kernels lose IPC as SM count grows (Fig 3.5).
+      const uint32_t burst = kp.burst_lines < 1 ? 1u
+                              : static_cast<uint32_t>(kp.burst_lines);
+      for (int t = 0; t < kp.divergence; ++t) {
+        const uint32_t group = static_cast<uint32_t>(t) / burst;
+        const uint32_t within = static_cast<uint32_t>(t) % burst;
+        const uint64_t h = hash_combine(
+            hash_combine(kp.seed ^ 0xD1F2ull, gwarp),
+            (static_cast<uint64_t>(mem_idx) << 8) |
+                static_cast<uint64_t>(group));
+        const uint64_t start = h % fp;
+        out.push_back(base_line + (start + within) % fp);
+      }
+      break;
+    }
+    case AccessPattern::kTiled: {
+      // A hot region (sized to be cache-resident) absorbs `hot_fraction` of
+      // the accesses; the remainder stream through the cold footprint. This
+      // produces high L2->L1 traffic with modest DRAM traffic, the signature
+      // of the paper's cache-sensitive classes.
+      uint64_t hot = kp.hot_bytes / kLineBytes;
+      if (hot == 0) hot = 1;
+      for (int t = 0; t < kp.divergence; ++t) {
+        const uint64_t h = hash_combine(
+            hash_combine(kp.seed ^ 0x7A3Bull, gwarp),
+            (static_cast<uint64_t>(mem_idx) << 8) | static_cast<uint64_t>(t));
+        const bool is_hot =
+            static_cast<double>(h >> 11) * 0x1.0p-53 < kp.hot_fraction;
+        if (is_hot) {
+          out.push_back(base_line + splitmix64(h) % hot);
+        } else {
+          // Cold accesses stream per warp for moderate row locality.
+          const uint64_t cold_span = fp > hot ? fp - hot : 1;
+          const uint64_t warps = static_cast<uint64_t>(kp.total_warps());
+          uint64_t chunk = cold_span / warps;
+          if (chunk == 0) chunk = 1;
+          const uint64_t start = (gwarp * chunk) % cold_span;
+          const uint64_t off =
+              (static_cast<uint64_t>(mem_idx) * kp.divergence + t) % chunk;
+          out.push_back(base_line + hot + (start + off) % cold_span);
+        }
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace gpumas::sim

@@ -1,0 +1,103 @@
+// Synthetic kernel model.
+//
+// The paper profiles CUDA benchmarks on GPGPU-Sim; here each benchmark is a
+// procedurally generated kernel whose instruction stream and address stream
+// are deterministic functions of (seed, warp, instruction index). The model
+// exposes exactly the knobs that determine the paper's profile statistics
+// (Table 3.2): grid shape controls parallelism/utilization, mem_ratio is R,
+// footprint and hot-region shape the L1/L2 hit rates (hence L2->L1 and DRAM
+// bandwidth), divergence is the memory-coalescing factor, and ilp/mlp bound
+// per-warp instruction- and memory-level parallelism (hence IPC).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/prng.h"
+
+namespace gpumas::sim {
+
+enum class AccessPattern {
+  kStreaming,  // each warp walks consecutive lines of its own chunk
+  kRandom,     // uniform random lines over the footprint (burst-grouped)
+  kTiled,      // hot-region accesses with probability hot_fraction, else cold
+};
+
+struct KernelParams {
+  std::string name;
+
+  // Grid shape.
+  int num_blocks = 64;
+  int warps_per_block = 8;
+  int insns_per_warp = 1000;  // warp instructions per warp
+
+  // Instruction mix: probability an instruction is a memory access (this is
+  // the paper's memory-to-compute ratio R).
+  double mem_ratio = 0.1;
+
+  // Fraction of memory instructions that are stores. Stores are
+  // write-through/no-allocate: they consume DRAM bandwidth (so an app's
+  // memory bandwidth can exceed its L2->L1 fill bandwidth, as Table 3.2
+  // shows for the streaming benchmarks) but never block the issuing warp.
+  double store_ratio = 0.0;
+
+  // Memory behaviour.
+  AccessPattern pattern = AccessPattern::kStreaming;
+  uint64_t footprint_bytes = 64ull << 20;
+  double hot_fraction = 0.0;     // kTiled: probability of touching hot region
+  uint64_t hot_bytes = 256 << 10;  // kTiled: hot region size
+  int divergence = 1;            // memory transactions per memory instruction
+  int burst_lines = 1;           // kRandom: consecutive-line run length, which
+                                 // determines DRAM row-buffer locality
+
+  // Parallelism bounds.
+  int ilp = 4;  // independent ALU insns between dependency stalls
+  int mlp = 4;  // max outstanding memory transactions before the warp blocks
+
+  // L2 streaming bypass: fills for this kernel do not allocate in the
+  // shared L2. Set for pure-streaming kernels whose lines are never reused
+  // (their own L2 hit rate is ~0), so that — as on hardware with streaming
+  // cache hints — they do not evict co-runners' working sets.
+  bool l2_streaming_bypass = false;
+
+  uint64_t seed = 1;
+
+  int total_warps() const { return num_blocks * warps_per_block; }
+  uint64_t total_warp_insns() const {
+    return static_cast<uint64_t>(total_warps()) * insns_per_warp;
+  }
+
+  // Average cycles between ALU issues of one warp, from the dependency
+  // latency amortized over the independent-instruction window.
+  int alu_stall_cycles(int dep_latency) const {
+    const int stall = (dep_latency + ilp - 1) / ilp;
+    return stall < 1 ? 1 : stall;
+  }
+};
+
+// True when instruction `insn_idx` of global warp `gwarp` is a memory access.
+inline bool insn_is_mem(const KernelParams& kp, uint32_t gwarp,
+                        uint32_t insn_idx) {
+  const uint64_t h = hash_combine(hash_combine(kp.seed, gwarp), insn_idx);
+  return static_cast<double>(h >> 11) * 0x1.0p-53 < kp.mem_ratio;
+}
+
+// True when memory instruction `insn_idx` is a store (only meaningful when
+// insn_is_mem returned true for the same index).
+inline bool insn_is_store(const KernelParams& kp, uint32_t gwarp,
+                          uint32_t insn_idx) {
+  const uint64_t h =
+      hash_combine(hash_combine(kp.seed ^ 0x5707Eull, gwarp), insn_idx);
+  return static_cast<double>(h >> 11) * 0x1.0p-53 < kp.store_ratio;
+}
+
+// Generates the line addresses (byte address >> 7) touched by memory
+// instruction number `mem_idx` of global warp `gwarp`. Appends
+// kp.divergence lines to `out`. `base_line` offsets the application into a
+// private address region so co-running apps contend only through capacity.
+void generate_addresses(const KernelParams& kp, uint64_t base_line,
+                        uint32_t gwarp, uint32_t mem_idx,
+                        std::vector<uint64_t>& out);
+
+}  // namespace gpumas::sim

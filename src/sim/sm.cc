@@ -1,0 +1,293 @@
+#include "sim/sm.h"
+
+#include "common/check.h"
+
+namespace gpumas::sim {
+
+StreamingMultiprocessor::StreamingMultiprocessor(const GpuConfig& cfg,
+                                                 int sm_id)
+    : id_(sm_id),
+      warp_size_(cfg.warp_size),
+      max_warps_(cfg.max_warps_per_sm),
+      max_blocks_(cfg.max_blocks_per_sm),
+      num_schedulers_(cfg.schedulers_per_sm),
+      alu_initiation_interval_(cfg.alu_initiation_interval),
+      alu_dep_latency_(cfg.alu_dep_latency),
+      lsu_capacity_(cfg.lsu_queue_size),
+      l1_hit_latency_(cfg.l1_hit_latency),
+      l1_mshr_entries_(cfg.l1d.mshr_entries),
+      policy_(cfg.warp_sched),
+      warps_(static_cast<size_t>(cfg.max_warps_per_sm)),
+      blocks_(static_cast<size_t>(cfg.max_blocks_per_sm)),
+      pipe_busy_until_(static_cast<size_t>(cfg.alu_pipes), 0),
+      last_issued_(static_cast<size_t>(cfg.schedulers_per_sm), -1),
+      l1_(cfg.l1d) {
+  GPUMAS_CHECK(num_schedulers_ >= 1);
+}
+
+bool StreamingMultiprocessor::can_accept_block(int warps_per_block) const {
+  if (resident_blocks_ >= max_blocks_) return false;
+  return resident_warps_ + warps_per_block <= max_warps_;
+}
+
+void StreamingMultiprocessor::dispatch_block(uint8_t app,
+                                             const KernelParams* kp,
+                                             uint64_t base_line,
+                                             uint32_t block_index) {
+  GPUMAS_CHECK(can_accept_block(kp->warps_per_block));
+  GPUMAS_CHECK(kp->insns_per_warp > 0);
+  int slot = -1;
+  for (int b = 0; b < max_blocks_; ++b) {
+    if (!blocks_[static_cast<size_t>(b)].valid) {
+      slot = b;
+      break;
+    }
+  }
+  GPUMAS_CHECK(slot >= 0);
+  blocks_[static_cast<size_t>(slot)] =
+      BlockSlot{kp->warps_per_block, app, true};
+  ++resident_blocks_;
+
+  int placed = 0;
+  for (int w = 0; w < max_warps_ && placed < kp->warps_per_block; ++w) {
+    WarpCtx& ctx = warps_[static_cast<size_t>(w)];
+    if (ctx.valid) continue;
+    ctx = WarpCtx{};
+    ctx.kp = kp;
+    ctx.base_line = base_line;
+    ctx.age = age_counter_++;
+    ctx.gwarp = block_index * static_cast<uint32_t>(kp->warps_per_block) +
+                static_cast<uint32_t>(placed);
+    ctx.app = app;
+    ctx.block_slot = static_cast<uint8_t>(slot);
+    ctx.valid = true;
+    ctx.next_is_mem = insn_is_mem(*kp, ctx.gwarp, 0);
+    ++placed;
+    ++resident_warps_;
+  }
+  GPUMAS_CHECK(placed == kp->warps_per_block);
+}
+
+void StreamingMultiprocessor::schedule_fill(uint64_t line,
+                                            uint64_t ready_cycle) {
+  events_.push(Event{ready_cycle, line, 0, 0});
+}
+
+void StreamingMultiprocessor::drain_events(uint64_t cycle,
+                                           std::vector<AppStats>& stats) {
+  while (!events_.empty() && events_.top().cycle <= cycle) {
+    const Event ev = events_.top();
+    events_.pop();
+    if (ev.kind == 0) {
+      // Fill: line data arrived from L2/DRAM. Install in L1 and release all
+      // transactions merged on this line's MSHR entry.
+      l1_.fill(ev.line);
+      auto it = l1_mshr_.find(ev.line);
+      GPUMAS_CHECK_MSG(it != l1_mshr_.end(), "fill without MSHR entry");
+      stats[it->second.app].l1_fills++;
+      // The entry must be erased before waking waiters so that a waiter that
+      // immediately re-misses on another line can allocate the freed slot.
+      const std::vector<uint16_t> waiters = std::move(it->second.waiters);
+      l1_mshr_.erase(it);
+      for (uint16_t slot : waiters) complete_transaction(slot, stats);
+    } else {
+      complete_transaction(static_cast<int>(ev.warp_slot), stats);
+    }
+  }
+}
+
+void StreamingMultiprocessor::complete_transaction(
+    int slot, std::vector<AppStats>& stats) {
+  WarpCtx& w = warps_[static_cast<size_t>(slot)];
+  GPUMAS_CHECK(w.valid && w.outstanding > 0);
+  --w.outstanding;
+  // Resume only when the next memory instruction's full burst fits within
+  // the warp's mlp budget; otherwise divergent kernels would sustain
+  // mlp + divergence outstanding transactions instead of mlp.
+  const int resume =
+      w.kp->mlp > w.kp->divergence ? w.kp->mlp - w.kp->divergence : 0;
+  if (w.waiting_mem && w.outstanding <= resume) w.waiting_mem = false;
+  maybe_retire(slot, stats);
+}
+
+void StreamingMultiprocessor::maybe_retire(int slot,
+                                           std::vector<AppStats>& stats) {
+  WarpCtx& w = warps_[static_cast<size_t>(slot)];
+  if (!w.valid || w.insns_done < w.kp->insns_per_warp || w.outstanding > 0) {
+    return;
+  }
+  stats[w.app].warps_completed++;
+  BlockSlot& blk = blocks_[w.block_slot];
+  GPUMAS_CHECK(blk.valid && blk.warps_left > 0);
+  if (--blk.warps_left == 0) {
+    blk.valid = false;
+    --resident_blocks_;
+    stats[w.app].blocks_completed++;
+    completed_blocks_.push_back(w.app);
+  }
+  w.valid = false;
+  --resident_warps_;
+}
+
+int StreamingMultiprocessor::free_alu_pipe(uint64_t cycle) const {
+  for (size_t p = 0; p < pipe_busy_until_.size(); ++p) {
+    if (pipe_busy_until_[p] <= cycle) return static_cast<int>(p);
+  }
+  return -1;
+}
+
+bool StreamingMultiprocessor::can_issue(const WarpCtx& w,
+                                        uint64_t cycle) const {
+  if (!w.valid || w.waiting_mem || w.not_before > cycle ||
+      w.insns_done >= w.kp->insns_per_warp) {
+    return false;
+  }
+  if (w.next_is_mem) {
+    return lsu_.size() + static_cast<size_t>(w.kp->divergence) <=
+           static_cast<size_t>(lsu_capacity_);
+  }
+  return free_alu_pipe(cycle) >= 0;
+}
+
+void StreamingMultiprocessor::issue(int slot, uint64_t cycle,
+                                    std::vector<AppStats>& stats) {
+  WarpCtx& w = warps_[static_cast<size_t>(slot)];
+  stats[w.app].warp_insns++;
+  if (w.next_is_mem) {
+    stats[w.app].mem_insns++;
+    const bool is_store =
+        insn_is_store(*w.kp, w.gwarp, static_cast<uint32_t>(w.insns_done));
+    addr_scratch_.clear();
+    generate_addresses(*w.kp, w.base_line, w.gwarp,
+                       static_cast<uint32_t>(w.mem_insns_done), addr_scratch_);
+    for (uint64_t line : addr_scratch_) {
+      lsu_.push_back(MemTx{line, static_cast<uint16_t>(slot), w.app, is_store});
+    }
+    if (!is_store) {
+      // Stores drain through a write buffer and never block the warp.
+      w.outstanding += w.kp->divergence;
+      if (w.outstanding >= w.kp->mlp) w.waiting_mem = true;
+    }
+    w.mem_insns_done++;
+    w.not_before = cycle + 1;
+  } else {
+    const int pipe = free_alu_pipe(cycle);
+    GPUMAS_CHECK(pipe >= 0);
+    pipe_busy_until_[static_cast<size_t>(pipe)] =
+        cycle + static_cast<uint64_t>(alu_initiation_interval_);
+    w.not_before =
+        cycle + static_cast<uint64_t>(w.kp->alu_stall_cycles(alu_dep_latency_));
+  }
+  w.insns_done++;
+  if (w.insns_done < w.kp->insns_per_warp) {
+    w.next_is_mem =
+        insn_is_mem(*w.kp, w.gwarp, static_cast<uint32_t>(w.insns_done));
+  } else {
+    maybe_retire(slot, stats);
+  }
+}
+
+void StreamingMultiprocessor::scheduler_issue(int sched, uint64_t cycle,
+                                              std::vector<AppStats>& stats) {
+  // Greedy: keep issuing from the warp that issued last (GTO only).
+  int& last = last_issued_[static_cast<size_t>(sched)];
+  if (policy_ == WarpSchedPolicy::kGto && last >= 0) {
+    WarpCtx& w = warps_[static_cast<size_t>(last)];
+    if (can_issue(w, cycle)) {
+      issue(last, cycle, stats);
+      return;
+    }
+  }
+  // Fall back to the oldest ready warp this scheduler owns (GTO), or the
+  // next ready warp after the last issued one (LRR). A scheduler owns the
+  // warp slots congruent to its index modulo num_schedulers_.
+  int best = -1;
+  if (policy_ == WarpSchedPolicy::kGto) {
+    uint64_t best_age = ~0ull;
+    for (int slot = sched; slot < max_warps_; slot += num_schedulers_) {
+      const WarpCtx& w = warps_[static_cast<size_t>(slot)];
+      if (can_issue(w, cycle) && w.age < best_age) {
+        best_age = w.age;
+        best = slot;
+      }
+    }
+  } else {
+    const int owned = (max_warps_ - sched + num_schedulers_ - 1) /
+                      num_schedulers_;
+    const int first =
+        last >= 0 ? (last - sched) / num_schedulers_ + 1 : 0;
+    for (int k = 0; k < owned; ++k) {
+      const int slot = sched + ((first + k) % owned) * num_schedulers_;
+      if (can_issue(warps_[static_cast<size_t>(slot)], cycle)) {
+        best = slot;
+        break;
+      }
+    }
+  }
+  if (best >= 0) {
+    issue(best, cycle, stats);
+    last = best;
+  }
+}
+
+void StreamingMultiprocessor::lsu_tick(uint64_t cycle, MemoryFabric& fabric,
+                                       std::vector<AppStats>& stats) {
+  if (lsu_.empty()) return;
+  const MemTx tx = lsu_.front();
+  if (tx.is_store) {
+    // Write-through, no-allocate: bypass the L1 straight to the L2/DRAM.
+    if (fabric.try_send(
+            MemRequest{tx.line, static_cast<uint16_t>(id_), tx.app, true},
+            cycle)) {
+      stats[tx.app].l1_accesses++;
+      lsu_.pop_front();
+    }
+    return;
+  }
+  const WarpCtx& w = warps_[tx.warp_slot];
+  GPUMAS_CHECK(w.valid);
+  auto pending = l1_mshr_.find(tx.line);
+  if (pending != l1_mshr_.end()) {
+    // Merge with an in-flight miss for the same line.
+    stats[w.app].l1_accesses++;
+    pending->second.waiters.push_back(tx.warp_slot);
+    lsu_.pop_front();
+    return;
+  }
+  if (l1_.access(tx.line)) {
+    stats[w.app].l1_accesses++;
+    stats[w.app].l1_hits++;
+    events_.push(Event{cycle + static_cast<uint64_t>(l1_hit_latency_), 0,
+                       tx.warp_slot, 1});
+    lsu_.pop_front();
+    return;
+  }
+  if (l1_mshr_.size() >= l1_mshr_entries_) {
+    // Structural stall: retry this transaction next cycle. AppStats counts
+    // the access only once the miss is accepted; the Cache-internal probe
+    // counters may see retries, which is why profiling reads AppStats.
+    return;
+  }
+  if (!fabric.try_send(
+          MemRequest{tx.line, static_cast<uint16_t>(id_), w.app, false},
+          cycle)) {
+    return;  // interconnect backpressure: retry next cycle
+  }
+  stats[w.app].l1_accesses++;
+  l1_mshr_.emplace(tx.line, MshrEntry{{tx.warp_slot}, w.app});
+  lsu_.pop_front();
+}
+
+void StreamingMultiprocessor::tick(uint64_t cycle, MemoryFabric& fabric,
+                                   std::vector<AppStats>& stats) {
+  completed_blocks_.clear();
+  drain_events(cycle, stats);
+  if (resident_warps_ > 0) {
+    for (int s = 0; s < num_schedulers_; ++s) {
+      scheduler_issue(s, cycle, stats);
+    }
+  }
+  lsu_tick(cycle, fabric, stats);
+}
+
+}  // namespace gpumas::sim

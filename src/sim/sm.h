@@ -1,0 +1,162 @@
+// Streaming Multiprocessor (SIMT core).
+//
+// Models the Fermi-style core of Fig 3.2/3.3: 48 warp contexts in 8 block
+// slots, two GTO (greedy-then-oldest) warp schedulers, a pair of SIMD ALU
+// pipes with an initiation interval, a load-store unit that injects one
+// memory transaction per cycle into the L1, and an L1 data cache with MSHR
+// merging. Warp-level timing comes from the kernel model's ilp (dependency
+// stalls) and mlp (outstanding-miss budget) parameters.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/cache.h"
+#include "sim/gpu_config.h"
+#include "sim/kernel.h"
+#include "sim/stats.h"
+
+namespace gpumas::sim {
+
+// An L1-miss read (or write-through store) traveling from an SM to the L2.
+struct MemRequest {
+  uint64_t line = 0;
+  uint16_t sm = 0;
+  uint8_t app = 0;
+  bool is_store = false;
+};
+
+// Interface through which the SM injects L1 misses into the interconnect.
+// Implemented by Gpu; virtual dispatch is off the per-cycle fast path (it is
+// paid once per L1 miss). try_send returns false when the destination
+// slice's input buffer is full (credit-based flow control) — the LSU then
+// stalls and retries.
+class MemoryFabric {
+ public:
+  virtual ~MemoryFabric() = default;
+  virtual bool try_send(const MemRequest& req, uint64_t cycle) = 0;
+};
+
+class StreamingMultiprocessor {
+ public:
+  StreamingMultiprocessor(const GpuConfig& cfg, int sm_id);
+
+  // --- block dispatch (called by the work distributor) ---
+  bool can_accept_block(int warps_per_block) const;
+  void dispatch_block(uint8_t app, const KernelParams* kp, uint64_t base_line,
+                      uint32_t block_index);
+
+  // Advances one cycle: drains due memory responses, lets each scheduler
+  // issue at most one warp instruction, and pops one LSU transaction.
+  void tick(uint64_t cycle, MemoryFabric& fabric, std::vector<AppStats>& stats);
+
+  // Response path: `line` becomes available in this SM's L1 at `ready_cycle`.
+  void schedule_fill(uint64_t line, uint64_t ready_cycle);
+
+  // Blocks that completed during the last tick (app ids); cleared per tick.
+  const std::vector<uint8_t>& completed_blocks() const {
+    return completed_blocks_;
+  }
+
+  int resident_blocks() const { return resident_blocks_; }
+  int resident_warps() const { return resident_warps_; }
+  bool quiescent() const {
+    return resident_blocks_ == 0 && lsu_.empty() && events_.empty();
+  }
+
+  const Cache& l1() const { return l1_; }
+  int id() const { return id_; }
+
+ private:
+  struct WarpCtx {
+    const KernelParams* kp = nullptr;
+    uint64_t base_line = 0;
+    uint64_t not_before = 0;
+    uint64_t age = 0;
+    uint32_t gwarp = 0;
+    int insns_done = 0;
+    int mem_insns_done = 0;
+    int outstanding = 0;
+    uint8_t app = 0;
+    uint8_t block_slot = 0;
+    bool valid = false;
+    bool waiting_mem = false;
+    bool next_is_mem = false;
+  };
+
+  struct BlockSlot {
+    int warps_left = 0;
+    uint8_t app = 0;
+    bool valid = false;
+  };
+
+  // `app` is carried in the transaction because stores are fire-and-forget:
+  // the issuing warp may retire (and its slot be reused) while its stores
+  // are still draining through the LSU.
+  struct MemTx {
+    uint64_t line;
+    uint16_t warp_slot;
+    uint8_t app;
+    bool is_store;
+  };
+
+  struct Event {
+    uint64_t cycle;
+    uint64_t line;      // kFill payload
+    uint32_t warp_slot; // kHitDone payload
+    uint8_t kind;       // 0 = kFill, 1 = kHitDone
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.cycle > b.cycle;
+    }
+  };
+
+  struct MshrEntry {
+    std::vector<uint16_t> waiters;
+    uint8_t app = 0;
+  };
+
+  void drain_events(uint64_t cycle, std::vector<AppStats>& stats);
+  void scheduler_issue(int sched, uint64_t cycle, std::vector<AppStats>& stats);
+  bool can_issue(const WarpCtx& w, uint64_t cycle) const;
+  void issue(int slot, uint64_t cycle, std::vector<AppStats>& stats);
+  void lsu_tick(uint64_t cycle, MemoryFabric& fabric,
+                std::vector<AppStats>& stats);
+  void complete_transaction(int slot, std::vector<AppStats>& stats);
+  void maybe_retire(int slot, std::vector<AppStats>& stats);
+  int free_alu_pipe(uint64_t cycle) const;
+
+  // --- configuration (copied; hot path avoids pointer chasing) ---
+  int id_;
+  int warp_size_;
+  int max_warps_;
+  int max_blocks_;
+  int num_schedulers_;
+  int alu_initiation_interval_;
+  int alu_dep_latency_;
+  int lsu_capacity_;
+  int l1_hit_latency_;
+  uint32_t l1_mshr_entries_;
+  WarpSchedPolicy policy_;
+
+  // --- state ---
+  std::vector<WarpCtx> warps_;
+  std::vector<BlockSlot> blocks_;
+  std::vector<uint64_t> pipe_busy_until_;
+  std::vector<int> last_issued_;  // per scheduler, -1 if none
+  std::deque<MemTx> lsu_;
+  Cache l1_;
+  std::unordered_map<uint64_t, MshrEntry> l1_mshr_;
+  std::priority_queue<Event, std::vector<Event>, EventLater> events_;
+  std::vector<uint64_t> addr_scratch_;
+  std::vector<uint8_t> completed_blocks_;
+  uint64_t age_counter_ = 0;
+  int resident_blocks_ = 0;
+  int resident_warps_ = 0;
+};
+
+}  // namespace gpumas::sim

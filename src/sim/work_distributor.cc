@@ -1,0 +1,56 @@
+#include "sim/work_distributor.h"
+
+#include "common/check.h"
+
+namespace gpumas::sim {
+
+WorkDistributor::WorkDistributor(int num_sms)
+    : owner_(static_cast<size_t>(num_sms), -1),
+      pending_(static_cast<size_t>(num_sms), -1) {}
+
+void WorkDistributor::set_owner(int sm, int app) {
+  GPUMAS_CHECK(sm >= 0 && sm < num_sms());
+  owner_[static_cast<size_t>(sm)] = app;
+  pending_[static_cast<size_t>(sm)] = -1;
+}
+
+void WorkDistributor::request_owner(int sm, int app) {
+  GPUMAS_CHECK(sm >= 0 && sm < num_sms());
+  if (owner_[static_cast<size_t>(sm)] == app) {
+    pending_[static_cast<size_t>(sm)] = -1;  // cancel an in-flight move back
+    return;
+  }
+  pending_[static_cast<size_t>(sm)] = app;
+}
+
+std::vector<int> WorkDistributor::partition_counts(int num_apps) const {
+  std::vector<int> counts(static_cast<size_t>(num_apps), 0);
+  for (int sm = 0; sm < num_sms(); ++sm) {
+    const int app = effective_owner(sm);
+    if (app >= 0 && app < num_apps) counts[static_cast<size_t>(app)]++;
+  }
+  return counts;
+}
+
+void WorkDistributor::dispatch(std::vector<StreamingMultiprocessor>& sms,
+                               std::vector<LaunchedApp>& apps) {
+  for (int sm = 0; sm < num_sms(); ++sm) {
+    const size_t s = static_cast<size_t>(sm);
+    // Apply a due ownership flip: the SM has fully drained.
+    if (pending_[s] >= 0 && sms[s].resident_blocks() == 0) {
+      owner_[s] = pending_[s];
+      pending_[s] = -1;
+    }
+    if (pending_[s] >= 0) continue;  // draining: no new blocks
+    const int app = owner_[s];
+    if (app < 0) continue;
+    LaunchedApp& la = apps[static_cast<size_t>(app)];
+    if (la.all_dispatched()) continue;
+    if (!sms[s].can_accept_block(la.kernel.warps_per_block)) continue;
+    sms[s].dispatch_block(static_cast<uint8_t>(app), &la.kernel, la.base_line,
+                          la.next_block);
+    la.next_block++;
+  }
+}
+
+}  // namespace gpumas::sim

@@ -1,0 +1,69 @@
+// Work distributor with spatial multitasking.
+//
+// Models the modified stream-queue/work-distributor of Fig 2.2: each
+// launched application has its own stream of thread blocks, and every SM is
+// owned by exactly one application. Blocks are dispatched only to SMs the
+// owning application holds. Repartitioning is drain-based (method 3 of
+// §3.2.4): a reassigned SM stops receiving new blocks, finishes its resident
+// blocks, and only then flips to the new owner — no context switching.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/kernel.h"
+#include "sim/sm.h"
+
+namespace gpumas::sim {
+
+// A kernel launched onto the device, plus its dispatch bookkeeping.
+struct LaunchedApp {
+  KernelParams kernel;
+  uint64_t base_line = 0;  // private address-region offset (in lines)
+  uint32_t next_block = 0;
+  uint32_t blocks_done = 0;
+  bool done = false;
+
+  bool all_dispatched() const {
+    return next_block >= static_cast<uint32_t>(kernel.num_blocks);
+  }
+};
+
+class WorkDistributor {
+ public:
+  explicit WorkDistributor(int num_sms);
+
+  // Immediately assigns SM ownership (only valid before any block runs on
+  // the SM, e.g. at launch time or in tests).
+  void set_owner(int sm, int app);
+
+  // Drain-based reassignment: the SM keeps running resident blocks but gets
+  // no new ones; ownership flips once it is empty.
+  void request_owner(int sm, int app);
+
+  int owner(int sm) const { return owner_[static_cast<size_t>(sm)]; }
+  int pending_owner(int sm) const {
+    return pending_[static_cast<size_t>(sm)];
+  }
+
+  // Owner the SM is headed for (pending if a reassignment is in flight).
+  int effective_owner(int sm) const {
+    const int p = pending_[static_cast<size_t>(sm)];
+    return p >= 0 ? p : owner_[static_cast<size_t>(sm)];
+  }
+
+  // Number of SMs headed to each app (size num_apps).
+  std::vector<int> partition_counts(int num_apps) const;
+
+  // Applies due ownership flips and dispatches at most one block per SM.
+  void dispatch(std::vector<StreamingMultiprocessor>& sms,
+                std::vector<LaunchedApp>& apps);
+
+  int num_sms() const { return static_cast<int>(owner_.size()); }
+
+ private:
+  std::vector<int> owner_;
+  std::vector<int> pending_;  // -1 when no reassignment in flight
+};
+
+}  // namespace gpumas::sim

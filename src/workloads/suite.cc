@@ -1,0 +1,283 @@
+#include "workloads/suite.h"
+
+#include "common/check.h"
+
+namespace gpumas::workloads {
+
+using sim::AccessPattern;
+using sim::KernelParams;
+
+namespace {
+
+constexpr uint64_t kKiB = 1024;
+constexpr uint64_t kMiB = 1024 * 1024;
+
+// Builds the calibrated suite. Parameters are the model's handles on the
+// Table 3.2 statistics: grid shape -> parallelism, mem_ratio -> R,
+// footprint/hot region -> L1/L2 hit rates, divergence -> transactions per
+// access, ilp/mlp -> latency sensitivity, store_ratio -> write bandwidth.
+std::vector<KernelParams> build_suite() {
+  std::vector<KernelParams> s;
+
+  // BFS2 — graph traversal: few blocks, fully divergent accesses over a
+  // frontier that mostly fits in L2. Class C: high L2->L1, low IPC.
+  s.push_back(KernelParams{.name = "BFS2",
+                           .num_blocks = 120,
+                           .warps_per_block = 1,
+                           .insns_per_warp = 1600,
+                           .mem_ratio = 0.2,
+                           .store_ratio = 0.05,
+                           .pattern = AccessPattern::kTiled,
+                           .footprint_bytes = 16 * kMiB,
+                           .hot_fraction = 0.95,
+                           .hot_bytes = 256 * kKiB,
+                           .divergence = 4,
+                           .burst_lines = 1,
+                           .ilp = 2,
+                           .mlp = 1,
+                           .seed = 0xBF52});
+
+  // BLK — Black-Scholes: massively parallel streaming over a huge array
+  // with result write-back. Class M: memory bandwidth bound.
+  s.push_back(KernelParams{.name = "BLK",
+                           .num_blocks = 120,
+                           .warps_per_block = 8,
+                           .insns_per_warp = 1400,
+                           .mem_ratio = 0.07,
+                           .store_ratio = 0.28,
+                           .pattern = AccessPattern::kStreaming,
+                           .footprint_bytes = 512 * kMiB,
+                           .divergence = 1,
+                           .ilp = 6,
+                           .mlp = 16,
+                           .l2_streaming_bypass = true,
+                           .seed = 0xB11C});
+
+  // BP — back-propagation: high parallelism, layer weights partially
+  // cache-resident plus streamed activations. Class MC.
+  s.push_back(KernelParams{.name = "BP",
+                           .num_blocks = 26,
+                           .warps_per_block = 2,
+                           .insns_per_warp = 20000,
+                           .mem_ratio = 0.06,
+                           .store_ratio = 0.1,
+                           .pattern = AccessPattern::kTiled,
+                           .footprint_bytes = 128 * kMiB,
+                           .hot_fraction = 0.7,
+                           .hot_bytes = 320 * kKiB,
+                           .divergence = 2,
+                           .ilp = 4,
+                           .mlp = 6,
+                           .seed = 0xB4CC});
+
+  // LUD — LU decomposition: tiny matrix tiles, almost no parallelism,
+  // serial dependency chains. Class A (fallback: low MB, low traffic).
+  s.push_back(KernelParams{.name = "LUD",
+                           .num_blocks = 4,
+                           .warps_per_block = 4,
+                           .insns_per_warp = 7200,
+                           .mem_ratio = 0.03,
+                           .store_ratio = 0.10,
+                           .pattern = AccessPattern::kTiled,
+                           .footprint_bytes = 256 * kKiB,
+                           .hot_fraction = 1.0,
+                           .hot_bytes = 192 * kKiB,
+                           .divergence = 1,
+                           .ilp = 1,
+                           .mlp = 4,
+                           .seed = 0x10D});
+
+  // FFT — butterfly stages stream large arrays with some twiddle-factor
+  // reuse; saturates memory at scale. Class MC.
+  s.push_back(KernelParams{.name = "FFT",
+                           .num_blocks = 21,
+                           .warps_per_block = 4,
+                           .insns_per_warp = 8500,
+                           .mem_ratio = 0.08,
+                           .store_ratio = 0.1,
+                           .pattern = AccessPattern::kTiled,
+                           .footprint_bytes = 128 * kMiB,
+                           .hot_fraction = 0.58,
+                           .hot_bytes = 256 * kKiB,
+                           .divergence = 2,
+                           .ilp = 5,
+                           .mlp = 3,
+                           .seed = 0xFF7});
+
+  // JPEG — block-based DCT/quantization: compute heavy with cache-friendly
+  // coefficient tables. Class A.
+  s.push_back(KernelParams{.name = "JPEG",
+                           .num_blocks = 30,
+                           .warps_per_block = 4,
+                           .insns_per_warp = 11000,
+                           .mem_ratio = 0.07,
+                           .store_ratio = 0.10,
+                           .pattern = AccessPattern::kTiled,
+                           .footprint_bytes = 32 * kMiB,
+                           .hot_fraction = 0.82,
+                           .hot_bytes = 256 * kKiB,
+                           .divergence = 1,
+                           .ilp = 2,
+                           .mlp = 2,
+                           .seed = 0x1BE6});
+
+  // 3DS — 3D stencil: neighbor planes stream with moderate reuse. Class MC.
+  s.push_back(KernelParams{.name = "3DS",
+                           .num_blocks = 24,
+                           .warps_per_block = 4,
+                           .insns_per_warp = 10500,
+                           .mem_ratio = 0.11,
+                           .store_ratio = 0.1,
+                           .pattern = AccessPattern::kTiled,
+                           .footprint_bytes = 96 * kMiB,
+                           .hot_fraction = 0.6,
+                           .hot_bytes = 320 * kKiB,
+                           .divergence = 1,
+                           .ilp = 6,
+                           .mlp = 2,
+                           .seed = 0x3D5});
+
+  // HS — hotspot: compute-dense stencil with a cache-resident temperature
+  // grid; the highest-IPC benchmark. Class A.
+  s.push_back(KernelParams{.name = "HS",
+                           .num_blocks = 800,
+                           .warps_per_block = 8,
+                           .insns_per_warp = 550,
+                           .mem_ratio = 0.02,
+                           .store_ratio = 0.15,
+                           .pattern = AccessPattern::kTiled,
+                           .footprint_bytes = 24 * kMiB,
+                           .hot_fraction = 0.9,
+                           .hot_bytes = 256 * kKiB,
+                           .divergence = 1,
+                           .ilp = 8,
+                           .mlp = 2,
+                           .seed = 0x45});
+
+  // LPS — Laplace solver: plane sweeps over a large grid. Class MC.
+  s.push_back(KernelParams{.name = "LPS",
+                           .num_blocks = 28,
+                           .warps_per_block = 4,
+                           .insns_per_warp = 9400,
+                           .mem_ratio = 0.04,
+                           .store_ratio = 0.15,
+                           .pattern = AccessPattern::kTiled,
+                           .footprint_bytes = 96 * kMiB,
+                           .hot_fraction = 0.35,
+                           .hot_bytes = 320 * kKiB,
+                           .divergence = 2,
+                           .ilp = 6,
+                           .mlp = 1,
+                           .seed = 0x195});
+
+  // RAY — ray tracing: irregular scene accesses with BVH-node reuse.
+  // Class MC (memory bandwidth just above the beta threshold).
+  s.push_back(KernelParams{.name = "RAY",
+                           .num_blocks = 20,
+                           .warps_per_block = 4,
+                           .insns_per_warp = 11500,
+                           .mem_ratio = 0.10,
+                           .store_ratio = 0.1,
+                           .pattern = AccessPattern::kTiled,
+                           .footprint_bytes = 64 * kMiB,
+                           .hot_fraction = 0.55,
+                           .hot_bytes = 320 * kKiB,
+                           .divergence = 1,
+                           .ilp = 5,
+                           .mlp = 2,
+                           .seed = 0x4A1});
+
+  // GUPS — giga-updates per second: fully divergent random read-modify-
+  // write over a giant table; short row bursts give it DRAM row locality
+  // that evaporates as more SMs interleave. Class M, IPC ~10.
+  s.push_back(KernelParams{.name = "GUPS",
+                           .num_blocks = 60,
+                           .warps_per_block = 8,
+                           .insns_per_warp = 75,
+                           .mem_ratio = 0.10,
+                           .store_ratio = 0.30,
+                           .pattern = AccessPattern::kRandom,
+                           .footprint_bytes = 1024 * kMiB,
+                           .divergence = 32,
+                           .burst_lines = 16,
+                           .ilp = 2,
+                           .mlp = 32,
+                           .l2_streaming_bypass = true,
+                           .seed = 0x6095});
+
+  // SPMV — sparse matrix-vector: irregular gathers with a cache-resident
+  // dense vector. Class C.
+  s.push_back(KernelParams{.name = "SPMV",
+                           .num_blocks = 18,
+                           .warps_per_block = 4,
+                           .insns_per_warp = 5600,
+                           .mem_ratio = 0.09,
+                           .store_ratio = 0.05,
+                           .pattern = AccessPattern::kTiled,
+                           .footprint_bytes = 8 * kMiB,
+                           .hot_fraction = 0.95,
+                           .hot_bytes = 256 * kKiB,
+                           .divergence = 5,
+                           .ilp = 3,
+                           .mlp = 1,
+                           .seed = 0x59F});
+
+  // SAD — sum of absolute differences (video): compute dense, streaming
+  // reference frames with block reuse and result write-back. Class A.
+  s.push_back(KernelParams{.name = "SAD",
+                           .num_blocks = 30,
+                           .warps_per_block = 4,
+                           .insns_per_warp = 13000,
+                           .mem_ratio = 0.03,
+                           .store_ratio = 0.1,
+                           .pattern = AccessPattern::kTiled,
+                           .footprint_bytes = 48 * kMiB,
+                           .hot_fraction = 0.75,
+                           .hot_bytes = 256 * kKiB,
+                           .divergence = 1,
+                           .ilp = 6,
+                           .mlp = 1,
+                           .seed = 0x5AD});
+
+  // NN — nearest neighbor on a small record set: little work, tiny
+  // footprint, latency bound. Class A (fallback).
+  s.push_back(KernelParams{.name = "NN",
+                           .num_blocks = 240,
+                           .warps_per_block = 1,
+                           .insns_per_warp = 3100,
+                           .mem_ratio = 0.15,
+                           .store_ratio = 0.05,
+                           .pattern = AccessPattern::kTiled,
+                           .footprint_bytes = 448 * kKiB,
+                           .hot_fraction = 0.90,
+                           .hot_bytes = 256 * kKiB,
+                           .divergence = 1,
+                           .ilp = 1,
+                           .mlp = 1,
+                           .seed = 0x22});
+
+  return s;
+}
+
+}  // namespace
+
+const std::vector<KernelParams>& suite() {
+  static const std::vector<KernelParams> kSuite = build_suite();
+  return kSuite;
+}
+
+const KernelParams& benchmark(const std::string& name) {
+  for (const auto& kp : suite()) {
+    if (kp.name == name) return kp;
+  }
+  GPUMAS_CHECK_MSG(false, "unknown benchmark '" << name << "'");
+  throw std::logic_error("unreachable");
+}
+
+std::vector<std::string> benchmark_names() {
+  std::vector<std::string> names;
+  for (const auto& kp : suite()) names.push_back(kp.name);
+  return names;
+}
+
+}  // namespace gpumas::workloads

@@ -1,0 +1,27 @@
+// The 14-benchmark workload suite.
+//
+// Synthetic stand-ins for the Rodinia/CUDA benchmarks of Table 3.2 (BFS2,
+// BLK, BP, LUD, FFT, JPEG, 3DS, HS, LPS, RAY, GUPS, SPMV, SAD, NN). Each
+// parameter set is calibrated so that solo profiling on the default GTX
+// 480-style GpuConfig reproduces the paper's classification: BLK and GUPS
+// land in class M, BP/FFT/3DS/LPS/RAY in class MC, BFS2/SPMV in class C and
+// LUD/JPEG/HS/SAD/NN in class A, with profile statistics (memory bandwidth,
+// L2->L1 bandwidth, IPC, R) in the same regions of Table 3.2.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/kernel.h"
+
+namespace gpumas::workloads {
+
+// All 14 benchmarks in the paper's Table 3.2 order.
+const std::vector<sim::KernelParams>& suite();
+
+// Lookup by name (BFS2, BLK, ...). Throws std::logic_error if unknown.
+const sim::KernelParams& benchmark(const std::string& name);
+
+std::vector<std::string> benchmark_names();
+
+}  // namespace gpumas::workloads

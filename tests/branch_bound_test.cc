@@ -1,0 +1,132 @@
+// Tests for the branch-and-bound integer programming solver.
+#include "ilp/branch_bound.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/prng.h"
+
+namespace gpumas::ilp {
+namespace {
+
+TEST(BranchBoundTest, KnapsackStyleProblem) {
+  // maximize 8x + 11y + 6z s.t. 5x + 7y + 4z <= 14, x,y,z in {0,1}
+  // (binary via <= 1 bounds) -> x=1, y=0... check: 5+4=9 -> 8+6=14;
+  // 7+4=11 -> 11+6=17; 5+7=12 -> 19. Optimum: x=1,y=1 -> 19.
+  LpProblem p;
+  p.num_vars = 3;
+  p.objective = {8, 11, 6};
+  p.add_le({5, 7, 4}, 14);
+  p.add_le({1, 0, 0}, 1);
+  p.add_le({0, 1, 0}, 1);
+  p.add_le({0, 0, 1}, 1);
+  const IlpSolution s = solve_ilp(p);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 19.0, 1e-7);
+  EXPECT_NEAR(s.x[0], 1.0, 1e-7);
+  EXPECT_NEAR(s.x[1], 1.0, 1e-7);
+  EXPECT_NEAR(s.x[2], 0.0, 1e-7);
+}
+
+TEST(BranchBoundTest, IntegralityMakesADifference) {
+  // LP relaxation optimum is fractional; ILP optimum differs.
+  // maximize x + y s.t. 2x + 2y <= 3 -> LP: 1.5, ILP: 1.
+  LpProblem p;
+  p.num_vars = 2;
+  p.objective = {1, 1};
+  p.add_le({2, 2}, 3);
+  const LpSolution lp = solve_lp(p);
+  ASSERT_EQ(lp.status, LpStatus::kOptimal);
+  EXPECT_NEAR(lp.objective, 1.5, 1e-7);
+  const IlpSolution ilp = solve_ilp(p);
+  ASSERT_EQ(ilp.status, LpStatus::kOptimal);
+  EXPECT_NEAR(ilp.objective, 1.0, 1e-7);
+}
+
+TEST(BranchBoundTest, InfeasibleIntegerProblem) {
+  // 0.4 <= x <= 0.6 has no integer point.
+  LpProblem p;
+  p.num_vars = 1;
+  p.objective = {1};
+  p.add_ge({1}, 0.4);
+  p.add_le({1}, 0.6);
+  EXPECT_EQ(solve_ilp(p).status, LpStatus::kInfeasible);
+}
+
+TEST(BranchBoundTest, MixedIntegerRespectsContinuousVariables) {
+  // x integer, y continuous: maximize x + y, x + y <= 2.5, x <= 1.7.
+  // Best: x = 1, y = 1.5.
+  LpProblem p;
+  p.num_vars = 2;
+  p.objective = {1, 1};
+  p.add_le({1, 1}, 2.5);
+  p.add_le({1, 0}, 1.7);
+  IlpOptions opts;
+  opts.integer = {true, false};
+  const IlpSolution s = solve_ilp(p, opts);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 2.5, 1e-7);
+  EXPECT_NEAR(s.x[0], std::round(s.x[0]), 1e-7);
+}
+
+TEST(BranchBoundTest, EqualityConstrainedAssignment) {
+  // Two groups must be formed: x1 + x2 = 2 with weights preferring x2.
+  LpProblem p;
+  p.num_vars = 2;
+  p.objective = {1, 3};
+  p.add_eq({1, 1}, 2);
+  const IlpSolution s = solve_ilp(p);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 6.0, 1e-7);  // x2 = 2
+}
+
+// Property: on random bounded problems, B&B equals exhaustive search.
+TEST(BranchBoundTest, PropertyMatchesExhaustiveEnumeration) {
+  Prng prng(777);
+  for (int trial = 0; trial < 100; ++trial) {
+    const int n = 2 + static_cast<int>(prng.next_below(3));  // 2..4 vars
+    const int ub = 3;  // each var in 0..3
+    LpProblem p;
+    p.num_vars = n;
+    for (int j = 0; j < n; ++j) {
+      p.objective.push_back(0.1 + prng.next_double());
+    }
+    // One knapsack row keeps it interesting; box bounds keep it finite.
+    std::vector<double> knap(static_cast<size_t>(n));
+    for (auto& v : knap) v = 0.5 + prng.next_double();
+    const double cap =
+        2.0 + prng.next_double() * 2.0 * static_cast<double>(n);
+    std::vector<double> knap_copy = knap;
+    p.add_le(std::move(knap_copy), cap);
+    for (int j = 0; j < n; ++j) {
+      std::vector<double> row(static_cast<size_t>(n), 0.0);
+      row[static_cast<size_t>(j)] = 1.0;
+      p.add_le(std::move(row), ub);
+    }
+
+    const IlpSolution got = solve_ilp(p);
+    ASSERT_EQ(got.status, LpStatus::kOptimal) << "trial " << trial;
+
+    // Exhaustive search over (ub+1)^n points.
+    double best = -1.0;
+    std::vector<int> x(static_cast<size_t>(n), 0);
+    const int total = static_cast<int>(std::pow(ub + 1, n));
+    for (int code = 0; code < total; ++code) {
+      int rem = code;
+      double load = 0.0;
+      double obj = 0.0;
+      for (int j = 0; j < n; ++j) {
+        x[static_cast<size_t>(j)] = rem % (ub + 1);
+        rem /= (ub + 1);
+        load += knap[static_cast<size_t>(j)] * x[static_cast<size_t>(j)];
+        obj += p.objective[static_cast<size_t>(j)] * x[static_cast<size_t>(j)];
+      }
+      if (load <= cap + 1e-9 && obj > best) best = obj;
+    }
+    EXPECT_NEAR(got.objective, best, 1e-6) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace gpumas::ilp

@@ -1,0 +1,129 @@
+// Unit tests for the set-associative LRU tag array.
+#include "sim/cache.h"
+
+#include <gtest/gtest.h>
+
+#include "common/prng.h"
+
+namespace gpumas::sim {
+namespace {
+
+CacheConfig small_cfg() {
+  // 4 sets x 2 ways x 128 B lines = 1 kB.
+  return CacheConfig{1024, 128, 2, 8};
+}
+
+TEST(CacheTest, MissThenHitAfterFill) {
+  Cache c(small_cfg());
+  EXPECT_FALSE(c.access(42));
+  c.fill(42);
+  EXPECT_TRUE(c.access(42));
+  EXPECT_EQ(c.hits(), 1u);
+  EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(CacheTest, GeometryFromConfig) {
+  Cache c(small_cfg());
+  EXPECT_EQ(c.num_sets(), 4u);
+  EXPECT_EQ(c.ways(), 2u);
+}
+
+TEST(CacheTest, LruEvictsLeastRecentlyUsed) {
+  Cache c(small_cfg());
+  // Lines 0, 4, 8 all map to set 0 (line % 4). Two ways.
+  c.fill(0);
+  c.fill(4);
+  EXPECT_TRUE(c.access(0));  // 0 becomes MRU, 4 is LRU
+  c.fill(8);                 // evicts 4
+  EXPECT_TRUE(c.contains(0));
+  EXPECT_FALSE(c.contains(4));
+  EXPECT_TRUE(c.contains(8));
+}
+
+TEST(CacheTest, FillOfResidentLineDoesNotDuplicate) {
+  Cache c(small_cfg());
+  c.fill(0);
+  c.fill(4);
+  c.fill(0);  // refresh, not duplicate: set still holds both lines
+  EXPECT_TRUE(c.contains(0));
+  EXPECT_TRUE(c.contains(4));
+  c.fill(8);  // evicts 4 (LRU after 0's refresh)
+  EXPECT_TRUE(c.contains(0));
+  EXPECT_FALSE(c.contains(4));
+}
+
+TEST(CacheTest, DisjointSetsDoNotInterfere) {
+  Cache c(small_cfg());
+  for (uint64_t line = 0; line < 4; ++line) c.fill(line);
+  for (uint64_t line = 0; line < 4; ++line) EXPECT_TRUE(c.contains(line));
+}
+
+TEST(CacheTest, ResetClearsContentsAndCounters) {
+  Cache c(small_cfg());
+  c.fill(7);
+  ASSERT_TRUE(c.access(7));
+  c.reset();
+  EXPECT_FALSE(c.contains(7));
+  EXPECT_EQ(c.hits(), 0u);
+  EXPECT_EQ(c.misses(), 0u);
+}
+
+// Property: the number of resident lines never exceeds capacity, and a
+// working set no larger than one set's way count always re-hits.
+TEST(CacheTest, PropertyWorkingSetWithinWaysAlwaysHits) {
+  Cache c(small_cfg());
+  // Two lines per set, 4 sets: 8-line working set fits exactly.
+  for (uint64_t line = 0; line < 8; ++line) c.fill(line);
+  for (int round = 0; round < 4; ++round) {
+    for (uint64_t line = 0; line < 8; ++line) {
+      EXPECT_TRUE(c.access(line)) << "line " << line << " round " << round;
+    }
+  }
+}
+
+TEST(CacheTest, PropertyRandomStreamHitRateMatchesRecount) {
+  Cache c(small_cfg());
+  Prng prng(123);
+  uint64_t expected_hits = 0;
+  uint64_t expected_misses = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const uint64_t line = prng.next_below(64);
+    if (c.access(line)) {
+      ++expected_hits;
+    } else {
+      ++expected_misses;
+      c.fill(line);
+    }
+  }
+  EXPECT_EQ(c.hits(), expected_hits);
+  EXPECT_EQ(c.misses(), expected_misses);
+  EXPECT_EQ(expected_hits + expected_misses, 2000u);
+}
+
+class CacheWaysTest : public ::testing::TestWithParam<uint32_t> {};
+
+// Property: with W ways, a set scanned cyclically with W lines always hits
+// after warm-up, and with W+1 lines (LRU + cyclic scan) never hits.
+TEST_P(CacheWaysTest, CyclicScanBoundary) {
+  const uint32_t ways = GetParam();
+  CacheConfig cfg{128 * ways * 4, 128, ways, 8};
+  Cache c(cfg);
+  const uint32_t sets = c.num_sets();
+  // W resident lines in set 0.
+  for (uint32_t k = 0; k < ways; ++k) c.fill(k * sets);
+  for (uint32_t k = 0; k < ways * 3; ++k) {
+    EXPECT_TRUE(c.access((k % ways) * sets));
+  }
+  // W+1 lines cyclically: LRU guarantees 0% hits.
+  Cache c2(cfg);
+  for (uint32_t k = 0; k < (ways + 1) * 3; ++k) {
+    const uint64_t line = (k % (ways + 1)) * sets;
+    EXPECT_FALSE(c2.access(line));
+    c2.fill(line);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ways, CacheWaysTest, ::testing::Values(1u, 2u, 4u, 8u));
+
+}  // namespace
+}  // namespace gpumas::sim

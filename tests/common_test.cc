@@ -1,0 +1,101 @@
+// Tests for the common utilities: PRNG determinism and distribution,
+// table formatting, and the check macros.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/check.h"
+#include "common/prng.h"
+#include "common/table.h"
+
+namespace gpumas {
+namespace {
+
+TEST(PrngTest, SplitmixIsDeterministic) {
+  EXPECT_EQ(splitmix64(42), splitmix64(42));
+  EXPECT_NE(splitmix64(42), splitmix64(43));
+}
+
+TEST(PrngTest, HashCombineOrderMatters) {
+  EXPECT_NE(hash_combine(1, 2), hash_combine(2, 1));
+}
+
+TEST(PrngTest, SequenceIsReproducible) {
+  Prng a(7);
+  Prng b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(PrngTest, NextBelowStaysInRange) {
+  Prng prng(11);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(prng.next_below(17), 17u);
+  }
+}
+
+TEST(PrngTest, NextDoubleInUnitInterval) {
+  Prng prng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = prng.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(PrngTest, UniformityRoughCheck) {
+  // Chi-square-lite: 16 buckets over 16k draws should each hold ~1000.
+  Prng prng(99);
+  int buckets[16] = {};
+  for (int i = 0; i < 16000; ++i) buckets[prng.next_below(16)]++;
+  for (int b = 0; b < 16; ++b) {
+    EXPECT_GT(buckets[b], 800) << "bucket " << b;
+    EXPECT_LT(buckets[b], 1200) << "bucket " << b;
+  }
+}
+
+TEST(TableTest, AlignsColumns) {
+  Table t({"name", "value"});
+  t.begin_row().cell(std::string("x")).cell(uint64_t{7});
+  t.begin_row().cell(std::string("longer")).cell(1.5, 2);
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  // Header, rule, two rows.
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer | 1.50"), std::string::npos);
+  EXPECT_NE(out.find("-+-"), std::string::npos);
+}
+
+TEST(TableTest, NumericPrecision) {
+  Table t({"v"});
+  t.begin_row().cell(3.14159, 3);
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("3.142"), std::string::npos);
+}
+
+TEST(CheckTest, PassingCheckIsSilent) {
+  EXPECT_NO_THROW(GPUMAS_CHECK(1 + 1 == 2));
+}
+
+TEST(CheckTest, FailingCheckThrowsWithLocation) {
+  try {
+    GPUMAS_CHECK(false);
+    FAIL() << "should have thrown";
+  } catch (const std::logic_error& e) {
+    EXPECT_NE(std::string(e.what()).find("common_test.cc"),
+              std::string::npos);
+  }
+}
+
+TEST(CheckTest, MessageMacroIncludesDetail) {
+  try {
+    GPUMAS_CHECK_MSG(false, "value was " << 42);
+    FAIL() << "should have thrown";
+  } catch (const std::logic_error& e) {
+    EXPECT_NE(std::string(e.what()).find("value was 42"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace gpumas

@@ -1,0 +1,131 @@
+// Tests for co-run measurement and the class slowdown model.
+#include "interference/interference.h"
+
+#include <gtest/gtest.h>
+
+namespace gpumas::interference {
+namespace {
+
+using profile::AppClass;
+using profile::AppProfile;
+
+sim::GpuConfig small_gpu() {
+  sim::GpuConfig cfg;
+  cfg.num_sms = 8;
+  cfg.num_channels = 2;
+  cfg.l2.size_bytes = 64 * 1024;
+  return cfg;
+}
+
+sim::KernelParams kernel(const std::string& name, double mem_ratio,
+                         uint64_t seed) {
+  sim::KernelParams kp;
+  kp.name = name;
+  kp.num_blocks = 16;
+  kp.warps_per_block = 4;
+  kp.insns_per_warp = 300;
+  kp.mem_ratio = mem_ratio;
+  kp.footprint_bytes = 8 << 20;
+  kp.divergence = 2;
+  kp.seed = seed;
+  return kp;
+}
+
+TEST(CoRunTest, ReportsPerAppSlowdownsAgainstGivenSolos) {
+  const sim::GpuConfig cfg = small_gpu();
+  const auto a = kernel("a", 0.05, 1);
+  const auto b = kernel("b", 0.3, 2);
+  // True solo cycles.
+  profile::Profiler profiler(cfg);
+  const uint64_t solo_a = profiler.profile(a).solo_cycles;
+  const uint64_t solo_b = profiler.profile(b).solo_cycles;
+
+  const CoRunResult r = co_run(cfg, {a, b}, {solo_a, solo_b});
+  ASSERT_EQ(r.apps.size(), 2u);
+  EXPECT_GE(r.apps[0].slowdown, 0.99);  // co-run can't beat the full device
+  EXPECT_GE(r.apps[1].slowdown, 0.99);
+  EXPECT_EQ(r.group_cycles,
+            std::max(r.apps[0].co_cycles, r.apps[1].co_cycles));
+  EXPECT_GT(r.device_throughput, 0.0);
+}
+
+TEST(CoRunTest, HonorsExplicitPartition) {
+  const sim::GpuConfig cfg = small_gpu();
+  const auto a = kernel("a", 0.05, 1);
+  const auto b = kernel("b", 0.05, 2);
+  // Give app a almost everything: it should finish near its solo time.
+  profile::Profiler profiler(cfg);
+  const uint64_t solo_a = profiler.profile(a).solo_cycles;
+  const uint64_t solo_b = profiler.profile(b).solo_cycles;
+  const CoRunResult lop = co_run(cfg, {a, b}, {solo_a, solo_b}, {6, 2});
+  const CoRunResult fair = co_run(cfg, {a, b}, {solo_a, solo_b}, {4, 4});
+  EXPECT_LE(lop.apps[0].co_cycles, fair.apps[0].co_cycles);
+  // The squeezed app must not get meaningfully faster (small deviations can
+  // come from reduced contention by the co-runner's different pacing).
+  EXPECT_GE(static_cast<double>(lop.apps[1].co_cycles),
+            static_cast<double>(fair.apps[1].co_cycles) * 0.95);
+}
+
+TEST(SlowdownModelTest, PairwiseMeasurementFillsSampledCells) {
+  const sim::GpuConfig cfg = small_gpu();
+  std::vector<sim::KernelParams> kernels = {kernel("a", 0.05, 1),
+                                            kernel("b", 0.3, 2)};
+  profile::Profiler profiler(cfg);
+  std::vector<AppProfile> profiles;
+  for (const auto& k : kernels) profiles.push_back(profiler.profile(k));
+  // Force distinct classes for a 2x2 corner of the matrix.
+  profiles[0].cls = AppClass::kA;
+  profiles[1].cls = AppClass::kM;
+
+  const SlowdownModel model =
+      SlowdownModel::measure_pairwise(cfg, kernels, profiles);
+  EXPECT_EQ(model.pair_samples(AppClass::kA, AppClass::kM), 1);
+  EXPECT_EQ(model.pair_samples(AppClass::kM, AppClass::kA), 1);
+  EXPECT_EQ(model.pair_samples(AppClass::kM, AppClass::kM), 0);
+  EXPECT_GT(model.pair_slowdown(AppClass::kA, AppClass::kM), 1.0);
+  // Unsampled cells fall back to the neutral halved-device slowdown.
+  EXPECT_DOUBLE_EQ(model.pair_slowdown(AppClass::kM, AppClass::kM), 2.0);
+}
+
+TEST(SlowdownModelTest, GroupSlowdownSemantics) {
+  // The model's slowdown is group completion over the member's solo time,
+  // so both members of a pair see the same numerator.
+  const sim::GpuConfig cfg = small_gpu();
+  std::vector<sim::KernelParams> kernels = {kernel("a", 0.05, 1),
+                                            kernel("b", 0.3, 2)};
+  profile::Profiler profiler(cfg);
+  std::vector<AppProfile> profiles;
+  for (const auto& k : kernels) profiles.push_back(profiler.profile(k));
+  profiles[0].cls = AppClass::kA;
+  profiles[1].cls = AppClass::kM;
+  const SlowdownModel model =
+      SlowdownModel::measure_pairwise(cfg, kernels, profiles);
+  const CoRunResult r =
+      co_run(cfg, kernels,
+             {profiles[0].solo_cycles, profiles[1].solo_cycles});
+  EXPECT_NEAR(model.pair_slowdown(AppClass::kA, AppClass::kM),
+              static_cast<double>(r.group_cycles) /
+                  static_cast<double>(profiles[0].solo_cycles),
+              1e-9);
+}
+
+TEST(SlowdownModelTest, AdditiveCompositionForMultiway) {
+  SlowdownModel model;
+  model.set_pair_slowdown(AppClass::kA, AppClass::kM, 1.8);
+  model.set_pair_slowdown(AppClass::kA, AppClass::kC, 1.3);
+  // S(A | {M, C}) = 1 + 0.8 + 0.3 = 2.1 without measured triples.
+  EXPECT_NEAR(model.slowdown(AppClass::kA, {AppClass::kM, AppClass::kC}),
+              2.1, 1e-9);
+  // Order of the co-runner list must not matter.
+  EXPECT_NEAR(model.slowdown(AppClass::kA, {AppClass::kC, AppClass::kM}),
+              2.1, 1e-9);
+}
+
+TEST(SlowdownModelTest, SingleCoRunnerUsesPairEntryDirectly) {
+  SlowdownModel model;
+  model.set_pair_slowdown(AppClass::kC, AppClass::kM, 2.4);
+  EXPECT_DOUBLE_EQ(model.slowdown(AppClass::kC, {AppClass::kM}), 2.4);
+}
+
+}  // namespace
+}  // namespace gpumas::interference

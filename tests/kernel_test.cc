@@ -1,0 +1,189 @@
+// Unit tests for the procedural kernel model: instruction mix and address
+// stream determinism and statistics.
+#include "sim/kernel.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace gpumas::sim {
+namespace {
+
+KernelParams base() {
+  KernelParams kp;
+  kp.name = "test";
+  kp.num_blocks = 4;
+  kp.warps_per_block = 4;
+  kp.insns_per_warp = 1000;
+  kp.mem_ratio = 0.25;
+  kp.footprint_bytes = 1 << 20;
+  kp.divergence = 2;
+  kp.seed = 99;
+  return kp;
+}
+
+TEST(KernelTest, InstructionMixIsDeterministic) {
+  const KernelParams kp = base();
+  for (uint32_t w = 0; w < 4; ++w) {
+    for (uint32_t i = 0; i < 100; ++i) {
+      EXPECT_EQ(insn_is_mem(kp, w, i), insn_is_mem(kp, w, i));
+    }
+  }
+}
+
+TEST(KernelTest, MemRatioIsApproximatelyRespected) {
+  const KernelParams kp = base();
+  uint64_t mem = 0;
+  uint64_t total = 0;
+  for (uint32_t w = 0; w < 16; ++w) {
+    for (uint32_t i = 0; i < 1000; ++i) {
+      mem += insn_is_mem(kp, w, i) ? 1 : 0;
+      ++total;
+    }
+  }
+  const double observed = static_cast<double>(mem) / static_cast<double>(total);
+  EXPECT_NEAR(observed, kp.mem_ratio, 0.02);
+}
+
+TEST(KernelTest, StoreRatioIsApproximatelyRespected) {
+  KernelParams kp = base();
+  kp.store_ratio = 0.4;
+  uint64_t stores = 0;
+  uint64_t total = 0;
+  for (uint32_t w = 0; w < 16; ++w) {
+    for (uint32_t i = 0; i < 1000; ++i) {
+      stores += insn_is_store(kp, w, i) ? 1 : 0;
+      ++total;
+    }
+  }
+  const double observed =
+      static_cast<double>(stores) / static_cast<double>(total);
+  EXPECT_NEAR(observed, kp.store_ratio, 0.02);
+}
+
+TEST(KernelTest, AddressesRespectDivergenceCount) {
+  KernelParams kp = base();
+  for (int d : {1, 4, 32}) {
+    kp.divergence = d;
+    std::vector<uint64_t> out;
+    generate_addresses(kp, 0, 3, 17, out);
+    EXPECT_EQ(out.size(), static_cast<size_t>(d));
+  }
+}
+
+TEST(KernelTest, AddressesStayWithinAppRegion) {
+  KernelParams kp = base();
+  kp.pattern = AccessPattern::kRandom;
+  const uint64_t base_line = 1ull << 33;
+  const uint64_t fp_lines = kp.footprint_bytes / 128;
+  std::vector<uint64_t> out;
+  for (uint32_t m = 0; m < 200; ++m) {
+    generate_addresses(kp, base_line, 1, m, out);
+  }
+  for (uint64_t line : out) {
+    EXPECT_GE(line, base_line);
+    EXPECT_LT(line, base_line + fp_lines);
+  }
+}
+
+TEST(KernelTest, StreamingWalksConsecutiveLines) {
+  KernelParams kp = base();
+  kp.pattern = AccessPattern::kStreaming;
+  kp.divergence = 1;
+  std::vector<uint64_t> a;
+  std::vector<uint64_t> b;
+  generate_addresses(kp, 0, 0, 10, a);
+  generate_addresses(kp, 0, 0, 11, b);
+  ASSERT_EQ(a.size(), 1u);
+  ASSERT_EQ(b.size(), 1u);
+  // Consecutive accesses differ by one line (modulo the warp chunk).
+  EXPECT_TRUE(b[0] == a[0] + 1 || b[0] < a[0]);
+}
+
+TEST(KernelTest, RandomBurstKeepsAdjacencyAcrossLanes) {
+  KernelParams kp = base();
+  kp.pattern = AccessPattern::kRandom;
+  kp.divergence = 8;
+  kp.burst_lines = 4;
+  // Lanes within one burst group touch consecutive lines (semi-coalesced
+  // gather); distinct groups have independent random bases.
+  std::vector<uint64_t> out;
+  generate_addresses(kp, 0, 5, 3, out);
+  ASSERT_EQ(out.size(), 8u);
+  for (size_t g = 0; g < 2; ++g) {
+    for (size_t i = 1; i < 4; ++i) {
+      EXPECT_EQ(out[g * 4 + i], out[g * 4] + i);
+    }
+  }
+  EXPECT_NE(out[4], out[0] + 4);  // groups are independent (w.h.p.)
+}
+
+TEST(KernelTest, TiledHotFractionConcentratesAccesses) {
+  KernelParams kp = base();
+  kp.pattern = AccessPattern::kTiled;
+  kp.hot_fraction = 0.9;
+  kp.hot_bytes = 64 * 1024;
+  kp.footprint_bytes = 64 << 20;
+  kp.divergence = 1;
+  const uint64_t hot_lines = kp.hot_bytes / 128;
+  uint64_t hot_hits = 0;
+  uint64_t total = 0;
+  std::vector<uint64_t> out;
+  for (uint32_t w = 0; w < 8; ++w) {
+    for (uint32_t m = 0; m < 500; ++m) {
+      out.clear();
+      generate_addresses(kp, 0, w, m, out);
+      for (uint64_t line : out) {
+        if (line < hot_lines) ++hot_hits;
+        ++total;
+      }
+    }
+  }
+  const double frac = static_cast<double>(hot_hits) / static_cast<double>(total);
+  EXPECT_NEAR(frac, 0.9, 0.05);
+}
+
+TEST(KernelTest, AluStallCyclesAmortizesDependencyLatency) {
+  KernelParams kp = base();
+  kp.ilp = 1;
+  EXPECT_EQ(kp.alu_stall_cycles(10), 10);
+  kp.ilp = 5;
+  EXPECT_EQ(kp.alu_stall_cycles(10), 2);
+  kp.ilp = 20;
+  EXPECT_EQ(kp.alu_stall_cycles(10), 1);
+}
+
+TEST(KernelTest, TotalsAreConsistent) {
+  const KernelParams kp = base();
+  EXPECT_EQ(kp.total_warps(), 16);
+  EXPECT_EQ(kp.total_warp_insns(), 16000u);
+}
+
+// Property sweep: for every pattern, the address stream is deterministic
+// and depends on the warp index.
+class KernelPatternTest : public ::testing::TestWithParam<AccessPattern> {};
+
+TEST_P(KernelPatternTest, DeterministicAndWarpDependent) {
+  KernelParams kp = base();
+  kp.pattern = GetParam();
+  kp.hot_fraction = 0.5;
+  std::vector<uint64_t> a1;
+  std::vector<uint64_t> a2;
+  std::vector<uint64_t> b;
+  for (uint32_t m = 0; m < 50; ++m) {
+    generate_addresses(kp, 0, 1, m, a1);
+    generate_addresses(kp, 0, 1, m, a2);
+    generate_addresses(kp, 0, 2, m, b);
+  }
+  EXPECT_EQ(a1, a2);
+  EXPECT_NE(a1, b);
+}
+
+INSTANTIATE_TEST_SUITE_P(Patterns, KernelPatternTest,
+                         ::testing::Values(AccessPattern::kStreaming,
+                                           AccessPattern::kRandom,
+                                           AccessPattern::kTiled));
+
+}  // namespace
+}  // namespace gpumas::sim

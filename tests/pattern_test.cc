@@ -1,0 +1,129 @@
+// Tests for class-pattern enumeration and the Eq 3.3-3.7 matching problem,
+// including the paper's Appendix A worked example.
+#include "ilp/pattern.h"
+
+#include <gtest/gtest.h>
+
+#include "common/prng.h"
+
+namespace gpumas::ilp {
+namespace {
+
+TEST(PatternTest, CountMatchesEq32) {
+  // NP = C(NT + NC - 1, NC): 4 classes, 2 apps -> 10; 3 apps -> 20.
+  EXPECT_EQ(num_patterns(4, 2), 10u);
+  EXPECT_EQ(num_patterns(4, 3), 20u);
+  EXPECT_EQ(num_patterns(2, 2), 3u);
+  EXPECT_EQ(enumerate_patterns(4, 2).size(), 10u);
+  EXPECT_EQ(enumerate_patterns(4, 3).size(), 20u);
+}
+
+TEST(PatternTest, EnumerationMatchesPaperOrder) {
+  // Appendix A: p1=M-M, p2=M-MC, p3=M-C, p4=M-A, p5=MC-MC, p6=MC-C,
+  // p7=MC-A, p8=C-C, p9=C-A, p10=A-A (class order M, MC, C, A).
+  const auto pats = enumerate_patterns(4, 2);
+  const std::vector<std::vector<int>> expected = {
+      {2, 0, 0, 0}, {1, 1, 0, 0}, {1, 0, 1, 0}, {1, 0, 0, 1}, {0, 2, 0, 0},
+      {0, 1, 1, 0}, {0, 1, 0, 1}, {0, 0, 2, 0}, {0, 0, 1, 1}, {0, 0, 0, 2}};
+  ASSERT_EQ(pats.size(), expected.size());
+  for (size_t i = 0; i < pats.size(); ++i) {
+    EXPECT_EQ(pats[i].counts, expected[i]) << "pattern " << i + 1;
+  }
+}
+
+TEST(PatternTest, ClassesExpandCounts) {
+  Pattern p;
+  p.counts = {1, 0, 2, 0};
+  EXPECT_EQ(p.group_size(), 3);
+  EXPECT_EQ(p.classes(), (std::vector<int>{0, 2, 2}));
+}
+
+TEST(PatternTest, AppendixAWorkedExample) {
+  // Eq 5.1: the paper's published weight vector for the 14-app queue with
+  // (2 M, 5 MC, 2 C, 5 A); the documented optimum is L3=2, L5=2, L7=1,
+  // L10=2 (2x M-C, 2x MC-MC, 1x MC-A, 2x A-A) with 7 groups total.
+  MatchingProblem prob;
+  prob.patterns = enumerate_patterns(4, 2);
+  prob.weights = {0.0072, 0.0110, 0.0146, 0.03584, 0.0204,
+                  0.0202, 0.0698, 0.0178, 0.0412, 0.166};
+  prob.class_counts = {2, 5, 2, 5};
+
+  const MatchingSolution sol = solve_matching(prob);
+  ASSERT_TRUE(sol.feasible);
+  const std::vector<int> expected = {0, 0, 2, 0, 2, 0, 1, 0, 0, 2};
+  EXPECT_EQ(sol.multiplicity, expected);
+  EXPECT_NEAR(sol.objective,
+              2 * 0.0146 + 2 * 0.0204 + 0.0698 + 2 * 0.166, 1e-9);
+
+  // Cross-check with exhaustive enumeration.
+  const MatchingSolution brute = solve_matching_bruteforce(prob);
+  ASSERT_TRUE(brute.feasible);
+  EXPECT_NEAR(brute.objective, sol.objective, 1e-9);
+}
+
+TEST(PatternTest, SolutionConsumesExactClassCounts) {
+  MatchingProblem prob;
+  prob.patterns = enumerate_patterns(4, 3);
+  prob.weights.assign(prob.patterns.size(), 0.0);
+  for (size_t k = 0; k < prob.patterns.size(); ++k) {
+    prob.weights[k] = 0.01 + 0.003 * static_cast<double>(k);
+  }
+  prob.class_counts = {3, 6, 3, 9};  // 21 apps -> 7 triples
+
+  const MatchingSolution sol = solve_matching(prob);
+  ASSERT_TRUE(sol.feasible);
+  std::vector<int> consumed(4, 0);
+  int groups = 0;
+  for (size_t k = 0; k < prob.patterns.size(); ++k) {
+    groups += sol.multiplicity[k];
+    for (int c = 0; c < 4; ++c) {
+      consumed[static_cast<size_t>(c)] +=
+          sol.multiplicity[k] * prob.patterns[k].counts[static_cast<size_t>(c)];
+    }
+  }
+  EXPECT_EQ(consumed, prob.class_counts);
+  EXPECT_EQ(groups, 7);
+}
+
+TEST(PatternTest, InfeasibleWhenQueueNotDivisible) {
+  MatchingProblem prob;
+  prob.patterns = enumerate_patterns(4, 2);
+  prob.weights.assign(10, 1.0);
+  prob.class_counts = {1, 1, 1, 0};  // 3 apps, pairs of 2
+  EXPECT_THROW(solve_matching(prob), std::logic_error);
+}
+
+// Property: branch-and-bound and brute force agree on random instances.
+TEST(PatternTest, PropertyIlpMatchesBruteForce) {
+  gpumas::Prng prng(42);
+  for (int trial = 0; trial < 60; ++trial) {
+    const int nc = 2 + static_cast<int>(prng.next_below(2));  // 2 or 3
+    MatchingProblem prob;
+    prob.patterns = enumerate_patterns(4, nc);
+    for (size_t k = 0; k < prob.patterns.size(); ++k) {
+      prob.weights.push_back(0.001 + prng.next_double());
+    }
+    // Random class counts whose total is a multiple of nc.
+    prob.class_counts.assign(4, 0);
+    int total = 0;
+    for (int c = 0; c < 4; ++c) {
+      prob.class_counts[static_cast<size_t>(c)] =
+          static_cast<int>(prng.next_below(5));
+      total += prob.class_counts[static_cast<size_t>(c)];
+    }
+    prob.class_counts[0] += (nc - total % nc) % nc;
+    total = 0;
+    for (int c : prob.class_counts) total += c;
+    if (total == 0) prob.class_counts[0] = nc;
+
+    const MatchingSolution a = solve_matching(prob);
+    const MatchingSolution b = solve_matching_bruteforce(prob);
+    ASSERT_EQ(a.feasible, b.feasible) << "trial " << trial;
+    if (a.feasible) {
+      EXPECT_NEAR(a.objective, b.objective, 1e-6) << "trial " << trial;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gpumas::ilp

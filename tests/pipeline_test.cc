@@ -1,0 +1,196 @@
+// End-to-end integration test: the complete paper pipeline — profile,
+// classify, measure interference, build the Eq 3.3-3.7 matching problem,
+// solve it, execute the schedule — on a scaled-down device, asserting the
+// cross-module invariants that the figure benches rely on.
+#include <gtest/gtest.h>
+
+#include "ilp/pattern.h"
+#include "interference/interference.h"
+#include "profile/profile.h"
+#include "sched/runner.h"
+#include "sim/gpu.h"
+
+namespace gpumas {
+namespace {
+
+using profile::AppClass;
+
+sim::GpuConfig small_gpu() {
+  sim::GpuConfig cfg;
+  cfg.num_sms = 8;
+  cfg.num_channels = 2;
+  cfg.l2.size_bytes = 128 * 1024;
+  return cfg;
+}
+
+// A mini-suite with one archetype per class, sized for the small device.
+std::vector<sim::KernelParams> mini_suite() {
+  std::vector<sim::KernelParams> s;
+
+  sim::KernelParams hog;  // class M archetype
+  hog.name = "hog";
+  hog.num_blocks = 16;
+  hog.warps_per_block = 4;
+  hog.insns_per_warp = 200;
+  hog.mem_ratio = 0.25;
+  hog.pattern = sim::AccessPattern::kRandom;
+  hog.footprint_bytes = 256ull << 20;
+  hog.divergence = 8;
+  hog.mlp = 16;
+  hog.ilp = 2;
+  hog.seed = 1;
+  s.push_back(hog);
+
+  sim::KernelParams mixed;  // class MC-ish archetype
+  mixed.name = "mixed";
+  mixed.num_blocks = 12;
+  mixed.warps_per_block = 4;
+  mixed.insns_per_warp = 600;
+  mixed.mem_ratio = 0.12;
+  mixed.pattern = sim::AccessPattern::kTiled;
+  mixed.footprint_bytes = 32 << 20;
+  mixed.hot_fraction = 0.5;
+  mixed.hot_bytes = 48 << 10;
+  mixed.divergence = 2;
+  mixed.mlp = 4;
+  mixed.seed = 2;
+  s.push_back(mixed);
+
+  sim::KernelParams cachey;  // class C archetype
+  cachey.name = "cachey";
+  cachey.num_blocks = 10;
+  cachey.warps_per_block = 2;
+  cachey.insns_per_warp = 500;
+  cachey.mem_ratio = 0.25;
+  cachey.pattern = sim::AccessPattern::kTiled;
+  cachey.footprint_bytes = 4 << 20;
+  cachey.hot_fraction = 0.95;
+  cachey.hot_bytes = 96 << 10;
+  cachey.divergence = 4;
+  cachey.mlp = 1;
+  cachey.ilp = 2;
+  cachey.seed = 3;
+  s.push_back(cachey);
+
+  sim::KernelParams compute;  // class A archetype
+  compute.name = "compute";
+  compute.num_blocks = 16;
+  compute.warps_per_block = 4;
+  compute.insns_per_warp = 800;
+  compute.mem_ratio = 0.01;
+  compute.ilp = 8;
+  compute.seed = 4;
+  s.push_back(compute);
+
+  return s;
+}
+
+TEST(PipelineTest, EndToEnd) {
+  const sim::GpuConfig cfg = small_gpu();
+  const auto kernels = mini_suite();
+
+  // 1. Profile.
+  profile::Profiler profiler(cfg);
+  auto profiles = profiler.profile_suite(kernels);
+  ASSERT_EQ(profiles.size(), kernels.size());
+  for (const auto& p : profiles) {
+    EXPECT_GT(p.solo_cycles, 0u) << p.name;
+    EXPECT_GT(p.ipc, 0.0) << p.name;
+  }
+  // The archetypes must separate along the classifier's axes even if the
+  // exact class labels differ on this scaled device: the hog moves the
+  // most DRAM data, the compute app the least.
+  EXPECT_GT(profiles[0].mb_gbps, profiles[3].mb_gbps * 3);
+  EXPECT_GT(profiles[2].l2l1_gbps, profiles[3].l2l1_gbps);
+  // Pin the classes for deterministic downstream assertions.
+  profiles[0].cls = AppClass::kM;
+  profiles[1].cls = AppClass::kMC;
+  profiles[2].cls = AppClass::kC;
+  profiles[3].cls = AppClass::kA;
+
+  // 2. Interference matrix.
+  const auto model =
+      interference::SlowdownModel::measure_pairwise(cfg, kernels, profiles);
+  for (int a = 0; a < profile::kNumClasses; ++a) {
+    for (int b = 0; b < profile::kNumClasses; ++b) {
+      if (a == b) continue;  // same-class cells have a single app here
+      const double s = model.pair_slowdown(static_cast<AppClass>(a),
+                                           static_cast<AppClass>(b));
+      EXPECT_GE(s, 1.0) << a << "," << b;
+      EXPECT_LT(s, 50.0) << a << "," << b;
+    }
+  }
+
+  // 3. Build a queue of 8 jobs (2 per class), match with ILP, run.
+  std::vector<sched::Job> queue;
+  for (int rep = 0; rep < 2; ++rep) {
+    for (size_t i = 0; i < kernels.size(); ++i) {
+      sched::Job j;
+      j.kernel = kernels[i];
+      j.cls = profiles[i].cls;
+      j.arrival = static_cast<int>(queue.size());
+      queue.push_back(j);
+    }
+  }
+
+  const auto problem = sched::build_matching_problem(queue, 2, model);
+  EXPECT_EQ(problem.class_counts, (std::vector<int>{2, 2, 2, 2}));
+  const auto solution = ilp::solve_matching(problem);
+  ASSERT_TRUE(solution.feasible);
+  // Cross-check the optimizer against brute force on this real instance.
+  const auto brute = ilp::solve_matching_bruteforce(problem);
+  EXPECT_NEAR(solution.objective, brute.objective, 1e-9);
+
+  // 4. Execute under every policy; totals must agree and Serial must be
+  //    the throughput loser on this underutilized device.
+  sched::QueueRunner runner(cfg, profiles, model);
+  const auto serial = runner.run(queue, sched::Policy::kSerial, 2);
+  uint64_t insns = serial.total_thread_insns;
+  double best = 0.0;
+  for (sched::Policy p :
+       {sched::Policy::kEven, sched::Policy::kProfileBased,
+        sched::Policy::kIlp, sched::Policy::kIlpSmra}) {
+    const auto rep = runner.run(queue, p, 2);
+    EXPECT_EQ(rep.total_thread_insns, insns) << sched::policy_name(p);
+    best = std::max(best, rep.device_throughput());
+  }
+  EXPECT_GT(best, serial.device_throughput());
+}
+
+TEST(PipelineTest, ThreeWayEndToEnd) {
+  const sim::GpuConfig cfg = small_gpu();
+  const auto kernels = mini_suite();
+  profile::Profiler profiler(cfg);
+  auto profiles = profiler.profile_suite(kernels);
+  profiles[0].cls = AppClass::kM;
+  profiles[1].cls = AppClass::kMC;
+  profiles[2].cls = AppClass::kC;
+  profiles[3].cls = AppClass::kA;
+  auto model =
+      interference::SlowdownModel::measure_pairwise(cfg, kernels, profiles);
+  model.measure_triples(cfg, kernels, profiles);
+
+  // Measured triples must be at least as pessimistic as the best pair.
+  const double triple =
+      model.slowdown(AppClass::kC, {AppClass::kM, AppClass::kA});
+  EXPECT_GE(triple, 1.0);
+
+  std::vector<sched::Job> queue;
+  for (int rep = 0; rep < 3; ++rep) {
+    for (size_t i = 0; i < kernels.size(); ++i) {
+      sched::Job j;
+      j.kernel = kernels[i];
+      j.cls = profiles[i].cls;
+      j.arrival = static_cast<int>(queue.size());
+      queue.push_back(j);
+    }
+  }
+  sched::QueueRunner runner(cfg, profiles, model);
+  const auto report = runner.run(queue, sched::Policy::kIlp, 3);
+  ASSERT_EQ(report.groups.size(), 4u);
+  for (const auto& g : report.groups) EXPECT_EQ(g.names.size(), 3u);
+  EXPECT_GT(report.device_throughput(), 0.0);
+}
+
+}  // namespace
+}  // namespace gpumas

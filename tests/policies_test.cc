@@ -1,0 +1,158 @@
+// Tests for group formation (Serial/Even/ILP) and Eq 3.4 pattern weights.
+#include "sched/policies.h"
+
+#include <gtest/gtest.h>
+
+#include "workloads/suite.h"
+
+namespace gpumas::sched {
+namespace {
+
+using profile::AppClass;
+
+Job job(const std::string& name, AppClass cls, int arrival) {
+  Job j;
+  j.kernel.name = name;
+  j.cls = cls;
+  j.arrival = arrival;
+  return j;
+}
+
+// A model where class A is harmless and class M is toxic.
+interference::SlowdownModel toy_model() {
+  interference::SlowdownModel m;
+  const AppClass cs[] = {AppClass::kM, AppClass::kMC, AppClass::kC,
+                         AppClass::kA};
+  for (AppClass a : cs) {
+    for (AppClass b : cs) {
+      double s = 1.5;
+      if (a == AppClass::kM && b == AppClass::kM) s = 4.0;
+      if (b == AppClass::kA) s = 1.1;
+      if (a == AppClass::kA && b == AppClass::kA) s = 1.05;
+      m.set_pair_slowdown(a, b, s);
+    }
+  }
+  return m;
+}
+
+TEST(PoliciesTest, SerialFormsSingletons) {
+  const std::vector<Job> queue = {job("a", AppClass::kA, 0),
+                                  job("b", AppClass::kM, 1),
+                                  job("c", AppClass::kC, 2)};
+  const auto groups =
+      form_groups(queue, Policy::kSerial, 2, toy_model());
+  ASSERT_EQ(groups.size(), 3u);
+  for (const auto& g : groups) EXPECT_EQ(g.size(), 1u);
+}
+
+TEST(PoliciesTest, EvenGroupsInArrivalOrder) {
+  const std::vector<Job> queue = {
+      job("a", AppClass::kA, 0), job("b", AppClass::kM, 1),
+      job("c", AppClass::kC, 2), job("d", AppClass::kMC, 3)};
+  const auto groups = form_groups(queue, Policy::kEven, 2, toy_model());
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0][0].kernel.name, "a");
+  EXPECT_EQ(groups[0][1].kernel.name, "b");
+  EXPECT_EQ(groups[1][0].kernel.name, "c");
+  EXPECT_EQ(groups[1][1].kernel.name, "d");
+}
+
+TEST(PoliciesTest, EvenKeepsLeftoverAsSmallerGroup) {
+  const std::vector<Job> queue = {job("a", AppClass::kA, 0),
+                                  job("b", AppClass::kM, 1),
+                                  job("c", AppClass::kC, 2)};
+  const auto groups = form_groups(queue, Policy::kEven, 2, toy_model());
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[1].size(), 1u);
+}
+
+TEST(PoliciesTest, IlpAvoidsToxicSameClassPairs) {
+  // 2 M and 2 A: the toy model makes M-M catastrophic, so the optimizer
+  // must split them as two M-A pairs.
+  const std::vector<Job> queue = {
+      job("m1", AppClass::kM, 0), job("m2", AppClass::kM, 1),
+      job("a1", AppClass::kA, 2), job("a2", AppClass::kA, 3)};
+  const auto groups = form_groups(queue, Policy::kIlp, 2, toy_model());
+  ASSERT_EQ(groups.size(), 2u);
+  for (const auto& g : groups) {
+    int m = 0;
+    for (const auto& j : g) m += j.cls == AppClass::kM ? 1 : 0;
+    EXPECT_EQ(m, 1) << "each pair must contain exactly one class-M app";
+  }
+}
+
+TEST(PoliciesTest, IlpPreservesArrivalOrderWithinClass) {
+  const std::vector<Job> queue = {
+      job("m1", AppClass::kM, 0), job("m2", AppClass::kM, 1),
+      job("a1", AppClass::kA, 2), job("a2", AppClass::kA, 3)};
+  const auto groups = form_groups(queue, Policy::kIlp, 2, toy_model());
+  // m1 must be scheduled in an earlier or equal group than m2.
+  int g_m1 = -1;
+  int g_m2 = -1;
+  for (size_t g = 0; g < groups.size(); ++g) {
+    for (const auto& j : groups[g]) {
+      if (j.kernel.name == "m1") g_m1 = static_cast<int>(g);
+      if (j.kernel.name == "m2") g_m2 = static_cast<int>(g);
+    }
+  }
+  EXPECT_LE(g_m1, g_m2);
+}
+
+TEST(PoliciesTest, IlpGroupingConservesJobs) {
+  std::vector<Job> queue;
+  const AppClass pattern[] = {AppClass::kM, AppClass::kMC, AppClass::kC,
+                              AppClass::kA};
+  for (int i = 0; i < 12; ++i) {
+    queue.push_back(job("j" + std::to_string(i), pattern[i % 4], i));
+  }
+  for (int nc : {2, 3}) {
+    const auto groups = form_groups(queue, Policy::kIlp, nc, toy_model());
+    size_t total = 0;
+    std::set<std::string> seen;
+    for (const auto& g : groups) {
+      EXPECT_EQ(g.size(), static_cast<size_t>(nc));
+      for (const auto& j : g) {
+        seen.insert(j.kernel.name);
+        ++total;
+      }
+    }
+    EXPECT_EQ(total, queue.size());
+    EXPECT_EQ(seen.size(), queue.size());
+  }
+}
+
+TEST(PoliciesTest, IlpRequiresDivisibleQueue) {
+  const std::vector<Job> queue = {job("a", AppClass::kA, 0),
+                                  job("b", AppClass::kM, 1),
+                                  job("c", AppClass::kC, 2)};
+  EXPECT_THROW(form_groups(queue, Policy::kIlp, 2, toy_model()),
+               std::logic_error);
+}
+
+TEST(PatternWeightsTest, MatchesEq34ByHand) {
+  const auto model = toy_model();
+  const auto patterns = ilp::enumerate_patterns(profile::kNumClasses, 2);
+  const auto weights = pattern_weights(patterns, model);
+  // p1 = M-M: e = (1/4 + 1/4)/2 = 0.25.
+  EXPECT_NEAR(weights[0], 0.25, 1e-9);
+  // p4 = M-A: e = (1/S(M|A) + 1/S(A|M))/2 = (1/1.1 + 1/1.5)/2.
+  EXPECT_NEAR(weights[3], (1.0 / 1.1 + 1.0 / 1.5) / 2.0, 1e-9);
+  // p10 = A-A: e = 1/1.05.
+  EXPECT_NEAR(weights[9], 1.0 / 1.05, 1e-9);
+}
+
+TEST(PatternWeightsTest, ThreeAppWeightsUseComposedSlowdowns) {
+  const auto model = toy_model();
+  const auto patterns = ilp::enumerate_patterns(profile::kNumClasses, 3);
+  const auto weights = pattern_weights(patterns, model);
+  // First pattern is M-M-M: S(M|{M,M}) = 1 + 3 + 3 = 7 (additive).
+  EXPECT_NEAR(weights[0], 1.0 / 7.0, 1e-9);
+}
+
+TEST(PoliciesTest, PolicyNames) {
+  EXPECT_STREQ(policy_name(Policy::kSerial), "Serial");
+  EXPECT_STREQ(policy_name(Policy::kIlpSmra), "ILP-SMRA");
+}
+
+}  // namespace
+}  // namespace gpumas::sched

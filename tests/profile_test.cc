@@ -1,0 +1,132 @@
+// Tests for the profiler and the Table 3.1 classifier.
+#include "profile/profile.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/gpu.h"
+
+namespace gpumas::profile {
+namespace {
+
+AppProfile profile_with(double mb, double l2l1, double ipc, double r) {
+  AppProfile p;
+  p.mb_gbps = mb;
+  p.l2l1_gbps = l2l1;
+  p.ipc = ipc;
+  p.r = r;
+  return p;
+}
+
+TEST(ClassifierTest, HighBandwidthIsClassM) {
+  EXPECT_EQ(classify(profile_with(120, 90, 500, 0.07)), AppClass::kM);
+  EXPECT_EQ(classify(profile_with(107.1, 0, 10, 0.0)), AppClass::kM);
+}
+
+TEST(ClassifierTest, MidBandwidthIsClassMC) {
+  EXPECT_EQ(classify(profile_with(90, 140, 500, 0.06)), AppClass::kMC);
+  EXPECT_EQ(classify(profile_with(58.1, 10, 900, 0.01)), AppClass::kMC);
+}
+
+TEST(ClassifierTest, CacheTrafficWithLowIpcIsClassC) {
+  // Via the L2->L1 > gamma arm.
+  EXPECT_EQ(classify(profile_with(35, 150, 100, 0.1)), AppClass::kC);
+  // Via the R > 0.2 arm.
+  EXPECT_EQ(classify(profile_with(10, 20, 100, 0.3)), AppClass::kC);
+}
+
+TEST(ClassifierTest, HighIpcEscapesClassC) {
+  // Same cache traffic, but IPC above epsilon -> class A.
+  EXPECT_EQ(classify(profile_with(35, 150, 400, 0.1)), AppClass::kA);
+}
+
+TEST(ClassifierTest, FallbackIsClassA) {
+  // LUD/NN-style: low everything (matches no explicit rule).
+  EXPECT_EQ(classify(profile_with(2, 8, 50, 0.03)), AppClass::kA);
+}
+
+TEST(ClassifierTest, ThresholdsAreConfigurable) {
+  ClassifierThresholds t;
+  t.alpha = 50;
+  EXPECT_EQ(classify(profile_with(60, 0, 500, 0.0), t), AppClass::kM);
+}
+
+TEST(ClassifierTest, ClassNames) {
+  EXPECT_STREQ(class_name(AppClass::kM), "M");
+  EXPECT_STREQ(class_name(AppClass::kMC), "MC");
+  EXPECT_STREQ(class_name(AppClass::kC), "C");
+  EXPECT_STREQ(class_name(AppClass::kA), "A");
+}
+
+sim::GpuConfig small_gpu() {
+  sim::GpuConfig cfg;
+  cfg.num_sms = 8;
+  cfg.num_channels = 2;
+  cfg.l2.size_bytes = 64 * 1024;
+  return cfg;
+}
+
+// Compute-dominated so that IPC scales monotonically with SM count;
+// memory-bound kernels can legitimately lose IPC with more SMs (that is
+// GUPS's behaviour in the paper) and are tested elsewhere.
+sim::KernelParams test_kernel() {
+  sim::KernelParams kp;
+  kp.name = "prof";
+  kp.num_blocks = 16;
+  kp.warps_per_block = 4;
+  kp.insns_per_warp = 400;
+  kp.mem_ratio = 0.05;
+  kp.footprint_bytes = 512 << 10;
+  kp.divergence = 1;
+  kp.ilp = 6;
+  kp.seed = 5;
+  return kp;
+}
+
+TEST(ProfilerTest, ProfileFieldsAreConsistent) {
+  Profiler profiler(small_gpu());
+  const AppProfile p = profiler.profile(test_kernel());
+  EXPECT_GT(p.solo_cycles, 0u);
+  EXPECT_GT(p.ipc, 0.0);
+  EXPECT_NEAR(p.r, 0.05, 0.02);
+  EXPECT_GE(p.l1_hit_rate, 0.0);
+  EXPECT_LE(p.l1_hit_rate, 1.0);
+  // IPC is thread instructions over cycles.
+  EXPECT_NEAR(p.ipc,
+              static_cast<double>(p.thread_insns) /
+                  static_cast<double>(p.solo_cycles),
+              1e-9);
+}
+
+TEST(ProfilerTest, DeterministicProfiles) {
+  Profiler profiler(small_gpu());
+  const AppProfile a = profiler.profile(test_kernel());
+  const AppProfile b = profiler.profile(test_kernel());
+  EXPECT_EQ(a.solo_cycles, b.solo_cycles);
+  EXPECT_DOUBLE_EQ(a.mb_gbps, b.mb_gbps);
+}
+
+TEST(ProfilerTest, ScalabilityReturnsRequestedPoints) {
+  Profiler profiler(small_gpu());
+  const auto points = profiler.scalability(test_kernel(), {2, 4, 8});
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_EQ(points[0].sms, 2);
+  EXPECT_EQ(points[2].sms, 8);
+  // A parallel kernel gains IPC with more SMs.
+  EXPECT_GT(points[2].ipc, points[0].ipc);
+}
+
+TEST(ProfilerTest, ProfileOnFewerSmsHasLowerOrEqualIpc) {
+  Profiler profiler(small_gpu());
+  const AppProfile full = profiler.profile(test_kernel());
+  const AppProfile quarter = profiler.profile(test_kernel(), 2);
+  EXPECT_LE(quarter.ipc, full.ipc * 1.05);
+}
+
+TEST(ProfilerTest, RejectsInvalidSmCounts) {
+  Profiler profiler(small_gpu());
+  EXPECT_THROW(profiler.scalability(test_kernel(), {0}), std::logic_error);
+  EXPECT_THROW(profiler.scalability(test_kernel(), {9}), std::logic_error);
+}
+
+}  // namespace
+}  // namespace gpumas::profile

@@ -1,0 +1,125 @@
+// Tests for queue construction and the class-mix distributions of §4.1.
+#include "sched/queue_gen.h"
+
+#include <gtest/gtest.h>
+
+#include "workloads/suite.h"
+
+namespace gpumas::sched {
+namespace {
+
+using profile::AppClass;
+using profile::AppProfile;
+
+// Synthetic profiles: assign the paper's classes to the suite by name so
+// queue tests do not need to run the simulator.
+std::vector<AppProfile> canned_profiles() {
+  const std::map<std::string, AppClass> cls = {
+      {"BFS2", AppClass::kC}, {"BLK", AppClass::kM},  {"BP", AppClass::kMC},
+      {"LUD", AppClass::kA},  {"FFT", AppClass::kMC}, {"JPEG", AppClass::kA},
+      {"3DS", AppClass::kMC}, {"HS", AppClass::kA},   {"LPS", AppClass::kMC},
+      {"RAY", AppClass::kMC}, {"GUPS", AppClass::kM}, {"SPMV", AppClass::kC},
+      {"SAD", AppClass::kA},  {"NN", AppClass::kA}};
+  std::vector<AppProfile> out;
+  for (const auto& kp : workloads::suite()) {
+    AppProfile p;
+    p.name = kp.name;
+    p.cls = cls.at(kp.name);
+    p.solo_cycles = 1000;
+    out.push_back(p);
+  }
+  return out;
+}
+
+TEST(ClassMixTest, EqualDistributionSplitsEvenly) {
+  const auto mix = class_mix(QueueDistribution::kEqual, 20);
+  EXPECT_EQ(mix, (std::vector<int>{5, 5, 5, 5}));
+}
+
+TEST(ClassMixTest, EqualDistributionHandlesRemainder) {
+  const auto mix = class_mix(QueueDistribution::kEqual, 14);
+  EXPECT_EQ(mix[0] + mix[1] + mix[2] + mix[3], 14);
+  for (int c : mix) EXPECT_GE(c, 3);
+}
+
+TEST(ClassMixTest, OrientedDistributionGivesMajorityToThatClass) {
+  const auto m = class_mix(QueueDistribution::kMOriented, 20);
+  EXPECT_EQ(m[0], 11);  // 55% of 20
+  EXPECT_EQ(m[1] + m[2] + m[3], 9);
+  const auto a = class_mix(QueueDistribution::kAOriented, 20);
+  EXPECT_EQ(a[3], 11);
+}
+
+TEST(ClassMixTest, TotalAlwaysMatchesLength) {
+  for (auto dist :
+       {QueueDistribution::kEqual, QueueDistribution::kMOriented,
+        QueueDistribution::kMCOriented, QueueDistribution::kCOriented,
+        QueueDistribution::kAOriented}) {
+    for (int len : {12, 14, 20, 21, 24}) {
+      const auto mix = class_mix(dist, len);
+      int total = 0;
+      for (int c : mix) total += c;
+      EXPECT_EQ(total, len) << distribution_name(dist) << " len " << len;
+    }
+  }
+}
+
+TEST(QueueGenTest, QueueMatchesRequestedMix) {
+  const auto profiles = canned_profiles();
+  const auto queue = make_queue(workloads::suite(), profiles,
+                                QueueDistribution::kMOriented, 20, 7);
+  ASSERT_EQ(queue.size(), 20u);
+  std::vector<int> counts(4, 0);
+  for (const auto& job : queue) counts[static_cast<size_t>(job.cls)]++;
+  EXPECT_EQ(counts, class_mix(QueueDistribution::kMOriented, 20));
+}
+
+TEST(QueueGenTest, ArrivalOrderIsDeterministicPerSeed) {
+  const auto profiles = canned_profiles();
+  const auto a = make_queue(workloads::suite(), profiles,
+                            QueueDistribution::kEqual, 20, 42);
+  const auto b = make_queue(workloads::suite(), profiles,
+                            QueueDistribution::kEqual, 20, 42);
+  const auto c = make_queue(workloads::suite(), profiles,
+                            QueueDistribution::kEqual, 20, 43);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].kernel.name, b[i].kernel.name);
+  }
+  bool any_diff = false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].kernel.name != c[i].kernel.name) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff) << "different seeds should shuffle differently";
+}
+
+TEST(QueueGenTest, ArrivalIndicesAreSequential) {
+  const auto profiles = canned_profiles();
+  const auto queue = make_queue(workloads::suite(), profiles,
+                                QueueDistribution::kCOriented, 24, 3);
+  for (size_t i = 0; i < queue.size(); ++i) {
+    EXPECT_EQ(queue[i].arrival, static_cast<int>(i));
+  }
+}
+
+TEST(QueueGenTest, SuiteQueueUsesPaperArrivalOrder) {
+  const auto profiles = canned_profiles();
+  const auto queue = make_suite_queue(workloads::suite(), profiles);
+  ASSERT_EQ(queue.size(), 14u);
+  // FCFS pairs of the paper's Fig 4.2(b).
+  EXPECT_EQ(queue[0].kernel.name, "BFS2");
+  EXPECT_EQ(queue[1].kernel.name, "GUPS");
+  EXPECT_EQ(queue[12].kernel.name, "NN");
+  EXPECT_EQ(queue[13].kernel.name, "RAY");
+}
+
+TEST(QueueGenTest, SuiteQueueClassPopulation) {
+  // The suite provides the paper's 2 M + 5 MC + 2 C + 5 A queue.
+  const auto profiles = canned_profiles();
+  const auto queue = make_suite_queue(workloads::suite(), profiles);
+  std::vector<int> counts(4, 0);
+  for (const auto& job : queue) counts[static_cast<size_t>(job.cls)]++;
+  EXPECT_EQ(counts, (std::vector<int>{2, 5, 2, 5}));
+}
+
+}  // namespace
+}  // namespace gpumas::sched

@@ -1,0 +1,157 @@
+// Integration tests for the queue runner across all policies.
+#include "sched/runner.h"
+
+#include <gtest/gtest.h>
+
+namespace gpumas::sched {
+namespace {
+
+using profile::AppClass;
+using profile::AppProfile;
+
+sim::GpuConfig small_gpu() {
+  sim::GpuConfig cfg;
+  cfg.num_sms = 12;
+  cfg.num_channels = 2;
+  cfg.l2.size_bytes = 64 * 1024;
+  return cfg;
+}
+
+// Small grids (10 blocks on a 12-SM device) so co-running genuinely
+// reclaims idle SMs, as in the paper's motivation (Fig 1.2).
+sim::KernelParams kernel(const std::string& name, double mem_ratio,
+                         uint64_t seed, int blocks = 10) {
+  sim::KernelParams kp;
+  kp.name = name;
+  kp.num_blocks = blocks;
+  kp.warps_per_block = 4;
+  kp.insns_per_warp = 250;
+  kp.mem_ratio = mem_ratio;
+  kp.footprint_bytes = 8 << 20;
+  kp.divergence = 2;
+  kp.seed = seed;
+  return kp;
+}
+
+struct Fixture {
+  sim::GpuConfig cfg = small_gpu();
+  std::vector<sim::KernelParams> kernels;
+  std::vector<AppProfile> profiles;
+  interference::SlowdownModel model;
+  std::vector<Job> queue;
+
+  Fixture() {
+    kernels = {kernel("mem", 0.3, 1), kernel("cpu", 0.02, 2),
+               kernel("mid", 0.1, 3), kernel("mix", 0.05, 4)};
+    profile::Profiler profiler(cfg);
+    for (const auto& k : kernels) profiles.push_back(profiler.profile(k));
+    // Assign one app per class so ILP grouping is exercised.
+    profiles[0].cls = AppClass::kM;
+    profiles[1].cls = AppClass::kA;
+    profiles[2].cls = AppClass::kC;
+    profiles[3].cls = AppClass::kMC;
+    model = interference::SlowdownModel::measure_pairwise(cfg, kernels,
+                                                          profiles);
+    for (size_t i = 0; i < kernels.size(); ++i) {
+      queue.push_back(Job{kernels[i], profiles[i].cls, static_cast<int>(i)});
+    }
+  }
+};
+
+TEST(RunnerTest, SerialRunsEveryJobAlone) {
+  Fixture f;
+  QueueRunner runner(f.cfg, f.profiles, f.model);
+  const RunReport report = runner.run(f.queue, Policy::kSerial, 2);
+  ASSERT_EQ(report.groups.size(), 4u);
+  for (size_t i = 0; i < report.groups.size(); ++i) {
+    EXPECT_EQ(report.groups[i].names.size(), 1u);
+    // Alone on the full device: slowdown 1.0 (identical to the profile run).
+    EXPECT_NEAR(report.groups[i].slowdowns[0], 1.0, 1e-9);
+  }
+  EXPECT_GT(report.device_throughput(), 0.0);
+}
+
+TEST(RunnerTest, TotalInsnsIndependentOfPolicy) {
+  Fixture f;
+  QueueRunner runner(f.cfg, f.profiles, f.model);
+  const uint64_t serial =
+      runner.run(f.queue, Policy::kSerial, 2).total_thread_insns;
+  for (Policy p : {Policy::kEven, Policy::kProfileBased, Policy::kIlp,
+                   Policy::kIlpSmra}) {
+    EXPECT_EQ(runner.run(f.queue, p, 2).total_thread_insns, serial)
+        << policy_name(p);
+  }
+}
+
+TEST(RunnerTest, ConcurrentPoliciesBeatSerialOnThroughputHere) {
+  // With four small complementary apps, any co-run policy should beat
+  // one-at-a-time on this device.
+  Fixture f;
+  QueueRunner runner(f.cfg, f.profiles, f.model);
+  const double serial =
+      runner.run(f.queue, Policy::kSerial, 2).device_throughput();
+  const double even =
+      runner.run(f.queue, Policy::kEven, 2).device_throughput();
+  EXPECT_GT(even, serial);
+}
+
+TEST(RunnerTest, GroupReportsAreInternallyConsistent) {
+  Fixture f;
+  QueueRunner runner(f.cfg, f.profiles, f.model);
+  const RunReport report = runner.run(f.queue, Policy::kEven, 2);
+  uint64_t cycles = 0;
+  for (const auto& g : report.groups) {
+    cycles += g.cycles;
+    for (size_t i = 0; i < g.names.size(); ++i) {
+      EXPECT_LE(g.app_cycles[i], g.cycles);
+      EXPECT_GT(g.slowdowns[i], 0.9);
+    }
+    EXPECT_EQ(g.cycles,
+              *std::max_element(g.app_cycles.begin(), g.app_cycles.end()));
+  }
+  EXPECT_EQ(report.total_cycles, cycles);
+}
+
+TEST(RunnerTest, ProfileBasedPartitionSumsToDevice) {
+  Fixture f;
+  QueueRunner runner(f.cfg, f.profiles, f.model);
+  const std::vector<Job> group = {f.queue[0], f.queue[1]};
+  const auto split = runner.profile_based_partition(group);
+  ASSERT_EQ(split.size(), 2u);
+  EXPECT_EQ(split[0] + split[1], f.cfg.num_sms);
+  EXPECT_GE(split[0], 1);
+  EXPECT_GE(split[1], 1);
+}
+
+TEST(RunnerTest, ProfileBasedThreeWaySplit) {
+  Fixture f;
+  QueueRunner runner(f.cfg, f.profiles, f.model);
+  const std::vector<Job> group = {f.queue[0], f.queue[1], f.queue[2]};
+  const auto split = runner.profile_based_partition(group);
+  ASSERT_EQ(split.size(), 3u);
+  EXPECT_EQ(split[0] + split[1] + split[2], f.cfg.num_sms);
+}
+
+TEST(RunnerTest, PerAppIpcCoversEveryBenchmark) {
+  Fixture f;
+  QueueRunner runner(f.cfg, f.profiles, f.model);
+  const RunReport report = runner.run(f.queue, Policy::kEven, 2);
+  const auto ipc = report.per_app_ipc();
+  EXPECT_EQ(ipc.size(), 4u);
+  for (const auto& [name, value] : ipc) EXPECT_GT(value, 0.0) << name;
+}
+
+TEST(RunnerTest, ThreeAppGroupsRun) {
+  Fixture f;
+  // Six jobs so nc = 3 divides evenly: duplicate the queue.
+  std::vector<Job> queue6 = f.queue;
+  queue6.push_back(Job{f.kernels[1], AppClass::kA, 4});
+  queue6.push_back(Job{f.kernels[3], AppClass::kMC, 5});
+  QueueRunner runner(f.cfg, f.profiles, f.model);
+  const RunReport report = runner.run(queue6, Policy::kIlp, 3);
+  ASSERT_EQ(report.groups.size(), 2u);
+  for (const auto& g : report.groups) EXPECT_EQ(g.names.size(), 3u);
+}
+
+}  // namespace
+}  // namespace gpumas::sched

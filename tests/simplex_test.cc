@@ -1,0 +1,152 @@
+// Unit and property tests for the two-phase simplex LP solver.
+#include "ilp/simplex.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/prng.h"
+
+namespace gpumas::ilp {
+namespace {
+
+TEST(SimplexTest, SolvesTextbookTwoVariableProblem) {
+  // maximize 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 -> (2, 6), 36.
+  LpProblem p;
+  p.num_vars = 2;
+  p.objective = {3, 5};
+  p.add_le({1, 0}, 4);
+  p.add_le({0, 2}, 12);
+  p.add_le({3, 2}, 18);
+  const LpSolution s = solve_lp(p);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 36.0, 1e-7);
+  EXPECT_NEAR(s.x[0], 2.0, 1e-7);
+  EXPECT_NEAR(s.x[1], 6.0, 1e-7);
+}
+
+TEST(SimplexTest, HandlesEqualityConstraints) {
+  // maximize x + y s.t. x + y = 5, x <= 3 -> objective 5.
+  LpProblem p;
+  p.num_vars = 2;
+  p.objective = {1, 1};
+  p.add_eq({1, 1}, 5);
+  p.add_le({1, 0}, 3);
+  const LpSolution s = solve_lp(p);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 5.0, 1e-7);
+  EXPECT_NEAR(s.x[0] + s.x[1], 5.0, 1e-7);
+}
+
+TEST(SimplexTest, HandlesGreaterEqualConstraints) {
+  // maximize -x - y (minimize x + y) s.t. x + 2y >= 4, 3x + y >= 6.
+  // Optimum at intersection: x = 1.6, y = 1.2, objective -2.8.
+  LpProblem p;
+  p.num_vars = 2;
+  p.objective = {-1, -1};
+  p.add_ge({1, 2}, 4);
+  p.add_ge({3, 1}, 6);
+  const LpSolution s = solve_lp(p);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, -2.8, 1e-7);
+}
+
+TEST(SimplexTest, DetectsInfeasibility) {
+  LpProblem p;
+  p.num_vars = 1;
+  p.objective = {1};
+  p.add_le({1}, 1);
+  p.add_ge({1}, 2);
+  EXPECT_EQ(solve_lp(p).status, LpStatus::kInfeasible);
+}
+
+TEST(SimplexTest, DetectsUnboundedness) {
+  LpProblem p;
+  p.num_vars = 2;
+  p.objective = {1, 1};
+  p.add_ge({1, 0}, 1);  // nothing bounds growth
+  EXPECT_EQ(solve_lp(p).status, LpStatus::kUnbounded);
+}
+
+TEST(SimplexTest, NegativeRhsRowsAreNormalized) {
+  // x >= 2 expressed as -x <= -2; maximize -x -> x = 2.
+  LpProblem p;
+  p.num_vars = 1;
+  p.objective = {-1};
+  p.add_le({-1}, -2);
+  const LpSolution s = solve_lp(p);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.x[0], 2.0, 1e-7);
+}
+
+TEST(SimplexTest, RedundantEqualityRowsAreTolerated) {
+  LpProblem p;
+  p.num_vars = 2;
+  p.objective = {2, 3};
+  p.add_eq({1, 1}, 4);
+  p.add_eq({2, 2}, 8);  // same hyperplane, scaled
+  p.add_le({0, 1}, 3);
+  const LpSolution s = solve_lp(p);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 2.0 * 1.0 + 3.0 * 3.0, 1e-7);
+}
+
+TEST(SimplexTest, DegenerateProblemTerminates) {
+  // Classic degeneracy: multiple constraints meet at the optimum.
+  LpProblem p;
+  p.num_vars = 2;
+  p.objective = {1, 1};
+  p.add_le({1, 0}, 1);
+  p.add_le({0, 1}, 1);
+  p.add_le({1, 1}, 2);
+  const LpSolution s = solve_lp(p);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 2.0, 1e-7);
+}
+
+// Property: for random feasible-by-construction LPs (b = A * x0 with
+// x0 >= 0 and <= constraints), the reported solution is feasible and at
+// least as good as x0.
+TEST(SimplexTest, PropertyRandomLeProblemsAreSolvedFeasibly) {
+  Prng prng(2024);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int n = 2 + static_cast<int>(prng.next_below(4));
+    const int m = 2 + static_cast<int>(prng.next_below(4));
+    LpProblem p;
+    p.num_vars = n;
+    std::vector<double> x0(static_cast<size_t>(n));
+    for (auto& v : x0) v = prng.next_double() * 5.0;
+    for (int j = 0; j < n; ++j) p.objective.push_back(prng.next_double());
+    std::vector<std::vector<double>> rows;
+    for (int i = 0; i < m; ++i) {
+      std::vector<double> row(static_cast<size_t>(n));
+      double rhs = 0.0;
+      for (int j = 0; j < n; ++j) {
+        row[static_cast<size_t>(j)] = prng.next_double();
+        rhs += row[static_cast<size_t>(j)] * x0[static_cast<size_t>(j)];
+      }
+      rows.push_back(row);
+      p.add_le(std::move(row), rhs);
+    }
+    const LpSolution s = solve_lp(p);
+    ASSERT_EQ(s.status, LpStatus::kOptimal) << "trial " << trial;
+    // Feasibility of the returned point.
+    for (size_t i = 0; i < rows.size(); ++i) {
+      double lhs = 0.0;
+      for (int j = 0; j < n; ++j) {
+        lhs += rows[i][static_cast<size_t>(j)] * s.x[static_cast<size_t>(j)];
+      }
+      EXPECT_LE(lhs, p.constraints[i].rhs + 1e-6) << "trial " << trial;
+    }
+    for (double v : s.x) EXPECT_GE(v, -1e-9);
+    // Optimality is at least as good as the witness x0.
+    double witness = 0.0;
+    for (int j = 0; j < n; ++j) {
+      witness += p.objective[static_cast<size_t>(j)] * x0[static_cast<size_t>(j)];
+    }
+    EXPECT_GE(s.objective, witness - 1e-6) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace gpumas::ilp

@@ -1,0 +1,171 @@
+// Tests for the SMRA dynamic SM reallocation controller (Algorithm 1).
+#include "sched/smra.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/gpu.h"
+
+namespace gpumas::sched {
+namespace {
+
+sim::GpuConfig small_gpu() {
+  sim::GpuConfig cfg;
+  cfg.num_sms = 12;
+  cfg.num_channels = 2;
+  cfg.l2.size_bytes = 64 * 1024;
+  return cfg;
+}
+
+sim::KernelParams compute_kernel(const std::string& name) {
+  sim::KernelParams kp;
+  kp.name = name;
+  kp.num_blocks = 96;
+  kp.warps_per_block = 4;
+  kp.insns_per_warp = 600;
+  kp.mem_ratio = 0.01;
+  kp.ilp = 8;
+  kp.mlp = 4;
+  kp.seed = 21;
+  return kp;
+}
+
+sim::KernelParams hog_kernel(const std::string& name) {
+  sim::KernelParams kp;
+  kp.name = name;
+  kp.num_blocks = 48;
+  kp.warps_per_block = 4;
+  kp.insns_per_warp = 150;
+  kp.mem_ratio = 0.25;
+  kp.pattern = sim::AccessPattern::kRandom;
+  kp.footprint_bytes = 512ull << 20;
+  kp.divergence = 16;
+  kp.mlp = 32;
+  kp.ilp = 2;
+  kp.seed = 22;
+  return kp;
+}
+
+SmraParams fast_params() {
+  SmraParams p;
+  p.tc = 500;
+  p.nr = 1;
+  p.rmin = 2;
+  return p;
+}
+
+TEST(SmraTest, MovesSmsFromHogTowardCompute) {
+  const sim::GpuConfig cfg = small_gpu();
+  sim::Gpu gpu(cfg);
+  gpu.launch(hog_kernel("hog"));      // app 0: low IPC, high bandwidth
+  gpu.launch(compute_kernel("cpu"));  // app 1: high IPC, low bandwidth
+  gpu.set_even_partition();
+  SmraController ctrl(fast_params(), cfg);
+  for (int i = 0; i < 5000 && !gpu.done(); ++i) {
+    gpu.tick();
+    ctrl.on_tick(gpu);
+  }
+  const auto counts = gpu.partition_counts();
+  EXPECT_GT(ctrl.adjustments(), 0u);
+  EXPECT_LT(counts[0], 6) << "hog should have donated SMs";
+  EXPECT_GT(counts[1], 6) << "compute app should have received SMs";
+}
+
+TEST(SmraTest, RespectsRmin) {
+  const sim::GpuConfig cfg = small_gpu();
+  sim::Gpu gpu(cfg);
+  gpu.launch(hog_kernel("hog"));
+  gpu.launch(compute_kernel("cpu"));
+  gpu.set_even_partition();
+  SmraParams params = fast_params();
+  params.rmin = 4;
+  SmraController ctrl(params, cfg);
+  while (!gpu.done()) {
+    gpu.tick();
+    ctrl.on_tick(gpu);
+    if (!gpu.stats()[0].done) {
+      EXPECT_GE(gpu.partition_counts()[0], 4);
+    }
+  }
+}
+
+TEST(SmraTest, EqualScoresKeepPartition) {
+  // Two identical compute apps: scores tie every window, so the partition
+  // must stay even (Algorithm 1's "similar behaviour" rule).
+  const sim::GpuConfig cfg = small_gpu();
+  sim::Gpu gpu(cfg);
+  auto a = compute_kernel("a");
+  auto b = compute_kernel("b");
+  b.seed = 99;
+  gpu.launch(a);
+  gpu.launch(b);
+  gpu.set_even_partition();
+  SmraController ctrl(fast_params(), cfg);
+  for (int i = 0; i < 3000 && !gpu.done(); ++i) {
+    gpu.tick();
+    ctrl.on_tick(gpu);
+    if (!gpu.stats()[0].done && !gpu.stats()[1].done) {
+      const auto counts = gpu.partition_counts();
+      EXPECT_EQ(counts[0], 6);
+      EXPECT_EQ(counts[1], 6);
+    }
+  }
+}
+
+TEST(SmraTest, RedistributesSmsOfFinishedApps) {
+  const sim::GpuConfig cfg = small_gpu();
+  sim::Gpu gpu(cfg);
+  auto quick = compute_kernel("quick");
+  quick.num_blocks = 8;  // finishes early
+  gpu.launch(quick);
+  gpu.launch(compute_kernel("long"));
+  gpu.set_even_partition();
+  SmraController ctrl(fast_params(), cfg);
+  bool saw_handover = false;
+  while (!gpu.done()) {
+    gpu.tick();
+    ctrl.on_tick(gpu);
+    if (gpu.stats()[0].done && !gpu.stats()[1].done &&
+        gpu.partition_counts()[1] == 12) {
+      saw_handover = true;
+    }
+  }
+  EXPECT_TRUE(saw_handover)
+      << "the survivor should inherit the whole device";
+}
+
+TEST(SmraTest, SmraNeverSlowsTheGroupMuch) {
+  // The throughput-revert guard bounds the damage SMRA can do: total cycles
+  // with SMRA must stay within a few percent of the static partition even
+  // for symmetric workloads where moving SMs is pointless.
+  const sim::GpuConfig cfg = small_gpu();
+  auto a = compute_kernel("a");
+  auto b = compute_kernel("b");
+  b.seed = 5;
+
+  sim::Gpu plain(cfg);
+  plain.launch(a);
+  plain.launch(b);
+  plain.set_even_partition();
+  const uint64_t base = plain.run_to_completion().cycles;
+
+  sim::Gpu smra(cfg);
+  smra.launch(a);
+  smra.launch(b);
+  smra.set_even_partition();
+  SmraController ctrl(fast_params(), cfg);
+  while (!smra.done()) {
+    smra.tick();
+    ctrl.on_tick(smra);
+  }
+  EXPECT_LT(static_cast<double>(smra.cycle()),
+            static_cast<double>(base) * 1.10);
+}
+
+TEST(SmraTest, ParamsAreValidated) {
+  SmraParams bad;
+  bad.tc = 0;
+  EXPECT_THROW(SmraController(bad, small_gpu()), std::logic_error);
+}
+
+}  // namespace
+}  // namespace gpumas::sched

@@ -1,0 +1,174 @@
+// Unit tests for the work distributor: ownership, drain-based
+// repartitioning, and dispatch invariants.
+#include "sim/work_distributor.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/gpu_config.h"
+
+namespace gpumas::sim {
+namespace {
+
+GpuConfig tiny_cfg() {
+  GpuConfig cfg;
+  cfg.num_sms = 4;
+  cfg.max_blocks_per_sm = 2;
+  cfg.max_warps_per_sm = 8;
+  return cfg;
+}
+
+KernelParams kernel(int blocks, int wpb) {
+  KernelParams kp;
+  kp.name = "wd";
+  kp.num_blocks = blocks;
+  kp.warps_per_block = wpb;
+  kp.insns_per_warp = 100;
+  kp.mem_ratio = 0.0;
+  kp.seed = 9;
+  return kp;
+}
+
+struct Fixture {
+  GpuConfig cfg = tiny_cfg();
+  std::vector<StreamingMultiprocessor> sms;
+  std::vector<LaunchedApp> apps;
+  WorkDistributor wd{4};
+
+  Fixture() {
+    for (int i = 0; i < cfg.num_sms; ++i) sms.emplace_back(cfg, i);
+  }
+
+  void add_app(int blocks, int wpb) {
+    LaunchedApp la;
+    la.kernel = kernel(blocks, wpb);
+    la.base_line = (apps.size() + 1) << 30;
+    apps.push_back(la);
+  }
+};
+
+TEST(WorkDistributorTest, OwnershipAssignmentAndCounts) {
+  Fixture f;
+  f.add_app(4, 2);
+  f.add_app(4, 2);
+  f.wd.set_owner(0, 0);
+  f.wd.set_owner(1, 0);
+  f.wd.set_owner(2, 1);
+  f.wd.set_owner(3, 1);
+  const auto counts = f.wd.partition_counts(2);
+  EXPECT_EQ(counts, (std::vector<int>{2, 2}));
+  EXPECT_EQ(f.wd.owner(0), 0);
+  EXPECT_EQ(f.wd.owner(3), 1);
+}
+
+TEST(WorkDistributorTest, DispatchOnlyToOwnedSms) {
+  Fixture f;
+  f.add_app(8, 2);
+  f.wd.set_owner(0, 0);
+  f.wd.set_owner(1, 0);
+  f.wd.set_owner(2, -1);  // unowned: must stay empty
+  f.wd.set_owner(3, -1);
+  for (int i = 0; i < 4; ++i) f.wd.dispatch(f.sms, f.apps);
+  EXPECT_GT(f.sms[0].resident_blocks(), 0);
+  EXPECT_GT(f.sms[1].resident_blocks(), 0);
+  EXPECT_EQ(f.sms[2].resident_blocks(), 0);
+  EXPECT_EQ(f.sms[3].resident_blocks(), 0);
+}
+
+TEST(WorkDistributorTest, DispatchRespectsBlockSlotLimit) {
+  Fixture f;
+  f.add_app(16, 2);  // more blocks than the device holds
+  for (int sm = 0; sm < 4; ++sm) f.wd.set_owner(sm, 0);
+  for (int i = 0; i < 10; ++i) f.wd.dispatch(f.sms, f.apps);
+  for (const auto& sm : f.sms) {
+    EXPECT_LE(sm.resident_blocks(), f.cfg.max_blocks_per_sm);
+  }
+  // 4 SMs x 2 block slots = 8 resident; the rest must wait.
+  EXPECT_EQ(f.apps[0].next_block, 8u);
+}
+
+TEST(WorkDistributorTest, AtMostOneBlockPerSmPerCycle) {
+  Fixture f;
+  f.add_app(8, 2);
+  for (int sm = 0; sm < 4; ++sm) f.wd.set_owner(sm, 0);
+  f.wd.dispatch(f.sms, f.apps);
+  // First dispatch round: exactly one block per SM.
+  for (const auto& sm : f.sms) EXPECT_EQ(sm.resident_blocks(), 1);
+}
+
+TEST(WorkDistributorTest, PendingOwnerBlocksNewDispatch) {
+  Fixture f;
+  f.add_app(8, 2);
+  f.add_app(8, 2);
+  f.wd.set_owner(0, 0);
+  f.wd.dispatch(f.sms, f.apps);
+  ASSERT_EQ(f.sms[0].resident_blocks(), 1);
+  // Request reassignment while a block is resident: the SM gets no new
+  // blocks from either app until it drains.
+  f.wd.request_owner(0, 1);
+  EXPECT_EQ(f.wd.pending_owner(0), 1);
+  EXPECT_EQ(f.wd.effective_owner(0), 1);
+  f.wd.dispatch(f.sms, f.apps);
+  EXPECT_EQ(f.sms[0].resident_blocks(), 1) << "no dispatch while draining";
+  EXPECT_EQ(f.wd.owner(0), 0) << "flip only after drain";
+}
+
+TEST(WorkDistributorTest, FlipHappensOnceDrained) {
+  Fixture f;
+  f.add_app(1, 2);
+  f.add_app(8, 2);
+  f.wd.set_owner(0, 0);
+  f.wd.dispatch(f.sms, f.apps);
+  f.wd.request_owner(0, 1);
+  // Run the resident block to completion against a stub fabric that
+  // accepts every request (the kernel is pure compute anyway).
+  std::vector<AppStats> stats(2);
+  struct Stub final : MemoryFabric {
+    bool try_send(const MemRequest&, uint64_t) override { return true; }
+  } fabric;
+  uint64_t cycle = 0;
+  while (f.sms[0].resident_blocks() > 0 && cycle < 100000) {
+    f.sms[0].tick(cycle++, fabric, stats);
+  }
+  ASSERT_EQ(f.sms[0].resident_blocks(), 0);
+  f.wd.dispatch(f.sms, f.apps);
+  EXPECT_EQ(f.wd.owner(0), 1);
+  EXPECT_EQ(f.wd.pending_owner(0), -1);
+  // And the new owner's block landed.
+  EXPECT_EQ(f.sms[0].resident_blocks(), 1);
+}
+
+TEST(WorkDistributorTest, RequestBackToCurrentOwnerCancelsPendingMove) {
+  Fixture f;
+  f.add_app(4, 2);
+  f.add_app(4, 2);
+  f.wd.set_owner(0, 0);
+  f.wd.request_owner(0, 1);
+  ASSERT_EQ(f.wd.pending_owner(0), 1);
+  f.wd.request_owner(0, 0);  // change of plan
+  EXPECT_EQ(f.wd.pending_owner(0), -1);
+  EXPECT_EQ(f.wd.effective_owner(0), 0);
+}
+
+TEST(WorkDistributorTest, PartitionCountsUsePendingOwnership) {
+  Fixture f;
+  f.add_app(4, 2);
+  f.add_app(4, 2);
+  for (int sm = 0; sm < 4; ++sm) f.wd.set_owner(sm, 0);
+  f.wd.request_owner(0, 1);
+  f.wd.request_owner(1, 1);
+  EXPECT_EQ(f.wd.partition_counts(2), (std::vector<int>{2, 2}));
+}
+
+TEST(WorkDistributorTest, AllDispatchedStopsFurtherBlocks) {
+  Fixture f;
+  f.add_app(2, 2);
+  for (int sm = 0; sm < 4; ++sm) f.wd.set_owner(sm, 0);
+  f.wd.dispatch(f.sms, f.apps);
+  EXPECT_TRUE(f.apps[0].all_dispatched());
+  const uint32_t before = f.apps[0].next_block;
+  f.wd.dispatch(f.sms, f.apps);
+  EXPECT_EQ(f.apps[0].next_block, before);
+}
+
+}  // namespace
+}  // namespace gpumas::sim

@@ -1,0 +1,78 @@
+// Tests for the calibrated benchmark suite: registry integrity and — the
+// load-bearing property of the whole reproduction — that every benchmark
+// lands in its Table 3.2 class when profiled on the default device.
+#include "workloads/suite.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "profile/profile.h"
+
+namespace gpumas::workloads {
+namespace {
+
+TEST(SuiteTest, HasTheFourteenPaperBenchmarks) {
+  const auto names = benchmark_names();
+  ASSERT_EQ(names.size(), 14u);
+  const std::vector<std::string> expected = {
+      "BFS2", "BLK", "BP",  "LUD",  "FFT",  "JPEG", "3DS",
+      "HS",   "LPS", "RAY", "GUPS", "SPMV", "SAD",  "NN"};
+  EXPECT_EQ(names, expected);
+}
+
+TEST(SuiteTest, LookupByNameRoundTrips) {
+  for (const auto& name : benchmark_names()) {
+    EXPECT_EQ(benchmark(name).name, name);
+  }
+  EXPECT_THROW(benchmark("NOPE"), std::logic_error);
+}
+
+TEST(SuiteTest, ParametersAreSane) {
+  for (const auto& kp : suite()) {
+    EXPECT_GT(kp.num_blocks, 0) << kp.name;
+    EXPECT_GT(kp.warps_per_block, 0) << kp.name;
+    EXPECT_LE(kp.warps_per_block, 48) << kp.name;
+    EXPECT_GT(kp.insns_per_warp, 0) << kp.name;
+    EXPECT_GE(kp.mem_ratio, 0.0) << kp.name;
+    EXPECT_LE(kp.mem_ratio, 1.0) << kp.name;
+    EXPECT_GE(kp.store_ratio, 0.0) << kp.name;
+    EXPECT_LE(kp.store_ratio, 1.0) << kp.name;
+    EXPECT_GE(kp.divergence, 1) << kp.name;
+    EXPECT_LE(kp.divergence, 32) << kp.name;
+    EXPECT_GE(kp.ilp, 1) << kp.name;
+    EXPECT_GE(kp.mlp, 1) << kp.name;
+    EXPECT_GT(kp.footprint_bytes, 0u) << kp.name;
+  }
+}
+
+TEST(SuiteTest, SeedsAreDistinct) {
+  std::set<uint64_t> seeds;
+  for (const auto& kp : suite()) seeds.insert(kp.seed);
+  EXPECT_EQ(seeds.size(), suite().size());
+}
+
+// The calibration contract: profiling each benchmark solo on the default
+// GTX 480-style device reproduces the paper's Table 3.2 classification.
+// This is the slowest test in the suite (14 solo simulations) but it guards
+// the foundation of every Chapter 4 experiment.
+TEST(SuiteCalibrationTest, Table32ClassesReproduce) {
+  const std::map<std::string, profile::AppClass> expected = {
+      {"BFS2", profile::AppClass::kC}, {"BLK", profile::AppClass::kM},
+      {"BP", profile::AppClass::kMC},  {"LUD", profile::AppClass::kA},
+      {"FFT", profile::AppClass::kMC}, {"JPEG", profile::AppClass::kA},
+      {"3DS", profile::AppClass::kMC}, {"HS", profile::AppClass::kA},
+      {"LPS", profile::AppClass::kMC}, {"RAY", profile::AppClass::kMC},
+      {"GUPS", profile::AppClass::kM}, {"SPMV", profile::AppClass::kC},
+      {"SAD", profile::AppClass::kA},  {"NN", profile::AppClass::kA}};
+  profile::Profiler profiler(sim::GpuConfig{});
+  for (const auto& kp : suite()) {
+    const auto p = profiler.profile(kp);
+    EXPECT_EQ(p.cls, expected.at(kp.name))
+        << kp.name << ": MB=" << p.mb_gbps << " L2L1=" << p.l2l1_gbps
+        << " IPC=" << p.ipc << " R=" << p.r;
+  }
+}
+
+}  // namespace
+}  // namespace gpumas::workloads
