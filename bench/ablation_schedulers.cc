@@ -3,37 +3,29 @@
 // §3.2.2 attributes part of class-M dominance to FR-FCFS prioritizing
 // row-buffer hits; Table 4.1 fixes the warp scheduler to GTO. This bench
 // quantifies both choices on representative solo runs and on an M+C co-run.
+// Solo measurements go through the shared ProfileCache, so config variants
+// are profiled once each across repeated invocations with --profile-cache.
 #include <iostream>
 
 #include "bench/bench_common.h"
 #include "interference/interference.h"
 
-namespace {
-
-double solo_ipc(gpumas::sim::GpuConfig cfg,
-                const gpumas::sim::KernelParams& kp) {
-  gpumas::sim::Gpu gpu(cfg);
-  gpu.launch(kp);
-  const auto r = gpu.run_to_completion();
-  return r.device_throughput();
-}
-
-}  // namespace
-
-int main() {
+int main(int argc, char** argv) {
   using namespace gpumas;
-  sim::GpuConfig base;
-  bench::print_setup(base);
+  bench::Harness h(argc, argv);
+  const sim::GpuConfig base = h.config();
+  h.print_setup();
 
   print_banner("Ablation A1 — FR-FCFS vs FCFS memory scheduling");
   {
+    sim::GpuConfig fcfs = base;
+    fcfs.mem_sched = sim::MemSchedPolicy::kFcfs;
     Table table({"benchmark", "FR-FCFS IPC", "FCFS IPC", "FR-FCFS gain"});
     for (const char* name : {"BLK", "GUPS", "FFT", "HS"}) {
-      sim::GpuConfig frfcfs = base;
-      sim::GpuConfig fcfs = base;
-      fcfs.mem_sched = sim::MemSchedPolicy::kFcfs;
-      const double a = solo_ipc(frfcfs, workloads::benchmark(name));
-      const double b = solo_ipc(fcfs, workloads::benchmark(name));
+      const double a =
+          h.cache().solo(base, workloads::benchmark(name)).ipc;
+      const double b =
+          h.cache().solo(fcfs, workloads::benchmark(name)).ipc;
       table.begin_row()
           .cell(std::string(name))
           .cell(a, 1)
@@ -47,13 +39,14 @@ int main() {
 
   print_banner("Ablation A2 — GTO vs LRR warp scheduling");
   {
+    sim::GpuConfig lrr = base;
+    lrr.warp_sched = sim::WarpSchedPolicy::kLrr;
     Table table({"benchmark", "GTO IPC", "LRR IPC", "GTO/LRR"});
     for (const char* name : {"BFS2", "HS", "SPMV", "3DS"}) {
-      sim::GpuConfig gto = base;
-      sim::GpuConfig lrr = base;
-      lrr.warp_sched = sim::WarpSchedPolicy::kLrr;
-      const double a = solo_ipc(gto, workloads::benchmark(name));
-      const double b = solo_ipc(lrr, workloads::benchmark(name));
+      const double a =
+          h.cache().solo(base, workloads::benchmark(name)).ipc;
+      const double b =
+          h.cache().solo(lrr, workloads::benchmark(name)).ipc;
       table.begin_row()
           .cell(std::string(name))
           .cell(a, 1)
@@ -67,11 +60,10 @@ int main() {
   {
     // BLK (class M, streaming) next to BFS2 (class C, cache-resident): with
     // bypass the victim keeps its L2 working set.
-    profile::Profiler profiler(base);
     auto blk = workloads::benchmark("BLK");
     const auto bfs2 = workloads::benchmark("BFS2");
-    const uint64_t solo_blk = profiler.profile(blk).solo_cycles;
-    const uint64_t solo_bfs2 = profiler.profile(bfs2).solo_cycles;
+    const uint64_t solo_blk = h.cache().solo(base, blk).solo_cycles;
+    const uint64_t solo_bfs2 = h.cache().solo(base, bfs2).solo_cycles;
 
     Table table({"config", "BFS2 slowdown", "BLK slowdown"});
     for (bool bypass : {true, false}) {

@@ -2,87 +2,78 @@
 //
 // Sweeps the evaluation window TC, the per-move SM count nr, and the floor
 // Rmin on a fixed compute+memory pair, reporting completion cycles and the
-// controller's adjustment/revert counts.
+// controller's adjustment/revert counts. Each sweep point is one scenario,
+// so the whole table parallelizes with --threads. The --policy flag is
+// ignored here: the sweep's subject is ILP-SMRA itself, against one static
+// Even baseline.
 #include <iostream>
 
 #include "bench/bench_common.h"
-#include "sched/smra.h"
 
-namespace {
-
-struct Outcome {
-  uint64_t cycles;
-  uint64_t adjustments;
-  uint64_t reverts;
-};
-
-Outcome run_pair(const gpumas::sim::GpuConfig& cfg,
-                 const gpumas::sched::SmraParams& params) {
+int main(int argc, char** argv) {
   using namespace gpumas;
-  sim::Gpu gpu(cfg);
-  gpu.launch(workloads::benchmark("GUPS"));
-  gpu.launch(workloads::benchmark("HS"));
-  gpu.set_even_partition();
-  sched::SmraController ctrl(params, cfg);
-  while (!gpu.done()) {
-    gpu.tick();
-    ctrl.on_tick(gpu);
-  }
-  return Outcome{gpu.cycle(), ctrl.adjustments(), ctrl.reverts()};
-}
-
-}  // namespace
-
-int main() {
-  using namespace gpumas;
-  const sim::GpuConfig cfg;
-  bench::print_setup(cfg);
+  bench::Harness h(argc, argv);
+  h.print_setup();
   print_banner("Ablation — SMRA parameter sweep on the GUPS+HS pair");
 
-  // Static even partition as the baseline.
-  uint64_t baseline = 0;
-  {
-    sim::Gpu gpu(cfg);
-    gpu.launch(workloads::benchmark("GUPS"));
-    gpu.launch(workloads::benchmark("HS"));
-    gpu.set_even_partition();
-    baseline = gpu.run_to_completion().cycles;
-  }
-  std::cout << "Static even split: " << baseline << " cycles\n\n";
+  const std::vector<sim::KernelParams> pair = {
+      workloads::benchmark("GUPS"), workloads::benchmark("HS")};
 
-  Table table({"TC", "nr", "Rmin", "cycles", "vs static", "moves",
-               "reverts"});
+  // Sweep points: TC x nr around the defaults, then the Rmin row.
+  std::vector<sched::SmraParams> sweep;
   for (uint64_t tc : {1500u, 3000u, 6000u}) {
     for (int nr : {1, 3, 6}) {
       sched::SmraParams p;
       p.tc = tc;
       p.nr = nr;
-      const Outcome o = run_pair(cfg, p);
-      table.begin_row()
-          .cell(tc)
-          .cell(nr)
-          .cell(p.rmin)
-          .cell(o.cycles)
-          .cell(static_cast<double>(o.cycles) /
-                    static_cast<double>(baseline),
-                3)
-          .cell(o.adjustments)
-          .cell(o.reverts);
+      sweep.push_back(p);
     }
   }
   for (int rmin : {2, 6, 12}) {
     sched::SmraParams p;
     p.rmin = rmin;
-    const Outcome o = run_pair(cfg, p);
+    sweep.push_back(p);
+  }
+
+  // Scenario 0 is the static even split every sweep point is compared to.
+  std::vector<exp::ScenarioSpec> scenarios;
+  {
+    exp::ScenarioSpec base = h.scenario("static-even");
+    base.queue = exp::QueueSpec::Explicit(pair);
+    base.policy = sched::Policy::kEven;
+    base.nc = 2;
+    // A 2-job queue forms the same single group under any weights, so a
+    // sampled interference model is enough (and far cheaper to measure).
+    base.model_samples_per_cell = 1;
+    scenarios.push_back(base);
+  }
+  for (size_t i = 0; i < sweep.size(); ++i) {
+    exp::ScenarioSpec spec = h.scenario("smra-" + std::to_string(i));
+    spec.queue = exp::QueueSpec::Explicit(pair);
+    spec.policy = sched::Policy::kIlpSmra;
+    spec.nc = 2;
+    spec.smra = sweep[i];
+    spec.model_samples_per_cell = 1;
+    scenarios.push_back(spec);
+  }
+  const auto results = h.engine().run(scenarios);
+
+  const uint64_t baseline = results[0].report().groups.front().cycles;
+  std::cout << "Static even split: " << baseline << " cycles\n\n";
+
+  Table table({"TC", "nr", "Rmin", "cycles", "vs static", "moves",
+               "reverts"});
+  for (size_t i = 0; i < sweep.size(); ++i) {
+    const auto& g = results[i + 1].report().groups.front();
     table.begin_row()
-        .cell(p.tc)
-        .cell(p.nr)
-        .cell(rmin)
-        .cell(o.cycles)
-        .cell(static_cast<double>(o.cycles) / static_cast<double>(baseline),
+        .cell(sweep[i].tc)
+        .cell(sweep[i].nr)
+        .cell(sweep[i].rmin)
+        .cell(g.cycles)
+        .cell(static_cast<double>(g.cycles) / static_cast<double>(baseline),
               3)
-        .cell(o.adjustments)
-        .cell(o.reverts);
+        .cell(g.smra_adjustments)
+        .cell(g.smra_reverts);
   }
   table.print();
   std::cout << "\nFaster windows and larger moves converge to the good "

@@ -33,13 +33,15 @@ int changed_count(const std::vector<gpumas::profile::AppProfile>& profiles,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gpumas;
-  const sim::GpuConfig cfg;
-  bench::print_setup(cfg);
+  bench::Harness h(argc, argv);
+  h.print_setup();
   print_banner("Ablation — classifier threshold sensitivity");
 
-  const auto profiles = bench::profile_suite(cfg);
+  // Thresholds only affect classification, never the measurement, so the
+  // whole sweep reuses one cached set of solo profiles.
+  const auto& profiles = h.profiles();
   const profile::ClassifierThresholds base;
   std::cout << "Baseline classes: " << classes_for(profiles, base)
             << "  (suite order)\n\n";

@@ -1,11 +1,32 @@
-// Shared helpers for the figure/table reproduction benches: the Table 4.1
-// configuration banner and suite profiling shortcuts.
+// Shared harness for the figure/table reproduction benches.
+//
+// Every bench is a scenario declaration plus a table printer; this header
+// supplies the pieces between them: a small CLI, the shared ProfileCache
+// (with optional disk persistence so back-to-back bench runs profile the
+// suite exactly once), and the ExperimentRunner that executes scenario
+// batches across worker threads.
+//
+// Flags understood by every bench:
+//   --threads N           scenario worker threads (default 1)
+//   --config FILE         device description in sim::config_io format
+//   --profile-cache FILE  load solo measurements before running and save
+//                         them after, skipping re-profiling across runs
+//   --policy NAME         restrict evaluated policies to NAME (serial |
+//                         even | profile | ilp | ilp-smra); each bench's
+//                         normalization baseline is always kept
 #pragma once
 
+#include <cstdlib>
 #include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
 
 #include "common/table.h"
+#include "exp/experiment.h"
 #include "profile/profile.h"
+#include "profile/profile_cache.h"
+#include "sim/config_io.h"
 #include "sim/gpu_config.h"
 #include "workloads/suite.h"
 
@@ -36,11 +57,241 @@ inline void print_setup(const sim::GpuConfig& cfg) {
             << " GB/s\n";
 }
 
-// Profiles the whole suite once (solo runs on the full device).
-inline std::vector<profile::AppProfile> profile_suite(
-    const sim::GpuConfig& cfg) {
-  profile::Profiler profiler(cfg);
-  return profiler.profile_suite(workloads::suite());
+struct Options {
+  int threads = 1;
+  std::string config_path;
+  std::string profile_cache_path;
+  std::string policy;
+};
+
+inline std::optional<sched::Policy> parse_policy(const std::string& name) {
+  if (name == "serial") return sched::Policy::kSerial;
+  if (name == "even" || name == "fcfs") return sched::Policy::kEven;
+  if (name == "profile" || name == "profile-based") {
+    return sched::Policy::kProfileBased;
+  }
+  if (name == "ilp") return sched::Policy::kIlp;
+  if (name == "ilp-smra" || name == "smra") return sched::Policy::kIlpSmra;
+  return std::nullopt;
+}
+
+inline Options parse_options(int argc, char** argv) {
+  Options opts;
+  const auto usage = [&argv](const std::string& why) {
+    std::cerr << argv[0] << ": " << why << "\n"
+              << "usage: " << argv[0]
+              << " [--threads N] [--config FILE] [--profile-cache FILE]"
+                 " [--policy serial|even|profile|ilp|ilp-smra]\n";
+    std::exit(2);
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage("missing value for " + arg);
+      return argv[++i];
+    };
+    if (arg == "--threads") {
+      opts.threads = std::atoi(value().c_str());
+      if (opts.threads < 1) usage("--threads must be >= 1");
+    } else if (arg == "--config") {
+      opts.config_path = value();
+    } else if (arg == "--profile-cache") {
+      opts.profile_cache_path = value();
+    } else if (arg == "--policy") {
+      opts.policy = value();
+      if (!parse_policy(opts.policy)) usage("unknown policy " + opts.policy);
+    } else if (arg == "--help" || arg == "-h") {
+      usage("help");
+    } else {
+      usage("unknown flag " + arg);
+    }
+  }
+  return opts;
+}
+
+// Owns the CLI options, device config, profile cache and experiment engine
+// for one bench invocation. Cache persistence happens in the destructor so
+// measurements taken anywhere in the bench are kept for the next run.
+class Harness {
+ public:
+  Harness(int argc, char** argv)
+      : opts_(parse_options(argc, argv)), engine_(cache_, opts_.threads) {
+    try {
+      if (!opts_.config_path.empty()) {
+        cfg_ = sim::load_config(opts_.config_path);
+      }
+      if (!opts_.profile_cache_path.empty() &&
+          cache_.load_if_exists(opts_.profile_cache_path)) {
+        std::cerr << "[bench] profile cache: loaded " << cache_.size()
+                  << " entries from " << opts_.profile_cache_path << "\n";
+      }
+    } catch (const std::exception& e) {
+      // Bad --config / --profile-cache files are user errors, not bugs:
+      // report and exit instead of aborting on an uncaught exception.
+      std::cerr << argv[0] << ": " << e.what() << "\n";
+      std::exit(2);
+    }
+  }
+
+  ~Harness() {
+    if (!opts_.profile_cache_path.empty()) {
+      try {
+        cache_.save(opts_.profile_cache_path);
+        std::cerr << "[bench] profile cache: saved " << cache_.size()
+                  << " entries to " << opts_.profile_cache_path << " ("
+                  << cache_.hits() << " hits, " << cache_.misses()
+                  << " misses this run)\n";
+      } catch (const std::exception& e) {
+        std::cerr << "[bench] profile cache save failed: " << e.what()
+                  << "\n";
+      }
+    }
+  }
+
+  const Options& options() const { return opts_; }
+  const sim::GpuConfig& config() const { return cfg_; }
+  profile::ProfileCache& cache() { return cache_; }
+  exp::ExperimentRunner& engine() { return engine_; }
+
+  // Suite profiles on the harness config, through the shared cache.
+  const std::vector<profile::AppProfile>& profiles() {
+    if (!profiles_) {
+      profiles_ = cache_.suite_profiles(workloads::suite(), cfg_);
+    }
+    return *profiles_;
+  }
+
+  // Intersects the bench's policy list with --policy. The first element is
+  // each bench's normalization baseline and is always kept so relative
+  // columns stay meaningful.
+  std::vector<sched::Policy> policies(
+      std::vector<sched::Policy> wanted) const {
+    const auto filter = parse_policy(opts_.policy);
+    if (!filter || wanted.empty()) return wanted;
+    std::vector<sched::Policy> kept{wanted.front()};
+    for (size_t i = 1; i < wanted.size(); ++i) {
+      if (wanted[i] == *filter) kept.push_back(wanted[i]);
+    }
+    return kept;
+  }
+
+  // A ScenarioSpec pre-filled with the harness device config.
+  exp::ScenarioSpec scenario(std::string name) const {
+    exp::ScenarioSpec spec;
+    spec.name = std::move(name);
+    spec.config = cfg_;
+    return spec;
+  }
+
+  void print_setup() const { bench::print_setup(cfg_); }
+
+ private:
+  Options opts_;
+  sim::GpuConfig cfg_;
+  profile::ProfileCache cache_;
+  exp::ExperimentRunner engine_;
+  std::optional<std::vector<profile::AppProfile>> profiles_;
+};
+
+// Runs the (distribution × policy) grid used by Figs 4.3/4.11 and prints
+// device throughput normalized to the first policy. Returns the per-policy
+// averages of the normalized throughput, aligned with the (filtered)
+// policy list it also returns.
+struct PolicyGridResult {
+  std::vector<sched::Policy> policies;
+  std::vector<double> mean_normalized;  // per policy, averaged over dists
+};
+
+inline PolicyGridResult run_policy_grid(
+    Harness& h, const std::vector<sched::QueueDistribution>& dists,
+    const std::vector<sched::Policy>& wanted, int nc, int length,
+    uint64_t seed) {
+  const auto policies = h.policies(wanted);
+  std::vector<exp::ScenarioSpec> scenarios;
+  for (const auto dist : dists) {
+    for (const auto policy : policies) {
+      exp::ScenarioSpec spec =
+          h.scenario(std::string(sched::distribution_name(dist)) + "/" +
+                     sched::policy_name(policy));
+      spec.queue = exp::QueueSpec::Distribution(dist, length, seed);
+      spec.policy = policy;
+      spec.nc = nc;
+      scenarios.push_back(spec);
+    }
+  }
+  const auto results = h.engine().run(scenarios);
+
+  std::vector<std::string> header{"workload"};
+  for (const auto policy : policies) header.push_back(sched::policy_name(policy));
+  Table table(header);
+  std::vector<double> sums(policies.size(), 0.0);
+  for (size_t d = 0; d < dists.size(); ++d) {
+    const double base =
+        results[d * policies.size()].report().device_throughput();
+    table.begin_row().cell(
+        std::string(sched::distribution_name(dists[d])));
+    for (size_t p = 0; p < policies.size(); ++p) {
+      const double ratio =
+          results[d * policies.size() + p].report().device_throughput() /
+          base;
+      sums[p] += ratio;
+      table.cell(ratio, 3);
+    }
+  }
+  table.print();
+
+  PolicyGridResult grid;
+  grid.policies = policies;
+  for (double s : sums) {
+    grid.mean_normalized.push_back(s / static_cast<double>(dists.size()));
+  }
+  return grid;
+}
+
+// Runs one queue under several policies and prints the per-benchmark IPC of
+// the first policy plus each other policy's per-benchmark ratio to it (the
+// Fig 4.4/4.5-4.8/4.12 table shape). Returns the reports in policy order.
+inline std::vector<sched::RunReport> run_per_app_table(
+    Harness& h, const exp::QueueSpec& queue,
+    const std::vector<sched::Policy>& wanted, int nc, bool show_class) {
+  const auto policies = h.policies(wanted);
+  std::vector<exp::ScenarioSpec> scenarios;
+  for (const auto policy : policies) {
+    exp::ScenarioSpec spec = h.scenario(sched::policy_name(policy));
+    spec.queue = queue;
+    spec.policy = policy;
+    spec.nc = nc;
+    scenarios.push_back(spec);
+  }
+  const auto results = h.engine().run(scenarios);
+
+  std::vector<std::map<std::string, double>> ipc;
+  for (const auto& r : results) ipc.push_back(r.report().per_app_ipc());
+
+  std::vector<std::string> header{"Benchmark"};
+  if (show_class) header.push_back("class");
+  header.push_back(std::string(sched::policy_name(policies[0])) + " IPC");
+  for (size_t p = 1; p < policies.size(); ++p) {
+    header.push_back(std::string(sched::policy_name(policies[p])) + "/" +
+                     sched::policy_name(policies[0]));
+  }
+  Table table(header);
+  for (const auto& pr : h.profiles()) {
+    const auto it = ipc[0].find(pr.name);
+    if (it == ipc[0].end()) continue;  // not drawn into this queue
+    const double base = it->second;
+    table.begin_row().cell(pr.name);
+    if (show_class) table.cell(std::string(profile::class_name(pr.cls)));
+    table.cell(base, 1);
+    for (size_t p = 1; p < policies.size(); ++p) {
+      table.cell(ipc[p].count(pr.name) ? ipc[p].at(pr.name) / base : 0.0, 3);
+    }
+  }
+  table.print();
+
+  std::vector<sched::RunReport> reports;
+  for (const auto& r : results) reports.push_back(r.report());
+  return reports;
 }
 
 }  // namespace gpumas::bench

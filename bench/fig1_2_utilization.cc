@@ -6,13 +6,13 @@
 
 #include "bench/bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gpumas;
-  const sim::GpuConfig cfg;
-  bench::print_setup(cfg);
+  bench::Harness h(argc, argv);
+  h.print_setup();
   print_banner("Fig 1.2 — max utilization of the benchmark suite");
 
-  const auto profiles = bench::profile_suite(cfg);
+  const auto& profiles = h.profiles();
   double ipc_max = 0.0;
   for (const auto& p : profiles) ipc_max = std::max(ipc_max, p.ipc);
 

@@ -14,15 +14,15 @@
 #include "interference/interference.h"
 #include "sched/policies.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gpumas;
-  const sim::GpuConfig cfg;
-  bench::print_setup(cfg);
+  bench::Harness h(argc, argv);
+  h.print_setup();
   print_banner("Fig 3.4 — average application slowdown due to co-execution");
 
-  const auto profiles = bench::profile_suite(cfg);
   const auto model = interference::SlowdownModel::measure_pairwise(
-      cfg, workloads::suite(), profiles, /*max_samples_per_cell=*/0);
+      h.config(), workloads::suite(), h.profiles(),
+      /*max_samples_per_cell=*/0);
 
   const char* names[] = {"M", "MC", "C", "A"};
   Table table({"slowdown of \\ with", "M", "MC", "C", "A"});

@@ -8,18 +8,16 @@
 #include <iostream>
 
 #include "bench/bench_common.h"
-#include "profile/profile.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gpumas;
-  const sim::GpuConfig cfg;
-  bench::print_setup(cfg);
+  bench::Harness h(argc, argv);
+  h.print_setup();
   print_banner("Fig 3.5 — scalability trends (IPC normalized to 10 SMs)");
 
   const std::vector<int> sm_counts = {10, 15, 20, 25, 30};
   const std::vector<std::string> selected = {"BFS2", "LUD", "FFT",
                                              "LPS",  "GUPS", "HS"};
-  profile::Profiler profiler(cfg);
 
   std::vector<std::string> header = {"Benchmark"};
   for (int n : sm_counts) header.push_back(std::to_string(n) + " SMs");
@@ -28,7 +26,8 @@ int main() {
 
   for (const auto& name : selected) {
     const auto points =
-        profiler.scalability(workloads::benchmark(name), sm_counts);
+        h.cache().scalability(h.config(), workloads::benchmark(name),
+                              sm_counts);
     table.begin_row().cell(name);
     const double base = points.front().ipc;
     for (const auto& pt : points) table.cell(pt.ipc / base, 3);

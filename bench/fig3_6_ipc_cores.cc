@@ -3,23 +3,21 @@
 #include <iostream>
 
 #include "bench/bench_common.h"
-#include "profile/profile.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gpumas;
-  const sim::GpuConfig cfg;
-  bench::print_setup(cfg);
+  bench::Harness h(argc, argv);
+  h.print_setup();
   print_banner("Fig 3.6 — IPC of benchmarks with different numbers of cores");
 
   const std::vector<int> sm_counts = {10, 15, 20, 30};
-  profile::Profiler profiler(cfg);
 
   std::vector<std::string> header = {"Benchmark"};
   for (int n : sm_counts) header.push_back(std::to_string(n) + " cores");
   Table table(header);
 
   for (const auto& kp : workloads::suite()) {
-    const auto points = profiler.scalability(kp, sm_counts);
+    const auto points = h.cache().scalability(h.config(), kp, sm_counts);
     table.begin_row().cell(kp.name);
     for (const auto& pt : points) table.cell(pt.ipc, 1);
   }

@@ -6,7 +6,6 @@
 #include <iostream>
 
 #include "bench/bench_common.h"
-#include "sched/runner.h"
 
 namespace {
 
@@ -31,35 +30,34 @@ void report(const char* title, const gpumas::sched::RunReport& run,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gpumas;
-  const sim::GpuConfig cfg;
-  bench::print_setup(cfg);
+  bench::Harness h(argc, argv);
+  h.print_setup();
 
-  const auto profiles = bench::profile_suite(cfg);
-  const auto model = interference::SlowdownModel::measure_pairwise(
-      cfg, workloads::suite(), profiles, /*max_samples_per_cell=*/0);
-  // 3-way weights use additive composition of the exhaustively sampled
-  // pairwise matrix; measured triples with one representative per class
-  // inherit that representative's idiosyncrasies (see EXPERIMENTS.md).
-  const sched::QueueRunner runner(cfg, profiles, model);
-
-  std::vector<sched::Job> queue;
-  for (const auto& job :
-       sched::make_suite_queue(workloads::suite(), profiles)) {
-    if (job.kernel.name != "RAY" && job.kernel.name != "NN") {
-      queue.push_back(job);
-    }
+  const auto policies =
+      h.policies({sched::Policy::kIlp, sched::Policy::kEven});
+  std::vector<exp::ScenarioSpec> scenarios;
+  for (const auto policy : policies) {
+    exp::ScenarioSpec spec = h.scenario(sched::policy_name(policy));
+    spec.queue = exp::QueueSpec::Suite({"RAY", "NN"});
+    spec.policy = policy;
+    spec.nc = 3;
+    scenarios.push_back(spec);
   }
+  const auto results = h.engine().run(scenarios);
 
-  int ilp_fast = 0;
-  int fcfs_fast = 0;
-  const auto ilp = runner.run(queue, sched::Policy::kIlp, 3);
-  report("Fig 4.10(a) — ILP triples vs serial time", ilp, &ilp_fast);
-  const auto fcfs = runner.run(queue, sched::Policy::kEven, 3);
-  report("Fig 4.10(b) — FCFS triples vs serial time", fcfs, &fcfs_fast);
-
-  std::cout << "\nGroups finishing in < 40% of serial time: ILP " << ilp_fast
-            << "/4 (paper: 3/4), FCFS " << fcfs_fast << "/4 (paper: 1/4)\n";
+  std::vector<int> fast(results.size(), 0);
+  for (size_t i = 0; i < results.size(); ++i) {
+    const bool ilp = policies[i] == sched::Policy::kIlp;
+    report(ilp ? "Fig 4.10(a) — ILP triples vs serial time"
+               : "Fig 4.10(b) — FCFS triples vs serial time",
+           results[i].report(), &fast[i]);
+  }
+  if (results.size() == 2) {
+    std::cout << "\nGroups finishing in < 40% of serial time: ILP "
+              << fast[0] << "/4 (paper: 3/4), FCFS " << fast[1]
+              << "/4 (paper: 1/4)\n";
+  }
   return 0;
 }

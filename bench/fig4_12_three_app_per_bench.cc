@@ -4,50 +4,20 @@
 #include <iostream>
 
 #include "bench/bench_common.h"
-#include "sched/runner.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gpumas;
-  const sim::GpuConfig cfg;
-  bench::print_setup(cfg);
+  bench::Harness h(argc, argv);
+  h.print_setup();
   print_banner(
       "Fig 4.12 — per-benchmark average throughput, 3-app equal queue");
 
-  const auto profiles = bench::profile_suite(cfg);
-  const auto model = interference::SlowdownModel::measure_pairwise(
-      cfg, workloads::suite(), profiles, /*max_samples_per_cell=*/0);
-  // 3-way weights use additive composition of the exhaustively sampled
-  // pairwise matrix; measured triples with one representative per class
-  // inherit that representative's idiosyncrasies (see EXPERIMENTS.md).
-  const sched::QueueRunner runner(cfg, profiles, model);
-
-  const auto queue =
-      sched::make_queue(workloads::suite(), profiles,
-                        sched::QueueDistribution::kEqual, 24, /*seed=*/29);
-
-  const auto even = runner.run(queue, sched::Policy::kEven, 3);
-  const auto prof = runner.run(queue, sched::Policy::kProfileBased, 3);
-  const auto ilp = runner.run(queue, sched::Policy::kIlp, 3);
-  const auto smra = runner.run(queue, sched::Policy::kIlpSmra, 3);
-
-  const auto e = even.per_app_ipc();
-  const auto p = prof.per_app_ipc();
-  const auto i = ilp.per_app_ipc();
-  const auto s = smra.per_app_ipc();
-
-  Table table({"Benchmark", "class", "Even IPC", "Profile/Even", "ILP/Even",
-               "ILP-SMRA/Even"});
-  for (const auto& pr : profiles) {
-    if (e.find(pr.name) == e.end()) continue;
-    const double ev = e.at(pr.name);
-    table.begin_row()
-        .cell(pr.name)
-        .cell(std::string(profile::class_name(pr.cls)))
-        .cell(ev, 1)
-        .cell(p.count(pr.name) ? p.at(pr.name) / ev : 0.0, 3)
-        .cell(i.count(pr.name) ? i.at(pr.name) / ev : 0.0, 3)
-        .cell(s.count(pr.name) ? s.at(pr.name) / ev : 0.0, 3);
-  }
-  table.print();
+  bench::run_per_app_table(
+      h,
+      exp::QueueSpec::Distribution(sched::QueueDistribution::kEqual, 24,
+                                   /*seed=*/29),
+      {sched::Policy::kEven, sched::Policy::kProfileBased,
+       sched::Policy::kIlp, sched::Policy::kIlpSmra},
+      /*nc=*/3, /*show_class=*/true);
   return 0;
 }

@@ -7,42 +7,41 @@
 #include <iostream>
 
 #include "bench/bench_common.h"
-#include "sched/runner.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gpumas;
-  const sim::GpuConfig cfg;
-  bench::print_setup(cfg);
+  bench::Harness h(argc, argv);
+  h.print_setup();
   print_banner("Fig 4.1 — two-application execution: Serial vs FCFS vs ILP");
 
-  const auto profiles = bench::profile_suite(cfg);
-  const auto model = interference::SlowdownModel::measure_pairwise(
-      cfg, workloads::suite(), profiles, /*max_samples_per_cell=*/0);
-  const sched::QueueRunner runner(cfg, profiles, model);
-  const auto queue = sched::make_suite_queue(workloads::suite(), profiles);
+  const auto policies = h.policies(
+      {sched::Policy::kSerial, sched::Policy::kEven, sched::Policy::kIlp});
+  std::vector<exp::ScenarioSpec> scenarios;
+  for (const auto policy : policies) {
+    exp::ScenarioSpec spec = h.scenario(sched::policy_name(policy));
+    spec.queue = exp::QueueSpec::Suite();
+    spec.policy = policy;
+    spec.nc = 2;
+    scenarios.push_back(spec);
+  }
+  const auto results = h.engine().run(scenarios);
 
-  const auto serial = runner.run(queue, sched::Policy::kSerial, 2);
-  const auto fcfs = runner.run(queue, sched::Policy::kEven, 2);
-  const auto ilp = runner.run(queue, sched::Policy::kIlp, 2);
-
-  const double base = serial.device_throughput();
+  const double base = results.front().report().device_throughput();
   Table table({"policy", "throughput (IPC)", "normalized to Serial"});
-  table.begin_row().cell("Serial").cell(base, 1).cell(1.0, 3);
-  table.begin_row()
-      .cell("FCFS")
-      .cell(fcfs.device_throughput(), 1)
-      .cell(fcfs.device_throughput() / base, 3);
-  table.begin_row()
-      .cell("ILP")
-      .cell(ilp.device_throughput(), 1)
-      .cell(ilp.device_throughput() / base, 3);
+  for (const auto& r : results) {
+    table.begin_row()
+        .cell(r.name)
+        .cell(r.report().device_throughput(), 1)
+        .cell(r.report().device_throughput() / base, 3);
+  }
   table.print();
 
-  std::cout << "\nILP vs FCFS: "
-            << 100.0 * (ilp.device_throughput() / fcfs.device_throughput() -
-                        1.0)
-            << "% (paper: ~21%); ILP vs Serial: "
-            << 100.0 * (ilp.device_throughput() / base - 1.0)
-            << "% (paper: >80%)\n";
+  if (results.size() == 3) {
+    const double fcfs = results[1].report().device_throughput();
+    const double ilp = results[2].report().device_throughput();
+    std::cout << "\nILP vs FCFS: " << 100.0 * (ilp / fcfs - 1.0)
+              << "% (paper: ~21%); ILP vs Serial: "
+              << 100.0 * (ilp / base - 1.0) << "% (paper: >80%)\n";
+  }
   return 0;
 }

@@ -7,7 +7,6 @@
 #include <iostream>
 
 #include "bench/bench_common.h"
-#include "sched/runner.h"
 
 namespace {
 
@@ -32,26 +31,35 @@ void report(const char* title, const gpumas::sched::RunReport& run,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gpumas;
-  const sim::GpuConfig cfg;
-  bench::print_setup(cfg);
+  bench::Harness h(argc, argv);
+  h.print_setup();
 
-  const auto profiles = bench::profile_suite(cfg);
-  const auto model = interference::SlowdownModel::measure_pairwise(
-      cfg, workloads::suite(), profiles, /*max_samples_per_cell=*/0);
-  const sched::QueueRunner runner(cfg, profiles, model);
-  const auto queue = sched::make_suite_queue(workloads::suite(), profiles);
+  const auto policies =
+      h.policies({sched::Policy::kIlp, sched::Policy::kEven});
+  std::vector<exp::ScenarioSpec> scenarios;
+  for (const auto policy : policies) {
+    exp::ScenarioSpec spec = h.scenario(sched::policy_name(policy));
+    spec.queue = exp::QueueSpec::Suite();
+    spec.policy = policy;
+    spec.nc = 2;
+    scenarios.push_back(spec);
+  }
+  const auto results = h.engine().run(scenarios);
 
-  int ilp_fast = 0;
-  int fcfs_fast = 0;
-  const auto ilp = runner.run(queue, sched::Policy::kIlp, 2);
-  report("Fig 4.2(a) — pairs formed by ILP vs serial time", ilp, &ilp_fast);
-  const auto fcfs = runner.run(queue, sched::Policy::kEven, 2);
-  report("Fig 4.2(b) — pairs formed by FCFS vs serial time", fcfs,
-         &fcfs_fast);
-
-  std::cout << "\nPairs finishing in < 50% of serial time: ILP " << ilp_fast
-            << "/7 (paper: 5/7), FCFS " << fcfs_fast << "/7 (paper: 2/7)\n";
+  const char* panels[] = {"Fig 4.2(a) — pairs formed by ILP vs serial time",
+                          "Fig 4.2(b) — pairs formed by FCFS vs serial time"};
+  std::vector<int> fast(results.size(), 0);
+  for (size_t i = 0; i < results.size(); ++i) {
+    report(i < 2 ? panels[policies[i] == sched::Policy::kIlp ? 0 : 1]
+                 : "Fig 4.2 — pairs vs serial time",
+           results[i].report(), &fast[i]);
+  }
+  if (results.size() == 2) {
+    std::cout << "\nPairs finishing in < 50% of serial time: ILP " << fast[0]
+              << "/7 (paper: 5/7), FCFS " << fast[1]
+              << "/7 (paper: 2/7)\n";
+  }
   return 0;
 }

@@ -7,51 +7,28 @@
 #include <iostream>
 
 #include "bench/bench_common.h"
-#include "sched/runner.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gpumas;
-  const sim::GpuConfig cfg;
-  bench::print_setup(cfg);
+  bench::Harness h(argc, argv);
+  h.print_setup();
   print_banner("Fig 4.3 — concurrent execution of two applications");
 
-  const auto profiles = bench::profile_suite(cfg);
-  const auto model = interference::SlowdownModel::measure_pairwise(
-      cfg, workloads::suite(), profiles, /*max_samples_per_cell=*/0);
-  const sched::QueueRunner runner(cfg, profiles, model);
+  const auto grid = bench::run_policy_grid(
+      h,
+      {sched::QueueDistribution::kEqual, sched::QueueDistribution::kMOriented,
+       sched::QueueDistribution::kMCOriented,
+       sched::QueueDistribution::kCOriented,
+       sched::QueueDistribution::kAOriented},
+      {sched::Policy::kEven, sched::Policy::kProfileBased,
+       sched::Policy::kIlp, sched::Policy::kIlpSmra},
+      /*nc=*/2, /*length=*/20, /*seed=*/17);
 
-  const sched::QueueDistribution dists[] = {
-      sched::QueueDistribution::kEqual, sched::QueueDistribution::kMOriented,
-      sched::QueueDistribution::kMCOriented,
-      sched::QueueDistribution::kCOriented,
-      sched::QueueDistribution::kAOriented};
-
-  Table table({"workload", "Even", "Profile-based", "ILP", "ILP-SMRA"});
-  double sum_ilp = 0.0;
-  double sum_smra = 0.0;
-  for (const auto dist : dists) {
-    const auto queue = sched::make_queue(workloads::suite(), profiles, dist,
-                                         /*length=*/20, /*seed=*/17);
-    const double even =
-        runner.run(queue, sched::Policy::kEven, 2).device_throughput();
-    const double prof =
-        runner.run(queue, sched::Policy::kProfileBased, 2).device_throughput();
-    const double ilp =
-        runner.run(queue, sched::Policy::kIlp, 2).device_throughput();
-    const double smra =
-        runner.run(queue, sched::Policy::kIlpSmra, 2).device_throughput();
-    table.begin_row()
-        .cell(std::string(sched::distribution_name(dist)))
-        .cell(1.0, 3)
-        .cell(prof / even, 3)
-        .cell(ilp / even, 3)
-        .cell(smra / even, 3);
-    sum_ilp += ilp / even;
-    sum_smra += smra / even;
+  std::cout << "\nAverage vs Even:";
+  for (size_t p = 1; p < grid.policies.size(); ++p) {
+    std::cout << " " << sched::policy_name(grid.policies[p]) << " "
+              << 100.0 * (grid.mean_normalized[p] - 1.0) << "%";
   }
-  table.print();
-  std::cout << "\nAverage vs Even: ILP " << 100.0 * (sum_ilp / 5.0 - 1.0)
-            << "% (paper: +19%), ILP-SMRA " << 100.0 * (sum_smra / 5.0 - 1.0)
-            << "% (paper: +36%)\n";
+  std::cout << " (paper: ILP +19%, ILP-SMRA +36%)\n";
   return 0;
 }

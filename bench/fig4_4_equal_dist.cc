@@ -4,49 +4,22 @@
 #include <iostream>
 
 #include "bench/bench_common.h"
-#include "sched/runner.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gpumas;
-  const sim::GpuConfig cfg;
-  bench::print_setup(cfg);
+  bench::Harness h(argc, argv);
+  h.print_setup();
   print_banner(
       "Fig 4.4 — per-benchmark throughput, equal-distribution queue (2 apps)");
 
-  const auto profiles = bench::profile_suite(cfg);
-  const auto model = interference::SlowdownModel::measure_pairwise(
-      cfg, workloads::suite(), profiles, /*max_samples_per_cell=*/0);
-  const sched::QueueRunner runner(cfg, profiles, model);
-  const auto queue =
-      sched::make_queue(workloads::suite(), profiles,
-                        sched::QueueDistribution::kEqual, 20, /*seed=*/17);
+  bench::run_per_app_table(
+      h,
+      exp::QueueSpec::Distribution(sched::QueueDistribution::kEqual, 20,
+                                   /*seed=*/17),
+      {sched::Policy::kEven, sched::Policy::kProfileBased,
+       sched::Policy::kIlp, sched::Policy::kIlpSmra},
+      /*nc=*/2, /*show_class=*/true);
 
-  const auto even = runner.run(queue, sched::Policy::kEven, 2);
-  const auto prof = runner.run(queue, sched::Policy::kProfileBased, 2);
-  const auto ilp = runner.run(queue, sched::Policy::kIlp, 2);
-  const auto smra = runner.run(queue, sched::Policy::kIlpSmra, 2);
-
-  const auto e = even.per_app_ipc();
-  const auto p = prof.per_app_ipc();
-  const auto i = ilp.per_app_ipc();
-  const auto s = smra.per_app_ipc();
-
-  // Suite order groups the classes as in the paper's figure.
-  Table table({"Benchmark", "class", "Even IPC", "Profile/Even", "ILP/Even",
-               "ILP-SMRA/Even"});
-  for (size_t b = 0; b < profiles.size(); ++b) {
-    const std::string& name = profiles[b].name;
-    if (e.find(name) == e.end()) continue;  // not drawn into this queue
-    const double ev = e.at(name);
-    table.begin_row()
-        .cell(name)
-        .cell(std::string(profile::class_name(profiles[b].cls)))
-        .cell(ev, 1)
-        .cell(p.count(name) ? p.at(name) / ev : 0.0, 3)
-        .cell(i.count(name) ? i.at(name) / ev : 0.0, 3)
-        .cell(s.count(name) ? s.at(name) / ev : 0.0, 3);
-  }
-  table.print();
   std::cout << "\nColumns Profile/ILP/ILP-SMRA are normalized to the Even "
                "IPC of the same benchmark.\nPaper: individual apps may lose, "
                "but losses are overshadowed by co-runner gains; ILP ~ +9% "

@@ -10,70 +10,33 @@
 #include <iostream>
 
 #include "bench/bench_common.h"
-#include "sched/runner.h"
 
-namespace {
-
-void run_distribution(const gpumas::sim::GpuConfig& cfg,
-                      const std::vector<gpumas::profile::AppProfile>& profiles,
-                      const gpumas::sched::QueueRunner& runner,
-                      gpumas::sched::QueueDistribution dist,
-                      const char* figure) {
+int main(int argc, char** argv) {
   using namespace gpumas;
-  print_banner(std::string(figure) + " — " + sched::distribution_name(dist) +
-               " work queue");
-  const auto queue = sched::make_queue(workloads::suite(), profiles, dist,
-                                       /*length=*/20, /*seed=*/17);
+  bench::Harness h(argc, argv);
+  h.print_setup();
 
-  const auto even = runner.run(queue, sched::Policy::kEven, 2);
-  const auto prof = runner.run(queue, sched::Policy::kProfileBased, 2);
-  const auto ilp = runner.run(queue, sched::Policy::kIlp, 2);
-  const auto smra = runner.run(queue, sched::Policy::kIlpSmra, 2);
-
-  const auto e = even.per_app_ipc();
-  const auto p = prof.per_app_ipc();
-  const auto i = ilp.per_app_ipc();
-  const auto s = smra.per_app_ipc();
-
-  Table table({"Benchmark", "Even IPC", "Profile/Even", "ILP/Even",
-               "ILP-SMRA/Even"});
-  for (const auto& pr : profiles) {
-    if (e.find(pr.name) == e.end()) continue;
-    const double ev = e.at(pr.name);
-    table.begin_row()
-        .cell(pr.name)
-        .cell(ev, 1)
-        .cell(p.count(pr.name) ? p.at(pr.name) / ev : 0.0, 3)
-        .cell(i.count(pr.name) ? i.at(pr.name) / ev : 0.0, 3)
-        .cell(s.count(pr.name) ? s.at(pr.name) / ev : 0.0, 3);
+  const std::pair<const char*, sched::QueueDistribution> figures[] = {
+      {"Fig 4.5", sched::QueueDistribution::kAOriented},
+      {"Fig 4.6", sched::QueueDistribution::kMOriented},
+      {"Fig 4.7", sched::QueueDistribution::kMCOriented},
+      {"Fig 4.8", sched::QueueDistribution::kCOriented},
+  };
+  for (const auto& [figure, dist] : figures) {
+    print_banner(std::string(figure) + " — " +
+                 sched::distribution_name(dist) + " work queue");
+    const auto reports = bench::run_per_app_table(
+        h, exp::QueueSpec::Distribution(dist, 20, /*seed=*/17),
+        {sched::Policy::kEven, sched::Policy::kProfileBased,
+         sched::Policy::kIlp, sched::Policy::kIlpSmra},
+        /*nc=*/2, /*show_class=*/false);
+    const double base = reports.front().device_throughput();
+    std::cout << "Queue device throughput vs Even: ";
+    for (size_t p = 1; p < reports.size(); ++p) {
+      std::cout << " " << sched::policy_name(reports[p].policy) << " "
+                << reports[p].device_throughput() / base;
+    }
+    std::cout << "\n";
   }
-  table.print();
-  const double base = even.device_throughput();
-  std::cout << "Queue device throughput vs Even:  Profile-based "
-            << prof.device_throughput() / base << "  ILP "
-            << ilp.device_throughput() / base << "  ILP-SMRA "
-            << smra.device_throughput() / base << "\n";
-}
-
-}  // namespace
-
-int main() {
-  using namespace gpumas;
-  const sim::GpuConfig cfg;
-  bench::print_setup(cfg);
-
-  const auto profiles = bench::profile_suite(cfg);
-  const auto model = interference::SlowdownModel::measure_pairwise(
-      cfg, workloads::suite(), profiles, /*max_samples_per_cell=*/0);
-  const sched::QueueRunner runner(cfg, profiles, model);
-
-  run_distribution(cfg, profiles, runner,
-                   sched::QueueDistribution::kAOriented, "Fig 4.5");
-  run_distribution(cfg, profiles, runner,
-                   sched::QueueDistribution::kMOriented, "Fig 4.6");
-  run_distribution(cfg, profiles, runner,
-                   sched::QueueDistribution::kMCOriented, "Fig 4.7");
-  run_distribution(cfg, profiles, runner,
-                   sched::QueueDistribution::kCOriented, "Fig 4.8");
   return 0;
 }

@@ -10,17 +10,15 @@
 
 #include "bench/bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gpumas;
-  const sim::GpuConfig cfg;
-  bench::print_setup(cfg);
+  bench::Harness h(argc, argv);
+  h.print_setup();
   print_banner("Table 3.2 — classification of the benchmark suite");
-
-  const auto profiles = bench::profile_suite(cfg);
 
   Table table({"Benchmark", "MemoryBW (GB/s)", "L2->L1 (GB/s)", "IPC", "R",
                "L1 hit", "L2 hit", "cycles", "class"});
-  for (const auto& p : profiles) {
+  for (const auto& p : h.profiles()) {
     table.begin_row()
         .cell(p.name)
         .cell(p.mb_gbps, 2)

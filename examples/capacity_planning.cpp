@@ -1,46 +1,69 @@
 // Capacity planning: how should two co-located applications split the SMs?
 //
 // Sweeps every static partition of the 60 SMs between a compute-intensive
-// app (HS) and a memory-intensive app (GUPS), reporting per-app IPC and
-// device throughput — the data a resource manager needs to pick a quota,
-// and the effect the paper's SMRA algorithm discovers dynamically.
+// app (HS) and a memory-intensive app (GUPS) using the experiment engine's
+// fixed-partition scenarios, reporting per-app IPC and device throughput —
+// the data a resource manager needs to pick a quota, and the effect the
+// paper's SMRA algorithm discovers dynamically. The sweep points run
+// concurrently on the engine's worker threads.
 //
 //   ./build/examples/capacity_planning
 #include <iostream>
 
 #include "common/table.h"
-#include "sim/gpu.h"
+#include "exp/experiment.h"
+#include "profile/profile_cache.h"
 #include "workloads/suite.h"
 
 int main() {
   using namespace gpumas;
   const sim::GpuConfig cfg;
-  const auto hs = workloads::benchmark("HS");
-  const auto gups = workloads::benchmark("GUPS");
+  profile::ProfileCache cache;
+  exp::ExperimentRunner engine(cache, /*threads=*/4);
+
+  const std::vector<sim::KernelParams> pair = {workloads::benchmark("HS"),
+                                               workloads::benchmark("GUPS")};
+
+  std::vector<int> hs_counts;
+  std::vector<exp::ScenarioSpec> scenarios;
+  for (int hs_sms = 10; hs_sms <= 50; hs_sms += 10) {
+    exp::ScenarioSpec spec;
+    spec.name = "hs-" + std::to_string(hs_sms);
+    spec.config = cfg;
+    spec.queue = exp::QueueSpec::Explicit(pair);
+    spec.policy = sched::Policy::kEven;
+    spec.nc = 2;
+    spec.fixed_partition = {hs_sms, cfg.num_sms - hs_sms};
+    spec.model_samples_per_cell = 1;
+    hs_counts.push_back(hs_sms);
+    scenarios.push_back(spec);
+  }
+  const auto results = engine.run(scenarios);
 
   std::cout << "Static SM partition sweep: HS (compute) vs GUPS (memory)\n\n";
   Table table({"HS SMs", "GUPS SMs", "HS IPC", "GUPS IPC", "device IPC",
                "group cycles"});
-
   double best_throughput = 0.0;
   int best_hs = 0;
-  for (int hs_sms = 10; hs_sms <= 50; hs_sms += 10) {
-    sim::Gpu gpu(cfg);
-    gpu.launch(hs);
-    gpu.launch(gups);
-    gpu.set_partition_counts({hs_sms, cfg.num_sms - hs_sms});
-    const sim::RunResult r = gpu.run_to_completion();
-    const double throughput = r.device_throughput();
+  for (size_t i = 0; i < results.size(); ++i) {
+    const sched::GroupReport& g = results[i].report().groups.front();
+    const double throughput = results[i].report().device_throughput();
+    const auto ipc = [&g](size_t app) {
+      return g.app_cycles[app] == 0
+                 ? 0.0
+                 : static_cast<double>(g.app_thread_insns[app]) /
+                       static_cast<double>(g.app_cycles[app]);
+    };
     table.begin_row()
-        .cell(hs_sms)
-        .cell(cfg.num_sms - hs_sms)
-        .cell(r.app_ipc(0), 1)
-        .cell(r.app_ipc(1), 1)
+        .cell(hs_counts[i])
+        .cell(cfg.num_sms - hs_counts[i])
+        .cell(ipc(0), 1)
+        .cell(ipc(1), 1)
         .cell(throughput, 1)
-        .cell(r.cycles);
+        .cell(g.cycles);
     if (throughput > best_throughput) {
       best_throughput = throughput;
-      best_hs = hs_sms;
+      best_hs = hs_counts[i];
     }
   }
   table.print();

@@ -1,17 +1,20 @@
 // Bring-your-own-kernel: define a custom workload, profile and classify it,
 // and ask the scheduler which suite application it should co-run with.
+// Each candidate pairing is one scenario, so the whole sweep fans out
+// across the engine's worker threads.
 //
 //   ./build/examples/custom_workload
 #include <iostream>
 
-#include "interference/interference.h"
-#include "profile/profile.h"
-#include "sim/gpu.h"
+#include "exp/experiment.h"
+#include "profile/profile_cache.h"
 #include "workloads/suite.h"
 
 int main() {
   using namespace gpumas;
   const sim::GpuConfig cfg;
+  profile::ProfileCache cache;
+  exp::ExperimentRunner engine(cache, /*threads=*/4);
 
   // A hypothetical sparse-attention kernel: moderately divergent gathers
   // over a large model with a cache-resident working tile.
@@ -31,9 +34,8 @@ int main() {
   attn.mlp = 3;
   attn.seed = 0xA77;
 
-  // 1. Profile and classify (Table 3.1).
-  profile::Profiler profiler(cfg);
-  const profile::AppProfile p = profiler.profile(attn);
+  // 1. Profile and classify (Table 3.1) through the shared cache.
+  const profile::AppProfile p = cache.solo(cfg, attn);
   std::cout << "Profile of " << p.name << ":\n"
             << "  memory bandwidth  " << p.mb_gbps << " GB/s\n"
             << "  L2->L1 bandwidth  " << p.l2l1_gbps << " GB/s\n"
@@ -42,21 +44,35 @@ int main() {
             << "  class             " << profile::class_name(p.cls) << "\n\n";
 
   // 2. Find its best co-runner among the suite by measuring actual pair
-  //    throughput (what the class-level ILP approximates in aggregate).
+  //    throughput (what the class-level ILP approximates in aggregate):
+  //    one explicit-queue scenario per candidate, run as a batch.
+  std::vector<exp::ScenarioSpec> scenarios;
+  for (const auto& other : workloads::suite()) {
+    exp::ScenarioSpec spec;
+    spec.name = other.name;
+    spec.config = cfg;
+    spec.queue = exp::QueueSpec::Explicit({attn, other});
+    spec.policy = sched::Policy::kEven;  // 30/30 split
+    spec.nc = 2;
+    spec.model_samples_per_cell = 1;  // pairing is fixed; grouping is trivial
+    scenarios.push_back(spec);
+  }
+  const auto results = engine.run(scenarios);
+
   std::cout << "Co-run against each suite benchmark (30/30 SM split):\n";
   std::string best_name;
   double best_ratio = 1e9;
-  for (const auto& other : workloads::suite()) {
-    const auto op = profiler.profile(other);
-    const auto r = interference::co_run(cfg, {attn, other},
-                                        {p.solo_cycles, op.solo_cycles});
-    const double ratio = static_cast<double>(r.group_cycles) /
-                         static_cast<double>(p.solo_cycles + op.solo_cycles);
-    std::cout << "  with " << other.name << " (" << profile::class_name(op.cls)
+  for (const auto& r : results) {
+    const sched::GroupReport& g = r.report().groups.front();
+    const double ratio = static_cast<double>(g.cycles) /
+                         static_cast<double>(g.serial_cycles);
+    const profile::AppProfile op =
+        cache.solo(cfg, workloads::benchmark(r.name));
+    std::cout << "  with " << r.name << " (" << profile::class_name(op.cls)
               << "): pair/serial = " << ratio << "\n";
     if (ratio < best_ratio) {
       best_ratio = ratio;
-      best_name = other.name;
+      best_name = r.name;
     }
   }
   std::cout << "\nBest co-runner: " << best_name << " (pair finishes in "

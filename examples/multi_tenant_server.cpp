@@ -2,63 +2,71 @@
 //
 // A cloud operator receives a queue of kernels from different tenants and
 // wants maximum device throughput. This example runs the complete
-// methodology: profile the suite offline, classify (Table 3.1), measure the
-// class interference matrix (Fig 3.4), then schedule an incoming queue with
-// the ILP matcher plus runtime SM reallocation, and compare against naive
-// arrival-order scheduling.
+// methodology as a scenario batch: profile the suite offline (once, via the
+// shared cache), classify (Table 3.1), measure the class interference
+// matrix (Fig 3.4, sampled), then schedule an incoming queue with the ILP
+// matcher plus runtime SM reallocation, and compare against naive
+// arrival-order scheduling. Accepts the standard harness flags
+// (--threads, --config, --profile-cache, --policy).
 //
-//   ./build/examples/multi_tenant_server
+//   ./build/examples/multi_tenant_server --threads 3
 #include <iostream>
 
-#include "common/table.h"
-#include "interference/interference.h"
-#include "profile/profile.h"
-#include "sched/runner.h"
-#include "workloads/suite.h"
+#include "bench/bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gpumas;
-  const sim::GpuConfig cfg;
+  bench::Harness h(argc, argv);
 
   std::cout << "Profiling the application suite (offline, once)...\n";
-  profile::Profiler profiler(cfg);
-  const auto profiles = profiler.profile_suite(workloads::suite());
-  for (const auto& p : profiles) {
+  for (const auto& p : h.profiles()) {
     std::cout << "  " << p.name << " -> class "
               << profile::class_name(p.cls) << "\n";
   }
 
-  std::cout << "\nMeasuring class interference (sampled)...\n";
-  const auto model = interference::SlowdownModel::measure_pairwise(
-      cfg, workloads::suite(), profiles, /*max_samples_per_cell=*/2);
-
   // Tonight's queue: memory-heavy tenant mix.
-  const auto queue =
-      sched::make_queue(workloads::suite(), profiles,
-                        sched::QueueDistribution::kMOriented,
-                        /*length=*/12, /*seed=*/2026);
+  const exp::QueueSpec queue = exp::QueueSpec::Distribution(
+      sched::QueueDistribution::kMOriented, /*length=*/12, /*seed=*/2026);
+
+  const auto policies = h.policies({sched::Policy::kEven, sched::Policy::kIlp,
+                                    sched::Policy::kIlpSmra});
+  std::vector<exp::ScenarioSpec> scenarios;
+  for (const auto policy : policies) {
+    exp::ScenarioSpec spec = h.scenario(sched::policy_name(policy));
+    spec.queue = queue;
+    spec.policy = policy;
+    spec.nc = 2;
+    spec.model_samples_per_cell = 2;  // sampled interference measurement
+    scenarios.push_back(spec);
+  }
+  std::cout << "\nScheduling the incoming queue under " << scenarios.size()
+            << " policies (" << h.engine().threads() << " worker threads)...\n";
+  const auto results = h.engine().run(scenarios);
+
   std::cout << "\nIncoming queue:";
-  for (const auto& job : queue) std::cout << " " << job.kernel.name;
+  for (const auto& g : results.front().report().groups) {
+    for (const auto& name : g.names) std::cout << " " << name;
+  }
   std::cout << "\n\n";
 
-  const sched::QueueRunner runner(cfg, profiles, model);
+  const double even = results.front().report().device_throughput();
   Table table({"policy", "total cycles", "device throughput", "vs Even"});
-  const auto even = runner.run(queue, sched::Policy::kEven, 2);
-  for (sched::Policy p : {sched::Policy::kEven, sched::Policy::kIlp,
-                          sched::Policy::kIlpSmra}) {
-    const auto report = runner.run(queue, p, 2);
+  for (const auto& r : results) {
     table.begin_row()
-        .cell(std::string(sched::policy_name(p)))
-        .cell(report.total_cycles)
-        .cell(report.device_throughput(), 1)
-        .cell(report.device_throughput() / even.device_throughput(), 3);
+        .cell(r.name)
+        .cell(r.report().total_cycles)
+        .cell(r.report().device_throughput(), 1)
+        .cell(r.report().device_throughput() / even, 3);
   }
   table.print();
 
-  std::cout << "\nGroups chosen by ILP:\n";
-  for (const auto& g :
-       runner.run(queue, sched::Policy::kIlp, 2).groups) {
-    std::cout << "  " << g.label() << "\n";
+  for (const auto& r : results) {
+    if (r.name == std::string(sched::policy_name(sched::Policy::kIlp))) {
+      std::cout << "\nGroups chosen by ILP:\n";
+      for (const auto& g : r.report().groups) {
+        std::cout << "  " << g.label() << "\n";
+      }
+    }
   }
   return 0;
 }

@@ -1,51 +1,61 @@
-// Quickstart: launch two applications concurrently, partition the SMs, and
-// read back the per-app statistics.
+// Quickstart: declare a two-application scenario, run it through the
+// experiment engine, and read back the report — plus the raw simulator API
+// underneath when per-cycle control is needed.
 //
 // Build & run:
-//   cmake -B build -G Ninja && cmake --build build
+//   cmake -B build && cmake --build build -j
 //   ./build/examples/quickstart
 #include <iostream>
 
+#include "exp/experiment.h"
+#include "profile/profile_cache.h"
 #include "sim/gpu.h"
 #include "workloads/suite.h"
 
 int main() {
   using namespace gpumas;
 
-  // 1. A GTX 480-style device (Table 4.1 defaults).
+  // 1. A GTX 480-style device (Table 4.1 defaults) and the shared profile
+  //    cache every measurement goes through.
   sim::GpuConfig cfg;
+  profile::ProfileCache cache;
+  exp::ExperimentRunner engine(cache, /*threads=*/2);
 
-  // 2. Pick two applications from the calibrated suite: a compute-intensive
-  //    one (HS, class A) and a memory-intensive one (GUPS, class M).
-  const sim::KernelParams hs = workloads::benchmark("HS");
-  const sim::KernelParams gups = workloads::benchmark("GUPS");
+  // 2. Declare the experiment: a compute-intensive app (HS, class A) and a
+  //    memory-intensive one (GUPS, class M), co-run with an even SM split.
+  exp::ScenarioSpec spec;
+  spec.name = "quickstart";
+  spec.config = cfg;
+  spec.queue = exp::QueueSpec::Explicit(
+      {workloads::benchmark("HS"), workloads::benchmark("GUPS")});
+  spec.policy = sched::Policy::kEven;
+  spec.nc = 2;
+  spec.model_samples_per_cell = 1;  // trivial grouping: sampled model is fine
 
-  // 3. Launch them as separate contexts and split the 60 SMs evenly.
-  sim::Gpu gpu(cfg);
-  const int app_hs = gpu.launch(hs);
-  const int app_gups = gpu.launch(gups);
-  gpu.set_even_partition();
+  // 3. Run it and inspect the report.
+  const exp::ScenarioResult result = engine.run_one(spec);
+  const sched::GroupReport& group = result.report().groups.front();
 
-  // 4. Run to completion and inspect the result.
-  const sim::RunResult result = gpu.run_to_completion();
-
-  std::cout << "Concurrent execution finished in " << result.cycles
-            << " cycles\n";
-  std::cout << "Device throughput (Eq 1.1): " << result.device_throughput()
+  std::cout << "Concurrent execution finished in " << group.cycles
+            << " cycles\n"
+            << "Device throughput (Eq 1.1): "
+            << result.report().device_throughput()
             << " thread-insns/cycle\n\n";
-  for (int app : {app_hs, app_gups}) {
-    const sim::AppStats& s = result.apps[static_cast<size_t>(app)];
-    const char* name = app == app_hs ? "HS" : "GUPS";
-    std::cout << name << ":\n"
-              << "  finish cycle       " << s.finish_cycle << "\n"
-              << "  thread instructions " << s.thread_insns(cfg.warp_size)
-              << "\n"
-              << "  IPC                " << result.app_ipc(static_cast<size_t>(app))
-              << "\n"
-              << "  DRAM bandwidth     "
-              << sim::bandwidth_gbps(s.dram_transactions * cfg.l2.line_bytes,
-                                     s.finish_cycle, cfg.core_freq_ghz)
-              << " GB/s\n";
+  for (size_t i = 0; i < group.names.size(); ++i) {
+    std::cout << group.names[i] << ":\n"
+              << "  finish cycle        " << group.app_cycles[i] << "\n"
+              << "  thread instructions " << group.app_thread_insns[i] << "\n"
+              << "  slowdown vs solo    " << group.slowdowns[i] << "\n";
   }
+
+  // 4. The same pair on the raw simulator API, for cycle-level control
+  //    (custom partitions, tick-by-tick inspection).
+  sim::Gpu gpu(cfg);
+  gpu.launch(workloads::benchmark("HS"));
+  gpu.launch(workloads::benchmark("GUPS"));
+  gpu.set_partition_counts({40, cfg.num_sms - 40});
+  const sim::RunResult raw = gpu.run_to_completion();
+  std::cout << "\nRaw API, 40/20 split: " << raw.cycles << " cycles, "
+            << raw.device_throughput() << " thread-insns/cycle\n";
   return 0;
 }

@@ -1,0 +1,32 @@
+// Small text utilities shared by the key=value parsers (sim::config_io,
+// profile::ProfileCache) and the fingerprinting helpers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace gpumas {
+
+// Strips leading/trailing whitespace (including CR, so CRLF files parse,
+// and the rarer \f/\v).
+inline std::string trim(const std::string& s) {
+  const char* kWs = " \t\r\f\v";
+  const size_t a = s.find_first_not_of(kWs);
+  if (a == std::string::npos) return "";
+  const size_t b = s.find_last_not_of(kWs);
+  return s.substr(a, b - a + 1);
+}
+
+// FNV-1a over a byte string; the stable fingerprint primitive used for
+// cache and experiment-environment keys.
+inline uint64_t fnv1a(const std::string& s,
+                      uint64_t h = 1469598103934665603ull) {
+  constexpr uint64_t kPrime = 1099511628211ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= kPrime;
+  }
+  return h;
+}
+
+}  // namespace gpumas

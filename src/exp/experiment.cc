@@ -1,0 +1,185 @@
+#include "exp/experiment.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <thread>
+
+#include "common/check.h"
+#include "common/text.h"
+#include "workloads/suite.h"
+
+namespace gpumas::exp {
+
+ExperimentRunner::ExperimentRunner(profile::ProfileCache& cache, int threads,
+                                   std::vector<sim::KernelParams> suite)
+    : cache_(&cache),
+      threads_(threads > 0 ? threads : 1),
+      suite_(suite.empty() ? workloads::suite() : std::move(suite)) {}
+
+namespace {
+
+uint64_t thresholds_fingerprint(const profile::ClassifierThresholds& t) {
+  std::string bytes(4 * sizeof(double), '\0');
+  const double vals[] = {t.alpha, t.beta, t.gamma, t.epsilon};
+  std::memcpy(bytes.data(), vals, sizeof(vals));
+  return fnv1a(bytes);
+}
+
+}  // namespace
+
+std::shared_ptr<const ExperimentRunner::Env> ExperimentRunner::env_for(
+    const ScenarioSpec& spec) {
+  const auto key = std::make_tuple(profile::config_fingerprint(spec.config),
+                                   thresholds_fingerprint(spec.thresholds),
+                                   spec.model_samples_per_cell);
+
+  std::promise<std::shared_ptr<const Env>> promise;
+  std::shared_future<std::shared_ptr<const Env>> future;
+  bool owner = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = envs_.find(key);
+    if (it != envs_.end()) {
+      future = it->second;
+    } else {
+      future = promise.get_future().share();
+      envs_.emplace(key, future);
+      owner = true;
+    }
+  }
+  if (owner) {
+    try {
+      auto env = std::make_shared<Env>();
+      env->profiles =
+          cache_->suite_profiles(suite_, spec.config, spec.thresholds);
+      env->model = interference::SlowdownModel::measure_pairwise(
+          spec.config, suite_, env->profiles,
+          spec.model_samples_per_cell);
+      env->runner = std::make_unique<sched::QueueRunner>(
+          spec.config, env->profiles, env->model, cache_);
+      promise.set_value(std::move(env));
+    } catch (...) {
+      promise.set_exception(std::current_exception());
+    }
+  }
+  return future.get();
+}
+
+std::vector<sched::Job> ExperimentRunner::build_queue(const ScenarioSpec& spec,
+                                                      int rep,
+                                                      const Env& env) const {
+  switch (spec.queue.kind) {
+    case QueueSpec::Kind::kSuite: {
+      std::vector<sched::Job> queue;
+      for (const auto& job :
+           sched::make_suite_queue(suite_, env.profiles)) {
+        const auto& ex = spec.queue.exclude;
+        if (std::find(ex.begin(), ex.end(), job.kernel.name) == ex.end()) {
+          queue.push_back(job);
+        }
+      }
+      return queue;
+    }
+    case QueueSpec::Kind::kDistribution:
+      return sched::make_queue(suite_, env.profiles,
+                               spec.queue.dist, spec.queue.length,
+                               spec.queue.seed + static_cast<uint64_t>(rep));
+    case QueueSpec::Kind::kExplicit: {
+      std::vector<sched::Job> queue;
+      for (size_t i = 0; i < spec.queue.kernels.size(); ++i) {
+        const auto& kp = spec.queue.kernels[i];
+        queue.push_back(sched::Job{
+            kp, cache_->solo(spec.config, kp, -1, spec.thresholds).cls,
+            static_cast<int>(i)});
+      }
+      return queue;
+    }
+  }
+  GPUMAS_CHECK_MSG(false, "unhandled queue kind");
+}
+
+ScenarioResult ExperimentRunner::run_scenario(const ScenarioSpec& spec) {
+  const std::shared_ptr<const Env> env = env_for(spec);
+
+  // Explicit queues may contain kernels outside the suite; those scenarios
+  // get a local runner whose profile set is extended with the extras
+  // (profiled through the shared cache, so the work is still done once).
+  const sched::QueueRunner* runner = env->runner.get();
+  std::unique_ptr<sched::QueueRunner> local;
+  if (spec.queue.kind == QueueSpec::Kind::kExplicit) {
+    // QueueRunner keys profiles by name, so two distinct kernels sharing a
+    // name would silently alias — reject the spec instead.
+    std::map<std::string, uint64_t> seen;
+    for (const auto& kp : spec.queue.kernels) {
+      const uint64_t fp = profile::kernel_fingerprint(kp);
+      const auto [it, inserted] = seen.emplace(kp.name, fp);
+      GPUMAS_CHECK_MSG(inserted || it->second == fp,
+                       "scenario '" << spec.name
+                                    << "': two different kernels share the "
+                                       "name '"
+                                    << kp.name << "'");
+    }
+    std::vector<profile::AppProfile> profiles = env->profiles;
+    for (const auto& kp : spec.queue.kernels) {
+      profiles.push_back(cache_->solo(spec.config, kp, -1, spec.thresholds));
+    }
+    local = std::make_unique<sched::QueueRunner>(spec.config, profiles,
+                                                 env->model, cache_);
+    runner = local.get();
+  }
+
+  ScenarioResult result;
+  result.name = spec.name;
+  const int reps = spec.repetitions > 0 ? spec.repetitions : 1;
+  result.reps.reserve(static_cast<size_t>(reps));
+  for (int rep = 0; rep < reps; ++rep) {
+    const auto queue = build_queue(spec, rep, *env);
+    result.reps.push_back(runner->run(queue, spec.policy, spec.nc, spec.smra,
+                                      spec.fixed_partition));
+  }
+  return result;
+}
+
+std::vector<ScenarioResult> ExperimentRunner::run(
+    const std::vector<ScenarioSpec>& scenarios) {
+  std::vector<ScenarioResult> results(scenarios.size());
+  if (scenarios.empty()) return results;
+
+  const int pool_size = std::min<int>(
+      threads_, static_cast<int>(scenarios.size()));
+  if (pool_size <= 1) {
+    for (size_t i = 0; i < scenarios.size(); ++i) {
+      results[i] = run_scenario(scenarios[i]);
+    }
+    return results;
+  }
+
+  std::atomic<size_t> next{0};
+  std::mutex err_mu;
+  std::exception_ptr first_error;
+  const auto worker = [&] {
+    while (true) {
+      const size_t i = next.fetch_add(1);
+      if (i >= scenarios.size()) return;
+      try {
+        results[i] = run_scenario(scenarios[i]);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(err_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<size_t>(pool_size));
+  for (int t = 0; t < pool_size; ++t) pool.emplace_back(worker);
+  for (auto& th : pool) th.join();
+  if (first_error) std::rethrow_exception(first_error);
+  return results;
+}
+
+ScenarioResult ExperimentRunner::run_one(const ScenarioSpec& scenario) {
+  return run({scenario}).front();
+}
+
+}  // namespace gpumas::exp

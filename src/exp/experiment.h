@@ -1,0 +1,72 @@
+// ExperimentRunner: executes a batch of ScenarioSpecs across a thread pool.
+//
+// The engine memoizes, per device configuration, the expensive offline
+// stages every scenario shares — suite solo profiles (through the global
+// ProfileCache) and the pairwise SlowdownModel measurement — so a batch of
+// N scenarios on one config pays for profiling and interference measurement
+// once, not N times. Workers pull scenarios from a shared index and write
+// into a pre-sized result vector, so `run()` returns reports in declaration
+// order and byte-identical results regardless of the thread count (the
+// simulator itself is deterministic and each scenario is independent).
+#pragma once
+
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <tuple>
+#include <vector>
+
+#include "exp/scenario.h"
+#include "interference/interference.h"
+#include "profile/profile_cache.h"
+#include "sched/runner.h"
+
+namespace gpumas::exp {
+
+class ExperimentRunner {
+ public:
+  // `cache` outlives the runner and may be shared with other engines and
+  // with direct Profiler users; `threads` <= 0 selects 1. `suite` is the
+  // application population that suite/distribution queues draw from and
+  // that the interference model is measured over; empty selects the
+  // paper's 14-benchmark suite.
+  explicit ExperimentRunner(profile::ProfileCache& cache, int threads = 1,
+                            std::vector<sim::KernelParams> suite = {});
+
+  // Executes every scenario; results[i] always corresponds to scenarios[i].
+  // Worker exceptions (e.g. a scenario exceeding max_cycles) propagate to
+  // the caller after the pool drains.
+  std::vector<ScenarioResult> run(const std::vector<ScenarioSpec>& scenarios);
+
+  // Convenience for the common single-scenario case.
+  ScenarioResult run_one(const ScenarioSpec& scenario);
+
+  int threads() const { return threads_; }
+  profile::ProfileCache& cache() { return *cache_; }
+
+ private:
+  // Offline stage shared by every scenario on one (config, model sampling):
+  // suite profiles, the interference model, and one reusable const runner.
+  struct Env {
+    std::vector<profile::AppProfile> profiles;
+    interference::SlowdownModel model;
+    std::unique_ptr<sched::QueueRunner> runner;
+  };
+
+  std::shared_ptr<const Env> env_for(const ScenarioSpec& spec);
+  ScenarioResult run_scenario(const ScenarioSpec& spec);
+  std::vector<sched::Job> build_queue(const ScenarioSpec& spec, int rep,
+                                      const Env& env) const;
+
+  profile::ProfileCache* cache_;
+  int threads_;
+  std::vector<sim::KernelParams> suite_;
+  std::mutex mu_;
+  // Keyed by (config fingerprint, thresholds fingerprint, model sampling).
+  std::map<std::tuple<uint64_t, uint64_t, int>,
+           std::shared_future<std::shared_ptr<const Env>>>
+      envs_;
+};
+
+}  // namespace gpumas::exp

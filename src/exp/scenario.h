@@ -1,0 +1,103 @@
+// Declarative experiment descriptions.
+//
+// A ScenarioSpec captures everything that determines one co-run experiment
+// of Chapter 4 — device configuration, job queue, scheduling policy,
+// concurrency degree NC, SMRA parameters and repetition count — so that the
+// figure/table benches reduce to "declare scenarios, hand them to the
+// ExperimentRunner, print a table". Scenarios are pure data: executing one
+// never mutates it, which is what lets the engine run a batch across a
+// thread pool and still produce reports in declaration order.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "profile/profile.h"
+#include "sched/policies.h"
+#include "sched/queue_gen.h"
+#include "sched/runner.h"
+#include "sched/smra.h"
+#include "sim/gpu_config.h"
+#include "sim/kernel.h"
+
+namespace gpumas::exp {
+
+// How a scenario's job queue is constructed.
+struct QueueSpec {
+  enum class Kind {
+    kSuite,         // the paper's base queue: every suite member once
+    kDistribution,  // generated queue with a controlled class mix (§4.1)
+    kExplicit,      // exactly these kernels, in order (custom ones allowed)
+  };
+
+  Kind kind = Kind::kSuite;
+  sched::QueueDistribution dist = sched::QueueDistribution::kEqual;
+  int length = 20;
+  uint64_t seed = 17;
+  std::vector<std::string> exclude;        // kSuite: dropped members (e.g.
+                                           // RAY/NN for the 12-app queue)
+  std::vector<sim::KernelParams> kernels;  // kExplicit
+
+  static QueueSpec Suite(std::vector<std::string> excluded = {}) {
+    QueueSpec q;
+    q.kind = Kind::kSuite;
+    q.exclude = std::move(excluded);
+    return q;
+  }
+  static QueueSpec Distribution(sched::QueueDistribution d, int len,
+                                uint64_t s) {
+    QueueSpec q;
+    q.kind = Kind::kDistribution;
+    q.dist = d;
+    q.length = len;
+    q.seed = s;
+    return q;
+  }
+  static QueueSpec Explicit(std::vector<sim::KernelParams> ks) {
+    QueueSpec q;
+    q.kind = Kind::kExplicit;
+    q.kernels = std::move(ks);
+    return q;
+  }
+};
+
+// One experiment: a queue executed under a policy on a device.
+struct ScenarioSpec {
+  std::string name;  // label for reports; benches key their tables on it
+  sim::GpuConfig config;
+  QueueSpec queue;
+  sched::Policy policy = sched::Policy::kEven;
+  int nc = 2;  // applications co-run per group
+  sched::SmraParams smra;
+  // When its size matches a group's size, pins that group's SM split for
+  // the whole run — SMRA is disabled for pinned groups, so static-
+  // allocation sweeps (e.g. capacity planning) measure the split they
+  // declare. Empty keeps the policy's own partitioning.
+  std::vector<int> fixed_partition;
+  // SlowdownModel sampling for the ILP policies (0 = exhaustive pairwise
+  // measurement, as the paper does; N bounds app pairs per class cell).
+  int model_samples_per_cell = 0;
+  // Table 3.1 classification thresholds. The defaults are calibrated for
+  // the GTX 480-style device; scaled-down configs need scaled bounds.
+  profile::ClassifierThresholds thresholds;
+  // Generated-distribution queues are re-drawn with seed+i per repetition;
+  // suite/explicit queues are simply re-run (the simulator is
+  // deterministic, so reps only matter for seed sweeps).
+  int repetitions = 1;
+};
+
+struct ScenarioResult {
+  std::string name;                    // copied from the spec
+  std::vector<sched::RunReport> reps;  // one report per repetition
+
+  const sched::RunReport& report() const { return reps.front(); }
+
+  double mean_device_throughput() const {
+    double sum = 0.0;
+    for (const auto& r : reps) sum += r.device_throughput();
+    return reps.empty() ? 0.0 : sum / static_cast<double>(reps.size());
+  }
+};
+
+}  // namespace gpumas::exp

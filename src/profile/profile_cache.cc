@@ -1,0 +1,273 @@
+#include "profile/profile_cache.h"
+
+#include <fstream>
+#include <iomanip>
+#include <set>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/text.h"
+#include "sim/config_io.h"
+
+namespace gpumas::profile {
+
+namespace {
+
+std::string render_double(double v) {
+  std::ostringstream os;
+  os << std::setprecision(17) << v;
+  return os.str();
+}
+
+}  // namespace
+
+uint64_t config_fingerprint(const sim::GpuConfig& cfg) {
+  return fnv1a(sim::config_to_string(cfg));
+}
+
+uint64_t kernel_fingerprint(const sim::KernelParams& kp) {
+  // Canonical key = value rendering of every field that shapes the address
+  // and instruction streams, hashed like the config.
+  std::ostringstream os;
+  os << "name = " << kp.name << "\n"
+     << "num_blocks = " << kp.num_blocks << "\n"
+     << "warps_per_block = " << kp.warps_per_block << "\n"
+     << "insns_per_warp = " << kp.insns_per_warp << "\n"
+     << "mem_ratio = " << render_double(kp.mem_ratio) << "\n"
+     << "store_ratio = " << render_double(kp.store_ratio) << "\n"
+     << "pattern = " << static_cast<int>(kp.pattern) << "\n"
+     << "footprint_bytes = " << kp.footprint_bytes << "\n"
+     << "hot_fraction = " << render_double(kp.hot_fraction) << "\n"
+     << "hot_bytes = " << kp.hot_bytes << "\n"
+     << "divergence = " << kp.divergence << "\n"
+     << "burst_lines = " << kp.burst_lines << "\n"
+     << "ilp = " << kp.ilp << "\n"
+     << "mlp = " << kp.mlp << "\n"
+     << "l2_streaming_bypass = " << (kp.l2_streaming_bypass ? 1 : 0) << "\n"
+     << "seed = " << kp.seed << "\n";
+  return fnv1a(os.str());
+}
+
+AppProfile ProfileCache::raw_solo(const sim::GpuConfig& cfg,
+                                  const sim::KernelParams& kp, int num_sms) {
+  if (num_sms <= 0) num_sms = cfg.num_sms;
+  return lookup(Key{config_fingerprint(cfg), kernel_fingerprint(kp), num_sms},
+                cfg, kp, num_sms);
+}
+
+AppProfile ProfileCache::lookup(const Key& key, const sim::GpuConfig& cfg,
+                                const sim::KernelParams& kp, int num_sms) {
+  GPUMAS_CHECK_MSG(num_sms <= cfg.num_sms,
+                   "profile request for " << num_sms << " SMs on a "
+                                          << cfg.num_sms << "-SM device");
+  std::promise<AppProfile> promise;
+  std::shared_future<AppProfile> future;
+  bool owner = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      ++hits_;
+      future = it->second;
+    } else {
+      ++misses_;
+      future = promise.get_future().share();
+      entries_.emplace(key, future);
+      owner = true;
+    }
+  }
+  // The inserting thread runs the simulation outside the lock, so distinct
+  // keys profile concurrently while same-key waiters block on the future.
+  if (owner) {
+    try {
+      promise.set_value(Profiler(cfg).profile(kp, num_sms));
+    } catch (...) {
+      promise.set_exception(std::current_exception());
+    }
+  }
+  return future.get();
+}
+
+AppProfile ProfileCache::solo(const sim::GpuConfig& cfg,
+                              const sim::KernelParams& kp, int num_sms,
+                              const ClassifierThresholds& t) {
+  AppProfile p = raw_solo(cfg, kp, num_sms);
+  p.cls = classify(p, t);
+  return p;
+}
+
+std::vector<ScalabilityPoint> ProfileCache::scalability(
+    const sim::GpuConfig& cfg, const sim::KernelParams& kp,
+    const std::vector<int>& sm_counts) {
+  // The fingerprints are invariant across the grid; hash once, not per
+  // point (ProfileBased queries this on every candidate split).
+  Key key{config_fingerprint(cfg), kernel_fingerprint(kp), 0};
+  std::vector<ScalabilityPoint> points;
+  points.reserve(sm_counts.size());
+  for (const int n : sm_counts) {
+    GPUMAS_CHECK(n > 0 && n <= cfg.num_sms);
+    key.sms = n;
+    points.push_back(ScalabilityPoint{n, lookup(key, cfg, kp, n).ipc});
+  }
+  return points;
+}
+
+std::vector<AppProfile> ProfileCache::suite_profiles(
+    const std::vector<sim::KernelParams>& kernels, const sim::GpuConfig& cfg,
+    const ClassifierThresholds& t) {
+  std::vector<AppProfile> profiles;
+  profiles.reserve(kernels.size());
+  for (const auto& kp : kernels) profiles.push_back(solo(cfg, kp, -1, t));
+  return profiles;
+}
+
+uint64_t ProfileCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+uint64_t ProfileCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+size_t ProfileCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+void ProfileCache::insert_loaded(const Key& key, const AppProfile& p) {
+  std::promise<AppProfile> promise;
+  promise.set_value(p);
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.emplace(key, promise.get_future().share());  // keep existing entry
+}
+
+void ProfileCache::save(const std::string& path) const {
+  std::ostringstream os;
+  os << "# gpumas profile cache v1\n";
+  std::map<Key, std::shared_future<AppProfile>> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snapshot = entries_;
+  }
+  for (const auto& [key, future] : snapshot) {
+    if (future.wait_for(std::chrono::seconds(0)) !=
+        std::future_status::ready) {
+      continue;  // still being measured by another thread
+    }
+    AppProfile p;
+    try {
+      p = future.get();
+    } catch (const std::exception&) {
+      continue;  // failed measurements are not persisted
+    }
+    os << "[profile]\n"
+       << "config = " << key.config_fp << "\n"
+       << "kernel = " << key.kernel_fp << "\n"
+       << "sms = " << key.sms << "\n"
+       << "name = " << p.name << "\n"
+       << "mb_gbps = " << render_double(p.mb_gbps) << "\n"
+       << "l2l1_gbps = " << render_double(p.l2l1_gbps) << "\n"
+       << "ipc = " << render_double(p.ipc) << "\n"
+       << "r = " << render_double(p.r) << "\n"
+       << "l1_hit_rate = " << render_double(p.l1_hit_rate) << "\n"
+       << "l2_hit_rate = " << render_double(p.l2_hit_rate) << "\n"
+       << "solo_cycles = " << p.solo_cycles << "\n"
+       << "thread_insns = " << p.thread_insns << "\n";
+  }
+  std::ofstream out(path);
+  GPUMAS_CHECK_MSG(out.good(), "cannot open '" << path << "' for writing");
+  out << os.str();
+  out.flush();
+  GPUMAS_CHECK_MSG(out.good(), "short write to '" << path << "'");
+}
+
+void ProfileCache::load(const std::string& path) {
+  std::ifstream in(path);
+  GPUMAS_CHECK_MSG(in.good(), "cannot open profile cache '" << path << "'");
+
+  // save() writes 12 keys per entry (config, kernel, sms, name and the 8
+  // measurement fields); an entry must carry all of them, otherwise the
+  // file was truncated or hand-mangled and loading it would serve
+  // silently zeroed measurements.
+  constexpr size_t kNumRequired = 12;
+
+  Key key;
+  AppProfile p;
+  bool in_entry = false;
+  int entry_line = 0;
+  std::set<std::string> seen;
+  const auto flush = [&] {
+    if (in_entry) {
+      GPUMAS_CHECK_MSG(seen.size() == kNumRequired,
+                       "profile cache entry at line "
+                           << entry_line << " is incomplete ("
+                           << seen.size() << "/" << kNumRequired
+                           << " fields)");
+      insert_loaded(key, p);
+    }
+    key = Key{};
+    p = AppProfile{};
+    seen.clear();
+    in_entry = false;
+  };
+
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    line = trim(line);
+    // Unlike config_io, '#' only opens a comment at the start of a line:
+    // kernel names are free-form and may legitimately contain '#'.
+    if (line.empty() || line.front() == '#') continue;
+    if (line == "[profile]") {
+      flush();
+      in_entry = true;
+      entry_line = line_no;
+      continue;
+    }
+    const size_t eq = line.find('=');
+    GPUMAS_CHECK_MSG(eq != std::string::npos && in_entry,
+                     "profile cache line " << line_no << ": malformed");
+    const std::string k = trim(line.substr(0, eq));
+    const std::string v = trim(line.substr(eq + 1));
+    GPUMAS_CHECK_MSG(!v.empty() || k == "name",
+                     "profile cache line " << line_no << ": empty value");
+    std::istringstream vs(v);
+    bool ok = true;
+    if (k == "config") ok = static_cast<bool>(vs >> key.config_fp);
+    else if (k == "kernel") ok = static_cast<bool>(vs >> key.kernel_fp);
+    else if (k == "sms") ok = static_cast<bool>(vs >> key.sms);
+    else if (k == "name") p.name = v;
+    else if (k == "mb_gbps") ok = static_cast<bool>(vs >> p.mb_gbps);
+    else if (k == "l2l1_gbps") ok = static_cast<bool>(vs >> p.l2l1_gbps);
+    else if (k == "ipc") ok = static_cast<bool>(vs >> p.ipc);
+    else if (k == "r") ok = static_cast<bool>(vs >> p.r);
+    else if (k == "l1_hit_rate") ok = static_cast<bool>(vs >> p.l1_hit_rate);
+    else if (k == "l2_hit_rate") ok = static_cast<bool>(vs >> p.l2_hit_rate);
+    else if (k == "solo_cycles") ok = static_cast<bool>(vs >> p.solo_cycles);
+    else if (k == "thread_insns") ok = static_cast<bool>(vs >> p.thread_insns);
+    else {
+      GPUMAS_CHECK_MSG(false, "profile cache line " << line_no
+                                                    << ": unknown key '" << k
+                                                    << "'");
+    }
+    GPUMAS_CHECK_MSG(ok, "profile cache line " << line_no
+                                               << ": cannot parse value '" << v
+                                               << "'");
+    seen.insert(k);
+  }
+  flush();
+}
+
+bool ProfileCache::load_if_exists(const std::string& path) {
+  {
+    std::ifstream probe(path);
+    if (!probe.good()) return false;
+  }
+  load(path);
+  return true;
+}
+
+}  // namespace gpumas::profile

@@ -1,0 +1,95 @@
+// Shared, thread-safe store of solo-profiling results.
+//
+// Every experiment in Chapter 4 starts from the same offline measurements:
+// each application's solo run on the full device (Table 3.2) and its solo
+// scalability curve (Figs 3.5/3.6, and the ProfileBased [17] scheduler).
+// The cache computes each (config, kernel, SM count) point exactly once —
+// even when many scenario workers ask for it concurrently — and can persist
+// the measurements to disk in the same `key = value` text idiom as
+// sim::config_io, so repeated bench invocations skip re-profiling entirely.
+//
+// Classification thresholds are deliberately NOT part of the cache key: the
+// stored record is the raw measurement, and the class is (re)derived via
+// classify() at retrieval, so threshold ablations reuse the same entries.
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "profile/profile.h"
+#include "sim/gpu_config.h"
+#include "sim/kernel.h"
+
+namespace gpumas::profile {
+
+// Stable fingerprint of a device configuration (FNV-1a over its canonical
+// key = value rendering, so any field change invalidates dependent entries).
+uint64_t config_fingerprint(const sim::GpuConfig& cfg);
+
+// Stable fingerprint of a kernel's full parameter set (not just its name:
+// two custom kernels sharing a name must not alias).
+uint64_t kernel_fingerprint(const sim::KernelParams& kp);
+
+class ProfileCache {
+ public:
+  ProfileCache() = default;
+  ProfileCache(const ProfileCache&) = delete;
+  ProfileCache& operator=(const ProfileCache&) = delete;
+
+  // Solo profile of `kp` on `num_sms` SMs (-1 = whole device). Memoized on
+  // (config, kernel, SM count); concurrent callers of the same key block on
+  // one shared computation.
+  AppProfile solo(const sim::GpuConfig& cfg, const sim::KernelParams& kp,
+                  int num_sms = -1, const ClassifierThresholds& t = {});
+
+  // Solo IPC at each SM count (the scalability curve), from cached points.
+  std::vector<ScalabilityPoint> scalability(const sim::GpuConfig& cfg,
+                                            const sim::KernelParams& kp,
+                                            const std::vector<int>& sm_counts);
+
+  // Full-device profiles for a whole suite (the profile_suite analogue).
+  std::vector<AppProfile> suite_profiles(
+      const std::vector<sim::KernelParams>& kernels, const sim::GpuConfig& cfg,
+      const ClassifierThresholds& t = {});
+
+  // --- observability ---
+  uint64_t hits() const;    // lookups served from an existing entry
+  uint64_t misses() const;  // lookups that triggered a simulation
+  size_t size() const;      // resident entries
+
+  // --- persistence (config_io key = value idiom) ---
+  void save(const std::string& path) const;
+  void load(const std::string& path);        // throws if unreadable
+  bool load_if_exists(const std::string& path);  // false when absent
+
+ private:
+  struct Key {
+    uint64_t config_fp = 0;
+    uint64_t kernel_fp = 0;
+    int sms = 0;
+    bool operator<(const Key& o) const {
+      if (config_fp != o.config_fp) return config_fp < o.config_fp;
+      if (kernel_fp != o.kernel_fp) return kernel_fp < o.kernel_fp;
+      return sms < o.sms;
+    }
+  };
+
+  // Raw measurement lookup; classification applied by callers.
+  AppProfile raw_solo(const sim::GpuConfig& cfg, const sim::KernelParams& kp,
+                      int num_sms);
+  // Same, with the key already fingerprinted (key.sms must equal num_sms).
+  AppProfile lookup(const Key& key, const sim::GpuConfig& cfg,
+                    const sim::KernelParams& kp, int num_sms);
+  void insert_loaded(const Key& key, const AppProfile& p);
+
+  mutable std::mutex mu_;
+  std::map<Key, std::shared_future<AppProfile>> entries_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace gpumas::profile

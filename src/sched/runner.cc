@@ -15,8 +15,13 @@ constexpr int kSplitStep = 5;  // granularity of the ProfileBased split search
 
 QueueRunner::QueueRunner(const sim::GpuConfig& cfg,
                          const std::vector<profile::AppProfile>& suite_profiles,
-                         const interference::SlowdownModel& model)
-    : cfg_(cfg), model_(&model) {
+                         const interference::SlowdownModel& model,
+                         profile::ProfileCache* cache)
+    : cfg_(cfg), model_(&model), cache_(cache) {
+  if (cache_ == nullptr) {
+    owned_cache_ = std::make_shared<profile::ProfileCache>();
+    cache_ = owned_cache_.get();
+  }
   for (const auto& p : suite_profiles) profiles_[p.name] = p;
 }
 
@@ -28,18 +33,14 @@ uint64_t QueueRunner::solo_cycles(const std::string& name) const {
 
 double QueueRunner::scalability_ipc(const sim::KernelParams& kernel,
                                     int sms) const {
-  auto it = scalability_cache_.find(kernel.name);
-  if (it == scalability_cache_.end()) {
-    profile::Profiler profiler(cfg_);
-    std::vector<int> grid;
-    for (int n : kScalabilityGrid) {
-      if (n <= cfg_.num_sms) grid.push_back(n);
-    }
-    it = scalability_cache_
-             .emplace(kernel.name, profiler.scalability(kernel, grid))
-             .first;
+  std::vector<int> grid;
+  for (int n : kScalabilityGrid) {
+    if (n <= cfg_.num_sms) grid.push_back(n);
   }
-  const auto& pts = it->second;
+  // Memoized in the (thread-safe) ProfileCache, so this const method is
+  // safe to call from concurrently running experiment workers.
+  const std::vector<profile::ScalabilityPoint> pts =
+      cache_->scalability(cfg_, kernel, grid);
   GPUMAS_CHECK(!pts.empty());
   if (sms <= pts.front().sms) return pts.front().ipc;
   if (sms >= pts.back().sms) return pts.back().ipc;
@@ -98,13 +99,16 @@ std::vector<int> QueueRunner::profile_based_partition(
   return even;
 }
 
-GroupReport QueueRunner::run_group(const std::vector<Job>& group,
-                                   Policy policy,
-                                   const SmraParams& smra) const {
+GroupReport QueueRunner::run_group(
+    const std::vector<Job>& group, Policy policy, const SmraParams& smra,
+    const std::vector<int>& partition_override) const {
   sim::Gpu gpu(cfg_);
   for (const Job& job : group) gpu.launch(job.kernel);
 
-  if (group.size() == 1) {
+  const bool pinned = partition_override.size() == group.size();
+  if (pinned) {
+    gpu.set_partition_counts(partition_override);
+  } else if (group.size() == 1) {
     gpu.set_partition_counts({cfg_.num_sms});
   } else if (policy == Policy::kProfileBased) {
     gpu.set_partition_counts(profile_based_partition(group));
@@ -112,7 +116,11 @@ GroupReport QueueRunner::run_group(const std::vector<Job>& group,
     gpu.set_even_partition();
   }
 
-  if (policy == Policy::kIlpSmra && group.size() > 1) {
+  uint64_t smra_adjustments = 0;
+  uint64_t smra_reverts = 0;
+  // A pinned group runs with a static split: SMRA would immediately drift
+  // away from the override, defeating static-allocation sweeps.
+  if (policy == Policy::kIlpSmra && group.size() > 1 && !pinned) {
     SmraController controller(smra, cfg_);
     while (!gpu.done()) {
       GPUMAS_CHECK_MSG(gpu.cycle() < cfg_.max_cycles,
@@ -120,6 +128,8 @@ GroupReport QueueRunner::run_group(const std::vector<Job>& group,
       gpu.tick();
       controller.on_tick(gpu);
     }
+    smra_adjustments = controller.adjustments();
+    smra_reverts = controller.reverts();
   } else {
     while (!gpu.done()) {
       GPUMAS_CHECK_MSG(gpu.cycle() < cfg_.max_cycles,
@@ -130,6 +140,8 @@ GroupReport QueueRunner::run_group(const std::vector<Job>& group,
 
   GroupReport report;
   report.cycles = gpu.cycle();
+  report.smra_adjustments = smra_adjustments;
+  report.smra_reverts = smra_reverts;
   for (size_t i = 0; i < group.size(); ++i) {
     const sim::AppStats& s = gpu.stats()[i];
     const uint64_t solo = solo_cycles(group[i].kernel.name);
@@ -144,12 +156,13 @@ GroupReport QueueRunner::run_group(const std::vector<Job>& group,
 }
 
 RunReport QueueRunner::run(const std::vector<Job>& queue, Policy policy,
-                           int nc, const SmraParams& smra) const {
+                           int nc, const SmraParams& smra,
+                           const std::vector<int>& partition_override) const {
   RunReport report;
   report.policy = policy;
   const auto groups = form_groups(queue, policy, nc, *model_);
   for (const auto& group : groups) {
-    GroupReport g = run_group(group, policy, smra);
+    GroupReport g = run_group(group, policy, smra, partition_override);
     report.total_cycles += g.cycles;
     for (uint64_t insns : g.app_thread_insns) {
       report.total_thread_insns += insns;

@@ -4,11 +4,13 @@
 #pragma once
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "interference/interference.h"
 #include "profile/profile.h"
+#include "profile/profile_cache.h"
 #include "sched/policies.h"
 #include "sched/queue_gen.h"
 #include "sched/smra.h"
@@ -24,6 +26,8 @@ struct GroupReport {
   std::vector<double> slowdowns;           // vs. solo on the full device
   uint64_t cycles = 0;                     // group completion cycle
   uint64_t serial_cycles = 0;              // sum of members' solo cycles
+  uint64_t smra_adjustments = 0;  // SMRA moves during this group (IlpSmra)
+  uint64_t smra_reverts = 0;      // moves undone by the throughput guard
 
   std::string label() const {
     std::string s;
@@ -53,14 +57,27 @@ struct RunReport {
   std::map<std::string, double> per_app_ipc() const;
 };
 
+// The runner is immutable after construction: run() is const and touches no
+// runner state besides the (thread-safe) ProfileCache, so one instance can
+// be shared by any number of experiment worker threads.
 class QueueRunner {
  public:
+  // `cache` supplies the memoized solo scalability curves ProfileBased [17]
+  // needs and must outlive the runner; when null, the runner owns a private
+  // cache (convenient for tests and one-off uses, at the cost of not
+  // sharing measurements with other runners).
   QueueRunner(const sim::GpuConfig& cfg,
               const std::vector<profile::AppProfile>& suite_profiles,
-              const interference::SlowdownModel& model);
+              const interference::SlowdownModel& model,
+              profile::ProfileCache* cache = nullptr);
 
+  // `partition_override` pins the SM split of every group whose size
+  // matches it (static-allocation sweeps, e.g. capacity planning); a
+  // pinned group runs statically — SMRA is disabled for it. Empty keeps
+  // each policy's own choice.
   RunReport run(const std::vector<Job>& queue, Policy policy, int nc,
-                const SmraParams& smra = {}) const;
+                const SmraParams& smra = {},
+                const std::vector<int>& partition_override = {}) const;
 
   // The SM split ProfileBased [17] chooses for a group, from offline solo
   // scalability curves (exposed for tests and ablations).
@@ -69,16 +86,16 @@ class QueueRunner {
 
  private:
   GroupReport run_group(const std::vector<Job>& group, Policy policy,
-                        const SmraParams& smra) const;
+                        const SmraParams& smra,
+                        const std::vector<int>& partition_override) const;
   uint64_t solo_cycles(const std::string& name) const;
   double scalability_ipc(const sim::KernelParams& kernel, int sms) const;
 
   sim::GpuConfig cfg_;
   std::map<std::string, profile::AppProfile> profiles_;
   const interference::SlowdownModel* model_;
-  // Lazily measured solo scalability curves for ProfileBased.
-  mutable std::map<std::string, std::vector<profile::ScalabilityPoint>>
-      scalability_cache_;
+  profile::ProfileCache* cache_;
+  std::shared_ptr<profile::ProfileCache> owned_cache_;  // when none injected
 };
 
 }  // namespace gpumas::sched

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "common/check.h"
+#include "common/text.h"
 
 namespace gpumas::sim {
 
@@ -68,11 +69,15 @@ const std::map<std::string, Field>& fields() {
       {"l1_hit_latency", number_field(&GpuConfig::l1_hit_latency)},
       {"l1d_size_bytes",
        cache_field(&GpuConfig::l1d, &CacheConfig::size_bytes)},
+      {"l1d_line_bytes",
+       cache_field(&GpuConfig::l1d, &CacheConfig::line_bytes)},
       {"l1d_ways", cache_field(&GpuConfig::l1d, &CacheConfig::ways)},
       {"l1d_mshr_entries",
        cache_field(&GpuConfig::l1d, &CacheConfig::mshr_entries)},
       {"l2_size_bytes",
        cache_field(&GpuConfig::l2, &CacheConfig::size_bytes)},
+      {"l2_line_bytes",
+       cache_field(&GpuConfig::l2, &CacheConfig::line_bytes)},
       {"l2_ways", cache_field(&GpuConfig::l2, &CacheConfig::ways)},
       {"l2_mshr_entries",
        cache_field(&GpuConfig::l2, &CacheConfig::mshr_entries)},
@@ -91,13 +96,6 @@ const std::map<std::string, Field>& fields() {
       {"max_cycles", number_field(&GpuConfig::max_cycles)},
   };
   return kFields;
-}
-
-std::string trim(const std::string& s) {
-  const size_t a = s.find_first_not_of(" \t\r");
-  if (a == std::string::npos) return "";
-  const size_t b = s.find_last_not_of(" \t\r");
-  return s.substr(a, b - a + 1);
 }
 
 }  // namespace
@@ -133,6 +131,11 @@ void config_from_string(const std::string& text, GpuConfig& cfg) {
                      "config line " << line_no << ": missing '='");
     const std::string key = trim(line.substr(0, eq));
     const std::string value = trim(line.substr(eq + 1));
+    GPUMAS_CHECK_MSG(!key.empty(),
+                     "config line " << line_no << ": missing key before '='");
+    GPUMAS_CHECK_MSG(!value.empty(), "config line "
+                                         << line_no << ": empty value for '"
+                                         << key << "'");
     if (key == "warp_sched") {
       GPUMAS_CHECK_MSG(value == "gto" || value == "lrr",
                        "unknown warp_sched '" << value << "'");

@@ -12,9 +12,15 @@ namespace gpumas::sim {
 // Renders the full configuration as key = value lines.
 std::string config_to_string(const GpuConfig& cfg);
 
-// Parses `key = value` lines ('#' starts a comment; unknown keys throw
-// std::logic_error, malformed values throw std::logic_error). Keys not
-// mentioned keep their current value in `cfg`.
+// Parses `key = value` lines. Defined behavior:
+//  - '#' starts a comment; blank lines are skipped;
+//  - leading/trailing whitespace around keys and values is ignored
+//    (including CR, so CRLF files parse);
+//  - a key appearing more than once is applied in order: the last
+//    occurrence wins (matching "later file overrides earlier" layering);
+//  - unknown keys, empty values and malformed values throw
+//    std::logic_error with the offending line number.
+// Keys not mentioned keep their current value in `cfg`.
 void config_from_string(const std::string& text, GpuConfig& cfg);
 
 // File variants.

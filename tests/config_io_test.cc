@@ -45,6 +45,57 @@ TEST(ConfigIoTest, EnumFieldsParse) {
   EXPECT_EQ(cfg.mem_sched, MemSchedPolicy::kFcfs);
 }
 
+TEST(ConfigIoTest, NonDefaultConfigRoundTrips) {
+  // config -> string -> config over a config that differs from the default
+  // in every field family (geometry, enums, caches, DRAM, guard).
+  GpuConfig original;
+  original.num_sms = 42;
+  original.core_freq_ghz = 1.215;
+  original.warp_sched = WarpSchedPolicy::kLrr;
+  original.mem_sched = MemSchedPolicy::kFcfs;
+  original.alu_dep_latency = 14;
+  original.l1d.size_bytes = 32 * 1024;
+  original.l1d.ways = 8;
+  original.l2.size_bytes = 1536 * 1024;
+  original.l2.mshr_entries = 96;
+  original.num_channels = 8;
+  original.row_miss_cycles = 40;
+  original.channel_queue_size = 64;
+  original.max_cycles = 123456789;
+
+  GpuConfig parsed;
+  config_from_string(config_to_string(original), parsed);
+  EXPECT_EQ(config_to_string(parsed), config_to_string(original));
+  EXPECT_EQ(parsed.num_sms, 42);
+  EXPECT_DOUBLE_EQ(parsed.core_freq_ghz, 1.215);
+  EXPECT_EQ(parsed.warp_sched, WarpSchedPolicy::kLrr);
+  EXPECT_EQ(parsed.mem_sched, MemSchedPolicy::kFcfs);
+  EXPECT_EQ(parsed.l1d.size_bytes, 32u * 1024u);
+  EXPECT_EQ(parsed.l2.mshr_entries, 96u);
+  EXPECT_EQ(parsed.max_cycles, 123456789u);
+}
+
+TEST(ConfigIoTest, DuplicateKeyLastWins) {
+  GpuConfig cfg;
+  config_from_string("num_sms = 8\nnum_sms = 24\n", cfg);
+  EXPECT_EQ(cfg.num_sms, 24);
+}
+
+TEST(ConfigIoTest, TrailingWhitespaceAccepted) {
+  GpuConfig cfg;
+  config_from_string("num_sms = 16   \t\r\nwarp_sched =  lrr \t\n", cfg);
+  EXPECT_EQ(cfg.num_sms, 16);
+  EXPECT_EQ(cfg.warp_sched, WarpSchedPolicy::kLrr);
+}
+
+TEST(ConfigIoTest, EmptyValueThrows) {
+  GpuConfig cfg;
+  EXPECT_THROW(config_from_string("num_sms = \n", cfg), std::logic_error);
+  EXPECT_THROW(config_from_string("num_sms =\n", cfg), std::logic_error);
+  EXPECT_THROW(config_from_string("warp_sched = \n", cfg), std::logic_error);
+  EXPECT_THROW(config_from_string(" = 5\n", cfg), std::logic_error);
+}
+
 TEST(ConfigIoTest, UnknownKeyThrows) {
   GpuConfig cfg;
   EXPECT_THROW(config_from_string("frobnicate = 3\n", cfg),

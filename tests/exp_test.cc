@@ -1,0 +1,244 @@
+// Tests for the experiment engine: scenario resolution, repetitions, the
+// shared-environment memoization, and — the load-bearing property — that a
+// multi-threaded batch reproduces the single-threaded reports exactly.
+#include "exp/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace gpumas::exp {
+namespace {
+
+using profile::AppClass;
+
+sim::GpuConfig small_gpu() {
+  sim::GpuConfig cfg;
+  cfg.num_sms = 12;
+  cfg.num_channels = 2;
+  cfg.l2.size_bytes = 64 * 1024;
+  return cfg;
+}
+
+sim::KernelParams kernel(const std::string& name, double mem_ratio,
+                         uint64_t seed, int blocks = 10) {
+  sim::KernelParams kp;
+  kp.name = name;
+  kp.num_blocks = blocks;
+  kp.warps_per_block = 4;
+  kp.insns_per_warp = 250;
+  kp.mem_ratio = mem_ratio;
+  kp.footprint_bytes = 8 << 20;
+  kp.divergence = 2;
+  kp.seed = seed;
+  return kp;
+}
+
+// A 4-app stand-in suite so tests never pay for the 14-benchmark suite.
+std::vector<sim::KernelParams> tiny_suite() {
+  return {kernel("mem", 0.3, 1), kernel("cpu", 0.02, 2),
+          kernel("mid", 0.1, 3), kernel("mix", 0.05, 4)};
+}
+
+// Thresholds scaled to the 12-SM/2-channel device so the tiny suite spreads
+// over all four classes (mem -> M, mid -> MC, mix -> C, cpu -> A), which
+// distribution queues require.
+profile::ClassifierThresholds tiny_thresholds() {
+  profile::ClassifierThresholds t;
+  t.alpha = 36.0;
+  t.beta = 32.0;
+  t.gamma = 25.0;
+  t.epsilon = 150.0;
+  return t;
+}
+
+// Canonical rendering of a report, used for exact comparisons.
+std::string serialize(const sched::RunReport& r) {
+  std::ostringstream os;
+  os << sched::policy_name(r.policy) << " " << r.total_cycles << " "
+     << r.total_thread_insns << "\n";
+  for (const auto& g : r.groups) {
+    os << g.label() << " " << g.cycles << " " << g.serial_cycles << " "
+       << g.smra_adjustments << " " << g.smra_reverts;
+    for (size_t i = 0; i < g.names.size(); ++i) {
+      os << " " << g.app_cycles[i] << "/" << g.app_thread_insns[i];
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::string serialize(const std::vector<ScenarioResult>& results) {
+  std::ostringstream os;
+  for (const auto& r : results) {
+    os << "== " << r.name << "\n";
+    for (const auto& rep : r.reps) os << serialize(rep);
+  }
+  return os.str();
+}
+
+std::vector<ScenarioSpec> mixed_batch() {
+  const sim::GpuConfig cfg = small_gpu();
+  std::vector<ScenarioSpec> batch;
+  for (const auto policy :
+       {sched::Policy::kSerial, sched::Policy::kEven, sched::Policy::kIlp,
+        sched::Policy::kIlpSmra}) {
+    ScenarioSpec spec;
+    spec.name = std::string("suite/") + sched::policy_name(policy);
+    spec.config = cfg;
+    spec.thresholds = tiny_thresholds();
+    spec.queue = QueueSpec::Suite();
+    spec.policy = policy;
+    spec.nc = 2;
+    batch.push_back(spec);
+  }
+  {
+    ScenarioSpec spec;
+    spec.name = "dist/even";
+    spec.config = cfg;
+    spec.thresholds = tiny_thresholds();
+    spec.queue =
+        QueueSpec::Distribution(sched::QueueDistribution::kEqual, 4, 11);
+    spec.policy = sched::Policy::kEven;
+    spec.nc = 2;
+    spec.repetitions = 2;
+    batch.push_back(spec);
+  }
+  {
+    ScenarioSpec spec;
+    spec.name = "explicit/custom";
+    spec.config = cfg;
+    spec.thresholds = tiny_thresholds();
+    spec.queue = QueueSpec::Explicit(
+        {kernel("custom", 0.15, 42), kernel("cpu", 0.02, 2)});
+    spec.policy = sched::Policy::kEven;
+    spec.nc = 2;
+    batch.push_back(spec);
+  }
+  return batch;
+}
+
+TEST(ExperimentTest, ResultsFollowDeclarationOrder) {
+  profile::ProfileCache cache;
+  ExperimentRunner engine(cache, 1, tiny_suite());
+  const auto batch = mixed_batch();
+  const auto results = engine.run(batch);
+  ASSERT_EQ(results.size(), batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(results[i].name, batch[i].name);
+    EXPECT_FALSE(results[i].reps.empty());
+    EXPECT_GT(results[i].report().device_throughput(), 0.0);
+  }
+}
+
+TEST(ExperimentTest, MultiThreadedBatchIsByteIdenticalToSerial) {
+  const auto batch = mixed_batch();
+
+  profile::ProfileCache cache1;
+  ExperimentRunner serial_engine(cache1, 1, tiny_suite());
+  const std::string serial = serialize(serial_engine.run(batch));
+
+  profile::ProfileCache cache4;
+  ExperimentRunner parallel_engine(cache4, 4, tiny_suite());
+  const std::string parallel = serialize(parallel_engine.run(batch));
+
+  EXPECT_EQ(serial, parallel);
+
+  // And again on the warm cache: reports must not change when every
+  // profile lookup is a hit.
+  const std::string warm = serialize(parallel_engine.run(batch));
+  EXPECT_EQ(serial, warm);
+}
+
+TEST(ExperimentTest, RepetitionsRedrawDistributionQueues) {
+  profile::ProfileCache cache;
+  ExperimentRunner engine(cache, 2, tiny_suite());
+  ScenarioSpec spec;
+  spec.name = "reps";
+  spec.config = small_gpu();
+  spec.thresholds = tiny_thresholds();
+  spec.queue = QueueSpec::Distribution(sched::QueueDistribution::kEqual, 4, 5);
+  spec.policy = sched::Policy::kEven;
+  spec.nc = 2;
+  spec.repetitions = 3;
+  const auto result = engine.run_one(spec);
+  ASSERT_EQ(result.reps.size(), 3u);
+  EXPECT_GT(result.mean_device_throughput(), 0.0);
+}
+
+TEST(ExperimentTest, SuiteExclusionShrinksTheQueue) {
+  profile::ProfileCache cache;
+  ExperimentRunner engine(cache, 1, tiny_suite());
+  ScenarioSpec spec;
+  spec.name = "excl";
+  spec.config = small_gpu();
+  spec.thresholds = tiny_thresholds();
+  spec.queue = QueueSpec::Suite({"mem", "mid"});
+  spec.policy = sched::Policy::kSerial;
+  spec.nc = 2;
+  const auto result = engine.run_one(spec);
+  ASSERT_EQ(result.report().groups.size(), 2u);  // 4-app suite minus 2
+  for (const auto& g : result.report().groups) {
+    EXPECT_NE(g.names[0], "mem");
+    EXPECT_NE(g.names[0], "mid");
+  }
+}
+
+TEST(ExperimentTest, FixedPartitionChangesTheOutcome) {
+  profile::ProfileCache cache;
+  ExperimentRunner engine(cache, 2, tiny_suite());
+  ScenarioSpec even;
+  even.name = "even";
+  even.config = small_gpu();
+  even.thresholds = tiny_thresholds();
+  even.queue = QueueSpec::Explicit({kernel("cpu", 0.02, 2),
+                                    kernel("mem", 0.3, 1)});
+  even.policy = sched::Policy::kEven;
+  even.nc = 2;
+
+  ScenarioSpec skewed = even;
+  skewed.name = "skewed";
+  skewed.fixed_partition = {10, 2};
+
+  const auto results = engine.run({even, skewed});
+  EXPECT_NE(serialize(results[0].report()), serialize(results[1].report()));
+}
+
+TEST(ExperimentTest, ExplicitQueueRejectsAliasedKernelNames) {
+  profile::ProfileCache cache;
+  ExperimentRunner engine(cache, 1, tiny_suite());
+  ScenarioSpec spec;
+  spec.name = "aliased";
+  spec.config = small_gpu();
+  spec.thresholds = tiny_thresholds();
+  // Same name, different parameters: QueueRunner keys profiles by name,
+  // so this must be rejected rather than silently mis-attributed.
+  spec.queue = QueueSpec::Explicit(
+      {kernel("dup", 0.3, 1), kernel("dup", 0.02, 2)});
+  spec.policy = sched::Policy::kEven;
+  spec.nc = 2;
+  EXPECT_THROW(engine.run_one(spec), std::logic_error);
+}
+
+TEST(ExperimentTest, SharedCacheMakesSecondBatchPureHits) {
+  profile::ProfileCache cache;
+  ExperimentRunner engine(cache, 2, tiny_suite());
+  ScenarioSpec spec;
+  spec.name = "one";
+  spec.config = small_gpu();
+  spec.thresholds = tiny_thresholds();
+  spec.queue = QueueSpec::Suite();
+  spec.policy = sched::Policy::kSerial;
+  spec.nc = 2;
+  engine.run_one(spec);
+  const uint64_t misses_after_first = cache.misses();
+  EXPECT_GT(misses_after_first, 0u);
+
+  // Fresh engine, same cache: the offline stage must be free.
+  ExperimentRunner second(cache, 2, tiny_suite());
+  second.run_one(spec);
+  EXPECT_EQ(cache.misses(), misses_after_first);
+}
+
+}  // namespace
+}  // namespace gpumas::exp

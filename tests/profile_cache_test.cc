@@ -1,0 +1,220 @@
+// Tests for the shared solo-profiling cache: memoization, thread safety,
+// threshold orthogonality and the key=value disk round-trip.
+#include "profile/profile_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <thread>
+
+#include "profile/profile.h"
+
+namespace gpumas::profile {
+namespace {
+
+sim::GpuConfig small_gpu() {
+  sim::GpuConfig cfg;
+  cfg.num_sms = 12;
+  cfg.num_channels = 2;
+  cfg.l2.size_bytes = 64 * 1024;
+  return cfg;
+}
+
+sim::KernelParams kernel(const std::string& name, double mem_ratio,
+                         uint64_t seed) {
+  sim::KernelParams kp;
+  kp.name = name;
+  kp.num_blocks = 10;
+  kp.warps_per_block = 4;
+  kp.insns_per_warp = 250;
+  kp.mem_ratio = mem_ratio;
+  kp.footprint_bytes = 8 << 20;
+  kp.divergence = 2;
+  kp.seed = seed;
+  return kp;
+}
+
+void expect_same_measurement(const AppProfile& a, const AppProfile& b) {
+  EXPECT_EQ(a.name, b.name);
+  EXPECT_EQ(a.solo_cycles, b.solo_cycles);
+  EXPECT_EQ(a.thread_insns, b.thread_insns);
+  EXPECT_DOUBLE_EQ(a.ipc, b.ipc);
+  EXPECT_DOUBLE_EQ(a.mb_gbps, b.mb_gbps);
+  EXPECT_DOUBLE_EQ(a.l2l1_gbps, b.l2l1_gbps);
+  EXPECT_DOUBLE_EQ(a.r, b.r);
+}
+
+TEST(ProfileCacheTest, SoloMemoizesAndMatchesProfiler) {
+  const sim::GpuConfig cfg = small_gpu();
+  const auto kp = kernel("a", 0.1, 1);
+  ProfileCache cache;
+
+  const AppProfile first = cache.solo(cfg, kp);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 0u);
+
+  const AppProfile second = cache.solo(cfg, kp);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+  expect_same_measurement(first, second);
+
+  // The cache must return exactly what direct profiling returns.
+  const AppProfile direct = Profiler(cfg).profile(kp);
+  expect_same_measurement(first, direct);
+  EXPECT_EQ(first.cls, direct.cls);
+}
+
+TEST(ProfileCacheTest, FullDeviceAliasesExplicitSmCount) {
+  const sim::GpuConfig cfg = small_gpu();
+  const auto kp = kernel("a", 0.1, 1);
+  ProfileCache cache;
+  cache.solo(cfg, kp, -1);
+  cache.solo(cfg, kp, cfg.num_sms);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST(ProfileCacheTest, ScalabilitySharesEntriesWithSolo) {
+  const sim::GpuConfig cfg = small_gpu();
+  const auto kp = kernel("a", 0.1, 1);
+  ProfileCache cache;
+  const auto points = cache.scalability(cfg, kp, {5, 10});
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_EQ(points[0].sms, 5);
+  EXPECT_GT(points[0].ipc, 0.0);
+  EXPECT_EQ(cache.misses(), 2u);
+
+  cache.solo(cfg, kp, 5);  // same point: must hit
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST(ProfileCacheTest, DistinctKernelsConfigsAndSmCountsMiss) {
+  const sim::GpuConfig cfg = small_gpu();
+  sim::GpuConfig other_cfg = cfg;
+  other_cfg.l2.size_bytes = 128 * 1024;
+  const auto a = kernel("a", 0.1, 1);
+  auto a_reseeded = a;
+  a_reseeded.seed = 99;  // same name, different stream: distinct entry
+
+  ProfileCache cache;
+  cache.solo(cfg, a);
+  cache.solo(cfg, a_reseeded);
+  cache.solo(other_cfg, a);
+  cache.solo(cfg, a, 6);
+  EXPECT_EQ(cache.misses(), 4u);
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.size(), 4u);
+}
+
+TEST(ProfileCacheTest, ThresholdsReclassifyWithoutRemeasuring) {
+  const sim::GpuConfig cfg = small_gpu();
+  const auto kp = kernel("a", 0.1, 1);
+  ProfileCache cache;
+  const AppProfile base = cache.solo(cfg, kp);
+
+  ClassifierThresholds loose;
+  loose.alpha = 0.0;  // any DRAM traffic classifies as M
+  const AppProfile reclassified = cache.solo(cfg, kp, -1, loose);
+  EXPECT_EQ(cache.misses(), 1u) << "thresholds must not be part of the key";
+  expect_same_measurement(base, reclassified);
+  ASSERT_GT(reclassified.mb_gbps, 0.0);
+  EXPECT_EQ(reclassified.cls, AppClass::kM);
+}
+
+TEST(ProfileCacheTest, ConcurrentRequestsComputeEachKeyOnce) {
+  const sim::GpuConfig cfg = small_gpu();
+  ProfileCache cache;
+  constexpr int kThreads = 8;
+  std::vector<AppProfile> results(kThreads);
+  {
+    std::vector<std::thread> pool;
+    for (int t = 0; t < kThreads; ++t) {
+      pool.emplace_back([&cache, &results, &cfg, t] {
+        // Half the threads share a key, the rest are distinct.
+        const auto kp = kernel(t % 2 == 0 ? "shared" : "k" + std::to_string(t),
+                               0.1, t % 2 == 0 ? 7 : 100 + t);
+        results[t] = cache.solo(cfg, kp);
+      });
+    }
+    for (auto& th : pool) th.join();
+  }
+  // 4 threads asked for "shared" (1 unique key) + 4 distinct keys.
+  EXPECT_EQ(cache.misses(), 5u);
+  EXPECT_EQ(cache.hits(), 3u);
+  for (int t = 2; t < kThreads; t += 2) {
+    expect_same_measurement(results[0], results[t]);
+  }
+}
+
+TEST(ProfileCacheTest, DiskRoundTrip) {
+  const sim::GpuConfig cfg = small_gpu();
+  const auto a = kernel("a", 0.1, 1);
+  const auto b = kernel("b", 0.02, 2);
+  const std::string path = "/tmp/gpumas_profile_cache_test.txt";
+
+  ProfileCache cache;
+  const AppProfile pa = cache.solo(cfg, a);
+  cache.solo(cfg, b, 6);
+  cache.save(path);
+
+  ProfileCache loaded;
+  ASSERT_TRUE(loaded.load_if_exists(path));
+  EXPECT_EQ(loaded.size(), 2u);
+  const AppProfile qa = loaded.solo(cfg, a);
+  EXPECT_EQ(loaded.misses(), 0u) << "loaded entry must serve the lookup";
+  EXPECT_EQ(loaded.hits(), 1u);
+  expect_same_measurement(pa, qa);
+  EXPECT_EQ(pa.cls, qa.cls);
+  std::remove(path.c_str());
+}
+
+TEST(ProfileCacheTest, HashInKernelNameRoundTrips) {
+  const sim::GpuConfig cfg = small_gpu();
+  auto kp = kernel("attn#1", 0.1, 9);
+  const std::string path = "/tmp/gpumas_profile_cache_hash.txt";
+
+  ProfileCache cache;
+  const AppProfile saved = cache.solo(cfg, kp);
+  cache.save(path);
+
+  ProfileCache loaded;
+  loaded.load(path);
+  const AppProfile back = loaded.solo(cfg, kp);
+  EXPECT_EQ(loaded.misses(), 0u);
+  EXPECT_EQ(back.name, "attn#1") << "'#' must not start a comment mid-name";
+  expect_same_measurement(saved, back);
+  std::remove(path.c_str());
+}
+
+TEST(ProfileCacheTest, LoadRejectsTruncatedEntries) {
+  const std::string path = "/tmp/gpumas_profile_cache_trunc.txt";
+  {
+    std::ofstream out(path);
+    out << "[profile]\nconfig = 7\nkernel = 9\nsms = 20\n";  // cut short
+  }
+  ProfileCache cache;
+  EXPECT_THROW(cache.load(path), std::logic_error);
+  std::remove(path.c_str());
+}
+
+TEST(ProfileCacheTest, LoadMissingFile) {
+  ProfileCache cache;
+  EXPECT_FALSE(cache.load_if_exists("/nonexistent/cache.txt"));
+  EXPECT_THROW(cache.load("/nonexistent/cache.txt"), std::logic_error);
+}
+
+TEST(ProfileCacheTest, LoadRejectsMalformedEntries) {
+  const std::string path = "/tmp/gpumas_profile_cache_bad.txt";
+  {
+    std::ofstream out(path);
+    out << "[profile]\nconfig = notanumber\n";
+  }
+  ProfileCache cache;
+  EXPECT_THROW(cache.load(path), std::logic_error);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace gpumas::profile

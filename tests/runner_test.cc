@@ -3,6 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+#include <thread>
+
 namespace gpumas::sched {
 namespace {
 
@@ -139,6 +142,56 @@ TEST(RunnerTest, PerAppIpcCoversEveryBenchmark) {
   const auto ipc = report.per_app_ipc();
   EXPECT_EQ(ipc.size(), 4u);
   for (const auto& [name, value] : ipc) EXPECT_GT(value, 0.0) << name;
+}
+
+// Regression for the pre-ProfileCache design, where ProfileBased mutated a
+// `mutable` member map inside const run(): a shared runner driven from
+// several threads must be race-free and agree with the serial result.
+TEST(RunnerTest, SharedRunnerIsSafeAcrossThreads) {
+  Fixture f;
+  profile::ProfileCache cache;
+  const QueueRunner runner(f.cfg, f.profiles, f.model, &cache);
+  // ProfileBased is the policy that lazily measures scalability curves —
+  // exactly the path that used to write to runner-internal state.
+  const std::string expected =
+      [&] {
+        std::ostringstream os;
+        const RunReport r = runner.run(f.queue, Policy::kProfileBased, 2);
+        os << r.total_cycles << ":" << r.total_thread_insns;
+        return os.str();
+      }();
+
+  constexpr int kThreads = 4;
+  std::vector<std::string> got(kThreads);
+  {
+    std::vector<std::thread> pool;
+    for (int t = 0; t < kThreads; ++t) {
+      pool.emplace_back([&runner, &f, &got, t] {
+        std::ostringstream os;
+        const RunReport r = runner.run(f.queue, Policy::kProfileBased, 2);
+        os << r.total_cycles << ":" << r.total_thread_insns;
+        got[static_cast<size_t>(t)] = os.str();
+      });
+    }
+    for (auto& th : pool) th.join();
+  }
+  for (const auto& g : got) EXPECT_EQ(g, expected);
+  // The scalability curves were measured once, in the shared cache, not
+  // once per thread.
+  const uint64_t misses_after = cache.misses();
+  runner.run(f.queue, Policy::kProfileBased, 2);
+  EXPECT_EQ(cache.misses(), misses_after);
+}
+
+TEST(RunnerTest, PartitionOverridePinsTheSplit) {
+  Fixture f;
+  QueueRunner runner(f.cfg, f.profiles, f.model);
+  const std::vector<Job> pair = {f.queue[0], f.queue[1]};
+  const RunReport even = runner.run(pair, Policy::kEven, 2);
+  const RunReport skewed = runner.run(pair, Policy::kEven, 2, {}, {10, 2});
+  // Same work either way, but the lopsided split changes the timeline.
+  EXPECT_EQ(even.total_thread_insns, skewed.total_thread_insns);
+  EXPECT_NE(even.total_cycles, skewed.total_cycles);
 }
 
 TEST(RunnerTest, ThreeAppGroupsRun) {

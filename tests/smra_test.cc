@@ -161,6 +161,40 @@ TEST(SmraTest, SmraNeverSlowsTheGroupMuch) {
             static_cast<double>(base) * 1.10);
 }
 
+TEST(SmraTest, ThroughputGuardRevertsBadMoves) {
+  // Force a bad move: two compute-bound, SM-hungry apps, with thresholds
+  // rigged so app 0 scores as a donor (bw_thr ~ 0 and app 0 issues some
+  // memory traffic while app 1 issues none). Donating SMs away from a
+  // scaling compute app drops the window throughput, so Algorithm 1's
+  // guard must restore the previous partition and count a revert.
+  const sim::GpuConfig cfg = small_gpu();
+  auto donor = compute_kernel("donor");
+  donor.mem_ratio = 0.04;  // just enough DRAM traffic to trip bw_thr
+  auto recipient = compute_kernel("recipient");
+  recipient.mem_ratio = 0.0;  // no DRAM traffic at all: scores 0
+  recipient.seed = 77;
+
+  sim::Gpu gpu(cfg);
+  gpu.launch(donor);
+  gpu.launch(recipient);
+  gpu.set_even_partition();
+
+  SmraParams params;
+  params.tc = 400;
+  params.nr = 3;
+  params.rmin = 1;
+  params.ipc_thr = 0.0;     // nobody scores on IPC
+  params.bw_thr = 1e-6;     // any DRAM traffic scores +2
+  SmraController ctrl(params, cfg);
+  while (!gpu.done()) {
+    gpu.tick();
+    ctrl.on_tick(gpu);
+  }
+  EXPECT_GT(ctrl.adjustments(), 0u) << "the rigged thresholds must move SMs";
+  EXPECT_GT(ctrl.reverts(), 0u)
+      << "a move that dropped window throughput must be reverted";
+}
+
 TEST(SmraTest, ParamsAreValidated) {
   SmraParams bad;
   bad.tc = 0;
