@@ -56,24 +56,33 @@ int main(int argc, char** argv) {
     spec.model_samples_per_cell = 1;
     scenarios.push_back(spec);
   }
-  const auto results = h.engine().run(scenarios);
+  const auto results = h.run(scenarios);
 
-  const uint64_t baseline = results[0].report().groups.front().cycles;
-  std::cout << "Static even split: " << baseline << " cycles\n\n";
+  // Under --shard the baseline scenario may belong to another shard; the
+  // sharded table then reports absolute cycles only.
+  const uint64_t baseline =
+      results[0].has_reps() ? results[0].report().groups.front().cycles : 0;
+  if (baseline > 0) {
+    std::cout << "Static even split: " << baseline << " cycles\n\n";
+  }
 
   Table table({"TC", "nr", "Rmin", "cycles", "vs static", "moves",
                "reverts"});
   for (size_t i = 0; i < sweep.size(); ++i) {
+    if (!results[i + 1].has_reps()) continue;  // another shard's scenario
     const auto& g = results[i + 1].report().groups.front();
     table.begin_row()
         .cell(sweep[i].tc)
         .cell(sweep[i].nr)
         .cell(sweep[i].rmin)
-        .cell(g.cycles)
-        .cell(static_cast<double>(g.cycles) / static_cast<double>(baseline),
-              3)
-        .cell(g.smra_adjustments)
-        .cell(g.smra_reverts);
+        .cell(g.cycles);
+    if (baseline > 0) {
+      table.cell(
+          static_cast<double>(g.cycles) / static_cast<double>(baseline), 3);
+    } else {
+      table.cell(std::string("-"));
+    }
+    table.cell(g.smra_adjustments).cell(g.smra_reverts);
   }
   table.print();
   std::cout << "\nFaster windows and larger moves converge to the good "

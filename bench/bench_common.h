@@ -1,24 +1,43 @@
 // Shared harness for the figure/table reproduction benches.
 //
 // Every bench is a scenario declaration plus a table printer; this header
-// supplies the pieces between them: a small CLI, the shared ProfileCache
-// (with optional disk persistence so back-to-back bench runs profile the
-// suite exactly once), and the ExperimentRunner that executes scenario
-// batches across worker threads.
+// supplies the pieces between them: a small CLI, the shared artifact store
+// (profile::ProfileCache — solo profiles AND slowdown models, with optional
+// disk persistence so back-to-back bench runs measure each artifact exactly
+// once), and the ExperimentRunner that executes scenario batches across
+// worker threads.
 //
 // Flags understood by every bench:
 //   --threads N           scenario worker threads (default 1)
 //   --config FILE         device description in sim::config_io format
-//   --profile-cache FILE  load solo measurements before running and save
-//                         them after, skipping re-profiling across runs
+//   --profile-cache DIR   artifact store: load profiles + slowdown models
+//                         before running, save them after. A path to an
+//                         existing regular file is treated as the legacy
+//                         profile-only single-file cache.
 //   --policy NAME         restrict evaluated policies to NAME (serial |
 //                         even | profile | ilp | ilp-smra); each bench's
 //                         normalization baseline is always kept
+//   --shard I/N           execute only scenarios i with i % N == I; other
+//                         table rows print "-". Combine with
+//                         --dump-results to split a bench across
+//                         processes/machines and merge the outputs.
+//   --dump-results FILE   append one `result ...` key=value line per
+//                         executed scenario repetition; the sorted union
+//                         of all shards' dumps equals the sorted dump of
+//                         the unsharded run
+//   --reps N              repetitions per seeded-queue scenario in the
+//                         policy-grid benches (distribution queues are
+//                         re-drawn with seed+i); N > 1 adds a
+//                         mean/stddev statistics table
 #pragma once
 
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iomanip>
 #include <iostream>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -62,6 +81,9 @@ struct Options {
   std::string config_path;
   std::string profile_cache_path;
   std::string policy;
+  exp::Shard shard;
+  std::string dump_path;
+  int reps = 1;
 };
 
 inline std::optional<sched::Policy> parse_policy(const std::string& name) {
@@ -80,8 +102,9 @@ inline Options parse_options(int argc, char** argv) {
   const auto usage = [&argv](const std::string& why) {
     std::cerr << argv[0] << ": " << why << "\n"
               << "usage: " << argv[0]
-              << " [--threads N] [--config FILE] [--profile-cache FILE]"
-                 " [--policy serial|even|profile|ilp|ilp-smra]\n";
+              << " [--threads N] [--config FILE] [--profile-cache DIR]"
+                 " [--policy serial|even|profile|ilp|ilp-smra]"
+                 " [--shard I/N] [--dump-results FILE] [--reps N]\n";
     std::exit(2);
   };
   for (int i = 1; i < argc; ++i) {
@@ -100,6 +123,21 @@ inline Options parse_options(int argc, char** argv) {
     } else if (arg == "--policy") {
       opts.policy = value();
       if (!parse_policy(opts.policy)) usage("unknown policy " + opts.policy);
+    } else if (arg == "--shard") {
+      const std::string v = value();
+      const size_t slash = v.find('/');
+      if (slash == std::string::npos) usage("--shard wants I/N, got " + v);
+      opts.shard.index = std::atoi(v.substr(0, slash).c_str());
+      opts.shard.count = std::atoi(v.substr(slash + 1).c_str());
+      if (opts.shard.count < 1 || opts.shard.index < 0 ||
+          opts.shard.index >= opts.shard.count) {
+        usage("--shard wants 0 <= I < N, got " + v);
+      }
+    } else if (arg == "--dump-results") {
+      opts.dump_path = value();
+    } else if (arg == "--reps") {
+      opts.reps = std::atoi(value().c_str());
+      if (opts.reps < 1) usage("--reps must be >= 1");
     } else if (arg == "--help" || arg == "-h") {
       usage("help");
     } else {
@@ -109,9 +147,10 @@ inline Options parse_options(int argc, char** argv) {
   return opts;
 }
 
-// Owns the CLI options, device config, profile cache and experiment engine
-// for one bench invocation. Cache persistence happens in the destructor so
-// measurements taken anywhere in the bench are kept for the next run.
+// Owns the CLI options, device config, artifact store and experiment
+// engine for one bench invocation. Store persistence happens in the
+// destructor so measurements taken anywhere in the bench are kept for the
+// next run.
 class Harness {
  public:
   Harness(int argc, char** argv)
@@ -120,10 +159,31 @@ class Harness {
       if (!opts_.config_path.empty()) {
         cfg_ = sim::load_config(opts_.config_path);
       }
-      if (!opts_.profile_cache_path.empty() &&
-          cache_.load_if_exists(opts_.profile_cache_path)) {
-        std::cerr << "[bench] profile cache: loaded " << cache_.size()
-                  << " entries from " << opts_.profile_cache_path << "\n";
+      if (!opts_.dump_path.empty()) {
+        // Probe the dump path now: failing after hours of simulation (and
+        // skipping the destructor's store save) is the expensive way to
+        // learn about a typo.
+        std::ofstream probe(opts_.dump_path, std::ios::app);
+        if (!probe.good()) {
+          std::cerr << argv[0] << ": cannot open --dump-results file "
+                    << opts_.dump_path << "\n";
+          std::exit(2);
+        }
+      }
+      if (!opts_.profile_cache_path.empty()) {
+        // An existing regular file is the legacy profile-only cache; any
+        // other path is the directory artifact store (profiles + models).
+        legacy_cache_file_ =
+            std::filesystem::is_regular_file(opts_.profile_cache_path);
+        const bool loaded =
+            legacy_cache_file_
+                ? cache_.load_if_exists(opts_.profile_cache_path)
+                : cache_.load_store_if_exists(opts_.profile_cache_path);
+        if (loaded) {
+          std::cerr << "[bench] artifact store: loaded " << cache_.size()
+                    << " profiles, " << cache_.model_count()
+                    << " models from " << opts_.profile_cache_path << "\n";
+        }
       }
     } catch (const std::exception& e) {
       // Bad --config / --profile-cache files are user errors, not bugs:
@@ -134,15 +194,36 @@ class Harness {
   }
 
   ~Harness() {
+    if ((opts_.shard.count > 1 || !opts_.dump_path.empty()) && !ran_) {
+      std::cerr << "[bench] warning: --shard/--dump-results have no effect "
+                   "here — this bench does not run scenario batches through "
+                   "the experiment engine\n";
+    }
     if (!opts_.profile_cache_path.empty()) {
       try {
-        cache_.save(opts_.profile_cache_path);
-        std::cerr << "[bench] profile cache: saved " << cache_.size()
-                  << " entries to " << opts_.profile_cache_path << " ("
-                  << cache_.hits() << " hits, " << cache_.misses()
-                  << " misses this run)\n";
+        if (legacy_cache_file_) {
+          cache_.save(opts_.profile_cache_path);
+          std::cerr << "[bench] artifact store: saved " << cache_.size()
+                    << " profiles (" << cache_.misses()
+                    << " measured this run) to " << opts_.profile_cache_path
+                    << " (legacy profile-only file";
+          if (cache_.model_count() > 0) {
+            std::cerr << "; " << cache_.model_count()
+                      << " models NOT persisted — pass a directory to keep "
+                         "them";
+          }
+          std::cerr << ")\n";
+        } else {
+          cache_.save_store(opts_.profile_cache_path);
+          std::cerr << "[bench] artifact store: saved " << cache_.size()
+                    << " profiles (" << cache_.misses()
+                    << " measured this run), " << cache_.model_count()
+                    << " models (" << cache_.model_misses()
+                    << " measured this run) to " << opts_.profile_cache_path
+                    << "\n";
+        }
       } catch (const std::exception& e) {
-        std::cerr << "[bench] profile cache save failed: " << e.what()
+        std::cerr << "[bench] artifact store save failed: " << e.what()
                   << "\n";
       }
     }
@@ -152,6 +233,18 @@ class Harness {
   const sim::GpuConfig& config() const { return cfg_; }
   profile::ProfileCache& cache() { return cache_; }
   exp::ExperimentRunner& engine() { return engine_; }
+
+  // Runs a scenario batch on this invocation's shard and, when
+  // --dump-results is set, appends one mergeable key=value line per
+  // executed repetition. Benches should call this instead of
+  // engine().run() so --shard/--dump-results apply uniformly.
+  std::vector<exp::ScenarioResult> run(
+      const std::vector<exp::ScenarioSpec>& scenarios) {
+    ran_ = true;
+    const auto results = engine_.run(scenarios, opts_.shard);
+    if (!opts_.dump_path.empty()) dump_results(results);
+    return results;
+  }
 
   // Suite profiles on the harness config, through the shared cache.
   const std::vector<profile::AppProfile>& profiles() {
@@ -186,17 +279,48 @@ class Harness {
   void print_setup() const { bench::print_setup(cfg_); }
 
  private:
+  // One line per executed repetition, in the key=value idiom. Lines are
+  // self-contained and order-independent: `LC_ALL=C sort` over the
+  // concatenated dumps of all shards reproduces the sorted dump of the
+  // unsharded run byte for byte.
+  void dump_results(const std::vector<exp::ScenarioResult>& results) {
+    std::ofstream out(opts_.dump_path, std::ios::app);
+    if (!out.good()) {
+      // The constructor probed this path; losing the dump mid-run is not
+      // worth losing the measured artifacts too (the destructor still
+      // saves the store), so report and continue.
+      std::cerr << "[bench] cannot append to --dump-results file "
+                << opts_.dump_path << "; results not dumped\n";
+      return;
+    }
+    out << std::setprecision(17);
+    for (const auto& r : results) {
+      if (!r.has_reps()) continue;  // another shard's scenario
+      for (size_t rep = 0; rep < r.reps.size(); ++rep) {
+        out << "result " << r.name << " rep=" << rep
+            << " cycles=" << r.reps[rep].total_cycles
+            << " insns=" << r.reps[rep].total_thread_insns
+            << " stp=" << r.reps[rep].device_throughput() << "\n";
+      }
+    }
+  }
+
   Options opts_;
   sim::GpuConfig cfg_;
   profile::ProfileCache cache_;
   exp::ExperimentRunner engine_;
   std::optional<std::vector<profile::AppProfile>> profiles_;
+  bool legacy_cache_file_ = false;
+  bool ran_ = false;  // whether any scenario batch went through run()
 };
 
 // Runs the (distribution × policy) grid used by Figs 4.3/4.11 and prints
-// device throughput normalized to the first policy. Returns the per-policy
-// averages of the normalized throughput, aligned with the (filtered)
-// policy list it also returns.
+// device throughput normalized to the first policy (the mean STP over
+// --reps repetitions; each repetition re-draws the queue with seed+i).
+// Under --shard, rows whose scenarios fall in another shard print "-" and
+// are excluded from the averages. Returns the per-policy averages of the
+// normalized throughput, aligned with the (filtered) policy list it also
+// returns.
 struct PolicyGridResult {
   std::vector<sched::Policy> policies;
   std::vector<double> mean_normalized;  // per policy, averaged over dists
@@ -216,34 +340,63 @@ inline PolicyGridResult run_policy_grid(
       spec.queue = exp::QueueSpec::Distribution(dist, length, seed);
       spec.policy = policy;
       spec.nc = nc;
+      spec.repetitions = h.options().reps;
       scenarios.push_back(spec);
     }
   }
-  const auto results = h.engine().run(scenarios);
+  const auto results = h.run(scenarios);
 
   std::vector<std::string> header{"workload"};
   for (const auto policy : policies) header.push_back(sched::policy_name(policy));
   Table table(header);
   std::vector<double> sums(policies.size(), 0.0);
+  std::vector<int> counts(policies.size(), 0);
   for (size_t d = 0; d < dists.size(); ++d) {
+    const auto& base_result = results[d * policies.size()];
     const double base =
-        results[d * policies.size()].report().device_throughput();
+        base_result.has_reps() ? base_result.mean_device_throughput() : 0.0;
     table.begin_row().cell(
         std::string(sched::distribution_name(dists[d])));
     for (size_t p = 0; p < policies.size(); ++p) {
-      const double ratio =
-          results[d * policies.size() + p].report().device_throughput() /
-          base;
+      const auto& r = results[d * policies.size() + p];
+      if (base <= 0.0 || !r.has_reps()) {
+        table.cell(std::string("-"));
+        continue;
+      }
+      const double ratio = r.mean_device_throughput() / base;
       sums[p] += ratio;
+      counts[p]++;
       table.cell(ratio, 3);
     }
   }
   table.print();
 
+  // Repetition statistics (mean/stddev over the re-drawn queues) for the
+  // seeded-queue tables; a single repetition has nothing to summarize.
+  if (h.options().reps > 1) {
+    print_banner("Per-scenario repetition statistics (" +
+                 std::to_string(h.options().reps) + " seeded repetitions)");
+    Table stats({"scenario", "STP mean", "STP sd", "cycles mean",
+                 "cycles sd"});
+    for (const auto& r : results) {
+      if (!r.has_reps()) continue;
+      const exp::RepStats stp = r.throughput_stats();
+      const exp::RepStats cyc = r.cycles_stats();
+      stats.begin_row()
+          .cell(r.name)
+          .cell(stp.mean, 3)
+          .cell(stp.stddev, 3)
+          .cell(cyc.mean, 1)
+          .cell(cyc.stddev, 1);
+    }
+    stats.print();
+  }
+
   PolicyGridResult grid;
   grid.policies = policies;
-  for (double s : sums) {
-    grid.mean_normalized.push_back(s / static_cast<double>(dists.size()));
+  for (size_t p = 0; p < policies.size(); ++p) {
+    grid.mean_normalized.push_back(
+        counts[p] > 0 ? sums[p] / static_cast<double>(counts[p]) : 0.0);
   }
   return grid;
 }
@@ -263,10 +416,16 @@ inline std::vector<sched::RunReport> run_per_app_table(
     spec.nc = nc;
     scenarios.push_back(spec);
   }
-  const auto results = h.engine().run(scenarios);
+  const auto results = h.run(scenarios);
 
+  // Under --shard some policies belong to other shards: their columns stay
+  // empty here and their reports come back default-constructed (callers
+  // merge via --dump-results, not via the partial tables).
   std::vector<std::map<std::string, double>> ipc;
-  for (const auto& r : results) ipc.push_back(r.report().per_app_ipc());
+  for (const auto& r : results) {
+    ipc.push_back(r.has_reps() ? r.report().per_app_ipc()
+                               : std::map<std::string, double>{});
+  }
 
   std::vector<std::string> header{"Benchmark"};
   if (show_class) header.push_back("class");
@@ -284,13 +443,25 @@ inline std::vector<sched::RunReport> run_per_app_table(
     if (show_class) table.cell(std::string(profile::class_name(pr.cls)));
     table.cell(base, 1);
     for (size_t p = 1; p < policies.size(); ++p) {
-      table.cell(ipc[p].count(pr.name) ? ipc[p].at(pr.name) / base : 0.0, 3);
+      if (ipc[p].count(pr.name)) {
+        table.cell(ipc[p].at(pr.name) / base, 3);
+      } else {
+        table.cell(std::string("-"));
+      }
     }
   }
   table.print();
 
   std::vector<sched::RunReport> reports;
-  for (const auto& r : results) reports.push_back(r.report());
+  for (size_t p = 0; p < results.size(); ++p) {
+    if (results[p].has_reps()) {
+      reports.push_back(results[p].report());
+    } else {
+      sched::RunReport placeholder;  // this shard didn't run the scenario
+      placeholder.policy = policies[p];
+      reports.push_back(placeholder);
+    }
+  }
   return reports;
 }
 

@@ -20,9 +20,12 @@ int main(int argc, char** argv) {
   h.print_setup();
   print_banner("Fig 3.4 — average application slowdown due to co-execution");
 
-  const auto model = interference::SlowdownModel::measure_pairwise(
-      h.config(), workloads::suite(), h.profiles(),
-      /*max_samples_per_cell=*/0);
+  // Measured through the artifact store: with a warm --profile-cache the
+  // whole ~N^2 co-run sweep is a disk load.
+  const auto model_ptr = h.cache().model(h.config(), workloads::suite(),
+                                         h.profiles(),
+                                         /*max_samples_per_cell=*/0);
+  const interference::SlowdownModel& model = *model_ptr;
 
   const char* names[] = {"M", "MC", "C", "A"};
   Table table({"slowdown of \\ with", "M", "MC", "C", "A"});

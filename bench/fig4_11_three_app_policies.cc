@@ -28,6 +28,8 @@ int main(int argc, char** argv) {
 
   std::cout << "\nAverage vs Even:";
   for (size_t p = 1; p < grid.policies.size(); ++p) {
+    // A sharded run may have no comparable rows for this policy.
+    if (grid.mean_normalized[p] <= 0.0) continue;
     std::cout << " " << sched::policy_name(grid.policies[p]) << " "
               << 100.0 * (grid.mean_normalized[p] - 1.0) << "%";
   }

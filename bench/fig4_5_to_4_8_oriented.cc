@@ -31,12 +31,15 @@ int main(int argc, char** argv) {
          sched::Policy::kIlp, sched::Policy::kIlpSmra},
         /*nc=*/2, /*show_class=*/false);
     const double base = reports.front().device_throughput();
-    std::cout << "Queue device throughput vs Even: ";
-    for (size_t p = 1; p < reports.size(); ++p) {
-      std::cout << " " << sched::policy_name(reports[p].policy) << " "
-                << reports[p].device_throughput() / base;
+    if (base > 0.0) {  // the Even baseline may belong to another shard
+      std::cout << "Queue device throughput vs Even: ";
+      for (size_t p = 1; p < reports.size(); ++p) {
+        if (reports[p].device_throughput() <= 0.0) continue;
+        std::cout << " " << sched::policy_name(reports[p].policy) << " "
+                  << reports[p].device_throughput() / base;
+      }
+      std::cout << "\n";
     }
-    std::cout << "\n";
   }
   return 0;
 }

@@ -26,19 +26,25 @@ int main(int argc, char** argv) {
     spec.nc = 3;
     scenarios.push_back(spec);
   }
-  const auto results = h.engine().run(scenarios);
+  const auto results = h.run(scenarios);
 
-  const double base = results.front().report().device_throughput();
+  const double base = results.front().has_reps()
+                          ? results.front().report().device_throughput()
+                          : 0.0;
   Table table({"policy", "throughput (IPC)", "normalized to Serial"});
   for (const auto& r : results) {
-    table.begin_row()
-        .cell(r.name)
-        .cell(r.report().device_throughput(), 1)
-        .cell(r.report().device_throughput() / base, 3);
+    if (!r.has_reps()) continue;  // another shard's scenario
+    table.begin_row().cell(r.name).cell(r.report().device_throughput(), 1);
+    if (base > 0.0) {
+      table.cell(r.report().device_throughput() / base, 3);
+    } else {
+      table.cell(std::string("-"));
+    }
   }
   table.print();
 
-  if (results.size() == 3) {
+  if (results.size() == 3 && base > 0.0 && results[1].has_reps() &&
+      results[2].has_reps()) {
     const double fcfs = results[1].report().device_throughput();
     const double ilp = results[2].report().device_throughput();
     std::cout << "\nILP vs Serial: " << 100.0 * (ilp / base - 1.0)

@@ -1,13 +1,24 @@
 // ExperimentRunner: executes a batch of ScenarioSpecs across a thread pool.
 //
-// The engine memoizes, per device configuration, the expensive offline
-// stages every scenario shares — suite solo profiles (through the global
-// ProfileCache) and the pairwise SlowdownModel measurement — so a batch of
-// N scenarios on one config pays for profiling and interference measurement
-// once, not N times. Workers pull scenarios from a shared index and write
-// into a pre-sized result vector, so `run()` returns reports in declaration
-// order and byte-identical results regardless of the thread count (the
-// simulator itself is deterministic and each scenario is independent).
+// The engine stages the expensive offline artifacts per device
+// configuration — suite solo profiles, the pairwise SlowdownModel and the
+// reusable const QueueRunner — as independently memoized lazy stages, each
+// behind its own shared_future. A scenario forces only the stages its queue
+// kind and policy actually need: suite/distribution queues force the
+// profile stage, the ILP policies force the model stage, and an
+// explicit-queue scenario under Even/Serial forces neither (its kernels are
+// profiled individually through the artifact store). Profiles and models
+// themselves are memoized and persisted by the shared
+// profile::ProfileCache, so a warm store makes every stage a pure load.
+//
+// Workers pull scenarios from a shared index and write into a pre-sized
+// result vector, so `run()` returns reports in declaration order and
+// byte-identical results regardless of the thread count (the simulator
+// itself is deterministic and each scenario is independent). A batch can
+// additionally be sharded: `run(scenarios, Shard{i, n})` executes the
+// deterministic i-of-n slice (scenario j belongs to shard j % n), leaving
+// the other entries empty, so independent processes or machines can split
+// one batch and merge the unions trivially.
 #pragma once
 
 #include <future>
@@ -24,6 +35,14 @@
 
 namespace gpumas::exp {
 
+// A deterministic i-of-n slice of a scenario batch: scenario j is executed
+// iff j % count == index. Round-robin keeps the expensive scenarios of a
+// grid (which benches declare in clustered order) balanced across shards.
+struct Shard {
+  int index = 0;
+  int count = 1;  // 1 = the whole batch
+};
+
 class ExperimentRunner {
  public:
   // `cache` outlives the runner and may be shared with other engines and
@@ -34,10 +53,14 @@ class ExperimentRunner {
   explicit ExperimentRunner(profile::ProfileCache& cache, int threads = 1,
                             std::vector<sim::KernelParams> suite = {});
 
-  // Executes every scenario; results[i] always corresponds to scenarios[i].
-  // Worker exceptions (e.g. a scenario exceeding max_cycles) propagate to
-  // the caller after the pool drains.
-  std::vector<ScenarioResult> run(const std::vector<ScenarioSpec>& scenarios);
+  // Executes every scenario of this shard; results[i] always corresponds
+  // to scenarios[i], and entries outside the shard carry the scenario name
+  // but no reps (ScenarioResult::has_reps() is false). Worker exceptions
+  // (e.g. a scenario exceeding max_cycles) propagate to the caller after
+  // the pool drains; once one worker fails, the remaining workers stop
+  // claiming new scenarios instead of simulating the rest of the batch.
+  std::vector<ScenarioResult> run(const std::vector<ScenarioSpec>& scenarios,
+                                  const Shard& shard = {});
 
   // Convenience for the common single-scenario case.
   ScenarioResult run_one(const ScenarioSpec& scenario);
@@ -46,27 +69,45 @@ class ExperimentRunner {
   profile::ProfileCache& cache() { return *cache_; }
 
  private:
-  // Offline stage shared by every scenario on one (config, model sampling):
-  // suite profiles, the interference model, and one reusable const runner.
+  // Offline stages shared by every scenario on one (config, thresholds,
+  // model sampling) key. Each stage is an independently memoized
+  // shared_future: the slot is invalid until the first scenario that needs
+  // the stage forces it, and concurrent forcers of one stage block on a
+  // single computation. Two runner flavours exist so that non-ILP policies
+  // never force the model: `runner` (profiles + measured model) and
+  // `lite_runner` (profiles + a never-consulted neutral model).
   struct Env {
-    std::vector<profile::AppProfile> profiles;
-    interference::SlowdownModel model;
-    std::unique_ptr<sched::QueueRunner> runner;
+    sim::GpuConfig config;
+    profile::ClassifierThresholds thresholds;
+    int model_samples = 0;
+
+    std::mutex mu;  // guards the stage slots below
+    std::shared_future<std::shared_ptr<const std::vector<profile::AppProfile>>>
+        profiles;
+    std::shared_future<std::shared_ptr<const interference::SlowdownModel>>
+        model;
+    std::shared_future<std::shared_ptr<const sched::QueueRunner>> runner;
+    std::shared_future<std::shared_ptr<const sched::QueueRunner>> lite_runner;
   };
 
-  std::shared_ptr<const Env> env_for(const ScenarioSpec& spec);
+  std::shared_ptr<Env> env_for(const ScenarioSpec& spec);
+  std::shared_ptr<const std::vector<profile::AppProfile>> profiles_stage(
+      Env& env);
+  std::shared_ptr<const interference::SlowdownModel> model_stage(Env& env);
+  std::shared_ptr<const sched::QueueRunner> runner_stage(Env& env,
+                                                         bool with_model);
+
   ScenarioResult run_scenario(const ScenarioSpec& spec);
-  std::vector<sched::Job> build_queue(const ScenarioSpec& spec, int rep,
-                                      const Env& env) const;
+  std::vector<sched::Job> build_queue(
+      const ScenarioSpec& spec, int rep,
+      const std::vector<profile::AppProfile>& suite_profiles) const;
 
   profile::ProfileCache* cache_;
   int threads_;
   std::vector<sim::KernelParams> suite_;
   std::mutex mu_;
   // Keyed by (config fingerprint, thresholds fingerprint, model sampling).
-  std::map<std::tuple<uint64_t, uint64_t, int>,
-           std::shared_future<std::shared_ptr<const Env>>>
-      envs_;
+  std::map<std::tuple<uint64_t, uint64_t, int>, std::shared_ptr<Env>> envs_;
 };
 
 }  // namespace gpumas::exp

@@ -9,6 +9,7 @@
 // thread pool and still produce reports in declaration order.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -87,16 +88,52 @@ struct ScenarioSpec {
   int repetitions = 1;
 };
 
+// Mean and (population) standard deviation of a per-repetition metric.
+struct RepStats {
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+
 struct ScenarioResult {
   std::string name;                    // copied from the spec
   std::vector<sched::RunReport> reps;  // one report per repetition
 
+  // False for the entries of a sharded run() that belong to other shards.
+  bool has_reps() const { return !reps.empty(); }
+
   const sched::RunReport& report() const { return reps.front(); }
 
-  double mean_device_throughput() const {
-    double sum = 0.0;
-    for (const auto& r : reps) sum += r.device_throughput();
-    return reps.empty() ? 0.0 : sum / static_cast<double>(reps.size());
+  double mean_device_throughput() const { return throughput_stats().mean; }
+
+  // STP (device throughput, Eq 1.1) across the repetitions.
+  RepStats throughput_stats() const {
+    std::vector<double> xs;
+    xs.reserve(reps.size());
+    for (const auto& r : reps) xs.push_back(r.device_throughput());
+    return stats(xs);
+  }
+
+  // Total queue cycles (sum of group completion cycles) across the reps.
+  RepStats cycles_stats() const {
+    std::vector<double> xs;
+    xs.reserve(reps.size());
+    for (const auto& r : reps) {
+      xs.push_back(static_cast<double>(r.total_cycles));
+    }
+    return stats(xs);
+  }
+
+ private:
+  static RepStats stats(const std::vector<double>& xs) {
+    RepStats s;
+    if (xs.empty()) return s;
+    for (const double x : xs) s.mean += x;
+    s.mean /= static_cast<double>(xs.size());
+    double var = 0.0;
+    for (const double x : xs) var += (x - s.mean) * (x - s.mean);
+    var /= static_cast<double>(xs.size());
+    s.stddev = var > 0.0 ? std::sqrt(var) : 0.0;
+    return s;
   }
 };
 

@@ -1,8 +1,11 @@
 #include "interference/interference.h"
 
 #include <algorithm>
+#include <iomanip>
+#include <sstream>
 
 #include "common/check.h"
+#include "common/text.h"
 
 namespace gpumas::interference {
 
@@ -116,6 +119,162 @@ double SlowdownModel::slowdown(AppClass me,
   double s = 1.0;
   for (AppClass c : others) s += pair_slowdown(me, c) - 1.0;
   return s;
+}
+
+int SlowdownModel::total_pair_samples() const {
+  int total = 0;
+  for (int a = 0; a < profile::kNumClasses; ++a) {
+    for (int b = 0; b < profile::kNumClasses; ++b) total += samples_[a][b];
+  }
+  return total;
+}
+
+namespace {
+
+// Splits "M_MC_A" into its '_'-separated class-name tokens.
+std::vector<std::string> split_classes(const std::string& s) {
+  std::vector<std::string> tokens;
+  size_t start = 0;
+  while (start <= s.size()) {
+    const size_t end = s.find('_', start);
+    if (end == std::string::npos) {
+      tokens.push_back(s.substr(start));
+      break;
+    }
+    tokens.push_back(s.substr(start, end - start));
+    start = end + 1;
+  }
+  return tokens;
+}
+
+double parse_positive_double(const std::string& v, int line_no) {
+  std::istringstream vs(v);
+  double d = 0.0;
+  GPUMAS_CHECK_MSG(static_cast<bool>(vs >> d),
+                   "slowdown model line " << line_no
+                                          << ": cannot parse value '" << v
+                                          << "'");
+  GPUMAS_CHECK_MSG(d > 0.0, "slowdown model line "
+                                << line_no << ": non-positive slowdown " << d);
+  return d;
+}
+
+}  // namespace
+
+std::string SlowdownModel::to_string() const {
+  std::ostringstream os;
+  os << std::setprecision(17);
+  for (int a = 0; a < profile::kNumClasses; ++a) {
+    for (int b = 0; b < profile::kNumClasses; ++b) {
+      os << "pair_" << profile::class_name(static_cast<AppClass>(a)) << "_"
+         << profile::class_name(static_cast<AppClass>(b)) << " = "
+         << pair_[a][b] << "\n";
+    }
+  }
+  for (int a = 0; a < profile::kNumClasses; ++a) {
+    for (int b = 0; b < profile::kNumClasses; ++b) {
+      os << "samples_" << profile::class_name(static_cast<AppClass>(a)) << "_"
+         << profile::class_name(static_cast<AppClass>(b)) << " = "
+         << samples_[a][b] << "\n";
+    }
+  }
+  os << "multi_count = " << multi_.size() << "\n";
+  for (const auto& [key, slowdown] : multi_) {
+    os << "multi_" << profile::class_name(static_cast<AppClass>(key.first));
+    for (const int c : key.second) {
+      os << "_" << profile::class_name(static_cast<AppClass>(c));
+    }
+    os << " = " << slowdown << "\n";
+  }
+  return os.str();
+}
+
+SlowdownModel SlowdownModel::from_string(const std::string& text) {
+  SlowdownModel model;
+  bool seen_pair[profile::kNumClasses][profile::kNumClasses] = {};
+  bool seen_samples[profile::kNumClasses][profile::kNumClasses] = {};
+  long multi_count = -1;
+
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    line = trim(line);
+    if (line.empty() || line.front() == '#') continue;
+    const size_t eq = line.find('=');
+    GPUMAS_CHECK_MSG(eq != std::string::npos,
+                     "slowdown model line " << line_no << ": malformed");
+    const std::string k = trim(line.substr(0, eq));
+    const std::string v = trim(line.substr(eq + 1));
+    GPUMAS_CHECK_MSG(!v.empty(),
+                     "slowdown model line " << line_no << ": empty value");
+
+    if (k.rfind("pair_", 0) == 0 || k.rfind("samples_", 0) == 0) {
+      const bool is_pair = k.rfind("pair_", 0) == 0;
+      const auto tokens =
+          split_classes(k.substr(is_pair ? 5 : 8));
+      GPUMAS_CHECK_MSG(tokens.size() == 2, "slowdown model line "
+                                               << line_no << ": bad key '" << k
+                                               << "'");
+      const size_t a = idx(profile::class_from_name(tokens[0]));
+      const size_t b = idx(profile::class_from_name(tokens[1]));
+      if (is_pair) {
+        model.pair_[a][b] = parse_positive_double(v, line_no);
+        seen_pair[a][b] = true;  // duplicate keys: last one wins
+      } else {
+        std::istringstream vs(v);
+        int n = 0;
+        GPUMAS_CHECK_MSG(static_cast<bool>(vs >> n) && n >= 0,
+                         "slowdown model line " << line_no
+                                                << ": bad sample count '" << v
+                                                << "'");
+        model.samples_[a][b] = n;
+        seen_samples[a][b] = true;
+      }
+    } else if (k == "multi_count") {
+      std::istringstream vs(v);
+      GPUMAS_CHECK_MSG(static_cast<bool>(vs >> multi_count) &&
+                           multi_count >= 0,
+                       "slowdown model line " << line_no
+                                              << ": bad multi_count '" << v
+                                              << "'");
+    } else if (k.rfind("multi_", 0) == 0) {
+      const auto tokens = split_classes(k.substr(6));
+      GPUMAS_CHECK_MSG(tokens.size() >= 3, "slowdown model line "
+                                               << line_no << ": bad key '" << k
+                                               << "'");
+      const int me = static_cast<int>(profile::class_from_name(tokens[0]));
+      std::vector<int> others;
+      for (size_t i = 1; i < tokens.size(); ++i) {
+        others.push_back(
+            static_cast<int>(profile::class_from_name(tokens[i])));
+      }
+      std::sort(others.begin(), others.end());
+      model.multi_[{me, others}] = parse_positive_double(v, line_no);
+    } else {
+      GPUMAS_CHECK_MSG(false, "slowdown model line " << line_no
+                                                     << ": unknown key '" << k
+                                                     << "'");
+    }
+  }
+
+  for (int a = 0; a < profile::kNumClasses; ++a) {
+    for (int b = 0; b < profile::kNumClasses; ++b) {
+      GPUMAS_CHECK_MSG(seen_pair[a][b] && seen_samples[a][b],
+                       "slowdown model is incomplete: missing cell "
+                           << profile::class_name(static_cast<AppClass>(a))
+                           << "/"
+                           << profile::class_name(static_cast<AppClass>(b)));
+    }
+  }
+  GPUMAS_CHECK_MSG(multi_count >= 0, "slowdown model is missing multi_count");
+  GPUMAS_CHECK_MSG(static_cast<size_t>(multi_count) == model.multi_.size(),
+                   "slowdown model multi_count " << multi_count
+                                                 << " does not match "
+                                                 << model.multi_.size()
+                                                 << " multi entries");
+  return model;
 }
 
 void SlowdownModel::measure_triples(

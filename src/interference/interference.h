@@ -75,6 +75,29 @@ class SlowdownModel {
                          double s);
   int pair_samples(profile::AppClass me, profile::AppClass other) const;
 
+  // Number of co-run simulations behind the pairwise matrix (the sum of all
+  // cell sample counts). A model restored from disk reports the samples of
+  // the original measurement; warm-cache runs assert that no NEW
+  // measurement happened through the artifact store's counters instead.
+  int total_pair_samples() const;
+
+  // Number of measured multi-way entries.
+  size_t multi_entries() const { return multi_.size(); }
+
+  // --- (de)serialization, sim::config_io key=value idiom ---
+  // Renders the full model: every pairwise cell (`pair_<me>_<other>`) with
+  // its sample count (`samples_<me>_<other>`), then `multi_count` and the
+  // measured multi-way entries (`multi_<me>_<a>_<b>... = slowdown`).
+  // Doubles are rendered with max_digits10 precision, so a reloaded model
+  // reproduces scheduler reports byte for byte.
+  std::string to_string() const;
+
+  // Parses to_string() output. Missing cells, unknown keys, malformed or
+  // non-positive values and a multi_count mismatch all throw
+  // std::logic_error naming the offending line — a truncated or mangled
+  // artifact must never silently load as a zeroed model.
+  static SlowdownModel from_string(const std::string& text);
+
  private:
   static size_t idx(profile::AppClass c) { return static_cast<size_t>(c); }
 

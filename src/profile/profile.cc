@@ -18,6 +18,14 @@ const char* class_name(AppClass c) {
   return "?";
 }
 
+AppClass class_from_name(const std::string& name) {
+  for (int c = 0; c < kNumClasses; ++c) {
+    const AppClass cls = static_cast<AppClass>(c);
+    if (name == class_name(cls)) return cls;
+  }
+  GPUMAS_CHECK_MSG(false, "unknown application class '" << name << "'");
+}
+
 AppClass classify(const AppProfile& p, const ClassifierThresholds& t) {
   if (p.mb_gbps > t.alpha) return AppClass::kM;
   if (p.mb_gbps > t.beta) return AppClass::kMC;

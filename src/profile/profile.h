@@ -25,6 +25,10 @@ constexpr int kNumClasses = 4;
 
 const char* class_name(AppClass c);
 
+// Inverse of class_name, for the key=value artifact parsers; throws on an
+// unknown name.
+AppClass class_from_name(const std::string& name);
+
 struct AppProfile {
   std::string name;
   AppClass cls = AppClass::kA;

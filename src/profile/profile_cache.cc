@@ -1,5 +1,6 @@
 #include "profile/profile_cache.h"
 
+#include <filesystem>
 #include <fstream>
 #include <iomanip>
 #include <set>
@@ -45,6 +46,17 @@ uint64_t kernel_fingerprint(const sim::KernelParams& kp) {
      << "mlp = " << kp.mlp << "\n"
      << "l2_streaming_bypass = " << (kp.l2_streaming_bypass ? 1 : 0) << "\n"
      << "seed = " << kp.seed << "\n";
+  return fnv1a(os.str());
+}
+
+uint64_t model_suite_fingerprint(const std::vector<sim::KernelParams>& kernels,
+                                 const std::vector<AppProfile>& profiles) {
+  GPUMAS_CHECK(kernels.size() == profiles.size());
+  std::ostringstream os;
+  for (size_t i = 0; i < kernels.size(); ++i) {
+    os << kernel_fingerprint(kernels[i]) << ":"
+       << static_cast<int>(profiles[i].cls) << "\n";
+  }
   return fnv1a(os.str());
 }
 
@@ -121,6 +133,56 @@ std::vector<AppProfile> ProfileCache::suite_profiles(
   return profiles;
 }
 
+std::shared_ptr<const interference::SlowdownModel> ProfileCache::model(
+    const sim::GpuConfig& cfg, const std::vector<sim::KernelParams>& kernels,
+    const std::vector<AppProfile>& profiles, int max_samples_per_cell,
+    bool with_triples) {
+  const ModelKey key{config_fingerprint(cfg),
+                     model_suite_fingerprint(kernels, profiles),
+                     max_samples_per_cell, with_triples};
+  std::promise<std::shared_ptr<const interference::SlowdownModel>> promise;
+  std::shared_future<std::shared_ptr<const interference::SlowdownModel>>
+      future;
+  bool owner = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = models_.find(key);
+    if (it != models_.end()) {
+      ++model_hits_;
+      future = it->second;
+    } else {
+      ++model_misses_;
+      future = promise.get_future().share();
+      models_.emplace(key, future);
+      owner = true;
+    }
+  }
+  // As with solo profiles, the inserting thread measures outside the lock;
+  // same-key waiters block on the future instead of duplicating the ~N^2
+  // co-run simulations.
+  if (owner) {
+    try {
+      auto measured = std::make_shared<interference::SlowdownModel>(
+          interference::SlowdownModel::measure_pairwise(
+              cfg, kernels, profiles, max_samples_per_cell));
+      if (with_triples) measured->measure_triples(cfg, kernels, profiles);
+      promise.set_value(std::move(measured));
+    } catch (...) {
+      promise.set_exception(std::current_exception());
+    }
+  }
+  return future.get();
+}
+
+void ProfileCache::insert_loaded_model(const ModelKey& key,
+                                       interference::SlowdownModel model) {
+  std::promise<std::shared_ptr<const interference::SlowdownModel>> promise;
+  promise.set_value(
+      std::make_shared<interference::SlowdownModel>(std::move(model)));
+  std::lock_guard<std::mutex> lock(mu_);
+  models_.emplace(key, promise.get_future().share());  // keep existing entry
+}
+
 uint64_t ProfileCache::hits() const {
   std::lock_guard<std::mutex> lock(mu_);
   return hits_;
@@ -134,6 +196,21 @@ uint64_t ProfileCache::misses() const {
 size_t ProfileCache::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return entries_.size();
+}
+
+uint64_t ProfileCache::model_hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return model_hits_;
+}
+
+uint64_t ProfileCache::model_misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return model_misses_;
+}
+
+size_t ProfileCache::model_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return models_.size();
 }
 
 void ProfileCache::insert_loaded(const Key& key, const AppProfile& p) {
@@ -267,6 +344,135 @@ bool ProfileCache::load_if_exists(const std::string& path) {
     if (!probe.good()) return false;
   }
   load(path);
+  return true;
+}
+
+void ProfileCache::save_models(const std::string& path) const {
+  std::ostringstream os;
+  os << "# gpumas model cache v1\n";
+  std::map<ModelKey,
+           std::shared_future<std::shared_ptr<const interference::SlowdownModel>>>
+      snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snapshot = models_;
+  }
+  for (const auto& [key, future] : snapshot) {
+    if (future.wait_for(std::chrono::seconds(0)) !=
+        std::future_status::ready) {
+      continue;  // still being measured by another thread
+    }
+    std::shared_ptr<const interference::SlowdownModel> model;
+    try {
+      model = future.get();
+    } catch (const std::exception&) {
+      continue;  // failed measurements are not persisted
+    }
+    os << "[model]\n"
+       << "config = " << key.config_fp << "\n"
+       << "suite = " << key.suite_fp << "\n"
+       << "samples_per_cell = " << key.samples << "\n"
+       << "triples = " << (key.triples ? 1 : 0) << "\n"
+       << model->to_string();
+  }
+  std::ofstream out(path);
+  GPUMAS_CHECK_MSG(out.good(), "cannot open '" << path << "' for writing");
+  out << os.str();
+  out.flush();
+  GPUMAS_CHECK_MSG(out.good(), "short write to '" << path << "'");
+}
+
+void ProfileCache::load_models(const std::string& path) {
+  std::ifstream in(path);
+  GPUMAS_CHECK_MSG(in.good(), "cannot open model cache '" << path << "'");
+
+  ModelKey key;
+  std::set<std::string> seen_keys;
+  std::string model_text;  // non-key lines, parsed by SlowdownModel
+  bool in_entry = false;
+  int entry_line = 0;
+  const auto flush = [&] {
+    if (in_entry) {
+      GPUMAS_CHECK_MSG(
+          seen_keys.size() == 4,
+          "model cache entry at line "
+              << entry_line
+              << " is missing its config/suite/samples_per_cell/triples key");
+      // from_string validates the model body (all cells, multi_count).
+      insert_loaded_model(
+          key, interference::SlowdownModel::from_string(model_text));
+    }
+    key = ModelKey{};
+    seen_keys.clear();
+    model_text.clear();
+    in_entry = false;
+  };
+
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    line = trim(line);
+    if (line.empty() || line.front() == '#') continue;
+    if (line == "[model]") {
+      flush();
+      in_entry = true;
+      entry_line = line_no;
+      continue;
+    }
+    const size_t eq = line.find('=');
+    GPUMAS_CHECK_MSG(eq != std::string::npos && in_entry,
+                     "model cache line " << line_no << ": malformed");
+    const std::string k = trim(line.substr(0, eq));
+    const std::string v = trim(line.substr(eq + 1));
+    GPUMAS_CHECK_MSG(!v.empty(),
+                     "model cache line " << line_no << ": empty value");
+    std::istringstream vs(v);
+    bool ok = true;
+    if (k == "config") {
+      ok = static_cast<bool>(vs >> key.config_fp);
+    } else if (k == "suite") {
+      ok = static_cast<bool>(vs >> key.suite_fp);
+    } else if (k == "samples_per_cell") {
+      ok = static_cast<bool>(vs >> key.samples);
+    } else if (k == "triples") {
+      int t = 0;
+      ok = static_cast<bool>(vs >> t) && (t == 0 || t == 1);
+      key.triples = t == 1;
+    } else {
+      // A model-body line; SlowdownModel::from_string owns its validation.
+      model_text += line;
+      model_text += "\n";
+      continue;
+    }
+    GPUMAS_CHECK_MSG(ok, "model cache line " << line_no
+                                             << ": cannot parse value '" << v
+                                             << "'");
+    seen_keys.insert(k);
+  }
+  flush();
+}
+
+bool ProfileCache::load_models_if_exists(const std::string& path) {
+  {
+    std::ifstream probe(path);
+    if (!probe.good()) return false;
+  }
+  load_models(path);
+  return true;
+}
+
+void ProfileCache::save_store(const std::string& dir) const {
+  std::filesystem::create_directories(dir);
+  save(dir + "/profiles.txt");
+  save_models(dir + "/models.txt");
+}
+
+bool ProfileCache::load_store_if_exists(const std::string& dir) {
+  std::error_code ec;
+  if (!std::filesystem::is_directory(dir, ec)) return false;
+  load_if_exists(dir + "/profiles.txt");
+  load_models_if_exists(dir + "/models.txt");
   return true;
 }
 

@@ -1,25 +1,37 @@
-// Shared, thread-safe store of solo-profiling results.
+// Shared, thread-safe store of the paper's offline artifacts.
 //
 // Every experiment in Chapter 4 starts from the same offline measurements:
-// each application's solo run on the full device (Table 3.2) and its solo
-// scalability curve (Figs 3.5/3.6, and the ProfileBased [17] scheduler).
-// The cache computes each (config, kernel, SM count) point exactly once —
-// even when many scenario workers ask for it concurrently — and can persist
-// the measurements to disk in the same `key = value` text idiom as
-// sim::config_io, so repeated bench invocations skip re-profiling entirely.
+// each application's solo run on the full device (Table 3.2), its solo
+// scalability curve (Figs 3.5/3.6, and the ProfileBased [17] scheduler),
+// and the pairwise class-interference model (Fig 3.4). The store computes
+// each artifact exactly once — even when many scenario workers ask for it
+// concurrently — and persists the measurements to disk in the same
+// `key = value` text idiom as sim::config_io, so repeated bench invocations
+// skip both re-profiling and re-measuring the interference model entirely.
 //
-// Classification thresholds are deliberately NOT part of the cache key: the
-// stored record is the raw measurement, and the class is (re)derived via
-// classify() at retrieval, so threshold ablations reuse the same entries.
+// Solo profiles are keyed by (config, kernel, SM count); classification
+// thresholds are deliberately NOT part of that key: the stored record is
+// the raw measurement, and the class is (re)derived via classify() at
+// retrieval, so threshold ablations reuse the same entries. Slowdown models
+// are keyed by (config, suite-with-classes, sampling) — the class
+// assignment, not the thresholds that produced it, is what shapes the
+// measured matrix, so threshold settings that classify identically share
+// one model.
+//
+// On disk the store is one directory: <dir>/profiles.txt holds the solo
+// measurements, <dir>/models.txt the slowdown models. The single-file
+// profile format of save()/load() is kept for profile-only uses.
 #pragma once
 
 #include <cstdint>
 #include <future>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
+#include "interference/interference.h"
 #include "profile/profile.h"
 #include "sim/gpu_config.h"
 #include "sim/kernel.h"
@@ -33,6 +45,12 @@ uint64_t config_fingerprint(const sim::GpuConfig& cfg);
 // Stable fingerprint of a kernel's full parameter set (not just its name:
 // two custom kernels sharing a name must not alias).
 uint64_t kernel_fingerprint(const sim::KernelParams& kp);
+
+// Stable fingerprint of a suite as the interference model sees it: the
+// kernels (full parameter sets) and their assigned classes, in order —
+// order matters because cell sampling caps truncate in iteration order.
+uint64_t model_suite_fingerprint(const std::vector<sim::KernelParams>& kernels,
+                                 const std::vector<AppProfile>& profiles);
 
 class ProfileCache {
  public:
@@ -56,15 +74,42 @@ class ProfileCache {
       const std::vector<sim::KernelParams>& kernels, const sim::GpuConfig& cfg,
       const ClassifierThresholds& t = {});
 
+  // --- slowdown models (the second offline artifact) ---
+  // The Fig 3.4 interference model measured over `kernels`/`profiles` on
+  // `cfg`, memoized on (config, suite-with-classes, sampling, triples) with
+  // the same once-per-key semantics as solo(): concurrent callers of one
+  // key block on a single measurement. The returned model lives as long as
+  // the store, so callers may hold the raw pointer (sched::QueueRunner
+  // does) while the store outlives them.
+  std::shared_ptr<const interference::SlowdownModel> model(
+      const sim::GpuConfig& cfg, const std::vector<sim::KernelParams>& kernels,
+      const std::vector<AppProfile>& profiles, int max_samples_per_cell = 0,
+      bool with_triples = false);
+
   // --- observability ---
-  uint64_t hits() const;    // lookups served from an existing entry
-  uint64_t misses() const;  // lookups that triggered a simulation
-  size_t size() const;      // resident entries
+  uint64_t hits() const;    // profile lookups served from an existing entry
+  uint64_t misses() const;  // profile lookups that triggered a simulation
+  size_t size() const;      // resident profile entries
+  uint64_t model_hits() const;    // model lookups served without measuring
+  uint64_t model_misses() const;  // model lookups that ran co-run sims
+  size_t model_count() const;     // resident models
 
   // --- persistence (config_io key = value idiom) ---
+  // Profile-only single-file form.
   void save(const std::string& path) const;
   void load(const std::string& path);        // throws if unreadable
   bool load_if_exists(const std::string& path);  // false when absent
+
+  // Slowdown-model single-file form.
+  void save_models(const std::string& path) const;
+  void load_models(const std::string& path);  // throws if unreadable/corrupt
+  bool load_models_if_exists(const std::string& path);
+
+  // Whole-store directory form: <dir>/profiles.txt + <dir>/models.txt.
+  // save_store creates the directory; load_store_if_exists returns false
+  // when the directory is absent and loads whichever artifact files exist.
+  void save_store(const std::string& dir) const;
+  bool load_store_if_exists(const std::string& dir);
 
  private:
   struct Key {
@@ -78,6 +123,19 @@ class ProfileCache {
     }
   };
 
+  struct ModelKey {
+    uint64_t config_fp = 0;
+    uint64_t suite_fp = 0;
+    int samples = 0;
+    bool triples = false;
+    bool operator<(const ModelKey& o) const {
+      if (config_fp != o.config_fp) return config_fp < o.config_fp;
+      if (suite_fp != o.suite_fp) return suite_fp < o.suite_fp;
+      if (samples != o.samples) return samples < o.samples;
+      return triples < o.triples;
+    }
+  };
+
   // Raw measurement lookup; classification applied by callers.
   AppProfile raw_solo(const sim::GpuConfig& cfg, const sim::KernelParams& kp,
                       int num_sms);
@@ -85,11 +143,18 @@ class ProfileCache {
   AppProfile lookup(const Key& key, const sim::GpuConfig& cfg,
                     const sim::KernelParams& kp, int num_sms);
   void insert_loaded(const Key& key, const AppProfile& p);
+  void insert_loaded_model(const ModelKey& key,
+                           interference::SlowdownModel model);
 
   mutable std::mutex mu_;
   std::map<Key, std::shared_future<AppProfile>> entries_;
+  std::map<ModelKey,
+           std::shared_future<std::shared_ptr<const interference::SlowdownModel>>>
+      models_;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
+  uint64_t model_hits_ = 0;
+  uint64_t model_misses_ = 0;
 };
 
 }  // namespace gpumas::profile

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <sstream>
 
 namespace gpumas::exp {
@@ -218,6 +219,171 @@ TEST(ExperimentTest, ExplicitQueueRejectsAliasedKernelNames) {
   spec.policy = sched::Policy::kEven;
   spec.nc = 2;
   EXPECT_THROW(engine.run_one(spec), std::logic_error);
+}
+
+// Merges sharded result vectors: each index is filled by exactly one shard.
+std::vector<ScenarioResult> merge_shards(
+    const std::vector<std::vector<ScenarioResult>>& shards) {
+  std::vector<ScenarioResult> merged(shards.front().size());
+  for (const auto& part : shards) {
+    for (size_t i = 0; i < part.size(); ++i) {
+      if (part[i].has_reps()) merged[i] = part[i];
+    }
+  }
+  return merged;
+}
+
+TEST(ExperimentTest, ShardUnionIsByteIdenticalToFullRun) {
+  const auto batch = mixed_batch();  // includes a 2-repetition scenario
+
+  profile::ProfileCache full_cache;
+  ExperimentRunner full_engine(full_cache, 2, tiny_suite());
+  const std::string full = serialize(full_engine.run(batch));
+
+  // Each shard runs in its own engine and cache (as separate processes
+  // would), at different thread counts.
+  std::vector<std::vector<ScenarioResult>> parts;
+  for (int index = 0; index < 2; ++index) {
+    profile::ProfileCache cache;
+    ExperimentRunner engine(cache, index == 0 ? 1 : 4, tiny_suite());
+    parts.push_back(engine.run(batch, Shard{index, 2}));
+  }
+  EXPECT_EQ(serialize(merge_shards(parts)), full);
+
+  // Same property for an uneven 3-way split.
+  std::vector<std::vector<ScenarioResult>> thirds;
+  for (int index = 0; index < 3; ++index) {
+    profile::ProfileCache cache;
+    ExperimentRunner engine(cache, 2, tiny_suite());
+    thirds.push_back(engine.run(batch, Shard{index, 3}));
+  }
+  EXPECT_EQ(serialize(merge_shards(thirds)), full);
+}
+
+TEST(ExperimentTest, ShardKeepsNamesAndSkipsOtherShards) {
+  profile::ProfileCache cache;
+  ExperimentRunner engine(cache, 2, tiny_suite());
+  const auto batch = mixed_batch();
+  const auto results = engine.run(batch, Shard{1, 2});
+  ASSERT_EQ(results.size(), batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(results[i].name, batch[i].name);
+    EXPECT_EQ(results[i].has_reps(), i % 2 == 1);
+  }
+  EXPECT_THROW(engine.run(batch, Shard{2, 2}), std::logic_error);
+  EXPECT_THROW(engine.run(batch, Shard{0, 0}), std::logic_error);
+}
+
+TEST(ExperimentTest, ExplicitQueueUnderEvenBuildsNeitherProfilesNorModel) {
+  profile::ProfileCache cache;
+  ExperimentRunner engine(cache, 2, tiny_suite());
+  for (const auto policy : {sched::Policy::kEven, sched::Policy::kSerial}) {
+    ScenarioSpec spec;
+    spec.name = "lazy-explicit";
+    spec.config = small_gpu();
+    spec.thresholds = tiny_thresholds();
+    spec.queue = QueueSpec::Explicit(
+        {kernel("custom", 0.15, 42), kernel("cpu", 0.02, 2)});
+    spec.policy = policy;
+    spec.nc = 2;
+    engine.run_one(spec);
+  }
+  // Only the two explicit kernels were profiled — no suite profiling, no
+  // interference measurement.
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_EQ(cache.model_misses(), 0u);
+}
+
+TEST(ExperimentTest, SuiteQueueUnderEvenSkipsTheModel) {
+  profile::ProfileCache cache;
+  ExperimentRunner engine(cache, 1, tiny_suite());
+  ScenarioSpec spec;
+  spec.name = "lazy-suite";
+  spec.config = small_gpu();
+  spec.thresholds = tiny_thresholds();
+  spec.queue = QueueSpec::Suite();
+  spec.policy = sched::Policy::kEven;
+  spec.nc = 2;
+  engine.run_one(spec);
+  EXPECT_GT(cache.misses(), 0u) << "suite queues need suite profiles";
+  EXPECT_EQ(cache.model_misses(), 0u) << "Even must not force the model";
+
+  // The ILP policy on the same env forces exactly one model measurement.
+  spec.name = "ilp";
+  spec.policy = sched::Policy::kIlp;
+  engine.run_one(spec);
+  EXPECT_EQ(cache.model_misses(), 1u);
+}
+
+TEST(ExperimentTest, WarmStoreReproducesColdReportsByteForByte) {
+  const auto batch = mixed_batch();
+  const std::string dir = "/tmp/gpumas_exp_store_test";
+  std::filesystem::remove_all(dir);
+
+  std::string cold;
+  {
+    profile::ProfileCache cache;
+    ExperimentRunner engine(cache, 2, tiny_suite());
+    cold = serialize(engine.run(batch));
+    cache.save_store(dir);
+  }
+  profile::ProfileCache warm_cache;
+  ASSERT_TRUE(warm_cache.load_store_if_exists(dir));
+  ExperimentRunner warm_engine(warm_cache, 2, tiny_suite());
+  const std::string warm = serialize(warm_engine.run(batch));
+  EXPECT_EQ(warm, cold);
+  EXPECT_EQ(warm_cache.misses(), 0u)
+      << "warm store must serve every profile from disk";
+  EXPECT_EQ(warm_cache.model_misses(), 0u)
+      << "warm store must serve the model from disk";
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ExperimentTest, RepetitionStatistics) {
+  profile::ProfileCache cache;
+  ExperimentRunner engine(cache, 2, tiny_suite());
+  ScenarioSpec spec;
+  spec.name = "stats";
+  spec.config = small_gpu();
+  spec.thresholds = tiny_thresholds();
+  spec.queue = QueueSpec::Distribution(sched::QueueDistribution::kEqual, 4, 5);
+  spec.policy = sched::Policy::kEven;
+  spec.nc = 2;
+  spec.repetitions = 3;
+  const auto seeded = engine.run_one(spec);
+  const RepStats stp = seeded.throughput_stats();
+  const RepStats cyc = seeded.cycles_stats();
+  EXPECT_GT(stp.mean, 0.0);
+  EXPECT_GT(cyc.mean, 0.0);
+  EXPECT_GE(stp.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(stp.mean, seeded.mean_device_throughput());
+
+  // Explicit queues are not re-drawn: identical repetitions, zero spread.
+  ScenarioSpec fixed = spec;
+  fixed.name = "fixed";
+  fixed.queue = QueueSpec::Explicit(
+      {kernel("cpu", 0.02, 2), kernel("mem", 0.3, 1)});
+  const auto result = engine.run_one(fixed);
+  EXPECT_DOUBLE_EQ(result.throughput_stats().stddev, 0.0);
+  EXPECT_DOUBLE_EQ(result.cycles_stats().stddev, 0.0);
+}
+
+TEST(ExperimentTest, BatchErrorStillPropagatesFromThePool) {
+  profile::ProfileCache cache;
+  ExperimentRunner engine(cache, 4, tiny_suite());
+  // One poisoned scenario in a parallel batch: run() must rethrow it (and
+  // the fail-fast flag stops idle workers from simulating the remainder).
+  auto batch = mixed_batch();
+  ScenarioSpec bad;
+  bad.name = "bad";
+  bad.config = small_gpu();
+  bad.thresholds = tiny_thresholds();
+  bad.queue = QueueSpec::Explicit(
+      {kernel("dup", 0.3, 1), kernel("dup", 0.02, 2)});  // aliased names
+  bad.policy = sched::Policy::kEven;
+  bad.nc = 2;
+  batch.insert(batch.begin(), bad);
+  EXPECT_THROW(engine.run(batch), std::logic_error);
 }
 
 TEST(ExperimentTest, SharedCacheMakesSecondBatchPureHits) {

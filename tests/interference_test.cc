@@ -127,5 +127,100 @@ TEST(SlowdownModelTest, SingleCoRunnerUsesPairEntryDirectly) {
   EXPECT_DOUBLE_EQ(model.slowdown(AppClass::kC, {AppClass::kM}), 2.4);
 }
 
+// A measured model (including multi-way entries) must survive the
+// key=value round trip exactly: every pairwise cell, every sample count,
+// and every multi-way entry.
+TEST(SlowdownModelSerializationTest, RoundTripPreservesEverything) {
+  const sim::GpuConfig cfg = small_gpu();
+  std::vector<sim::KernelParams> kernels = {
+      kernel("a", 0.05, 1), kernel("b", 0.3, 2), kernel("c", 0.15, 3)};
+  profile::Profiler profiler(cfg);
+  std::vector<AppProfile> profiles;
+  for (const auto& k : kernels) profiles.push_back(profiler.profile(k));
+  profiles[0].cls = AppClass::kA;
+  profiles[1].cls = AppClass::kM;
+  profiles[2].cls = AppClass::kC;
+
+  SlowdownModel model = SlowdownModel::measure_pairwise(cfg, kernels, profiles);
+  model.measure_triples(cfg, kernels, profiles);
+  ASSERT_GT(model.multi_entries(), 0u);
+
+  const SlowdownModel back = SlowdownModel::from_string(model.to_string());
+  for (int a = 0; a < profile::kNumClasses; ++a) {
+    for (int b = 0; b < profile::kNumClasses; ++b) {
+      const auto ca = static_cast<AppClass>(a);
+      const auto cb = static_cast<AppClass>(b);
+      EXPECT_DOUBLE_EQ(back.pair_slowdown(ca, cb),
+                       model.pair_slowdown(ca, cb));
+      EXPECT_EQ(back.pair_samples(ca, cb), model.pair_samples(ca, cb));
+    }
+  }
+  EXPECT_EQ(back.multi_entries(), model.multi_entries());
+  EXPECT_EQ(back.total_pair_samples(), model.total_pair_samples());
+  // Multi-way lookups (which hit the measured entries) agree exactly.
+  for (int me = 0; me < profile::kNumClasses; ++me) {
+    for (int a = 0; a < profile::kNumClasses; ++a) {
+      for (int b = 0; b < profile::kNumClasses; ++b) {
+        const std::vector<AppClass> others{static_cast<AppClass>(a),
+                                           static_cast<AppClass>(b)};
+        EXPECT_DOUBLE_EQ(back.slowdown(static_cast<AppClass>(me), others),
+                         model.slowdown(static_cast<AppClass>(me), others));
+      }
+    }
+  }
+  // And the rendering itself is stable.
+  EXPECT_EQ(back.to_string(), model.to_string());
+}
+
+// A model with every pairwise cell populated, so its rendering is valid.
+SlowdownModel dense_model() {
+  SlowdownModel model;
+  for (int a = 0; a < profile::kNumClasses; ++a) {
+    for (int b = 0; b < profile::kNumClasses; ++b) {
+      model.set_pair_slowdown(static_cast<AppClass>(a),
+                              static_cast<AppClass>(b),
+                              1.0 + 0.1 * (a * profile::kNumClasses + b));
+    }
+  }
+  return model;
+}
+
+TEST(SlowdownModelSerializationTest, RejectsPartialRendering) {
+  const SlowdownModel model = dense_model();
+  std::string text = model.to_string();
+  // Drop the first line (a pair_ cell): the model is now incomplete.
+  text = text.substr(text.find('\n') + 1);
+  EXPECT_THROW(SlowdownModel::from_string(text), std::logic_error);
+}
+
+TEST(SlowdownModelSerializationTest, RejectsUnknownKeyAndBadValues) {
+  const SlowdownModel model = dense_model();
+  // The unmodified rendering parses.
+  EXPECT_NO_THROW(SlowdownModel::from_string(model.to_string()));
+  EXPECT_THROW(
+      SlowdownModel::from_string(model.to_string() + "mystery = 1\n"),
+      std::logic_error);
+  std::string text = model.to_string();
+  const size_t pos = text.find("pair_M_M = ");
+  text.replace(pos, text.find('\n', pos) - pos, "pair_M_M = banana");
+  EXPECT_THROW(SlowdownModel::from_string(text), std::logic_error);
+  // A zeroed cell must be rejected too: a legit model is strictly positive.
+  std::string zeroed = model.to_string();
+  const size_t zpos = zeroed.find("pair_M_M = ");
+  zeroed.replace(zpos, zeroed.find('\n', zpos) - zpos, "pair_M_M = 0");
+  EXPECT_THROW(SlowdownModel::from_string(zeroed), std::logic_error);
+}
+
+TEST(SlowdownModelSerializationTest, RejectsMultiCountMismatch) {
+  const SlowdownModel model = dense_model();
+  // Claim one multi entry but provide none.
+  std::string text = model.to_string();
+  const size_t pos = text.find("multi_count = 0");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, std::string("multi_count = 0").size(),
+               "multi_count = 1");
+  EXPECT_THROW(SlowdownModel::from_string(text), std::logic_error);
+}
+
 }  // namespace
 }  // namespace gpumas::interference

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <thread>
 
@@ -214,6 +215,118 @@ TEST(ProfileCacheTest, LoadRejectsMalformedEntries) {
   ProfileCache cache;
   EXPECT_THROW(cache.load(path), std::logic_error);
   std::remove(path.c_str());
+}
+
+// --- slowdown models through the artifact store ---
+
+// A small suite with forced classes, shared by the model tests.
+struct ModelFixture {
+  sim::GpuConfig cfg = small_gpu();
+  std::vector<sim::KernelParams> kernels;
+  std::vector<AppProfile> profiles;
+
+  explicit ModelFixture(ProfileCache& cache) {
+    // Three apps so measure_triples can pick three distinct representatives.
+    kernels = {kernel("a", 0.05, 1), kernel("b", 0.3, 2),
+               kernel("c", 0.15, 3)};
+    for (const auto& k : kernels) profiles.push_back(cache.solo(cfg, k));
+    profiles[0].cls = AppClass::kA;
+    profiles[1].cls = AppClass::kM;
+    profiles[2].cls = AppClass::kC;
+  }
+};
+
+TEST(ProfileCacheModelTest, ModelMemoizedOncePerKey) {
+  ProfileCache cache;
+  ModelFixture f(cache);
+
+  const auto first = cache.model(f.cfg, f.kernels, f.profiles);
+  EXPECT_EQ(cache.model_misses(), 1u);
+  EXPECT_EQ(cache.model_hits(), 0u);
+  EXPECT_GT(first->total_pair_samples(), 0);
+
+  const auto second = cache.model(f.cfg, f.kernels, f.profiles);
+  EXPECT_EQ(cache.model_misses(), 1u);
+  EXPECT_EQ(cache.model_hits(), 1u);
+  EXPECT_EQ(first.get(), second.get()) << "same key must share one model";
+
+  // Different sampling cap = different artifact.
+  cache.model(f.cfg, f.kernels, f.profiles, /*max_samples_per_cell=*/1);
+  EXPECT_EQ(cache.model_misses(), 2u);
+
+  // Different class assignment = different artifact (thresholds that
+  // classify identically share one model; ones that don't, don't).
+  auto reclassified = f.profiles;
+  reclassified[0].cls = AppClass::kC;
+  cache.model(f.cfg, f.kernels, reclassified);
+  EXPECT_EQ(cache.model_misses(), 3u);
+  EXPECT_EQ(cache.model_count(), 3u);
+}
+
+TEST(ProfileCacheModelTest, DiskRoundTripServesWarmLoadsWithoutMeasuring) {
+  const std::string path = "/tmp/gpumas_model_cache_test.txt";
+  ProfileCache cache;
+  ModelFixture f(cache);
+  const auto measured =
+      cache.model(f.cfg, f.kernels, f.profiles, /*max_samples_per_cell=*/0,
+                  /*with_triples=*/true);
+  ASSERT_GT(measured->multi_entries(), 0u);
+  cache.save_models(path);
+
+  ProfileCache warm;
+  ASSERT_TRUE(warm.load_models_if_exists(path));
+  EXPECT_EQ(warm.model_count(), 1u);
+  const auto loaded =
+      warm.model(f.cfg, f.kernels, f.profiles, 0, /*with_triples=*/true);
+  EXPECT_EQ(warm.model_misses(), 0u)
+      << "a warm model load must perform zero co-run simulations";
+  EXPECT_EQ(warm.model_hits(), 1u);
+  // The loaded artifact is bit-identical to the measured one.
+  EXPECT_EQ(loaded->to_string(), measured->to_string());
+  std::remove(path.c_str());
+}
+
+TEST(ProfileCacheModelTest, CorruptAndPartialModelFilesRejected) {
+  const std::string path = "/tmp/gpumas_model_cache_bad.txt";
+  {
+    std::ofstream out(path);
+    out << "[model]\nconfig = 7\nsuite = 9\nsamples_per_cell = 0\n"
+        << "triples = 0\npair_M_M = 2\n";  // matrix cut short
+  }
+  ProfileCache cache;
+  EXPECT_THROW(cache.load_models(path), std::logic_error);
+  {
+    std::ofstream out(path);
+    out << "[model]\nconfig = notanumber\n";
+  }
+  EXPECT_THROW(cache.load_models(path), std::logic_error);
+  EXPECT_EQ(cache.model_count(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(ProfileCacheModelTest, StoreDirectoryRoundTrip) {
+  const std::string dir = "/tmp/gpumas_store_test";
+  std::filesystem::remove_all(dir);
+
+  ProfileCache cache;
+  ModelFixture f(cache);
+  cache.model(f.cfg, f.kernels, f.profiles);
+  cache.save_store(dir);
+  ASSERT_TRUE(std::filesystem::is_regular_file(dir + "/profiles.txt"));
+  ASSERT_TRUE(std::filesystem::is_regular_file(dir + "/models.txt"));
+
+  ProfileCache warm;
+  ASSERT_TRUE(warm.load_store_if_exists(dir));
+  EXPECT_EQ(warm.size(), cache.size());
+  EXPECT_EQ(warm.model_count(), 1u);
+  warm.solo(f.cfg, f.kernels[0]);
+  warm.model(f.cfg, f.kernels, f.profiles);
+  EXPECT_EQ(warm.misses(), 0u);
+  EXPECT_EQ(warm.model_misses(), 0u);
+
+  ProfileCache empty;
+  EXPECT_FALSE(empty.load_store_if_exists("/tmp/gpumas_no_such_store"));
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace
