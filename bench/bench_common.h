@@ -21,16 +21,25 @@
 //                         table rows print "-". Combine with
 //                         --dump-results to split a bench across
 //                         processes/machines and merge the outputs.
-//   --dump-results FILE   append one `result ...` key=value line per
-//                         executed scenario repetition; the sorted union
-//                         of all shards' dumps equals the sorted dump of
-//                         the unsharded run
+//   --dump-results FILE   write one versioned `result v=1 ...` key=value
+//                         record (exp/result_io.h) per executed scenario
+//                         repetition; the sorted union of all shards'
+//                         dumps equals the sorted dump of the unsharded
+//                         run, and the merge-results tool rebuilds the
+//                         full bench tables from them. A non-empty
+//                         pre-existing FILE is refused (appending a re-run
+//                         silently corrupts merges) unless --dump-append
+//                         is given.
+//   --dump-append         extend a non-empty --dump-results file instead
+//                         of refusing (for benches dumping across several
+//                         invocations on purpose)
 //   --reps N              repetitions per seeded-queue scenario in the
 //                         policy-grid benches (distribution queues are
 //                         re-drawn with seed+i); N > 1 adds a
 //                         mean/stddev statistics table
 #pragma once
 
+#include <cctype>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -41,8 +50,10 @@
 #include <string>
 #include <vector>
 
+#include "common/check.h"
 #include "common/table.h"
 #include "exp/experiment.h"
+#include "exp/result_io.h"
 #include "profile/profile.h"
 #include "profile/profile_cache.h"
 #include "sim/config_io.h"
@@ -83,8 +94,29 @@ struct Options {
   std::string policy;
   exp::Shard shard;
   std::string dump_path;
+  bool dump_append = false;
   int reps = 1;
 };
+
+// Strict decimal integer parsing for CLI values: the whole string must be
+// consumed, so "4x" or "1/2x" is an error instead of silently becoming 4
+// or 1/2 (std::atoi accepted any garbage suffix).
+inline std::optional<int> parse_int(const std::string& s) {
+  // std::stoi would skip leading whitespace; reject it for symmetry with
+  // the trailing-garbage check.
+  if (s.empty() || std::isspace(static_cast<unsigned char>(s[0]))) {
+    return std::nullopt;
+  }
+  size_t pos = 0;
+  int v = 0;
+  try {
+    v = std::stoi(s, &pos);
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+  if (pos != s.size()) return std::nullopt;
+  return v;
+}
 
 inline std::optional<sched::Policy> parse_policy(const std::string& name) {
   if (name == "serial") return sched::Policy::kSerial;
@@ -104,7 +136,8 @@ inline Options parse_options(int argc, char** argv) {
               << "usage: " << argv[0]
               << " [--threads N] [--config FILE] [--profile-cache DIR]"
                  " [--policy serial|even|profile|ilp|ilp-smra]"
-                 " [--shard I/N] [--dump-results FILE] [--reps N]\n";
+                 " [--shard I/N] [--dump-results FILE] [--dump-append]"
+                 " [--reps N]\n";
     std::exit(2);
   };
   for (int i = 1; i < argc; ++i) {
@@ -114,8 +147,10 @@ inline Options parse_options(int argc, char** argv) {
       return argv[++i];
     };
     if (arg == "--threads") {
-      opts.threads = std::atoi(value().c_str());
-      if (opts.threads < 1) usage("--threads must be >= 1");
+      const std::string v = value();
+      const auto n = parse_int(v);
+      if (!n || *n < 1) usage("--threads wants an integer >= 1, got " + v);
+      opts.threads = *n;
     } else if (arg == "--config") {
       opts.config_path = value();
     } else if (arg == "--profile-cache") {
@@ -127,17 +162,24 @@ inline Options parse_options(int argc, char** argv) {
       const std::string v = value();
       const size_t slash = v.find('/');
       if (slash == std::string::npos) usage("--shard wants I/N, got " + v);
-      opts.shard.index = std::atoi(v.substr(0, slash).c_str());
-      opts.shard.count = std::atoi(v.substr(slash + 1).c_str());
+      const auto index = parse_int(v.substr(0, slash));
+      const auto count = parse_int(v.substr(slash + 1));
+      if (!index || !count) usage("--shard wants integers I/N, got " + v);
+      opts.shard.index = *index;
+      opts.shard.count = *count;
       if (opts.shard.count < 1 || opts.shard.index < 0 ||
           opts.shard.index >= opts.shard.count) {
         usage("--shard wants 0 <= I < N, got " + v);
       }
     } else if (arg == "--dump-results") {
       opts.dump_path = value();
+    } else if (arg == "--dump-append") {
+      opts.dump_append = true;
     } else if (arg == "--reps") {
-      opts.reps = std::atoi(value().c_str());
-      if (opts.reps < 1) usage("--reps must be >= 1");
+      const std::string v = value();
+      const auto n = parse_int(v);
+      if (!n || *n < 1) usage("--reps wants an integer >= 1, got " + v);
+      opts.reps = *n;
     } else if (arg == "--help" || arg == "-h") {
       usage("help");
     } else {
@@ -160,6 +202,18 @@ class Harness {
         cfg_ = sim::load_config(opts_.config_path);
       }
       if (!opts_.dump_path.empty()) {
+        // A leftover dump from an earlier run would silently gain this
+        // run's records too, and the duplicates would poison every later
+        // merge — refuse up front unless appending was asked for.
+        std::error_code ec;
+        const auto size = std::filesystem::file_size(opts_.dump_path, ec);
+        if (!ec && size > 0 && !opts_.dump_append) {
+          std::cerr << argv[0] << ": --dump-results file " << opts_.dump_path
+                    << " already contains records; re-running would append "
+                       "duplicates that corrupt a merge. Remove the file or "
+                       "pass --dump-append to extend it on purpose.\n";
+          std::exit(2);
+        }
         // Probe the dump path now: failing after hours of simulation (and
         // skipping the destructor's store save) is the expensive way to
         // learn about a typo.
@@ -235,14 +289,15 @@ class Harness {
   exp::ExperimentRunner& engine() { return engine_; }
 
   // Runs a scenario batch on this invocation's shard and, when
-  // --dump-results is set, appends one mergeable key=value line per
+  // --dump-results is set, appends one mergeable result_io record per
   // executed repetition. Benches should call this instead of
   // engine().run() so --shard/--dump-results apply uniformly.
   std::vector<exp::ScenarioResult> run(
       const std::vector<exp::ScenarioSpec>& scenarios) {
     ran_ = true;
+    const int batch = batch_++;
     const auto results = engine_.run(scenarios, opts_.shard);
-    if (!opts_.dump_path.empty()) dump_results(results);
+    if (!opts_.dump_path.empty()) dump_results(results, batch);
     return results;
   }
 
@@ -279,11 +334,13 @@ class Harness {
   void print_setup() const { bench::print_setup(cfg_); }
 
  private:
-  // One line per executed repetition, in the key=value idiom. Lines are
-  // self-contained and order-independent: `LC_ALL=C sort` over the
-  // concatenated dumps of all shards reproduces the sorted dump of the
-  // unsharded run byte for byte.
-  void dump_results(const std::vector<exp::ScenarioResult>& results) {
+  // One versioned result_io record per executed repetition (see
+  // exp/result_io.h for the schema). Lines are self-contained and
+  // order-independent: `LC_ALL=C sort` over the concatenated dumps of all
+  // shards reproduces the sorted dump of the unsharded run byte for byte,
+  // and the merge-results tool rebuilds the full tables from them.
+  void dump_results(const std::vector<exp::ScenarioResult>& results,
+                    int batch) {
     std::ofstream out(opts_.dump_path, std::ios::app);
     if (!out.good()) {
       // The constructor probed this path; losing the dump mid-run is not
@@ -293,15 +350,10 @@ class Harness {
                 << opts_.dump_path << "; results not dumped\n";
       return;
     }
-    out << std::setprecision(17);
-    for (const auto& r : results) {
-      if (!r.has_reps()) continue;  // another shard's scenario
-      for (size_t rep = 0; rep < r.reps.size(); ++rep) {
-        out << "result " << r.name << " rep=" << rep
-            << " cycles=" << r.reps[rep].total_cycles
-            << " insns=" << r.reps[rep].total_thread_insns
-            << " stp=" << r.reps[rep].device_throughput() << "\n";
-      }
+    for (size_t i = 0; i < results.size(); ++i) {
+      if (!results[i].has_reps()) continue;  // another shard's scenario
+      out << exp::result_io::to_string(results[i], batch,
+                                       static_cast<int>(i));
     }
   }
 
@@ -311,7 +363,8 @@ class Harness {
   exp::ExperimentRunner engine_;
   std::optional<std::vector<profile::AppProfile>> profiles_;
   bool legacy_cache_file_ = false;
-  bool ran_ = false;  // whether any scenario batch went through run()
+  bool ran_ = false;   // whether any scenario batch went through run()
+  int batch_ = 0;      // Harness::run() calls so far (the records' batch=)
 };
 
 // Runs the (distribution × policy) grid used by Figs 4.3/4.11 and prints
@@ -325,6 +378,72 @@ struct PolicyGridResult {
   std::vector<sched::Policy> policies;
   std::vector<double> mean_normalized;  // per policy, averaged over dists
 };
+
+// Renders the (row × column) grid table — and, when reps > 1, the
+// repetition-statistics table — from precomputed results laid out as
+// results[row * cols + col]. This is the printing half of
+// run_policy_grid(), split out so the merge-results tool can re-render a
+// merged sharded run byte-identically to the unsharded bench. Returns the
+// per-column averages of the normalized throughput.
+inline std::vector<double> render_policy_grid(
+    const std::vector<exp::ScenarioResult>& results,
+    const std::vector<std::string>& row_names,
+    const std::vector<std::string>& col_names, int reps,
+    std::ostream& os = std::cout) {
+  GPUMAS_CHECK(results.size() == row_names.size() * col_names.size());
+  std::vector<std::string> header{"workload"};
+  for (const auto& col : col_names) header.push_back(col);
+  Table table(header);
+  std::vector<double> sums(col_names.size(), 0.0);
+  std::vector<int> counts(col_names.size(), 0);
+  for (size_t d = 0; d < row_names.size(); ++d) {
+    const auto& base_result = results[d * col_names.size()];
+    const double base =
+        base_result.has_reps() ? base_result.mean_device_throughput() : 0.0;
+    table.begin_row().cell(row_names[d]);
+    for (size_t p = 0; p < col_names.size(); ++p) {
+      const auto& r = results[d * col_names.size() + p];
+      if (base <= 0.0 || !r.has_reps()) {
+        table.cell(std::string("-"));
+        continue;
+      }
+      const double ratio = r.mean_device_throughput() / base;
+      sums[p] += ratio;
+      counts[p]++;
+      table.cell(ratio, 3);
+    }
+  }
+  table.print(os);
+
+  // Repetition statistics (mean/stddev over the re-drawn queues) for the
+  // seeded-queue tables; a single repetition has nothing to summarize.
+  if (reps > 1) {
+    print_banner("Per-scenario repetition statistics (" +
+                     std::to_string(reps) + " seeded repetitions)",
+                 os);
+    Table stats({"scenario", "STP mean", "STP sd", "cycles mean",
+                 "cycles sd"});
+    for (const auto& r : results) {
+      if (!r.has_reps()) continue;
+      const exp::RepStats stp = r.throughput_stats();
+      const exp::RepStats cyc = r.cycles_stats();
+      stats.begin_row()
+          .cell(r.name)
+          .cell(stp.mean, 3)
+          .cell(stp.stddev, 3)
+          .cell(cyc.mean, 1)
+          .cell(cyc.stddev, 1);
+    }
+    stats.print(os);
+  }
+
+  std::vector<double> mean_normalized;
+  for (size_t p = 0; p < col_names.size(); ++p) {
+    mean_normalized.push_back(
+        counts[p] > 0 ? sums[p] / static_cast<double>(counts[p]) : 0.0);
+  }
+  return mean_normalized;
+}
 
 inline PolicyGridResult run_policy_grid(
     Harness& h, const std::vector<sched::QueueDistribution>& dists,
@@ -346,59 +465,68 @@ inline PolicyGridResult run_policy_grid(
   }
   const auto results = h.run(scenarios);
 
-  std::vector<std::string> header{"workload"};
-  for (const auto policy : policies) header.push_back(sched::policy_name(policy));
-  Table table(header);
-  std::vector<double> sums(policies.size(), 0.0);
-  std::vector<int> counts(policies.size(), 0);
-  for (size_t d = 0; d < dists.size(); ++d) {
-    const auto& base_result = results[d * policies.size()];
-    const double base =
-        base_result.has_reps() ? base_result.mean_device_throughput() : 0.0;
-    table.begin_row().cell(
-        std::string(sched::distribution_name(dists[d])));
-    for (size_t p = 0; p < policies.size(); ++p) {
-      const auto& r = results[d * policies.size() + p];
-      if (base <= 0.0 || !r.has_reps()) {
-        table.cell(std::string("-"));
-        continue;
-      }
-      const double ratio = r.mean_device_throughput() / base;
-      sums[p] += ratio;
-      counts[p]++;
-      table.cell(ratio, 3);
-    }
-  }
-  table.print();
-
-  // Repetition statistics (mean/stddev over the re-drawn queues) for the
-  // seeded-queue tables; a single repetition has nothing to summarize.
-  if (h.options().reps > 1) {
-    print_banner("Per-scenario repetition statistics (" +
-                 std::to_string(h.options().reps) + " seeded repetitions)");
-    Table stats({"scenario", "STP mean", "STP sd", "cycles mean",
-                 "cycles sd"});
-    for (const auto& r : results) {
-      if (!r.has_reps()) continue;
-      const exp::RepStats stp = r.throughput_stats();
-      const exp::RepStats cyc = r.cycles_stats();
-      stats.begin_row()
-          .cell(r.name)
-          .cell(stp.mean, 3)
-          .cell(stp.stddev, 3)
-          .cell(cyc.mean, 1)
-          .cell(cyc.stddev, 1);
-    }
-    stats.print();
-  }
+  std::vector<std::string> rows, cols;
+  for (const auto dist : dists) rows.push_back(sched::distribution_name(dist));
+  for (const auto policy : policies) cols.push_back(sched::policy_name(policy));
 
   PolicyGridResult grid;
   grid.policies = policies;
-  for (size_t p = 0; p < policies.size(); ++p) {
-    grid.mean_normalized.push_back(
-        counts[p] > 0 ? sums[p] / static_cast<double>(counts[p]) : 0.0);
-  }
+  grid.mean_normalized =
+      render_policy_grid(results, rows, cols, h.options().reps);
   return grid;
+}
+
+// One row of the per-application table: a benchmark name and (optionally)
+// its class label. The benches fill rows from their measured profiles; the
+// merge-results tool fills them from the static suite order, since it must
+// not simulate anything.
+struct PerAppRow {
+  std::string name;
+  std::string cls;  // printed only when show_class is set
+};
+
+// Renders the per-benchmark IPC table — first scenario's absolute IPC plus
+// each other scenario's per-benchmark ratio to it — from precomputed
+// results, one scenario per policy column, using the scenario names as
+// column labels. This is the printing half of run_per_app_table(), split
+// out so merge-results can re-render a merged sharded run.
+inline void render_per_app_table(
+    const std::vector<exp::ScenarioResult>& results,
+    const std::vector<PerAppRow>& rows, bool show_class,
+    std::ostream& os = std::cout) {
+  GPUMAS_CHECK(!results.empty());
+  // Under --shard some policies belong to other shards: their columns stay
+  // empty here and their reports come back default-constructed (callers
+  // merge via --dump-results, not via the partial tables).
+  std::vector<std::map<std::string, double>> ipc;
+  for (const auto& r : results) {
+    ipc.push_back(r.has_reps() ? r.report().per_app_ipc()
+                               : std::map<std::string, double>{});
+  }
+
+  std::vector<std::string> header{"Benchmark"};
+  if (show_class) header.push_back("class");
+  header.push_back(results[0].name + " IPC");
+  for (size_t p = 1; p < results.size(); ++p) {
+    header.push_back(results[p].name + "/" + results[0].name);
+  }
+  Table table(header);
+  for (const auto& row : rows) {
+    const auto it = ipc[0].find(row.name);
+    if (it == ipc[0].end()) continue;  // not drawn into this queue
+    const double base = it->second;
+    table.begin_row().cell(row.name);
+    if (show_class) table.cell(row.cls);
+    table.cell(base, 1);
+    for (size_t p = 1; p < results.size(); ++p) {
+      if (ipc[p].count(row.name)) {
+        table.cell(ipc[p].at(row.name) / base, 3);
+      } else {
+        table.cell(std::string("-"));
+      }
+    }
+  }
+  table.print(os);
 }
 
 // Runs one queue under several policies and prints the per-benchmark IPC of
@@ -418,39 +546,11 @@ inline std::vector<sched::RunReport> run_per_app_table(
   }
   const auto results = h.run(scenarios);
 
-  // Under --shard some policies belong to other shards: their columns stay
-  // empty here and their reports come back default-constructed (callers
-  // merge via --dump-results, not via the partial tables).
-  std::vector<std::map<std::string, double>> ipc;
-  for (const auto& r : results) {
-    ipc.push_back(r.has_reps() ? r.report().per_app_ipc()
-                               : std::map<std::string, double>{});
-  }
-
-  std::vector<std::string> header{"Benchmark"};
-  if (show_class) header.push_back("class");
-  header.push_back(std::string(sched::policy_name(policies[0])) + " IPC");
-  for (size_t p = 1; p < policies.size(); ++p) {
-    header.push_back(std::string(sched::policy_name(policies[p])) + "/" +
-                     sched::policy_name(policies[0]));
-  }
-  Table table(header);
+  std::vector<PerAppRow> rows;
   for (const auto& pr : h.profiles()) {
-    const auto it = ipc[0].find(pr.name);
-    if (it == ipc[0].end()) continue;  // not drawn into this queue
-    const double base = it->second;
-    table.begin_row().cell(pr.name);
-    if (show_class) table.cell(std::string(profile::class_name(pr.cls)));
-    table.cell(base, 1);
-    for (size_t p = 1; p < policies.size(); ++p) {
-      if (ipc[p].count(pr.name)) {
-        table.cell(ipc[p].at(pr.name) / base, 3);
-      } else {
-        table.cell(std::string("-"));
-      }
-    }
+    rows.push_back({pr.name, profile::class_name(pr.cls)});
   }
-  table.print();
+  render_per_app_table(results, rows, show_class);
 
   std::vector<sched::RunReport> reports;
   for (size_t p = 0; p < results.size(); ++p) {

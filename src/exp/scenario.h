@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "common/check.h"
 #include "profile/profile.h"
 #include "sched/policies.h"
 #include "sched/queue_gen.h"
@@ -101,7 +102,15 @@ struct ScenarioResult {
   // False for the entries of a sharded run() that belong to other shards.
   bool has_reps() const { return !reps.empty(); }
 
-  const sched::RunReport& report() const { return reps.front(); }
+  // First repetition's report. Callers must check has_reps() first: under
+  // --shard the entries of other shards carry a name but no repetitions.
+  const sched::RunReport& report() const {
+    GPUMAS_CHECK_MSG(has_reps(),
+                     "scenario '" << name
+                                  << "' was not executed on this shard "
+                                     "(report() on an empty ScenarioResult)");
+    return reps.front();
+  }
 
   double mean_device_throughput() const { return throughput_stats().mean; }
 

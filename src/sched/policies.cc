@@ -25,6 +25,14 @@ const char* policy_name(Policy p) {
   return "?";
 }
 
+Policy policy_from_name(const std::string& name) {
+  for (const Policy p : {Policy::kSerial, Policy::kEven, Policy::kProfileBased,
+                         Policy::kIlp, Policy::kIlpSmra}) {
+    if (name == policy_name(p)) return p;
+  }
+  GPUMAS_CHECK_MSG(false, "unknown policy name '" << name << "'");
+}
+
 std::vector<double> pattern_weights(
     const std::vector<ilp::Pattern>& patterns,
     const interference::SlowdownModel& model) {

@@ -24,6 +24,11 @@ namespace gpumas::sched {
 enum class Policy { kSerial = 0, kEven, kProfileBased, kIlp, kIlpSmra };
 const char* policy_name(Policy p);
 
+// Inverse of policy_name (exact display names, e.g. "Profile-based"), used
+// by the exp::result_io record parser. Throws std::logic_error on an
+// unknown name.
+Policy policy_from_name(const std::string& name);
+
 // Eq 3.4: e_k = (1/NC) * sum_i 1/S(class_i | other classes in pattern k).
 std::vector<double> pattern_weights(
     const std::vector<ilp::Pattern>& patterns,

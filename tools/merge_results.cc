@@ -1,0 +1,165 @@
+// merge-results: rebuilds the full bench tables from sharded
+// `--dump-results` files.
+//
+//   merge-results [--table auto|grid|per-app] DUMP [DUMP...]
+//
+// Reads the versioned result records (exp/result_io.h) of every given
+// dump, validates that the dumps are disjoint shards of one bench run
+// (no scenario in two files, no double-run duplicate repetitions, no
+// missing scenario or repetition) and re-renders each batch through the
+// same table printers the benches use (bench_common.h), so the merged
+// tables of a `--shard 0/2` + `--shard 1/2` run match the unsharded
+// bench's tables byte for byte.
+//
+// Table shapes:
+//   grid     the (distribution × policy) layout of run_policy_grid();
+//            derived from the scenario names ("<row>/<col>"). Includes
+//            the repetition-statistics table when the run used --reps.
+//   per-app  the per-benchmark IPC layout of run_per_app_table(), one
+//            scenario per policy column, rows in the paper's Table 3.2
+//            suite order (without the class column — classification
+//            would require simulating, which this tool never does).
+//   auto     grid when every scenario name of the batch fits the
+//            "<row>/<col>" grid layout, per-app otherwise (the default).
+//
+// Tables go to stdout; diagnostics go to stderr; any validation failure
+// exits non-zero without printing a table.
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "exp/result_io.h"
+#include "workloads/suite.h"
+
+namespace {
+
+using namespace gpumas;
+
+[[noreturn]] void usage(const std::string& why) {
+  std::cerr << "merge-results: " << why << "\n"
+            << "usage: merge-results [--table auto|grid|per-app] DUMP"
+               " [DUMP...]\n";
+  std::exit(2);
+}
+
+// The run_policy_grid() layout recovered from scenario names: names[d*P+p]
+// == rows[d] + "/" + cols[p], with the column block repeating row by row.
+struct GridShape {
+  std::vector<std::string> rows;
+  std::vector<std::string> cols;
+};
+
+std::optional<GridShape> derive_grid(
+    const std::vector<exp::ScenarioResult>& results) {
+  std::vector<std::pair<std::string, std::string>> parts;
+  for (const auto& r : results) {
+    const size_t slash = r.name.find('/');
+    if (slash == std::string::npos) return std::nullopt;
+    parts.emplace_back(r.name.substr(0, slash), r.name.substr(slash + 1));
+  }
+  size_t cols = 1;
+  while (cols < parts.size() && parts[cols].first == parts[0].first) ++cols;
+  if (parts.size() % cols != 0) return std::nullopt;
+  GridShape shape;
+  for (size_t p = 0; p < cols; ++p) shape.cols.push_back(parts[p].second);
+  for (size_t d = 0; d < parts.size() / cols; ++d) {
+    shape.rows.push_back(parts[d * cols].first);
+    for (size_t p = 0; p < cols; ++p) {
+      if (parts[d * cols + p] !=
+          std::make_pair(shape.rows.back(), shape.cols[p])) {
+        return std::nullopt;
+      }
+    }
+  }
+  return shape;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string mode = "auto";
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--table") {
+      if (i + 1 >= argc) usage("missing value for --table");
+      mode = argv[++i];
+      if (mode != "auto" && mode != "grid" && mode != "per-app") {
+        usage("unknown --table mode " + mode);
+      }
+    } else if (arg == "--help" || arg == "-h") {
+      usage("help");
+    } else if (!arg.empty() && arg[0] == '-') {
+      usage("unknown flag " + arg);
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) usage("no dump files given");
+
+  std::vector<std::pair<std::string, std::string>> dumps;
+  for (const auto& path : paths) {
+    std::ifstream in(path);
+    if (!in.good()) {
+      std::cerr << "merge-results: cannot read " << path << "\n";
+      return 2;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    dumps.emplace_back(path, text.str());
+  }
+
+  std::vector<exp::result_io::MergedBatch> batches;
+  try {
+    batches = exp::result_io::merge_dumps(dumps);
+  } catch (const std::logic_error& e) {
+    std::cerr << "merge-results: " << e.what() << "\n";
+    return 1;
+  }
+
+  int scenarios = 0;
+  int records = 0;
+  for (const auto& mb : batches) {
+    scenarios += static_cast<int>(mb.results.size());
+    for (const auto& r : mb.results) records += static_cast<int>(r.reps.size());
+  }
+  std::cerr << "[merge-results] merged " << records << " records ("
+            << scenarios << " scenarios, " << batches.size()
+            << (batches.size() == 1 ? " batch" : " batches") << ") from "
+            << dumps.size() << (dumps.size() == 1 ? " dump" : " dumps")
+            << "\n";
+
+  for (size_t b = 0; b < batches.size(); ++b) {
+    if (b > 0) std::cout << "\n";
+    const auto& results = batches[b].results;
+    const auto shape = derive_grid(results);
+    if (mode == "grid" && !shape) {
+      std::cerr << "merge-results: batch " << batches[b].batch
+                << " does not have the \"<row>/<col>\" grid layout; use "
+                   "--table per-app\n";
+      return 1;
+    }
+    if (shape && mode != "per-app") {
+      int reps = 1;
+      for (const auto& r : results) {
+        reps = std::max(reps, static_cast<int>(r.reps.size()));
+      }
+      bench::render_policy_grid(results, shape->rows, shape->cols, reps);
+    } else {
+      // Suite order gives the same rows as the benches' profile order
+      // without simulating; apps outside the suite (explicit custom
+      // kernels) cannot appear in a bench per-app table anyway.
+      std::vector<bench::PerAppRow> rows;
+      for (const auto& name : workloads::benchmark_names()) {
+        rows.push_back({name, ""});
+      }
+      bench::render_per_app_table(results, rows, /*show_class=*/false);
+    }
+  }
+  return 0;
+}
