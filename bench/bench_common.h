@@ -37,6 +37,11 @@
 //                         policy-grid benches (distribution queues are
 //                         re-drawn with seed+i); N > 1 adds a
 //                         mean/stddev statistics table
+//   --no-skip             disable idle-cycle fast-forwarding in the
+//                         simulator (GpuConfig::skip_idle_cycles). Results
+//                         are byte-identical either way; this only trades
+//                         wall-clock time for a cycle-by-cycle trace when
+//                         debugging the simulator core
 #pragma once
 
 #include <cctype>
@@ -95,6 +100,7 @@ struct Options {
   exp::Shard shard;
   std::string dump_path;
   bool dump_append = false;
+  bool no_skip = false;
   int reps = 1;
 };
 
@@ -111,6 +117,23 @@ inline std::optional<int> parse_int(const std::string& s) {
   int v = 0;
   try {
     v = std::stoi(s, &pos);
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+  if (pos != s.size()) return std::nullopt;
+  return v;
+}
+
+// Strict decimal parsing for floating-point CLI values, same contract as
+// parse_int: the whole string must be consumed.
+inline std::optional<double> parse_double(const std::string& s) {
+  if (s.empty() || std::isspace(static_cast<unsigned char>(s[0]))) {
+    return std::nullopt;
+  }
+  size_t pos = 0;
+  double v = 0.0;
+  try {
+    v = std::stod(s, &pos);
   } catch (const std::exception&) {
     return std::nullopt;
   }
@@ -137,7 +160,7 @@ inline Options parse_options(int argc, char** argv) {
               << " [--threads N] [--config FILE] [--profile-cache DIR]"
                  " [--policy serial|even|profile|ilp|ilp-smra]"
                  " [--shard I/N] [--dump-results FILE] [--dump-append]"
-                 " [--reps N]\n";
+                 " [--reps N] [--no-skip]\n";
     std::exit(2);
   };
   for (int i = 1; i < argc; ++i) {
@@ -175,6 +198,8 @@ inline Options parse_options(int argc, char** argv) {
       opts.dump_path = value();
     } else if (arg == "--dump-append") {
       opts.dump_append = true;
+    } else if (arg == "--no-skip") {
+      opts.no_skip = true;
     } else if (arg == "--reps") {
       const std::string v = value();
       const auto n = parse_int(v);
@@ -201,6 +226,7 @@ class Harness {
       if (!opts_.config_path.empty()) {
         cfg_ = sim::load_config(opts_.config_path);
       }
+      if (opts_.no_skip) cfg_.skip_idle_cycles = false;
       if (!opts_.dump_path.empty()) {
         // A leftover dump from an earlier run would silently gain this
         // run's records too, and the duplicates would poison every later
@@ -498,10 +524,11 @@ inline void render_per_app_table(
   // Under --shard some policies belong to other shards: their columns stay
   // empty here and their reports come back default-constructed (callers
   // merge via --dump-results, not via the partial tables).
-  std::vector<std::map<std::string, double>> ipc;
+  std::vector<std::vector<std::pair<std::string, double>>> ipc;
   for (const auto& r : results) {
-    ipc.push_back(r.has_reps() ? r.report().per_app_ipc()
-                               : std::map<std::string, double>{});
+    ipc.push_back(r.has_reps()
+                      ? r.report().per_app_ipc()
+                      : std::vector<std::pair<std::string, double>>{});
   }
 
   std::vector<std::string> header{"Benchmark"};
@@ -512,15 +539,14 @@ inline void render_per_app_table(
   }
   Table table(header);
   for (const auto& row : rows) {
-    const auto it = ipc[0].find(row.name);
-    if (it == ipc[0].end()) continue;  // not drawn into this queue
-    const double base = it->second;
+    const double* base = sched::find_app_ipc(ipc[0], row.name);
+    if (base == nullptr) continue;  // not drawn into this queue
     table.begin_row().cell(row.name);
     if (show_class) table.cell(row.cls);
-    table.cell(base, 1);
+    table.cell(*base, 1);
     for (size_t p = 1; p < results.size(); ++p) {
-      if (ipc[p].count(row.name)) {
-        table.cell(ipc[p].at(row.name) / base, 3);
+      if (const double* v = sched::find_app_ipc(ipc[p], row.name)) {
+        table.cell(*v / *base, 3);
       } else {
         table.cell(std::string("-"));
       }

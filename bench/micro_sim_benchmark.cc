@@ -1,7 +1,33 @@
-// google-benchmark microbenchmarks for the simulator substrate: cycle rate
-// for compute- and memory-bound kernels and for a co-scheduled pair.
-#include <benchmark/benchmark.h>
+// Simulator-core microbenchmark and fast-forward correctness gate.
+//
+// For each scenario this runs the simulator twice — idle-cycle skipping on
+// and off — asserts the two RunResults are byte-identical (cycles and every
+// AppStats counter), and reports wall time, executed-tick rate, and the
+// skipped-cycle fraction. Results go to stdout as a table and, with
+// --json FILE, to a machine-readable BENCH_sim.json for CI artifacts.
+//
+// Exit codes: 0 ok; 1 byte-identity violation (correctness — always a CI
+// blocker); 2 usage error or an unwritable --json path (a missing artifact
+// must not pass silently); 3 a --min-speedup / --max-compute-regression
+// threshold failed (throughput — CI treats these as informational). The
+// JSON is written before thresholds are checked so artifacts survive a red
+// gate.
+//
+// usage: micro_sim_benchmark [--json FILE] [--reps N]
+//                            [--min-speedup X] [--max-compute-regression X]
+#include <chrono>
+#include <cstdint>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
 
+#include "bench_common.h"
+#include "common/table.h"
 #include "sim/gpu.h"
 #include "workloads/suite.h"
 
@@ -26,51 +52,320 @@ sim::KernelParams small_kernel(double mem_ratio) {
   return kp;
 }
 
-void run_once(const std::vector<sim::KernelParams>& kernels,
-              benchmark::State& state) {
-  uint64_t cycles = 0;
-  uint64_t insns = 0;
-  for (auto _ : state) {
-    sim::Gpu gpu(sim::GpuConfig{});
-    for (const auto& kp : kernels) gpu.launch(kp);
-    const sim::RunResult r = gpu.run_to_completion();
-    cycles += r.cycles;
-    insns += r.total_thread_insns();
-    benchmark::DoNotOptimize(r.cycles);
+struct Scenario {
+  std::string name;
+  std::vector<sim::KernelParams> kernels;
+  bool memory_bound_gate = false;   // --min-speedup applies here
+  bool compute_bound_gate = false;  // --max-compute-regression applies here
+};
+
+struct Measurement {
+  sim::RunResult result;
+  double wall_ms = 0.0;
+  uint64_t ticked_cycles = 0;
+  uint64_t skipped_cycles = 0;
+};
+
+Measurement run_once(const Scenario& s, bool skip) {
+  sim::GpuConfig cfg;
+  cfg.skip_idle_cycles = skip;
+  sim::Gpu gpu(cfg);
+  for (const auto& kp : s.kernels) gpu.launch(kp);
+  const auto t0 = std::chrono::steady_clock::now();
+  Measurement m;
+  m.result = gpu.run_to_completion();
+  const auto t1 = std::chrono::steady_clock::now();
+  m.wall_ms =
+      std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+          t1 - t0)
+          .count();
+  m.ticked_cycles = gpu.ticked_cycles();
+  m.skipped_cycles = gpu.skipped_cycles();
+  return m;
+}
+
+// Best-of-N wall time (least-disturbed run); the RunResult of every
+// repetition must agree anyway, which run_scenario checks once.
+Measurement run_best(const Scenario& s, bool skip, int reps) {
+  Measurement best = run_once(s, skip);
+  for (int i = 1; i < reps; ++i) {
+    Measurement m = run_once(s, skip);
+    if (m.wall_ms < best.wall_ms) best.wall_ms = m.wall_ms;
   }
-  state.counters["sim_cycles/s"] = benchmark::Counter(
-      static_cast<double>(cycles), benchmark::Counter::kIsRate);
-  state.counters["thread_insns/s"] = benchmark::Counter(
-      static_cast<double>(insns), benchmark::Counter::kIsRate);
+  return best;
 }
 
-void BM_ComputeBoundKernel(benchmark::State& state) {
-  run_once({small_kernel(0.02)}, state);
+bool identical(const sim::RunResult& a, const sim::RunResult& b,
+               std::string& why) {
+  std::ostringstream os;
+  if (a.cycles != b.cycles) {
+    os << "cycles " << a.cycles << " != " << b.cycles;
+    why = os.str();
+    return false;
+  }
+  if (a.apps.size() != b.apps.size()) {
+    why = "app count differs";
+    return false;
+  }
+  bool same = true;
+  for (size_t i = 0; i < a.apps.size(); ++i) {
+    sim::for_each_app_stat(
+        a.apps[i], b.apps[i],
+        [&](const char* name, uint64_t u, uint64_t v) {
+          if (u == v || !same) return;
+          os << "app " << i << " " << name << " " << u << " != " << v;
+          why = os.str();
+          same = false;
+        });
+  }
+  return same;
 }
-BENCHMARK(BM_ComputeBoundKernel)->Unit(benchmark::kMillisecond);
 
-void BM_MemoryBoundKernel(benchmark::State& state) {
-  run_once({small_kernel(0.3)}, state);
-}
-BENCHMARK(BM_MemoryBoundKernel)->Unit(benchmark::kMillisecond);
+struct Row {
+  std::string name;
+  uint64_t cycles = 0;
+  uint64_t ticked = 0;
+  uint64_t skipped = 0;
+  double skipped_fraction = 0.0;
+  double wall_ms_skip = 0.0;
+  double wall_ms_noskip = 0.0;
+  double speedup = 0.0;
+  double ticked_per_sec = 0.0;
+  bool identical = false;
+  bool memory_bound_gate = false;
+  bool compute_bound_gate = false;
+};
 
-void BM_CoScheduledPair(benchmark::State& state) {
-  auto a = small_kernel(0.02);
-  auto b = small_kernel(0.3);
-  b.name = "micro2";
-  b.seed = 11;
-  run_once({a, b}, state);
+bool write_json(const std::string& path, const std::vector<Row>& rows,
+                int reps) {
+  std::ofstream out(path);
+  if (!out.good()) {
+    std::cerr << "cannot write --json file " << path << "\n";
+    return false;
+  }
+  out << std::setprecision(6) << std::fixed;
+  out << "{\n  \"version\": 1,\n  \"reps\": " << reps
+      << ",\n  \"scenarios\": [\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    out << "    {\n"
+        << "      \"name\": \"" << r.name << "\",\n"
+        << "      \"cycles\": " << r.cycles << ",\n"
+        << "      \"ticked_cycles\": " << r.ticked << ",\n"
+        << "      \"skipped_cycles\": " << r.skipped << ",\n"
+        << "      \"skipped_fraction\": " << r.skipped_fraction << ",\n"
+        << "      \"wall_ms_skip\": " << r.wall_ms_skip << ",\n"
+        << "      \"wall_ms_noskip\": " << r.wall_ms_noskip << ",\n"
+        << "      \"speedup\": " << r.speedup << ",\n"
+        << "      \"ticked_cycles_per_sec\": " << r.ticked_per_sec << ",\n"
+        << "      \"identical\": " << (r.identical ? "true" : "false") << "\n"
+        << "    }" << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  out.flush();
+  if (!out.good()) {
+    std::cerr << "error writing --json file " << path << "\n";
+    return false;
+  }
+  std::cerr << "[bench] wrote " << path << "\n";
+  return true;
 }
-BENCHMARK(BM_CoScheduledPair)->Unit(benchmark::kMillisecond);
-
-void BM_SuiteSoloRun(benchmark::State& state) {
-  const auto& kp =
-      workloads::suite()[static_cast<size_t>(state.range(0))];
-  state.SetLabel(kp.name);
-  run_once({kp}, state);
-}
-BENCHMARK(BM_SuiteSoloRun)->DenseRange(0, 13)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string json_path;
+  int reps = 1;
+  double min_speedup = 0.0;
+  double max_compute_regression = 0.0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << arg << "\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    const auto int_value = [&](int min) {
+      const std::string v = value();
+      const auto n = bench::parse_int(v);
+      if (!n || *n < min) {
+        std::cerr << arg << " wants an integer >= " << min << ", got " << v
+                  << "\n";
+        std::exit(2);
+      }
+      return *n;
+    };
+    const auto double_value = [&]() {
+      const std::string v = value();
+      const auto d = bench::parse_double(v);
+      if (!d || !std::isfinite(*d) || *d <= 0.0) {
+        std::cerr << arg << " wants a positive finite number, got " << v
+                  << "\n";
+        std::exit(2);
+      }
+      return *d;
+    };
+    if (arg == "--json") {
+      json_path = value();
+    } else if (arg == "--reps") {
+      reps = int_value(1);
+    } else if (arg == "--min-speedup") {
+      min_speedup = double_value();
+    } else if (arg == "--max-compute-regression") {
+      max_compute_regression = double_value();
+    } else {
+      std::cerr << "usage: " << argv[0]
+                << " [--json FILE] [--reps N] [--min-speedup X]"
+                   " [--max-compute-regression X]\n";
+      return 2;
+    }
+  }
+
+  std::vector<Scenario> scenarios;
+  {
+    Scenario s;
+    s.name = "compute_bound";
+    s.kernels = {small_kernel(0.02)};
+    s.compute_bound_gate = true;
+    scenarios.push_back(s);
+  }
+  {
+    Scenario s;
+    s.name = "memory_bound";
+    s.kernels = {small_kernel(0.3)};
+    scenarios.push_back(s);
+  }
+  {
+    // The acceptance scenario: two co-scheduled memory-latency-bound apps
+    // (GUPS-class: divergent random access, tiny mlp, near-zero IPC).
+    // Most SM-cycles are stalls on DRAM round trips — exactly the cycles
+    // the event-horizon fast path elides and the reference --no-skip loop
+    // burns scanning idle schedulers.
+    Scenario s;
+    s.name = "memory_pair";
+    sim::KernelParams a;
+    a.name = "lat";
+    a.num_blocks = 60;
+    a.warps_per_block = 2;
+    a.insns_per_warp = 1000;
+    a.mem_ratio = 0.4;
+    a.pattern = sim::AccessPattern::kRandom;
+    a.footprint_bytes = 512ull << 20;
+    a.divergence = 1;
+    a.burst_lines = 1;
+    a.ilp = 1;
+    a.mlp = 1;
+    a.seed = 3;
+    auto b = a;
+    b.name = "lat2";
+    b.seed = 11;
+    s.kernels = {a, b};
+    s.memory_bound_gate = true;
+    scenarios.push_back(s);
+  }
+  {
+    // Two bandwidth-saturating memory apps: DRAM issues nearly every
+    // cycle, so little is skippable — this bounds the fast path's overhead
+    // on saturated co-runs (informational).
+    Scenario s;
+    s.name = "bandwidth_pair";
+    auto a = small_kernel(0.3);
+    auto b = small_kernel(0.3);
+    b.name = "micro2";
+    b.seed = 11;
+    s.kernels = {a, b};
+    scenarios.push_back(s);
+  }
+  {
+    Scenario s;
+    s.name = "mixed_pair";
+    auto a = small_kernel(0.02);
+    auto b = small_kernel(0.3);
+    b.name = "micro2";
+    b.seed = 11;
+    s.kernels = {a, b};
+    scenarios.push_back(s);
+  }
+  {
+    Scenario s;
+    s.name = "suite_pair_HS_GUPS";
+    s.kernels = {workloads::benchmark("HS"), workloads::benchmark("GUPS")};
+    scenarios.push_back(s);
+  }
+
+  bool identity_ok = true;
+  std::vector<Row> rows;
+  for (const Scenario& s : scenarios) {
+    const Measurement skip = run_best(s, /*skip=*/true, reps);
+    const Measurement noskip = run_best(s, /*skip=*/false, reps);
+    Row row;
+    row.name = s.name;
+    row.cycles = skip.result.cycles;
+    row.ticked = skip.ticked_cycles;
+    row.skipped = skip.skipped_cycles;
+    row.skipped_fraction =
+        skip.result.cycles == 0
+            ? 0.0
+            : static_cast<double>(skip.skipped_cycles) /
+                  static_cast<double>(skip.result.cycles);
+    row.wall_ms_skip = skip.wall_ms;
+    row.wall_ms_noskip = noskip.wall_ms;
+    row.speedup = skip.wall_ms > 0.0 ? noskip.wall_ms / skip.wall_ms : 0.0;
+    row.ticked_per_sec =
+        skip.wall_ms > 0.0
+            ? static_cast<double>(skip.ticked_cycles) * 1000.0 / skip.wall_ms
+            : 0.0;
+    row.memory_bound_gate = s.memory_bound_gate;
+    row.compute_bound_gate = s.compute_bound_gate;
+    std::string why;
+    row.identical = identical(skip.result, noskip.result, why);
+    if (!row.identical) {
+      identity_ok = false;
+      std::cerr << "BYTE-IDENTITY VIOLATION in " << s.name << ": " << why
+                << "\n";
+    }
+    rows.push_back(row);
+  }
+
+  gpumas::Table table({"scenario", "cycles", "ticked", "skipped%", "skip ms",
+                       "no-skip ms", "speedup", "ticked cycles/s",
+                       "identical"});
+  for (const Row& r : rows) {
+    table.begin_row()
+        .cell(r.name)
+        .cell(r.cycles)
+        .cell(r.ticked)
+        .cell(100.0 * r.skipped_fraction, 1)
+        .cell(r.wall_ms_skip, 2)
+        .cell(r.wall_ms_noskip, 2)
+        .cell(r.speedup, 2)
+        .cell(r.ticked_per_sec, 0)
+        .cell(std::string(r.identical ? "yes" : "NO"));
+  }
+  table.print(std::cout);
+
+  // A missing artifact must not let the CI gate pass silently.
+  const bool json_ok = json_path.empty() || write_json(json_path, rows, reps);
+
+  if (!identity_ok) return 1;
+  if (!json_ok) return 2;
+
+  bool thresholds_ok = true;
+  for (const Row& r : rows) {
+    if (min_speedup > 0.0 && r.memory_bound_gate && r.speedup < min_speedup) {
+      std::cerr << "threshold: " << r.name << " speedup " << r.speedup
+                << " < required " << min_speedup << "\n";
+      thresholds_ok = false;
+    }
+    if (max_compute_regression > 0.0 && r.compute_bound_gate &&
+        r.wall_ms_skip > r.wall_ms_noskip * max_compute_regression) {
+      std::cerr << "threshold: " << r.name << " skip wall " << r.wall_ms_skip
+                << " ms exceeds " << max_compute_regression << "x no-skip ("
+                << r.wall_ms_noskip << " ms)\n";
+      thresholds_ok = false;
+    }
+  }
+  return thresholds_ok ? 0 : 3;
+}

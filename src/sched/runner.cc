@@ -125,6 +125,10 @@ GroupReport QueueRunner::run_group(
     while (!gpu.done()) {
       GPUMAS_CHECK_MSG(gpu.cycle() < cfg_.max_cycles,
                        "group exceeded max_cycles");
+      // The controller observes the device at fixed window boundaries;
+      // cap idle-cycle fast-forwarding there so the evaluation happens at
+      // the same cycle (with the same windowed stats) as without skipping.
+      gpu.set_skip_barrier(controller.next_eval());
       gpu.tick();
       controller.on_tick(gpu);
     }
@@ -172,19 +176,35 @@ RunReport QueueRunner::run(const std::vector<Job>& queue, Policy policy,
   return report;
 }
 
-std::map<std::string, double> RunReport::per_app_ipc() const {
-  std::map<std::string, double> sums;
-  std::map<std::string, int> counts;
+std::vector<std::pair<std::string, double>> RunReport::per_app_ipc() const {
+  // Collect one sample per group appearance, then sort and average runs of
+  // equal names in place — no per-name node allocations.
+  std::vector<std::pair<std::string, double>> samples;
   for (const auto& g : groups) {
     for (size_t i = 0; i < g.names.size(); ++i) {
       if (g.app_cycles[i] == 0) continue;
-      sums[g.names[i]] += static_cast<double>(g.app_thread_insns[i]) /
-                          static_cast<double>(g.app_cycles[i]);
-      counts[g.names[i]]++;
+      samples.emplace_back(g.names[i],
+                           static_cast<double>(g.app_thread_insns[i]) /
+                               static_cast<double>(g.app_cycles[i]));
     }
   }
-  for (auto& [name, sum] : sums) sum /= counts[name];
-  return sums;
+  // Stable: equal names keep group order, so the float summation order (and
+  // hence the rendered tables) is reproducible.
+  std::stable_sort(samples.begin(), samples.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<std::pair<std::string, double>> averaged;
+  for (size_t i = 0; i < samples.size();) {
+    size_t j = i;
+    double sum = 0.0;
+    while (j < samples.size() && samples[j].first == samples[i].first) {
+      sum += samples[j].second;
+      ++j;
+    }
+    averaged.emplace_back(samples[i].first,
+                          sum / static_cast<double>(j - i));
+    i = j;
+  }
+  return averaged;
 }
 
 }  // namespace gpumas::sched

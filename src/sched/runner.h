@@ -3,9 +3,11 @@
 // per-group cycles versus serial time, and per-application throughput.
 #pragma once
 
+#include <algorithm>
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "interference/interference.h"
@@ -53,9 +55,24 @@ struct RunReport {
                      static_cast<double>(total_cycles);
   }
 
-  // Average per-benchmark IPC during its group run (Figs 4.4-4.8, 4.12).
-  std::map<std::string, double> per_app_ipc() const;
+  // Average per-benchmark IPC during its group run (Figs 4.4-4.8, 4.12),
+  // as a name-sorted vector: it is rebuilt on every report render inside
+  // the bench table loops, where a flat sorted array beats a node-based
+  // map both to build and to binary-search.
+  std::vector<std::pair<std::string, double>> per_app_ipc() const;
 };
+
+// Lookup in a name-sorted per_app_ipc() vector; nullptr when absent.
+inline const double* find_app_ipc(
+    const std::vector<std::pair<std::string, double>>& ipc,
+    const std::string& name) {
+  const auto it = std::lower_bound(
+      ipc.begin(), ipc.end(), name,
+      [](const std::pair<std::string, double>& e, const std::string& n) {
+        return e.first < n;
+      });
+  return it != ipc.end() && it->first == name ? &it->second : nullptr;
+}
 
 // The runner is immutable after construction: run() is const and touches no
 // runner state besides the (thread-safe) ProfileCache, so one instance can

@@ -39,6 +39,12 @@ class SmraController {
   // the partition at window boundaries.
   void on_tick(sim::Gpu& gpu);
 
+  // Cycle of the next window evaluation. Drivers must pass this to
+  // Gpu::set_skip_barrier before each tick so idle-cycle fast-forwarding
+  // never jumps the clock past an evaluation boundary — that keeps SMRA
+  // decisions (and hence results) byte-identical with skipping on or off.
+  uint64_t next_eval() const { return next_eval_; }
+
   // --- observability for tests and ablation benches ---
   uint64_t adjustments() const { return adjustments_; }
   uint64_t reverts() const { return reverts_; }

@@ -93,6 +93,7 @@ const std::map<std::string, Field>& fields() {
       {"data_bus_cycles", number_field(&GpuConfig::data_bus_cycles)},
       {"channel_queue_size",
        number_field(&GpuConfig::channel_queue_size)},
+      {"skip_idle_cycles", number_field(&GpuConfig::skip_idle_cycles)},
       {"max_cycles", number_field(&GpuConfig::max_cycles)},
   };
   return kFields;

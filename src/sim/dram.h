@@ -6,6 +6,13 @@
 // observes in §3.2.2 — favors streaming memory-class applications and is one
 // of the two physical mechanisms behind inter-class interference (the other
 // being L2 capacity contention).
+//
+// The queue is a fixed slot pool threaded into per-bank FIFO chains (arrival
+// order is preserved per bank and globally via monotone sequence numbers):
+// FR-FCFS selection needs only "earliest open-row match per free bank" and
+// "earliest arrival among free banks' chain heads", so scheduling is
+// O(banks) plus a short chain walk instead of a full-queue scan, and
+// removing the serviced request is an O(1) unlink instead of an O(n) erase.
 #pragma once
 
 #include <cstddef>
@@ -39,34 +46,59 @@ class DramChannel {
  public:
   DramChannel(const GpuConfig& cfg, int channel_index);
 
-  bool full() const {
-    return queue_.size() >= static_cast<size_t>(queue_capacity_);
-  }
+  bool full() const { return live_ >= queue_capacity_; }
   bool enqueue(const DramRequest& req);
 
   // Advances one cycle: issues at most one request if the data bus and a
-  // bank are available, honoring the configured scheduling policy.
-  void tick(uint64_t cycle);
+  // bank are available, honoring the configured scheduling policy. Returns
+  // true when a request was issued.
+  bool tick(uint64_t cycle);
 
   // Completions whose data is available at `cycle` (call once per cycle;
-  // returns them in ready order and removes them).
+  // removes them). The order is deterministic by construction: ascending
+  // (ready_cycle, issue order), independent of how earlier drains removed
+  // their elements — golden traces must not depend on removal history.
   const std::vector<DramCompletion>& drain_completions(uint64_t cycle);
+
+  // True when nothing in this channel can change state at `cycle`: no
+  // queued requests and no completion due yet (in-flight data still
+  // traveling does not need per-cycle attention).
+  bool quiet_at(uint64_t cycle) const {
+    return live_ == 0 &&
+           (inflight_.empty() || min_inflight_ready_ > cycle);
+  }
+
+  // Earliest cycle strictly after `cycle` at which this channel's
+  // time-gated state changes (a bank or the bus frees with work queued, or
+  // an in-flight completion becomes ready); UINT64_MAX when none. Guards
+  // <= cycle are blocked on something other than time and are covered by
+  // the owning component's own wake conditions.
+  uint64_t next_work_cycle(uint64_t cycle) const;
 
   // --- statistics ---
   uint64_t serviced() const { return serviced_; }
   uint64_t row_hits() const { return row_hits_; }
   uint64_t row_misses() const { return row_misses_; }
   uint64_t total_queue_wait() const { return total_queue_wait_; }
-  size_t queue_depth() const { return queue_.size(); }
-  bool idle() const;
+  size_t queue_depth() const { return static_cast<size_t>(live_); }
+  bool idle() const { return live_ == 0 && inflight_.empty(); }
 
  private:
+  struct Slot {
+    DramRequest req;
+    uint64_t seq = 0;   // global arrival order
+    int32_t next = -1;  // next slot in the same bank's chain / free list
+    bool used = false;
+  };
   struct Bank {
     uint64_t open_row = ~0ull;
     uint64_t busy_until = 0;
+    int32_t head = -1;   // arrival-ordered chain of this bank's requests
+    int32_t tail = -1;
+    int open_row_matches = 0;  // chain entries hitting the open row
   };
 
-  int select_request(uint64_t cycle) const;  // index into queue_ or -1
+  void unlink(Bank& bank, int32_t prev, int32_t idx);
 
   MemSchedPolicy policy_;
   int queue_capacity_;
@@ -74,13 +106,17 @@ class DramChannel {
   int row_miss_cycles_;
   int data_bus_cycles_;
 
-  std::vector<DramRequest> queue_;
+  std::vector<Slot> slots_;
+  int32_t free_head_ = -1;
+  int live_ = 0;
+  uint64_t next_seq_ = 0;
   std::vector<Bank> banks_;
   uint64_t bus_busy_until_ = 0;
 
-  // In-flight completions, kept sorted by insertion (ready cycles are
-  // monotonically increasing per issue order only approximately, so we scan).
+  // In-flight completions in issue order (ready cycles may interleave when
+  // row hits overtake earlier misses; drain re-sorts stably).
   std::vector<DramCompletion> inflight_;
+  uint64_t min_inflight_ready_ = ~0ull;
   std::vector<DramCompletion> ready_buffer_;
 
   uint64_t serviced_ = 0;

@@ -17,7 +17,10 @@ constexpr uint64_t kAppRegionLines = 1ull << 33;
 constexpr size_t kMissQueueCapacity = 96;
 }  // namespace
 
-Gpu::Gpu(const GpuConfig& cfg) : cfg_(cfg), distributor_(cfg.num_sms) {
+Gpu::Gpu(const GpuConfig& cfg)
+    : cfg_(cfg),
+      sm_wake_(static_cast<size_t>(cfg.num_sms), 0),
+      distributor_(cfg.num_sms) {
   GPUMAS_CHECK(cfg_.num_sms > 0);
   GPUMAS_CHECK(cfg_.num_channels > 0);
   sms_.reserve(static_cast<size_t>(cfg_.num_sms));
@@ -113,81 +116,121 @@ bool Gpu::try_send(const MemRequest& req, uint64_t cycle) {
   if (q.size() >= static_cast<size_t>(cfg_.icnt_vq_size)) {
     return false;  // backpressure to this SM's LSU only
   }
+  if (q.empty()) slice.vq_mask.set(req.sm);
   q.push_back(
       IcntPacket{cycle + static_cast<uint64_t>(cfg_.icnt_latency), req});
   return true;
 }
 
-void Gpu::tick_l2_slice(L2Slice& slice) {
-  // 1. DRAM completions: install lines in L2 and answer merged requesters.
-  for (const DramCompletion& c : slice.dram.drain_completions(cycle_)) {
-    if (c.is_write) continue;  // stores retire silently
-    if (!apps_[c.app].kernel.l2_streaming_bypass) slice.cache.fill(c.line);
-    auto it = slice.mshr.find(c.line);
-    GPUMAS_CHECK_MSG(it != slice.mshr.end(), "DRAM fill without L2 MSHR entry");
-    for (const L2Waiter& w : it->second) {
-      sms_[w.sm].schedule_fill(
-          c.line, cycle_ + static_cast<uint64_t>(cfg_.icnt_latency));
-    }
-    slice.mshr.erase(it);
-  }
-
-  // 2. Accept at most one request per cycle from the interconnect,
-  // arbitrating round-robin across the per-SM virtual queues. A head
-  // blocked on full L2 MSHRs or a full miss queue does not stall other
-  // sources (hit-under-miss across queues).
-  const int n_vq = static_cast<int>(slice.vq.size());
-  for (int k = 0; k < n_vq; ++k) {
-    const int src = (slice.rr + k) % n_vq;
-    std::deque<IcntPacket>& q = slice.vq[static_cast<size_t>(src)];
-    if (q.empty() || q.front().ready_cycle > cycle_) continue;
-    const MemRequest req = q.front().req;
-    bool processed = false;
-    if (req.is_store) {
-      // Write-through: update the L2 copy if present (no timing effect) and
-      // queue the write toward DRAM, where it competes for banks and bus.
-      if (slice.miss_queue.size() < kMissQueueCapacity) {
-        if (slice.cache.contains(req.line)) slice.cache.fill(req.line);
-        stats_[req.app].l2_accesses++;
-        stats_[req.app].dram_transactions++;
-        uint32_t bank = 0;
-        uint64_t row = 0;
-        decompose(req.line, bank, row);
-        slice.miss_queue.push_back(
-            DramRequest{req.line, bank, row, req.app, cycle_, true});
-        processed = true;
-      }
-    } else if (auto pending = slice.mshr.find(req.line);
-               pending != slice.mshr.end()) {
-      // Merge with the in-flight DRAM fetch of the same line.
-      stats_[req.app].l2_accesses++;
-      pending->second.push_back(L2Waiter{req.sm, req.app});
-      processed = true;
-    } else if (slice.cache.access(req.line)) {
-      stats_[req.app].l2_accesses++;
-      stats_[req.app].l2_hits++;
-      sms_[req.sm].schedule_fill(
-          req.line, cycle_ + static_cast<uint64_t>(cfg_.l2_latency +
-                                                   cfg_.icnt_latency));
-      processed = true;
-    } else if (slice.mshr.size() < cfg_.l2.mshr_entries &&
-               slice.miss_queue.size() < kMissQueueCapacity) {
+// Tries to accept the head packet of virtual queue `src`; returns true on
+// acceptance (the packet was consumed).
+bool Gpu::accept_from_vq(L2Slice& slice, int src) {
+  std::deque<IcntPacket>& q = slice.vq[static_cast<size_t>(src)];
+  if (q.front().ready_cycle > cycle_) return false;
+  const MemRequest req = q.front().req;
+  bool processed = false;
+  if (req.is_store) {
+    // Write-through: update the L2 copy if present (no timing effect) and
+    // queue the write toward DRAM, where it competes for banks and bus.
+    if (slice.miss_queue.size() < kMissQueueCapacity) {
+      if (slice.cache.contains(req.line)) slice.cache.fill(req.line);
       stats_[req.app].l2_accesses++;
       stats_[req.app].dram_transactions++;
-      slice.mshr.emplace(req.line,
-                         std::vector<L2Waiter>{L2Waiter{req.sm, req.app}});
       uint32_t bank = 0;
       uint64_t row = 0;
       decompose(req.line, bank, row);
       slice.miss_queue.push_back(
-          DramRequest{req.line, bank, row, req.app, cycle_});
+          DramRequest{req.line, bank, row, req.app, cycle_, true});
       processed = true;
     }
-    if (processed) {
-      q.pop_front();
-      slice.rr = (src + 1) % n_vq;
-      break;
+  } else if (L2MshrEntry* pending = slice.mshr.find(req.line)) {
+    // Merge with the in-flight DRAM fetch of the same line.
+    stats_[req.app].l2_accesses++;
+    slice.waiters.append(pending->waiters, L2Waiter{req.sm, req.app});
+    processed = true;
+  } else if (slice.cache.access(req.line)) {
+    stats_[req.app].l2_accesses++;
+    stats_[req.app].l2_hits++;
+    deliver_fill(req.sm, req.line,
+                 cycle_ + static_cast<uint64_t>(cfg_.l2_latency +
+                                                cfg_.icnt_latency));
+    processed = true;
+  } else if (slice.mshr.size() < cfg_.l2.mshr_entries &&
+             slice.miss_queue.size() < kMissQueueCapacity) {
+    stats_[req.app].l2_accesses++;
+    stats_[req.app].dram_transactions++;
+    slice.waiters.append(slice.mshr.emplace(req.line).waiters,
+                         L2Waiter{req.sm, req.app});
+    uint32_t bank = 0;
+    uint64_t row = 0;
+    decompose(req.line, bank, row);
+    slice.miss_queue.push_back(
+        DramRequest{req.line, bank, row, req.app, cycle_});
+    processed = true;
+  }
+  if (processed) {
+    q.pop_front();
+    if (q.empty()) slice.vq_mask.clear(static_cast<size_t>(src));
+    slice.rr = (src + 1) % cfg_.num_sms;
+  }
+  return processed;
+}
+
+bool Gpu::tick_l2_slice(L2Slice& slice) {
+  // Idle fast path: no queued packets, no pending misses, and a quiet
+  // memory controller — nothing in this slice can change state this cycle.
+  // (A non-empty MSHR implies DRAM work somewhere: in the miss queue, the
+  // channel queue, or in flight.) Disabled in --no-skip reference mode.
+  const bool vq_work = slice.vq_mask.any();
+  if (cfg_.skip_idle_cycles && !vq_work && slice.miss_queue.empty() &&
+      slice.dram.quiet_at(cycle_)) {
+    return false;
+  }
+
+  bool progress = false;
+
+  // 1. DRAM completions: install lines in L2 and answer merged requesters.
+  for (const DramCompletion& c : slice.dram.drain_completions(cycle_)) {
+    progress = true;
+    if (c.is_write) continue;  // stores retire silently
+    if (!apps_[c.app].kernel.l2_streaming_bypass) slice.cache.fill(c.line);
+    L2MshrEntry* entry = slice.mshr.find(c.line);
+    GPUMAS_CHECK_MSG(entry != nullptr, "DRAM fill without L2 MSHR entry");
+    const WaiterPool<L2Waiter>::Chain chain = entry->waiters;
+    slice.mshr.erase(c.line);
+    slice.waiters.consume(chain, [&](const L2Waiter& w) {
+      deliver_fill(w.sm, c.line,
+                   cycle_ + static_cast<uint64_t>(cfg_.icnt_latency));
+    });
+  }
+
+  // 2. Accept at most one request per cycle from the interconnect,
+  // arbitrating round-robin across the non-empty per-SM virtual queues. A
+  // head blocked on full L2 MSHRs or a full miss queue does not stall
+  // other sources (hit-under-miss across queues). The bitset restricts
+  // probing to non-empty queues, in the same circular order the full scan
+  // used.
+  if (vq_work) {
+    bool accepted = false;
+    for (int src = slice.vq_mask.find_at_or_after(static_cast<size_t>(slice.rr));
+         src >= 0;
+         src = slice.vq_mask.find_at_or_after(static_cast<size_t>(src) + 1)) {
+      if (accept_from_vq(slice, src)) {
+        accepted = true;
+        break;
+      }
     }
+    if (!accepted) {
+      const int wrap = slice.rr;
+      for (int src = slice.vq_mask.find_at_or_after(0); src >= 0 && src < wrap;
+           src = slice.vq_mask.find_at_or_after(static_cast<size_t>(src) + 1)) {
+        if (accept_from_vq(slice, src)) {
+          accepted = true;
+          break;
+        }
+      }
+    }
+    progress |= accepted;
   }
 
   // 3. Drain accepted misses into the memory controller as space frees up,
@@ -195,13 +238,18 @@ void Gpu::tick_l2_slice(L2Slice& slice) {
   while (!slice.miss_queue.empty() && !slice.dram.full()) {
     GPUMAS_CHECK(slice.dram.enqueue(slice.miss_queue.front()));
     slice.miss_queue.pop_front();
+    progress = true;
   }
-  slice.dram.tick(cycle_);
+  progress |= slice.dram.tick(cycle_);
+  return progress;
 }
 
 void Gpu::check_app_completion() {
-  for (const auto& sm : sms_) {
-    for (uint8_t app : sm.completed_blocks()) {
+  // Only cores that reported a retirement this cycle are inspected; a
+  // skipped core's completed_blocks() is stale from its last tick and must
+  // not be re-read.
+  for (const uint16_t i : retired_sms_) {
+    for (uint8_t app : sms_[i].completed_blocks()) {
       LaunchedApp& la = apps_[app];
       la.blocks_done++;
       GPUMAS_CHECK(la.blocks_done <=
@@ -215,21 +263,86 @@ void Gpu::check_app_completion() {
   }
 }
 
+// Invariant behind the jump: a tick that made no progress left every piece
+// of device state except the cycle counter unchanged, and every transition
+// guard in the model is monotone in the cycle with an explicit threshold —
+// SM event arrivals, warp not_before stalls, ALU pipe busy-untils,
+// interconnect packet ready-cycles, DRAM bank/bus busy-untils, and
+// in-flight completion ready-cycles. Guards already satisfied (thresholds
+// <= now) are blocked on a non-time resource whose release is itself one of
+// the listed thresholds, and the work distributor's guards are
+// cycle-independent. Hence no transition can fire strictly before the
+// minimum future threshold, and every cycle up to it would replay as an
+// identical no-op: jumping there preserves the trajectory bit for bit. The
+// SM service-order rotation (cycle % n) is unaffected because no SM acts on
+// a skipped cycle.
+void Gpu::fast_forward() {
+  const uint64_t now = cycle_ - 1;  // the no-progress cycle just executed
+  uint64_t wake = ~0ull;
+  for (const auto& sm : sms_) {
+    const uint64_t w = sm.next_wake_cycle(now);
+    if (w < wake) wake = w;
+  }
+  for (const auto& slice : slices_) {
+    const uint64_t w = slice_next_wake(slice, now);
+    if (w < wake) wake = w;
+  }
+  // A wake of UINT64_MAX means no component can ever act again: jump to the
+  // runaway guard so the caller's max_cycles check fires exactly as the
+  // cycle-by-cycle loop's would.
+  uint64_t target = std::min(wake, cfg_.max_cycles);
+  target = std::min(target, skip_barrier_);
+  if (target > cycle_) {
+    skipped_cycles_ += target - cycle_;
+    cycle_ = target;
+  }
+}
+
+uint64_t Gpu::slice_next_wake(const L2Slice& slice, uint64_t cycle) const {
+  uint64_t wake = slice.dram.next_work_cycle(cycle);
+  // Queued packets still traversing the interconnect (heads are per-queue
+  // minima: ready cycles are enqueued in nondecreasing order). Heads ready
+  // but unaccepted are blocked on MSHR/miss-queue space, which frees only
+  // with DRAM progress — covered by the channel's wake above. A non-empty
+  // miss queue with no DRAM-queue space likewise waits on the channel.
+  for (int src = slice.vq_mask.find_at_or_after(0); src >= 0;
+       src = slice.vq_mask.find_at_or_after(static_cast<size_t>(src) + 1)) {
+    const uint64_t t = slice.vq[static_cast<size_t>(src)].front().ready_cycle;
+    if (t > cycle && t < wake) wake = t;
+  }
+  return wake;
+}
+
 void Gpu::tick() {
   started_ = true;
-  distributor_.dispatch(sms_, apps_);
+  fed_sms_.clear();
+  retired_sms_.clear();
+  bool progress = distributor_.dispatch(sms_, apps_, &fed_sms_);
+  for (const int sm : fed_sms_) sm_wake_[static_cast<size_t>(sm)] = cycle_;
   // Rotate the SM service order every cycle: within a cycle, earlier SMs
   // enqueue interconnect packets ahead of later ones, so a fixed order would
   // hand low-numbered SMs (hence the first-launched app) systematically
-  // better memory service under saturation.
+  // better memory service under saturation. Only cores whose wake is due
+  // are visited (skipped cores' ticks are provably no-ops); --no-skip
+  // visits every core as the reference loop does.
+  const bool sched = cfg_.skip_idle_cycles;
   const size_t n = sms_.size();
   const size_t start = static_cast<size_t>(cycle_ % n);
-  for (size_t k = 0; k < n; ++k) {
-    sms_[(start + k) % n].tick(cycle_, *this, stats_);
-  }
-  for (auto& slice : slices_) tick_l2_slice(slice);
-  check_app_completion();
+  const auto run_sm = [&](size_t i) {
+    if (sched && sm_wake_[i] > cycle_) return;
+    const SmTickResult r = sms_[i].tick(cycle_, *this, stats_);
+    progress |= r.progress;
+    if (r.block_retired) retired_sms_.push_back(static_cast<uint16_t>(i));
+    sm_wake_[i] = sms_[i].post_tick_wake(cycle_);
+  };
+  for (size_t i = start; i < n; ++i) run_sm(i);
+  for (size_t i = 0; i < start; ++i) run_sm(i);
+  for (auto& slice : slices_) progress |= tick_l2_slice(slice);
+  // Completion scan only when some SM actually retired a block this cycle.
+  if (!retired_sms_.empty()) check_app_completion();
   ++cycle_;
+  ++ticked_cycles_;
+  if (!progress && cfg_.skip_idle_cycles) fast_forward();
 }
 
 bool Gpu::done() const {

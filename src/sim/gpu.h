@@ -6,17 +6,26 @@
 // resident simultaneously; each owns a disjoint set of SMs (spatial
 // multitasking) while physically sharing L2 capacity and DRAM bandwidth —
 // the two contention surfaces the paper's methodology manages.
+//
+// The clock is event-horizon aware: every component reports the earliest
+// future cycle at which its time-gated state can change, and when a tick
+// makes no progress anywhere, tick() fast-forwards the cycle counter to the
+// global minimum of those wake cycles. Skipped cycles are provably no-ops
+// (see the invariant note at Gpu::fast_forward), so cycle counts and every
+// AppStats counter are byte-identical with skipping on or off
+// (GpuConfig::skip_idle_cycles).
 #pragma once
 
 #include <cstdint>
 #include <deque>
-#include <unordered_map>
 #include <vector>
 
+#include "sim/bitset.h"
 #include "sim/cache.h"
 #include "sim/dram.h"
 #include "sim/gpu_config.h"
 #include "sim/kernel.h"
+#include "sim/mshr_table.h"
 #include "sim/sm.h"
 #include "sim/stats.h"
 #include "sim/work_distributor.h"
@@ -74,6 +83,17 @@ class Gpu final : public MemoryFabric {
   uint64_t cycle() const { return cycle_; }
   RunResult run_to_completion();
 
+  // Callers that observe the device at fixed cycle boundaries (e.g. the
+  // SMRA controller's evaluation windows) must cap fast-forwarding at
+  // their next observation cycle, or an idle-span jump could carry the
+  // clock past it. The barrier persists until replaced; UINT64_MAX (the
+  // default) disables it.
+  void set_skip_barrier(uint64_t cycle) { skip_barrier_ = cycle; }
+
+  // --- fast-forward accounting (cycle() == ticked + skipped) ---
+  uint64_t ticked_cycles() const { return ticked_cycles_; }
+  uint64_t skipped_cycles() const { return skipped_cycles_; }
+
   const std::vector<AppStats>& stats() const { return stats_; }
   const GpuConfig& config() const { return cfg_; }
   int num_apps() const { return static_cast<int>(apps_.size()); }
@@ -95,13 +115,19 @@ class Gpu final : public MemoryFabric {
     uint16_t sm;
     uint8_t app;
   };
+  struct L2MshrEntry {
+    WaiterPool<L2Waiter>::Chain waiters;
+  };
   struct L2Slice {
     Cache cache;
-    std::unordered_map<uint64_t, std::vector<L2Waiter>> mshr;
+    MshrTable<L2MshrEntry> mshr;
+    WaiterPool<L2Waiter> waiters;
     // Per-source-SM virtual queues with round-robin arbitration: a
     // saturating application backpressures only its own SMs' LSUs instead
-    // of starving co-runners' injections (crossbar fairness).
+    // of starving co-runners' injections (crossbar fairness). vq_mask
+    // tracks the non-empty queues so arbitration probes only those.
     std::vector<std::deque<IcntPacket>> vq;
+    DynBitset vq_mask;
     int rr = 0;  // round-robin arbitration pointer
     // Accepted misses (and write-throughs) waiting for DRAM-queue space.
     // Keeping them out of the acceptance path means a saturated memory
@@ -111,7 +137,9 @@ class Gpu final : public MemoryFabric {
     explicit L2Slice(const GpuConfig& cfg, int index)
         : cache(CacheConfig{cfg.l2_slice_bytes(), cfg.l2.line_bytes,
                             cfg.l2.ways, cfg.l2.mshr_entries}),
+          mshr(cfg.l2.mshr_entries),
           vq(static_cast<size_t>(cfg.num_sms)),
+          vq_mask(static_cast<size_t>(cfg.num_sms)),
           dram(cfg, index) {}
   };
 
@@ -119,15 +147,33 @@ class Gpu final : public MemoryFabric {
     return static_cast<int>(line % static_cast<uint64_t>(cfg_.num_channels));
   }
   void decompose(uint64_t line, uint32_t& bank, uint64_t& row) const;
-  void tick_l2_slice(L2Slice& slice);
+  bool tick_l2_slice(L2Slice& slice);
+  bool accept_from_vq(L2Slice& slice, int src);
+  uint64_t slice_next_wake(const L2Slice& slice, uint64_t cycle) const;
   void check_app_completion();
+  void fast_forward();
+  // Response delivery that also reschedules the destination core.
+  void deliver_fill(uint16_t sm, uint64_t line, uint64_t ready_cycle) {
+    sms_[sm].schedule_fill(line, ready_cycle);
+    if (ready_cycle < sm_wake_[sm]) sm_wake_[sm] = ready_cycle;
+  }
 
   GpuConfig cfg_;
   uint64_t cycle_ = 0;
+  uint64_t ticked_cycles_ = 0;
+  uint64_t skipped_cycles_ = 0;
+  uint64_t skip_barrier_ = ~0ull;
   std::vector<StreamingMultiprocessor> sms_;
   std::vector<L2Slice> slices_;
   std::vector<LaunchedApp> apps_;
   std::vector<AppStats> stats_;
+  // Per-SM tick schedule: the next cycle each core must be ticked (0 =
+  // immediately). Min-updated on fill delivery and block dispatch; cores
+  // whose wake lies in the future are not visited at all. --no-skip
+  // ignores it and ticks every core every cycle.
+  std::vector<uint64_t> sm_wake_;
+  std::vector<int> fed_sms_;          // scratch: SMs fed this cycle
+  std::vector<uint16_t> retired_sms_; // scratch: SMs that retired a block
   WorkDistributor distributor_;
   bool started_ = false;
 };

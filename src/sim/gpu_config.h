@@ -63,6 +63,18 @@ struct GpuConfig {
   int data_bus_cycles = 3;     // channel data-bus occupancy per 128 B line
   int channel_queue_size = 48; // FR-FCFS scheduling window
 
+  // --- Simulation (not hardware) ---
+  // Event-horizon-aware execution: components that provably cannot act
+  // this cycle (an SM with no response due and no runnable warp, a quiet
+  // L2 slice) are skipped, and when a tick makes no progress anywhere on
+  // the device, the clock fast-forwards to the earliest cycle at which any
+  // component can act again. Results (cycles and every AppStats counter)
+  // are byte-identical with the knob on or off — it only changes
+  // wall-clock time. Off (--no-skip in the benches) forces the reference
+  // loop that ticks every component every cycle, for debugging the
+  // simulator core and validating the fast path against it.
+  bool skip_idle_cycles = true;
+
   // --- Safety ---
   uint64_t max_cycles = 80'000'000;  // runaway-simulation guard
 

@@ -1,0 +1,153 @@
+// Hot-path MSHR containers: an open-addressing flat hash table keyed by
+// cache line, and a pooled free-list for per-miss waiter chains.
+//
+// The L1 and L2 MSHRs are bounded (tens of entries) and are probed on every
+// memory transaction, which made std::unordered_map's node allocations and
+// pointer chasing — plus a std::vector allocation per miss for the waiter
+// list — the dominant cost of the miss path. The flat table keeps all slots
+// in one cache-friendly array sized at >= 2x the MSHR bound (load factor
+// <= 50%, so linear probes terminate quickly) and uses backward-shift
+// deletion, which needs no tombstones. Waiters live in one growable arena
+// threaded into FIFO chains through an intrusive free list, so merging a
+// request into an in-flight miss allocates nothing in steady state.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace gpumas::sim {
+
+// FIFO chains of per-miss waiters in a pooled arena. A chain is identified
+// by (head, tail) node indices owned by the MSHR entry; consume() visits a
+// chain in insertion order and returns its nodes to the free list.
+template <typename T>
+class WaiterPool {
+ public:
+  struct Chain {
+    int32_t head = -1;
+    int32_t tail = -1;
+  };
+
+  void append(Chain& chain, const T& value) {
+    int32_t idx;
+    if (free_head_ >= 0) {
+      idx = free_head_;
+      free_head_ = nodes_[static_cast<size_t>(idx)].next;
+    } else {
+      idx = static_cast<int32_t>(nodes_.size());
+      nodes_.push_back(Node{});
+    }
+    Node& node = nodes_[static_cast<size_t>(idx)];
+    node.value = value;
+    node.next = -1;
+    if (chain.tail >= 0) {
+      nodes_[static_cast<size_t>(chain.tail)].next = idx;
+    } else {
+      chain.head = idx;
+    }
+    chain.tail = idx;
+  }
+
+  // Visits the chain front to back, freeing each node before the callback
+  // runs so the callback may allocate into this pool.
+  template <typename Fn>
+  void consume(Chain chain, Fn fn) {
+    int32_t i = chain.head;
+    while (i >= 0) {
+      Node& node = nodes_[static_cast<size_t>(i)];
+      const int32_t next = node.next;
+      const T value = node.value;
+      node.next = free_head_;
+      free_head_ = i;
+      i = next;
+      fn(value);
+    }
+  }
+
+ private:
+  struct Node {
+    T value{};
+    int32_t next = -1;
+  };
+  std::vector<Node> nodes_;
+  int32_t free_head_ = -1;
+};
+
+// Open-addressing (linear probing, Fibonacci-hashed) map from cache line to
+// Entry, sized for a bounded population: capacity is the smallest power of
+// two >= 2 * max_entries, so an empty slot always terminates a probe.
+template <typename Entry>
+class MshrTable {
+ public:
+  explicit MshrTable(uint32_t max_entries) {
+    uint32_t cap = 8;
+    while (cap < max_entries * 2) cap <<= 1;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+    shift_ = 64;
+    for (uint32_t c = cap; c > 1; c >>= 1) --shift_;
+  }
+
+  uint32_t size() const { return size_; }
+
+  Entry* find(uint64_t line) {
+    for (uint32_t i = home(line);; i = (i + 1) & mask_) {
+      Slot& s = slots_[i];
+      if (!s.used) return nullptr;
+      if (s.line == line) return &s.entry;
+    }
+  }
+
+  // Inserts `line` (which must be absent; the caller enforces the MSHR
+  // bound, which keeps the table under half full) and returns its entry.
+  Entry& emplace(uint64_t line) {
+    ++size_;
+    for (uint32_t i = home(line);; i = (i + 1) & mask_) {
+      Slot& s = slots_[i];
+      if (!s.used) {
+        s.used = true;
+        s.line = line;
+        s.entry = Entry{};
+        return s.entry;
+      }
+    }
+  }
+
+  // Removes `line` (which must be present) with backward-shift deletion:
+  // later probe-sequence members slide into the hole, so lookups never need
+  // tombstones.
+  void erase(uint64_t line) {
+    uint32_t hole = home(line);
+    while (!slots_[hole].used || slots_[hole].line != line) {
+      hole = (hole + 1) & mask_;
+    }
+    --size_;
+    for (uint32_t j = (hole + 1) & mask_; slots_[j].used; j = (j + 1) & mask_) {
+      // j may fill the hole iff its home position lies at or before the
+      // hole along its probe path.
+      if (((j - home(slots_[j].line)) & mask_) >= ((j - hole) & mask_)) {
+        slots_[hole] = slots_[j];
+        hole = j;
+      }
+    }
+    slots_[hole].used = false;
+  }
+
+ private:
+  struct Slot {
+    uint64_t line = 0;
+    Entry entry{};
+    bool used = false;
+  };
+
+  uint32_t home(uint64_t line) const {
+    return static_cast<uint32_t>((line * 0x9E3779B97F4A7C15ull) >> shift_);
+  }
+
+  std::vector<Slot> slots_;
+  uint32_t mask_ = 0;
+  uint32_t shift_ = 0;
+  uint32_t size_ = 0;
+};
+
+}  // namespace gpumas::sim

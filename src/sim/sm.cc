@@ -1,5 +1,7 @@
 #include "sim/sm.h"
 
+#include <algorithm>
+
 #include "common/check.h"
 
 namespace gpumas::sim {
@@ -21,7 +23,9 @@ StreamingMultiprocessor::StreamingMultiprocessor(const GpuConfig& cfg,
       blocks_(static_cast<size_t>(cfg.max_blocks_per_sm)),
       pipe_busy_until_(static_cast<size_t>(cfg.alu_pipes), 0),
       last_issued_(static_cast<size_t>(cfg.schedulers_per_sm), -1),
-      l1_(cfg.l1d) {
+      l1_(cfg.l1d),
+      l1_mshr_(cfg.l1d.mshr_entries),
+      fast_path_enabled_(cfg.skip_idle_cycles) {
   GPUMAS_CHECK(num_schedulers_ >= 1);
 }
 
@@ -62,10 +66,14 @@ void StreamingMultiprocessor::dispatch_block(uint8_t app,
     ctx.block_slot = static_cast<uint8_t>(slot);
     ctx.valid = true;
     ctx.next_is_mem = insn_is_mem(*kp, ctx.gwarp, 0);
+    active_slots_.insert(
+        std::lower_bound(active_slots_.begin(), active_slots_.end(), w), w);
     ++placed;
     ++resident_warps_;
   }
   GPUMAS_CHECK(placed == kp->warps_per_block);
+  warp_wake_cache_ = 0;  // fresh warps can issue immediately
+  warp_wake_dirty_ = true;
 }
 
 void StreamingMultiprocessor::schedule_fill(uint64_t line,
@@ -73,27 +81,32 @@ void StreamingMultiprocessor::schedule_fill(uint64_t line,
   events_.push(Event{ready_cycle, line, 0, 0});
 }
 
-void StreamingMultiprocessor::drain_events(uint64_t cycle,
+bool StreamingMultiprocessor::drain_events(uint64_t cycle,
                                            std::vector<AppStats>& stats) {
+  bool drained = false;
   while (!events_.empty() && events_.top().cycle <= cycle) {
     const Event ev = events_.top();
     events_.pop();
+    drained = true;
     if (ev.kind == 0) {
       // Fill: line data arrived from L2/DRAM. Install in L1 and release all
       // transactions merged on this line's MSHR entry.
       l1_.fill(ev.line);
-      auto it = l1_mshr_.find(ev.line);
-      GPUMAS_CHECK_MSG(it != l1_mshr_.end(), "fill without MSHR entry");
-      stats[it->second.app].l1_fills++;
+      MshrEntry* entry = l1_mshr_.find(ev.line);
+      GPUMAS_CHECK_MSG(entry != nullptr, "fill without MSHR entry");
+      stats[entry->app].l1_fills++;
       // The entry must be erased before waking waiters so that a waiter that
       // immediately re-misses on another line can allocate the freed slot.
-      const std::vector<uint16_t> waiters = std::move(it->second.waiters);
-      l1_mshr_.erase(it);
-      for (uint16_t slot : waiters) complete_transaction(slot, stats);
+      const WaiterPool<uint16_t>::Chain waiters = entry->waiters;
+      l1_mshr_.erase(ev.line);
+      l1_waiters_.consume(waiters, [&](uint16_t slot) {
+        complete_transaction(slot, stats);
+      });
     } else {
       complete_transaction(static_cast<int>(ev.warp_slot), stats);
     }
   }
+  return drained;
 }
 
 void StreamingMultiprocessor::complete_transaction(
@@ -107,6 +120,7 @@ void StreamingMultiprocessor::complete_transaction(
   const int resume =
       w.kp->mlp > w.kp->divergence ? w.kp->mlp - w.kp->divergence : 0;
   if (w.waiting_mem && w.outstanding <= resume) w.waiting_mem = false;
+  warp_wake_dirty_ = true;
   maybe_retire(slot, stats);
 }
 
@@ -126,6 +140,8 @@ void StreamingMultiprocessor::maybe_retire(int slot,
     completed_blocks_.push_back(w.app);
   }
   w.valid = false;
+  active_slots_.erase(
+      std::lower_bound(active_slots_.begin(), active_slots_.end(), slot));
   --resident_warps_;
 }
 
@@ -136,8 +152,8 @@ int StreamingMultiprocessor::free_alu_pipe(uint64_t cycle) const {
   return -1;
 }
 
-bool StreamingMultiprocessor::can_issue(const WarpCtx& w,
-                                        uint64_t cycle) const {
+bool StreamingMultiprocessor::can_issue(const WarpCtx& w, uint64_t cycle,
+                                        bool alu_pipe_free) const {
   if (!w.valid || w.waiting_mem || w.not_before > cycle ||
       w.insns_done >= w.kp->insns_per_warp) {
     return false;
@@ -146,11 +162,12 @@ bool StreamingMultiprocessor::can_issue(const WarpCtx& w,
     return lsu_.size() + static_cast<size_t>(w.kp->divergence) <=
            static_cast<size_t>(lsu_capacity_);
   }
-  return free_alu_pipe(cycle) >= 0;
+  return alu_pipe_free;
 }
 
 void StreamingMultiprocessor::issue(int slot, uint64_t cycle,
                                     std::vector<AppStats>& stats) {
+  warp_wake_dirty_ = true;
   WarpCtx& w = warps_[static_cast<size_t>(slot)];
   stats[w.app].warp_insns++;
   if (w.next_is_mem) {
@@ -187,52 +204,76 @@ void StreamingMultiprocessor::issue(int slot, uint64_t cycle,
   }
 }
 
-void StreamingMultiprocessor::scheduler_issue(int sched, uint64_t cycle,
+bool StreamingMultiprocessor::scheduler_issue(int sched, uint64_t cycle,
                                               std::vector<AppStats>& stats) {
+  // One ALU-pipe availability probe per scheduler per cycle: at most one
+  // instruction issues below, so pipe state cannot change between the warp
+  // eligibility checks this result feeds.
+  const bool alu_pipe_free = free_alu_pipe(cycle) >= 0;
   // Greedy: keep issuing from the warp that issued last (GTO only).
   int& last = last_issued_[static_cast<size_t>(sched)];
   if (policy_ == WarpSchedPolicy::kGto && last >= 0) {
     WarpCtx& w = warps_[static_cast<size_t>(last)];
-    if (can_issue(w, cycle)) {
+    if (can_issue(w, cycle, alu_pipe_free)) {
       issue(last, cycle, stats);
-      return;
+      return true;
     }
   }
   // Fall back to the oldest ready warp this scheduler owns (GTO), or the
   // next ready warp after the last issued one (LRR). A scheduler owns the
-  // warp slots congruent to its index modulo num_schedulers_.
+  // warp slots congruent to its index modulo num_schedulers_; only resident
+  // warps (active_slots_, sorted by slot) are scanned.
   int best = -1;
   if (policy_ == WarpSchedPolicy::kGto) {
     uint64_t best_age = ~0ull;
-    for (int slot = sched; slot < max_warps_; slot += num_schedulers_) {
+    for (const int slot : active_slots_) {
+      if (slot % num_schedulers_ != sched) continue;
       const WarpCtx& w = warps_[static_cast<size_t>(slot)];
-      if (can_issue(w, cycle) && w.age < best_age) {
+      if (can_issue(w, cycle, alu_pipe_free) && w.age < best_age) {
         best_age = w.age;
         best = slot;
       }
     }
   } else {
+    // LRR visits this scheduler's slots in circular slot order starting
+    // just after the last issued one: first the active slots >= start,
+    // then the wrapped-around ones below it.
     const int owned = (max_warps_ - sched + num_schedulers_ - 1) /
                       num_schedulers_;
-    const int first =
-        last >= 0 ? (last - sched) / num_schedulers_ + 1 : 0;
-    for (int k = 0; k < owned; ++k) {
-      const int slot = sched + ((first + k) % owned) * num_schedulers_;
-      if (can_issue(warps_[static_cast<size_t>(slot)], cycle)) {
+    int first = last >= 0 ? (last - sched) / num_schedulers_ + 1 : 0;
+    if (first >= owned) first = 0;
+    const int start = sched + first * num_schedulers_;
+    for (const int slot : active_slots_) {
+      if (slot < start || slot % num_schedulers_ != sched) continue;
+      if (can_issue(warps_[static_cast<size_t>(slot)], cycle,
+                    alu_pipe_free)) {
         best = slot;
         break;
+      }
+    }
+    if (best < 0) {
+      for (const int slot : active_slots_) {
+        if (slot >= start) break;  // sorted: wrapped segment exhausted
+        if (slot % num_schedulers_ != sched) continue;
+        if (can_issue(warps_[static_cast<size_t>(slot)], cycle,
+                      alu_pipe_free)) {
+          best = slot;
+          break;
+        }
       }
     }
   }
   if (best >= 0) {
     issue(best, cycle, stats);
     last = best;
+    return true;
   }
+  return false;
 }
 
-void StreamingMultiprocessor::lsu_tick(uint64_t cycle, MemoryFabric& fabric,
+bool StreamingMultiprocessor::lsu_tick(uint64_t cycle, MemoryFabric& fabric,
                                        std::vector<AppStats>& stats) {
-  if (lsu_.empty()) return;
+  if (lsu_.empty()) return false;
   const MemTx tx = lsu_.front();
   if (tx.is_store) {
     // Write-through, no-allocate: bypass the L1 straight to the L2/DRAM.
@@ -241,18 +282,19 @@ void StreamingMultiprocessor::lsu_tick(uint64_t cycle, MemoryFabric& fabric,
             cycle)) {
       stats[tx.app].l1_accesses++;
       lsu_.pop_front();
+      return true;
     }
-    return;
+    return false;
   }
   const WarpCtx& w = warps_[tx.warp_slot];
   GPUMAS_CHECK(w.valid);
-  auto pending = l1_mshr_.find(tx.line);
-  if (pending != l1_mshr_.end()) {
+  MshrEntry* pending = l1_mshr_.find(tx.line);
+  if (pending != nullptr) {
     // Merge with an in-flight miss for the same line.
     stats[w.app].l1_accesses++;
-    pending->second.waiters.push_back(tx.warp_slot);
+    l1_waiters_.append(pending->waiters, tx.warp_slot);
     lsu_.pop_front();
-    return;
+    return true;
   }
   if (l1_.access(tx.line)) {
     stats[w.app].l1_accesses++;
@@ -260,34 +302,106 @@ void StreamingMultiprocessor::lsu_tick(uint64_t cycle, MemoryFabric& fabric,
     events_.push(Event{cycle + static_cast<uint64_t>(l1_hit_latency_), 0,
                        tx.warp_slot, 1});
     lsu_.pop_front();
-    return;
+    return true;
   }
   if (l1_mshr_.size() >= l1_mshr_entries_) {
     // Structural stall: retry this transaction next cycle. AppStats counts
     // the access only once the miss is accepted; the Cache-internal probe
     // counters may see retries, which is why profiling reads AppStats.
-    return;
+    return false;
   }
   if (!fabric.try_send(
           MemRequest{tx.line, static_cast<uint16_t>(id_), w.app, false},
           cycle)) {
-    return;  // interconnect backpressure: retry next cycle
+    return false;  // interconnect backpressure: retry next cycle
   }
   stats[w.app].l1_accesses++;
-  l1_mshr_.emplace(tx.line, MshrEntry{{tx.warp_slot}, w.app});
+  MshrEntry& entry = l1_mshr_.emplace(tx.line);
+  entry.app = w.app;
+  l1_waiters_.append(entry.waiters, tx.warp_slot);
   lsu_.pop_front();
+  return true;
 }
 
-void StreamingMultiprocessor::tick(uint64_t cycle, MemoryFabric& fabric,
-                                   std::vector<AppStats>& stats) {
-  completed_blocks_.clear();
-  drain_events(cycle, stats);
-  if (resident_warps_ > 0) {
-    for (int s = 0; s < num_schedulers_; ++s) {
-      scheduler_issue(s, cycle, stats);
+uint64_t StreamingMultiprocessor::compute_warp_wake(uint64_t cycle) const {
+  uint64_t wake = ~0ull;
+  bool blocked_now = false;  // a runnable warp is gated on resources
+  for (const int slot : active_slots_) {
+    const WarpCtx& w = warps_[static_cast<size_t>(slot)];
+    if (w.waiting_mem || w.insns_done >= w.kp->insns_per_warp) {
+      continue;
+    }
+    if (w.not_before <= cycle) {
+      blocked_now = true;
+    } else if (w.not_before < wake) {
+      wake = w.not_before;
     }
   }
-  lsu_tick(cycle, fabric, stats);
+  if (blocked_now) {
+    // The warp failed can_issue on a resource: a busy ALU pipe (wake when
+    // the earliest pipe frees) or a full LSU (lsu_ is then non-empty, which
+    // already forces the full tick path every cycle).
+    bool pipe_pending = false;
+    for (const uint64_t p : pipe_busy_until_) {
+      if (p > cycle) {
+        pipe_pending = true;
+        if (p < wake) wake = p;
+      }
+    }
+    if (!pipe_pending && lsu_.empty()) {
+      // Defensive: an eligible warp with free pipes should have issued;
+      // never sleep through it.
+      wake = cycle + 1;
+    }
+  }
+  return wake;
+}
+
+uint64_t StreamingMultiprocessor::next_wake_cycle(uint64_t cycle) const {
+  uint64_t wake = warp_wake_cache_ == 0 ? compute_warp_wake(cycle)
+                                        : warp_wake_cache_;
+  if (!events_.empty() && events_.top().cycle < wake) {
+    wake = events_.top().cycle;
+  }
+  return wake > cycle ? wake : ~0ull;
+}
+
+SmTickResult StreamingMultiprocessor::tick(uint64_t cycle,
+                                           MemoryFabric& fabric,
+                                           std::vector<AppStats>& stats) {
+  SmTickResult result;
+  completed_blocks_.clear();
+  // Idle fast path: no response due, no warp runnable before the cached
+  // wake cycle, and nothing queued in the LSU — this tick is provably a
+  // no-op, so skip the scheduler and LSU scans entirely. Disabled in
+  // --no-skip mode, which runs the reference every-component-every-cycle
+  // loop the fast path is validated against.
+  const bool events_due = !events_.empty() && events_.top().cycle <= cycle;
+  if (fast_path_enabled_ && !events_due && lsu_.empty() &&
+      warp_wake_cache_ > cycle) {
+    return result;
+  }
+  if (events_due) result.progress |= drain_events(cycle, stats);
+  bool issued = false;
+  if (resident_warps_ > 0) {
+    for (int s = 0; s < num_schedulers_; ++s) {
+      issued |= scheduler_issue(s, cycle, stats);
+    }
+  }
+  result.progress |= issued;
+  result.progress |= lsu_tick(cycle, fabric, stats);
+  result.block_retired = !completed_blocks_.empty();
+  // An issuing core is presumed active next cycle; otherwise refresh the
+  // cached wake — but only when some warp state actually changed (or the
+  // cached horizon has been reached), so a core stalled on the memory
+  // system does not rescan its warps every cycle.
+  if (issued) {
+    warp_wake_cache_ = 0;
+  } else if (warp_wake_dirty_ || warp_wake_cache_ <= cycle) {
+    warp_wake_cache_ = compute_warp_wake(cycle);
+    warp_wake_dirty_ = false;
+  }
+  return result;
 }
 
 }  // namespace gpumas::sim

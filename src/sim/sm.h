@@ -6,17 +6,22 @@
 // memory transaction per cycle into the L1, and an L1 data cache with MSHR
 // merging. Warp-level timing comes from the kernel model's ilp (dependency
 // stalls) and mlp (outstanding-miss budget) parameters.
+//
+// The per-cycle entry point reports whether the core made progress and
+// exposes next_wake_cycle(), the earliest future cycle at which its
+// time-gated state changes — the two ingredients the device uses to
+// fast-forward over provably idle spans (see Gpu::tick).
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <queue>
-#include <unordered_map>
 #include <vector>
 
 #include "sim/cache.h"
 #include "sim/gpu_config.h"
 #include "sim/kernel.h"
+#include "sim/mshr_table.h"
 #include "sim/stats.h"
 
 namespace gpumas::sim {
@@ -40,6 +45,12 @@ class MemoryFabric {
   virtual bool try_send(const MemRequest& req, uint64_t cycle) = 0;
 };
 
+// What one SM tick did, for the device's progress/fast-forward tracking.
+struct SmTickResult {
+  bool progress = false;       // any state change this cycle
+  bool block_retired = false;  // completed_blocks() is non-empty
+};
+
 class StreamingMultiprocessor {
  public:
   StreamingMultiprocessor(const GpuConfig& cfg, int sm_id);
@@ -51,10 +62,34 @@ class StreamingMultiprocessor {
 
   // Advances one cycle: drains due memory responses, lets each scheduler
   // issue at most one warp instruction, and pops one LSU transaction.
-  void tick(uint64_t cycle, MemoryFabric& fabric, std::vector<AppStats>& stats);
+  SmTickResult tick(uint64_t cycle, MemoryFabric& fabric,
+                    std::vector<AppStats>& stats);
 
   // Response path: `line` becomes available in this SM's L1 at `ready_cycle`.
   void schedule_fill(uint64_t line, uint64_t ready_cycle);
+
+  // Earliest cycle strictly after `cycle` at which this core's time-gated
+  // state changes (a pending response arrives, a dependency stall expires,
+  // an ALU pipe frees); UINT64_MAX when none. A non-empty LSU means "could
+  // act as soon as the memory system unblocks" and contributes nothing here:
+  // the unblocking component contributes its own wake cycle. Only
+  // meaningful right after a tick that made no progress.
+  uint64_t next_wake_cycle(uint64_t cycle) const;
+
+  // Next cycle at which this core must be ticked, valid immediately after
+  // tick(cycle): now+1 while the LSU is retrying, else the earliest event
+  // or runnable-warp cycle (UINT64_MAX when fully drained). Unlike
+  // next_wake_cycle this includes externally-gated retries — it schedules
+  // the core's own ticks, not the device-wide fast-forward. The device
+  // min-updates its copy when it delivers a fill.
+  uint64_t post_tick_wake(uint64_t cycle) const {
+    if (!lsu_.empty()) return cycle + 1;
+    uint64_t wake = warp_wake_cache_ == 0 ? cycle + 1 : warp_wake_cache_;
+    if (!events_.empty() && events_.top().cycle < wake) {
+      wake = events_.top().cycle;
+    }
+    return wake <= cycle ? cycle + 1 : wake;
+  }
 
   // Blocks that completed during the last tick (app ids); cleared per tick.
   const std::vector<uint8_t>& completed_blocks() const {
@@ -116,19 +151,20 @@ class StreamingMultiprocessor {
   };
 
   struct MshrEntry {
-    std::vector<uint16_t> waiters;
+    WaiterPool<uint16_t>::Chain waiters;
     uint8_t app = 0;
   };
 
-  void drain_events(uint64_t cycle, std::vector<AppStats>& stats);
-  void scheduler_issue(int sched, uint64_t cycle, std::vector<AppStats>& stats);
-  bool can_issue(const WarpCtx& w, uint64_t cycle) const;
+  bool drain_events(uint64_t cycle, std::vector<AppStats>& stats);
+  bool scheduler_issue(int sched, uint64_t cycle, std::vector<AppStats>& stats);
+  bool can_issue(const WarpCtx& w, uint64_t cycle, bool alu_pipe_free) const;
   void issue(int slot, uint64_t cycle, std::vector<AppStats>& stats);
-  void lsu_tick(uint64_t cycle, MemoryFabric& fabric,
+  bool lsu_tick(uint64_t cycle, MemoryFabric& fabric,
                 std::vector<AppStats>& stats);
   void complete_transaction(int slot, std::vector<AppStats>& stats);
   void maybe_retire(int slot, std::vector<AppStats>& stats);
   int free_alu_pipe(uint64_t cycle) const;
+  uint64_t compute_warp_wake(uint64_t cycle) const;
 
   // --- configuration (copied; hot path avoids pointer chasing) ---
   int id_;
@@ -150,11 +186,23 @@ class StreamingMultiprocessor {
   std::vector<int> last_issued_;  // per scheduler, -1 if none
   std::deque<MemTx> lsu_;
   Cache l1_;
-  std::unordered_map<uint64_t, MshrEntry> l1_mshr_;
+  MshrTable<MshrEntry> l1_mshr_;
+  WaiterPool<uint16_t> l1_waiters_;
   std::priority_queue<Event, std::vector<Event>, EventLater> events_;
   std::vector<uint64_t> addr_scratch_;
   std::vector<uint8_t> completed_blocks_;
+  // Sorted slot indices of valid warps: the scheduler scans resident warps
+  // (typically a handful) instead of all max_warps_ contexts per cycle.
+  std::vector<int> active_slots_;
   uint64_t age_counter_ = 0;
+  // Earliest cycle at which some warp could issue (min not_before over
+  // runnable warps, plus pipe-free times when a warp is ready but all pipes
+  // are busy). 0 = unknown / could act now. Recomputed only when stale:
+  // warp_wake_dirty_ marks any warp-state mutation since the last compute,
+  // so a stalled core's tick degenerates to three compares.
+  uint64_t warp_wake_cache_ = 0;
+  bool warp_wake_dirty_ = true;
+  bool fast_path_enabled_ = true;  // GpuConfig::skip_idle_cycles
   int resident_blocks_ = 0;
   int resident_warps_ = 0;
 };

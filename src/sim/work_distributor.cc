@@ -8,19 +8,25 @@ WorkDistributor::WorkDistributor(int num_sms)
     : owner_(static_cast<size_t>(num_sms), -1),
       pending_(static_cast<size_t>(num_sms), -1) {}
 
+void WorkDistributor::set_pending(int sm, int value) {
+  int& p = pending_[static_cast<size_t>(sm)];
+  pending_count_ += (value >= 0 ? 1 : 0) - (p >= 0 ? 1 : 0);
+  p = value;
+}
+
 void WorkDistributor::set_owner(int sm, int app) {
   GPUMAS_CHECK(sm >= 0 && sm < num_sms());
   owner_[static_cast<size_t>(sm)] = app;
-  pending_[static_cast<size_t>(sm)] = -1;
+  set_pending(sm, -1);
 }
 
 void WorkDistributor::request_owner(int sm, int app) {
   GPUMAS_CHECK(sm >= 0 && sm < num_sms());
   if (owner_[static_cast<size_t>(sm)] == app) {
-    pending_[static_cast<size_t>(sm)] = -1;  // cancel an in-flight move back
+    set_pending(sm, -1);  // cancel an in-flight move back
     return;
   }
-  pending_[static_cast<size_t>(sm)] = app;
+  set_pending(sm, app);
 }
 
 std::vector<int> WorkDistributor::partition_counts(int num_apps) const {
@@ -32,14 +38,30 @@ std::vector<int> WorkDistributor::partition_counts(int num_apps) const {
   return counts;
 }
 
-void WorkDistributor::dispatch(std::vector<StreamingMultiprocessor>& sms,
-                               std::vector<LaunchedApp>& apps) {
+bool WorkDistributor::dispatch(std::vector<StreamingMultiprocessor>& sms,
+                               std::vector<LaunchedApp>& apps,
+                               std::vector<int>* fed) {
+  // Steady-state early-out: with every block dispatched and no ownership
+  // flip in flight, the per-SM loop below cannot change anything — all its
+  // guards are state-, not cycle-, dependent.
+  if (pending_count_ == 0) {
+    bool any_undispatched = false;
+    for (const LaunchedApp& la : apps) {
+      if (!la.all_dispatched()) {
+        any_undispatched = true;
+        break;
+      }
+    }
+    if (!any_undispatched) return false;
+  }
+  bool changed = false;
   for (int sm = 0; sm < num_sms(); ++sm) {
     const size_t s = static_cast<size_t>(sm);
     // Apply a due ownership flip: the SM has fully drained.
     if (pending_[s] >= 0 && sms[s].resident_blocks() == 0) {
       owner_[s] = pending_[s];
-      pending_[s] = -1;
+      set_pending(sm, -1);
+      changed = true;
     }
     if (pending_[s] >= 0) continue;  // draining: no new blocks
     const int app = owner_[s];
@@ -50,7 +72,10 @@ void WorkDistributor::dispatch(std::vector<StreamingMultiprocessor>& sms,
     sms[s].dispatch_block(static_cast<uint8_t>(app), &la.kernel, la.base_line,
                           la.next_block);
     la.next_block++;
+    if (fed != nullptr) fed->push_back(sm);
+    changed = true;
   }
+  return changed;
 }
 
 }  // namespace gpumas::sim

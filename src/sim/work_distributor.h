@@ -56,14 +56,23 @@ class WorkDistributor {
   std::vector<int> partition_counts(int num_apps) const;
 
   // Applies due ownership flips and dispatches at most one block per SM.
-  void dispatch(std::vector<StreamingMultiprocessor>& sms,
-                std::vector<LaunchedApp>& apps);
+  // Returns true when anything changed (a flip or a dispatch) — the
+  // distributor's guards are all cycle-independent, so an unchanged return
+  // stays false until some SM or app state changes. When `fed` is given,
+  // the indices of SMs that received a block are appended to it (the
+  // device wakes those cores for the current cycle).
+  bool dispatch(std::vector<StreamingMultiprocessor>& sms,
+                std::vector<LaunchedApp>& apps,
+                std::vector<int>* fed = nullptr);
 
   int num_sms() const { return static_cast<int>(owner_.size()); }
 
  private:
+  void set_pending(int sm, int value);
+
   std::vector<int> owner_;
   std::vector<int> pending_;  // -1 when no reassignment in flight
+  int pending_count_ = 0;     // SMs with a reassignment in flight
 };
 
 }  // namespace gpumas::sim

@@ -122,6 +122,81 @@ TEST(DramTest, WritesCompleteAndAreFlaggedAsWrites) {
   EXPECT_TRUE(done[0].is_write);
 }
 
+// Drain order is deterministic by construction: ascending (ready_cycle,
+// issue order), not an artifact of how earlier drains removed elements. A
+// row hit issued after a row miss on another bank overtakes it in ready
+// time and must drain first.
+TEST(DramTest, DrainOrderIsReadyCycleThenIssueOrder) {
+  DramChannel ch(cfg_with(MemSchedPolicy::kFrFcfs), 0);
+  // Open row 7 on bank 0.
+  ASSERT_TRUE(ch.enqueue(req(1, 0, 7, 0)));
+  ch.tick(0);
+  ASSERT_EQ(ch.drain_completions(12).size(), 1u);
+  // Bank 1 row miss issues at t (ready t+12); the bank-0 row hit issues at
+  // t+2 once the bus frees (ready t+2+6 = t+8) and completes first.
+  const uint64_t t = 20;
+  ASSERT_TRUE(ch.enqueue(req(10, 1, 9, t)));
+  ch.tick(t);
+  ASSERT_TRUE(ch.enqueue(req(11, 0, 7, t)));
+  ch.tick(t + 1);  // bus busy
+  ch.tick(t + 2);
+  ASSERT_EQ(ch.serviced(), 3u);
+  const auto& done = ch.drain_completions(t + 12);
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_EQ(done[0].line, 11u);  // ready t+8
+  EXPECT_EQ(done[1].line, 10u);  // ready t+12
+  EXPECT_LE(done[0].ready_cycle, done[1].ready_cycle);
+}
+
+// Property: the completion sequence is independent of the drain cadence —
+// collecting every cycle and collecting in coarse batches yield the same
+// order. (The former swap-pop removal made batch order depend on removal
+// history.)
+TEST(DramTest, DrainOrderIndependentOfDrainCadence) {
+  const GpuConfig cfg = cfg_with(MemSchedPolicy::kFrFcfs);
+  DramChannel every(cfg, 0);
+  DramChannel batched(cfg, 0);
+  std::vector<DramCompletion> seq_every;
+  std::vector<DramCompletion> seq_batched;
+  uint64_t x = 777;
+  for (uint64_t cycle = 0; cycle < 4000; ++cycle) {
+    x = x * 6364136223846793005ull + 1442695040888963407ull;
+    if ((x >> 33) % 3 == 0 && !every.full() && !batched.full()) {
+      const DramRequest r = req((x >> 7) & 0xffff,
+                                static_cast<uint32_t>((x >> 17) % 2),
+                                (x >> 40) % 4, cycle);
+      ASSERT_TRUE(every.enqueue(r));
+      ASSERT_TRUE(batched.enqueue(r));
+    }
+    every.tick(cycle);
+    batched.tick(cycle);
+    for (const auto& c : every.drain_completions(cycle)) {
+      seq_every.push_back(c);
+    }
+    if (cycle % 13 == 0) {
+      for (const auto& c : batched.drain_completions(cycle)) {
+        seq_batched.push_back(c);
+      }
+    }
+  }
+  for (uint64_t cycle = 4000; cycle < 4100; ++cycle) {
+    every.tick(cycle);
+    batched.tick(cycle);
+    for (const auto& c : every.drain_completions(cycle)) {
+      seq_every.push_back(c);
+    }
+    for (const auto& c : batched.drain_completions(cycle)) {
+      seq_batched.push_back(c);
+    }
+  }
+  ASSERT_EQ(seq_every.size(), seq_batched.size());
+  for (size_t i = 0; i < seq_every.size(); ++i) {
+    EXPECT_EQ(seq_every[i].line, seq_batched[i].line) << "position " << i;
+    EXPECT_EQ(seq_every[i].ready_cycle, seq_batched[i].ready_cycle)
+        << "position " << i;
+  }
+}
+
 // Property: every enqueued request is serviced exactly once, regardless of
 // arrival pattern, and queue-wait accounting is consistent.
 TEST(DramTest, PropertyConservationUnderRandomTraffic) {

@@ -1,0 +1,227 @@
+// Golden determinism suite for the fast-forwarding simulator core: with
+// skip_idle_cycles on, the event-horizon fast path (skipped idle SMs/slices
+// and whole-cycle jumps) must reproduce the reference loop — which ticks
+// every component every cycle — bit for bit: same total cycles and every
+// AppStats counter identical.
+#include <gtest/gtest.h>
+
+#include "common/prng.h"
+#include "sched/smra.h"
+#include "sim/gpu.h"
+#include "workloads/suite.h"
+
+namespace gpumas::sim {
+namespace {
+
+GpuConfig small_gpu() {
+  GpuConfig cfg;
+  cfg.num_sms = 8;
+  cfg.num_channels = 2;
+  cfg.l2.size_bytes = 64 * 1024;
+  cfg.max_cycles = 5'000'000;
+  return cfg;
+}
+
+RunResult run(GpuConfig cfg, const std::vector<KernelParams>& kernels,
+              bool skip, const std::vector<int>& partition = {}) {
+  cfg.skip_idle_cycles = skip;
+  Gpu gpu(cfg);
+  for (const auto& kp : kernels) gpu.launch(kp);
+  if (!partition.empty()) gpu.set_partition_counts(partition);
+  return gpu.run_to_completion();
+}
+
+void expect_identical(const RunResult& a, const RunResult& b,
+                      const std::string& label) {
+  EXPECT_EQ(a.cycles, b.cycles) << label;
+  ASSERT_EQ(a.apps.size(), b.apps.size()) << label;
+  for (size_t i = 0; i < a.apps.size(); ++i) {
+    for_each_app_stat(a.apps[i], b.apps[i],
+                      [&](const char* name, uint64_t x, uint64_t y) {
+                        EXPECT_EQ(x, y) << label << " app " << i << " "
+                                        << name;
+                      });
+  }
+}
+
+// The quickstart example's two-app scenario (compute class A + memory
+// class M) on the full default device, under both an uneven pinned split
+// and the even split.
+TEST(FastPathTest, TwoAppExampleIsByteIdentical) {
+  const std::vector<KernelParams> pair = {workloads::benchmark("HS"),
+                                          workloads::benchmark("GUPS")};
+  GpuConfig cfg;
+  expect_identical(run(cfg, pair, true, {40, 20}),
+                   run(cfg, pair, false, {40, 20}), "HS+GUPS 40/20");
+  expect_identical(run(cfg, pair, true), run(cfg, pair, false),
+                   "HS+GUPS even");
+}
+
+// A three-app co-run (the fig4_9+ scenarios' shape) on the default device.
+TEST(FastPathTest, ThreeAppExampleIsByteIdentical) {
+  const std::vector<KernelParams> triple = {workloads::benchmark("HS"),
+                                            workloads::benchmark("GUPS"),
+                                            workloads::benchmark("BLK")};
+  GpuConfig cfg;
+  expect_identical(run(cfg, triple, true), run(cfg, triple, false),
+                   "HS+GUPS+BLK even");
+}
+
+KernelParams random_kernel(Prng& prng, const std::string& name) {
+  KernelParams kp;
+  kp.name = name;
+  kp.num_blocks = 4 + static_cast<int>(prng.next_below(24));
+  kp.warps_per_block = 1 + static_cast<int>(prng.next_below(6));
+  kp.insns_per_warp = 100 + static_cast<int>(prng.next_below(300));
+  kp.mem_ratio = prng.next_double() * 0.3;
+  kp.store_ratio = prng.next_double() * 0.4;
+  const AccessPattern pats[] = {AccessPattern::kStreaming,
+                                AccessPattern::kRandom, AccessPattern::kTiled};
+  kp.pattern = pats[prng.next_below(3)];
+  kp.hot_fraction = prng.next_double();
+  kp.hot_bytes = 16 * 1024 + prng.next_below(128 * 1024);
+  kp.footprint_bytes = (1 + prng.next_below(64)) << 20;
+  kp.divergence = 1 + static_cast<int>(prng.next_below(8));
+  kp.burst_lines = 1 + static_cast<int>(prng.next_below(8));
+  kp.ilp = 1 + static_cast<int>(prng.next_below(8));
+  kp.mlp = 1 + static_cast<int>(prng.next_below(8));
+  kp.seed = prng.next();
+  kp.l2_streaming_bypass = prng.next_below(4) == 0;
+  return kp;
+}
+
+// Property: random co-runs across warp/memory scheduler policies stay
+// byte-identical between the fast path and the reference loop.
+TEST(FastPathTest, RandomCoRunsAreByteIdentical) {
+  Prng prng(20260727);
+  for (int trial = 0; trial < 10; ++trial) {
+    GpuConfig cfg = small_gpu();
+    cfg.warp_sched =
+        trial % 2 == 0 ? WarpSchedPolicy::kGto : WarpSchedPolicy::kLrr;
+    cfg.mem_sched =
+        trial % 3 == 0 ? MemSchedPolicy::kFcfs : MemSchedPolicy::kFrFcfs;
+    const int napps = 2 + static_cast<int>(prng.next_below(2));
+    std::vector<KernelParams> kernels;
+    for (int a = 0; a < napps; ++a) {
+      kernels.push_back(random_kernel(prng, "k" + std::to_string(a)));
+    }
+    expect_identical(run(cfg, kernels, true), run(cfg, kernels, false),
+                     "trial " + std::to_string(trial));
+  }
+}
+
+// The gpu_invariants conservation properties must also hold with skipping
+// explicitly off (the default-config invariants run exercises skip-on).
+TEST(FastPathTest, ConservationHoldsWithSkippingOff) {
+  Prng prng(7);
+  GpuConfig cfg = small_gpu();
+  cfg.skip_idle_cycles = false;
+  for (int trial = 0; trial < 3; ++trial) {
+    Gpu gpu(cfg);
+    std::vector<KernelParams> kernels;
+    for (int a = 0; a < 2; ++a) {
+      kernels.push_back(random_kernel(prng, "k" + std::to_string(a)));
+      gpu.launch(kernels.back());
+    }
+    gpu.set_even_partition();
+    const RunResult r = gpu.run_to_completion();
+    for (int a = 0; a < 2; ++a) {
+      EXPECT_EQ(r.apps[static_cast<size_t>(a)].warp_insns,
+                kernels[static_cast<size_t>(a)].total_warp_insns());
+      EXPECT_TRUE(r.apps[static_cast<size_t>(a)].done);
+    }
+  }
+}
+
+// Idle-cycle accounting: ticked + skipped cycles account for the whole
+// clock, and a memory-latency-bound kernel (tiny mlp, random access over a
+// large footprint) actually fast-forwards over stall spans.
+TEST(FastPathTest, SkippingActuallySkipsOnLatencyBoundRuns) {
+  GpuConfig cfg = small_gpu();
+  KernelParams kp;
+  kp.name = "lat";
+  kp.num_blocks = 4;
+  kp.warps_per_block = 1;
+  kp.insns_per_warp = 400;
+  kp.mem_ratio = 0.6;
+  kp.pattern = AccessPattern::kRandom;
+  kp.footprint_bytes = 256ull << 20;
+  kp.divergence = 1;
+  kp.burst_lines = 1;
+  kp.ilp = 1;
+  kp.mlp = 1;
+  kp.seed = 99;
+  Gpu gpu(cfg);
+  gpu.launch(kp);
+  const RunResult r = gpu.run_to_completion();
+  EXPECT_EQ(gpu.ticked_cycles() + gpu.skipped_cycles(), r.cycles);
+  EXPECT_GT(gpu.skipped_cycles(), 0u);
+
+  GpuConfig noskip = cfg;
+  noskip.skip_idle_cycles = false;
+  Gpu ref(noskip);
+  ref.launch(kp);
+  const RunResult rr = ref.run_to_completion();
+  EXPECT_EQ(ref.skipped_cycles(), 0u);
+  EXPECT_EQ(ref.ticked_cycles(), rr.cycles);
+  expect_identical(r, rr, "latency-bound solo");
+}
+
+// SMRA drives the device through per-cycle observation (windowed stats,
+// drain-based repartitioning); with the controller's skip barrier in place
+// the whole trajectory — including the number of adjustments — must be
+// byte-identical between fast path and reference loop.
+TEST(FastPathTest, SmraControlLoopIsByteIdentical) {
+  auto kernels = [] {
+    KernelParams hog;
+    hog.name = "hog";
+    hog.num_blocks = 24;
+    hog.warps_per_block = 4;
+    hog.insns_per_warp = 300;
+    hog.mem_ratio = 0.4;
+    hog.pattern = AccessPattern::kStreaming;
+    hog.footprint_bytes = 128ull << 20;
+    hog.mlp = 8;
+    hog.seed = 5;
+    KernelParams worker = hog;
+    worker.name = "worker";
+    worker.mem_ratio = 0.03;
+    worker.seed = 17;
+    return std::vector<KernelParams>{hog, worker};
+  }();
+
+  sched::SmraParams params;
+  params.tc = 500;
+  params.ipc_thr = 40;
+  params.bw_thr = 0.5;
+  params.nr = 1;
+  params.rmin = 2;
+
+  RunResult results[2];
+  uint64_t adjustments[2] = {0, 0};
+  for (int mode = 0; mode < 2; ++mode) {
+    GpuConfig cfg = small_gpu();
+    cfg.skip_idle_cycles = mode == 0;
+    Gpu gpu(cfg);
+    for (const auto& kp : kernels) gpu.launch(kp);
+    gpu.set_even_partition();
+    sched::SmraController controller(params, cfg);
+    while (!gpu.done()) {
+      ASSERT_LT(gpu.cycle(), cfg.max_cycles);
+      gpu.set_skip_barrier(controller.next_eval());
+      gpu.tick();
+      controller.on_tick(gpu);
+    }
+    RunResult r;
+    r.cycles = gpu.cycle();
+    r.apps = gpu.stats();
+    r.warp_size = cfg.warp_size;
+    results[mode] = r;
+    adjustments[mode] = controller.adjustments();
+  }
+  expect_identical(results[0], results[1], "smra loop");
+  EXPECT_EQ(adjustments[0], adjustments[1]);
+}
+
+}  // namespace
+}  // namespace gpumas::sim
