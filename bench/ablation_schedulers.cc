@@ -69,7 +69,8 @@ int main(int argc, char** argv) {
     for (bool bypass : {true, false}) {
       blk.l2_streaming_bypass = bypass;
       const auto r = interference::co_run(base, {bfs2, blk},
-                                          {solo_bfs2, solo_blk});
+                                          {solo_bfs2, solo_blk}, {},
+                                          &h.cache());
       table.begin_row()
           .cell(std::string(bypass ? "bypass on (default)" : "bypass off"))
           .cell(r.apps[0].slowdown, 3)

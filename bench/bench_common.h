@@ -10,10 +10,11 @@
 // Flags understood by every bench:
 //   --threads N           scenario worker threads (default 1)
 //   --config FILE         device description in sim::config_io format
-//   --profile-cache DIR   artifact store: load profiles + slowdown models
-//                         before running, save them after. A path to an
-//                         existing regular file is treated as the legacy
-//                         profile-only single-file cache.
+//   --profile-cache DIR   artifact store: load profiles, slowdown models
+//                         and group-run records before running, save them
+//                         after. A path to an existing regular file is
+//                         treated as the legacy profile-only single-file
+//                         cache.
 //   --policy NAME         restrict evaluated policies to NAME (serial |
 //                         even | profile | ilp | ilp-smra); each bench's
 //                         normalization baseline is always kept
@@ -42,6 +43,11 @@
 //                         are byte-identical either way; this only trades
 //                         wall-clock time for a cycle-by-cycle trace when
 //                         debugging the simulator core
+//   --store-stats         after the bench, print per-layer artifact-store
+//                         statistics (entries and hit/miss counters for
+//                         profiles, scalability curve points, slowdown
+//                         models and group runs) in the merge-results
+//                         summary style, plus the store-growth caveat
 #pragma once
 
 #include <cctype>
@@ -101,6 +107,7 @@ struct Options {
   std::string dump_path;
   bool dump_append = false;
   bool no_skip = false;
+  bool store_stats = false;
   int reps = 1;
 };
 
@@ -160,7 +167,7 @@ inline Options parse_options(int argc, char** argv) {
               << " [--threads N] [--config FILE] [--profile-cache DIR]"
                  " [--policy serial|even|profile|ilp|ilp-smra]"
                  " [--shard I/N] [--dump-results FILE] [--dump-append]"
-                 " [--reps N] [--no-skip]\n";
+                 " [--reps N] [--no-skip] [--store-stats]\n";
     std::exit(2);
   };
   for (int i = 1; i < argc; ++i) {
@@ -200,6 +207,8 @@ inline Options parse_options(int argc, char** argv) {
       opts.dump_append = true;
     } else if (arg == "--no-skip") {
       opts.no_skip = true;
+    } else if (arg == "--store-stats") {
+      opts.store_stats = true;
     } else if (arg == "--reps") {
       const std::string v = value();
       const auto n = parse_int(v);
@@ -261,8 +270,9 @@ class Harness {
                 : cache_.load_store_if_exists(opts_.profile_cache_path);
         if (loaded) {
           std::cerr << "[bench] artifact store: loaded " << cache_.size()
-                    << " profiles, " << cache_.model_count()
-                    << " models from " << opts_.profile_cache_path << "\n";
+                    << " profiles, " << cache_.model_count() << " models, "
+                    << cache_.group_count() << " groups from "
+                    << opts_.profile_cache_path << "\n";
         }
       }
     } catch (const std::exception& e) {
@@ -279,6 +289,7 @@ class Harness {
                    "here — this bench does not run scenario batches through "
                    "the experiment engine\n";
     }
+    if (opts_.store_stats) print_store_stats();
     if (!opts_.profile_cache_path.empty()) {
       try {
         if (legacy_cache_file_) {
@@ -287,10 +298,11 @@ class Harness {
                     << " profiles (" << cache_.misses()
                     << " measured this run) to " << opts_.profile_cache_path
                     << " (legacy profile-only file";
-          if (cache_.model_count() > 0) {
-            std::cerr << "; " << cache_.model_count()
-                      << " models NOT persisted — pass a directory to keep "
-                         "them";
+          if (cache_.model_count() > 0 || cache_.group_count() > 0) {
+            std::cerr << "; " << cache_.model_count() << " models and "
+                      << cache_.group_count()
+                      << " group runs NOT persisted — pass a directory to "
+                         "keep them";
           }
           std::cerr << ")\n";
         } else {
@@ -299,6 +311,8 @@ class Harness {
                     << " profiles (" << cache_.misses()
                     << " measured this run), " << cache_.model_count()
                     << " models (" << cache_.model_misses()
+                    << " measured this run), " << cache_.group_count()
+                    << " groups (" << cache_.group_misses()
                     << " measured this run) to " << opts_.profile_cache_path
                     << "\n";
         }
@@ -313,6 +327,40 @@ class Harness {
   const sim::GpuConfig& config() const { return cfg_; }
   profile::ProfileCache& cache() { return cache_; }
   exp::ExperimentRunner& engine() { return engine_; }
+
+  // The --store-stats summary: one row per artifact layer. "hits" are
+  // lookups served from a resident (measured or loaded) entry; "misses"
+  // are lookups that simulated. Scalability curve points share the profile
+  // table (they are solo profiles at explicit SM counts), so their row is
+  // a sub-count of the profiles row and shows no separate entry count.
+  void print_store_stats(std::ostream& os = std::cout) const {
+    print_banner("Artifact store statistics (--store-stats)", os);
+    Table table({"layer", "entries", "hits", "misses"});
+    table.begin_row()
+        .cell(std::string("profiles (solo)"))
+        .cell(static_cast<uint64_t>(cache_.size()))
+        .cell(cache_.hits() - cache_.scalability_hits())
+        .cell(cache_.misses() - cache_.scalability_misses());
+    table.begin_row()
+        .cell(std::string("scalability points"))
+        .cell(std::string("(in profiles)"))
+        .cell(cache_.scalability_hits())
+        .cell(cache_.scalability_misses());
+    table.begin_row()
+        .cell(std::string("slowdown models"))
+        .cell(static_cast<uint64_t>(cache_.model_count()))
+        .cell(cache_.model_hits())
+        .cell(cache_.model_misses());
+    table.begin_row()
+        .cell(std::string("group runs"))
+        .cell(static_cast<uint64_t>(cache_.group_count()))
+        .cell(cache_.group_hits())
+        .cell(cache_.group_misses());
+    table.print(os);
+    os << "Note: store entries are keyed by content fingerprint and never "
+          "expire, so a long-lived --profile-cache directory grows "
+          "monotonically (no eviction/versioning yet; see ROADMAP).\n";
+  }
 
   // Runs a scenario batch on this invocation's shard and, when
   // --dump-results is set, appends one mergeable result_io record per

@@ -21,10 +21,13 @@ int main(int argc, char** argv) {
   print_banner("Fig 3.4 — average application slowdown due to co-execution");
 
   // Measured through the artifact store: with a warm --profile-cache the
-  // whole ~N^2 co-run sweep is a disk load.
+  // whole co-run sweep is a disk load; a cold one simulates each unordered
+  // pair once, fanned out over --threads workers.
   const auto model_ptr = h.cache().model(h.config(), workloads::suite(),
                                          h.profiles(),
-                                         /*max_samples_per_cell=*/0);
+                                         /*max_samples_per_cell=*/0,
+                                         /*with_triples=*/false,
+                                         h.options().threads);
   const interference::SlowdownModel& model = *model_ptr;
 
   const char* names[] = {"M", "MC", "C", "A"};

@@ -1,0 +1,55 @@
+// Fail-fast index-claiming worker pool, shared by the experiment engine's
+// scenario batches and the interference matrix measurement.
+#pragma once
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gpumas {
+
+// Runs fn(0..n-1) across up to `threads` workers. Indices are claimed from
+// a shared atomic, so expensive items load-balance; the first exception
+// stops the remaining workers from claiming new indices and is rethrown
+// after the pool drains. Callers own determinism: fn must write to
+// disjoint slots, and any order-sensitive reduction happens after the call
+// returns. threads <= 1 (or n <= 1) degenerates to a serial loop on the
+// calling thread.
+template <typename Fn>
+void parallel_for(int threads, size_t n, const Fn& fn) {
+  const int pool_size =
+      threads < static_cast<int>(n) ? (threads > 0 ? threads : 1)
+                                    : static_cast<int>(n);
+  if (pool_size <= 1) {
+    for (size_t k = 0; k < n; ++k) fn(k);
+    return;
+  }
+  std::atomic<size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::mutex err_mu;
+  std::exception_ptr first_error;
+  const auto worker = [&] {
+    while (!failed.load(std::memory_order_relaxed)) {
+      const size_t k = next.fetch_add(1);
+      if (k >= n) return;
+      try {
+        fn(k);
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(err_mu);
+          if (!first_error) first_error = std::current_exception();
+        }
+        failed.store(true, std::memory_order_relaxed);
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<size_t>(pool_size));
+  for (int t = 0; t < pool_size; ++t) pool.emplace_back(worker);
+  for (auto& th : pool) th.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace gpumas

@@ -1,9 +1,12 @@
 // Small text utilities shared by the key=value parsers (sim::config_io,
-// profile::ProfileCache) and the fingerprinting helpers.
+// profile::ProfileCache, exp::result_io) and the fingerprinting helpers.
 #pragma once
 
 #include <cstdint>
+#include <sstream>
+#include <stdexcept>
 #include <string>
+#include <vector>
 
 namespace gpumas {
 
@@ -15,6 +18,77 @@ inline std::string trim(const std::string& s) {
   if (a == std::string::npos) return "";
   const size_t b = s.find_last_not_of(kWs);
   return s.substr(a, b - a + 1);
+}
+
+// Percent-escaping for values embedded in the key=value serializers
+// (result dumps, the group-run cache): any byte that could collide with
+// the line format — whitespace/control bytes, non-ASCII, '%', '=' and the
+// list separator ',' — becomes %XX, so a value never contains a token or
+// list separator and trim() can never eat value bytes.
+inline bool percent_needs_escape(unsigned char c) {
+  return c <= 0x20 || c >= 0x7f || c == '%' || c == '=' || c == ',';
+}
+
+inline std::string percent_escape(const std::string& s) {
+  static const char* kHex = "0123456789ABCDEF";
+  std::string out;
+  out.reserve(s.size());
+  for (const char ch : s) {
+    const unsigned char c = static_cast<unsigned char>(ch);
+    if (percent_needs_escape(c)) {
+      out += '%';
+      out += kHex[c >> 4];
+      out += kHex[c & 0xf];
+    } else {
+      out += ch;
+    }
+  }
+  return out;
+}
+
+inline int percent_hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  return -1;
+}
+
+// Inverse of percent_escape; throws std::logic_error on a malformed or
+// truncated escape (a mangled artifact must never load as a wrong name).
+inline std::string percent_unescape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '%') {
+      out += s[i];
+      continue;
+    }
+    const int hi = i + 1 < s.size() ? percent_hex_digit(s[i + 1]) : -1;
+    const int lo = i + 2 < s.size() ? percent_hex_digit(s[i + 2]) : -1;
+    if (hi < 0 || lo < 0) {
+      throw std::logic_error("malformed %-escape in '" + s + "'");
+    }
+    out += static_cast<char>((hi << 4) | lo);
+    i += 2;
+  }
+  return out;
+}
+
+// Splits a comma-joined list value; "" yields {""} (a one-element list of
+// the empty string), matching how the serializers render single empty
+// elements.
+inline std::vector<std::string> split_commas(const std::string& s) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (true) {
+    const size_t comma = s.find(',', start);
+    if (comma == std::string::npos) {
+      parts.push_back(s.substr(start));
+      return parts;
+    }
+    parts.push_back(s.substr(start, comma - start));
+    start = comma + 1;
+  }
 }
 
 // FNV-1a over a byte string; the stable fingerprint primitive used for

@@ -1,11 +1,10 @@
 #include "exp/experiment.h"
 
 #include <algorithm>
-#include <atomic>
 #include <cstring>
-#include <thread>
 
 #include "common/check.h"
+#include "common/parallel.h"
 #include "common/text.h"
 #include "workloads/suite.h"
 
@@ -99,9 +98,11 @@ ExperimentRunner::model_stage(Env& env) {
   return force_stage(env.mu, env.model, [&] {
     // Forces the profile stage: the model is measured over the classified
     // suite. The measurement itself is memoized (and persisted) by the
-    // artifact store, so a warm store performs zero co-run simulations.
+    // artifact store, so a warm store performs zero co-run simulations; a
+    // cold one fans the matrix cells out over this engine's worker count.
     const auto profiles = profiles_stage(env);
-    return cache_->model(env.config, suite_, *profiles, env.model_samples);
+    return cache_->model(env.config, suite_, *profiles, env.model_samples,
+                         /*with_triples=*/false, threads_);
   });
 }
 
@@ -238,43 +239,12 @@ std::vector<ScenarioResult> ExperimentRunner::run(
       mine.push_back(i);
     }
   }
-  if (mine.empty()) return results;
-
-  const int pool_size =
-      std::min<int>(threads_, static_cast<int>(mine.size()));
-  if (pool_size <= 1) {
-    for (const size_t i : mine) {
-      results[i] = run_scenario(scenarios[i]);
-    }
-    return results;
-  }
-
-  std::atomic<size_t> next{0};
-  std::atomic<bool> failed{false};
-  std::mutex err_mu;
-  std::exception_ptr first_error;
-  const auto worker = [&] {
-    // Fail fast: once any worker records an error, the rest stop claiming
-    // new scenarios instead of simulating the remainder of the batch.
-    while (!failed.load(std::memory_order_relaxed)) {
-      const size_t k = next.fetch_add(1);
-      if (k >= mine.size()) return;
-      try {
-        results[mine[k]] = run_scenario(scenarios[mine[k]]);
-      } catch (...) {
-        {
-          std::lock_guard<std::mutex> lock(err_mu);
-          if (!first_error) first_error = std::current_exception();
-        }
-        failed.store(true, std::memory_order_relaxed);
-      }
-    }
-  };
-  std::vector<std::thread> pool;
-  pool.reserve(static_cast<size_t>(pool_size));
-  for (int t = 0; t < pool_size; ++t) pool.emplace_back(worker);
-  for (auto& th : pool) th.join();
-  if (first_error) std::rethrow_exception(first_error);
+  // Fail fast (parallel_for): once any worker records an error, the rest
+  // stop claiming new scenarios instead of simulating the remainder of the
+  // batch, and the first error rethrows here.
+  parallel_for(threads_, mine.size(), [&](size_t k) {
+    results[mine[k]] = run_scenario(scenarios[mine[k]]);
+  });
   return results;
 }
 

@@ -7,9 +7,10 @@
 // kind and policy actually need: suite/distribution queues force the
 // profile stage, the ILP policies force the model stage, and an
 // explicit-queue scenario under Even/Serial forces neither (its kernels are
-// profiled individually through the artifact store). Profiles and models
-// themselves are memoized and persisted by the shared
-// profile::ProfileCache, so a warm store makes every stage a pure load.
+// profiled individually through the artifact store). Profiles, models and
+// the co-run groups the scenarios execute are memoized and persisted by
+// the shared profile::ProfileCache, so a warm store makes every stage a
+// pure load and re-running a batch simulates nothing at all.
 //
 // Workers pull scenarios from a shared index and write into a pre-sized
 // result vector, so `run()` returns reports in declaration order and

@@ -13,21 +13,6 @@ namespace gpumas::exp::result_io {
 
 namespace {
 
-// A value byte that would collide with the line format: the token
-// separator (any whitespace/control byte), the key=value '=', the list
-// ',' and the escape character itself. Non-ASCII bytes are escaped too so
-// a dump is always plain ASCII.
-bool needs_escape(unsigned char c) {
-  return c <= 0x20 || c >= 0x7f || c == '%' || c == '=' || c == ',';
-}
-
-int hex_digit(char c) {
-  if (c >= '0' && c <= '9') return c - '0';
-  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
-  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
-  return -1;
-}
-
 // Splits a record line's `key=value` tokens and hands them out one by one,
 // so that a parse consumes every key exactly once: duplicate, missing and
 // unknown keys are all hard errors.
@@ -98,18 +83,7 @@ double parse_double(const std::string& v, const char* key) {
 }
 
 std::vector<std::string> split_csv(const std::string& v) {
-  std::vector<std::string> out;
-  size_t start = 0;
-  while (true) {
-    const size_t c = v.find(',', start);
-    if (c == std::string::npos) {
-      out.push_back(v.substr(start));
-      break;
-    }
-    out.push_back(v.substr(start, c - start));
-    start = c + 1;
-  }
-  return out;
+  return split_commas(v);
 }
 
 sched::RunReport report_from_tokens(TokenMap& t) {
@@ -173,40 +147,9 @@ void append_csv(std::ostringstream& os, const std::vector<T>& xs,
 
 }  // namespace
 
-std::string escape(const std::string& s) {
-  static const char* kHex = "0123456789ABCDEF";
-  std::string out;
-  out.reserve(s.size());
-  for (const char ch : s) {
-    const unsigned char c = static_cast<unsigned char>(ch);
-    if (needs_escape(c)) {
-      out += '%';
-      out += kHex[c >> 4];
-      out += kHex[c & 0xf];
-    } else {
-      out += ch;
-    }
-  }
-  return out;
-}
+std::string escape(const std::string& s) { return percent_escape(s); }
 
-std::string unescape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (size_t i = 0; i < s.size(); ++i) {
-    if (s[i] != '%') {
-      out += s[i];
-      continue;
-    }
-    const int hi = i + 1 < s.size() ? hex_digit(s[i + 1]) : -1;
-    const int lo = i + 2 < s.size() ? hex_digit(s[i + 2]) : -1;
-    GPUMAS_CHECK_MSG(hi >= 0 && lo >= 0,
-                     "result record: malformed escape in '" << s << "'");
-    out += static_cast<char>((hi << 4) | lo);
-    i += 2;
-  }
-  return out;
-}
+std::string unescape(const std::string& s) { return percent_unescape(s); }
 
 std::string to_string(const sched::RunReport& report) {
   std::ostringstream os;

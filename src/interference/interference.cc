@@ -1,11 +1,14 @@
 #include "interference/interference.h"
 
 #include <algorithm>
+#include <array>
 #include <iomanip>
 #include <sstream>
 
 #include "common/check.h"
+#include "common/parallel.h"
 #include "common/text.h"
+#include "profile/profile_cache.h"
 
 namespace gpumas::interference {
 
@@ -15,44 +18,68 @@ using profile::AppProfile;
 CoRunResult co_run(const sim::GpuConfig& cfg,
                    const std::vector<sim::KernelParams>& kernels,
                    const std::vector<uint64_t>& solo_cycles,
-                   const std::vector<int>& partition) {
+                   const std::vector<int>& partition,
+                   profile::ProfileCache* cache) {
   GPUMAS_CHECK(!kernels.empty());
   GPUMAS_CHECK(solo_cycles.size() == kernels.size());
-  sim::Gpu gpu(cfg);
-  for (const auto& kp : kernels) gpu.launch(kp);
-  if (partition.empty()) {
-    gpu.set_even_partition();
-  } else {
-    gpu.set_partition_counts(partition);
-  }
-  const sim::RunResult run = gpu.run_to_completion();
+  GPUMAS_CHECK(partition.empty() || partition.size() == kernels.size());
 
+  const profile::CanonicalGroup canon =
+      profile::canonicalize_group(cfg, kernels, partition, "static");
+  const profile::GroupRunRecord record =
+      cache != nullptr
+          ? cache->group_run(cfg, canon)
+          : profile::simulate_static_group(cfg, canon.kernels,
+                                           canon.partition);
+
+  // Map the canonical-order record back to the caller's member order and
+  // derive the report-time quantities (slowdowns, Eq 1.1 throughput) from
+  // the raw cycles/instructions.
   CoRunResult result;
-  result.group_cycles = run.cycles;
-  result.total_thread_insns = run.total_thread_insns();
-  result.device_throughput = run.device_throughput();
-  for (size_t i = 0; i < kernels.size(); ++i) {
-    CoRunAppResult app;
+  result.group_cycles = record.group_cycles;
+  result.apps.resize(kernels.size());
+  for (size_t c = 0; c < kernels.size(); ++c) {
+    const size_t i = canon.perm[c];
+    CoRunAppResult& app = result.apps[i];
     app.name = kernels[i].name;
     app.solo_cycles = solo_cycles[i];
-    app.co_cycles = run.apps[i].finish_cycle;
+    app.co_cycles = record.app_cycles[c];
     app.slowdown = solo_cycles[i] == 0
                        ? 0.0
                        : static_cast<double>(app.co_cycles) /
                              static_cast<double>(solo_cycles[i]);
-    result.apps.push_back(app);
+    result.total_thread_insns += record.app_thread_insns[c];
   }
+  result.device_throughput =
+      result.group_cycles == 0
+          ? 0.0
+          : static_cast<double>(result.total_thread_insns) /
+                static_cast<double>(result.group_cycles);
   return result;
 }
 
 SlowdownModel SlowdownModel::measure_pairwise(
     const sim::GpuConfig& cfg, const std::vector<sim::KernelParams>& kernels,
-    const std::vector<AppProfile>& profiles, int max_samples_per_cell) {
+    const std::vector<AppProfile>& profiles, int max_samples_per_cell,
+    profile::ProfileCache* cache, int threads) {
   GPUMAS_CHECK(kernels.size() == profiles.size());
   SlowdownModel model;
   double sum[profile::kNumClasses][profile::kNumClasses] = {};
   int count[profile::kNumClasses][profile::kNumClasses] = {};
 
+  // Plan first, simulate second, accumulate third. The plan enumerates the
+  // ordered pairs in the paper's (i-major) order — which also decides which
+  // pairs a sampling cap keeps — and dedupes them onto unordered
+  // simulations (group completion is order-invariant: co_run canonicalizes
+  // member order). Accumulation then replays the plan serially, so the
+  // matrix is byte-identical whatever `threads` is.
+  struct Cell {
+    size_t i, j;  // ordered pair: app i's slowdown next to app j
+    size_t sim;   // index into sims/results
+  };
+  std::vector<Cell> cells;
+  std::vector<std::pair<size_t, size_t>> sims;  // unordered (min, max) pairs
+  std::map<std::pair<size_t, size_t>, size_t> sim_index;
   for (size_t i = 0; i < kernels.size(); ++i) {
     for (size_t j = 0; j < kernels.size(); ++j) {
       if (i == j) continue;
@@ -62,18 +89,32 @@ SlowdownModel SlowdownModel::measure_pairwise(
           count[mi][mj] >= max_samples_per_cell) {
         continue;
       }
-      const CoRunResult r =
-          co_run(cfg, {kernels[i], kernels[j]},
-                 {profiles[i].solo_cycles, profiles[j].solo_cycles});
-      // Slowdown "due to co-execution": the group occupies the device until
-      // its last member finishes, so the effective completion of every
-      // member is the group completion (see DESIGN.md). This is what makes
-      // Eq 3.4's weight of a pattern proportional to its throughput
-      // efficiency.
-      sum[mi][mj] += static_cast<double>(r.group_cycles) /
-                     static_cast<double>(profiles[i].solo_cycles);
       count[mi][mj]++;
+      const auto key = std::minmax(i, j);
+      const auto [it, inserted] = sim_index.emplace(key, sims.size());
+      if (inserted) sims.push_back(key);
+      cells.push_back(Cell{i, j, it->second});
     }
+  }
+
+  std::vector<uint64_t> group_cycles(sims.size(), 0);
+  parallel_for(threads, sims.size(), [&](size_t s) {
+    const auto [i, j] = sims[s];
+    group_cycles[s] =
+        co_run(cfg, {kernels[i], kernels[j]},
+               {profiles[i].solo_cycles, profiles[j].solo_cycles}, {}, cache)
+            .group_cycles;
+  });
+
+  for (const Cell& cell : cells) {
+    // Slowdown "due to co-execution": the group occupies the device until
+    // its last member finishes, so the effective completion of every
+    // member is the group completion (see DESIGN.md). This is what makes
+    // Eq 3.4's weight of a pattern proportional to its throughput
+    // efficiency.
+    sum[idx(profiles[cell.i].cls)][idx(profiles[cell.j].cls)] +=
+        static_cast<double>(group_cycles[cell.sim]) /
+        static_cast<double>(profiles[cell.i].solo_cycles);
   }
 
   for (int a = 0; a < profile::kNumClasses; ++a) {
@@ -279,7 +320,8 @@ SlowdownModel SlowdownModel::from_string(const std::string& text) {
 
 void SlowdownModel::measure_triples(
     const sim::GpuConfig& cfg, const std::vector<sim::KernelParams>& kernels,
-    const std::vector<AppProfile>& profiles) {
+    const std::vector<AppProfile>& profiles, profile::ProfileCache* cache,
+    int threads) {
   GPUMAS_CHECK(kernels.size() == profiles.size());
   // One representative application per class. Cells needing two apps of the
   // same class use the first two representatives of that class.
@@ -288,6 +330,19 @@ void SlowdownModel::measure_triples(
     members[idx(profiles[i].cls)].push_back(i);
   }
 
+  // Same plan/simulate/accumulate split as measure_pairwise: representative
+  // choice is pure bookkeeping, so the full entry list is enumerated first,
+  // the deduped app triples simulate in parallel (canonical member order
+  // makes {x,y,z} one group however a cell orders it), and the entries fill
+  // in the serial enumeration order.
+  struct Entry {
+    int me, a, b;
+    std::array<size_t, 3> chosen;
+    size_t sim;
+  };
+  std::vector<Entry> entries;
+  std::vector<std::array<size_t, 3>> sims;  // index-sorted app triples
+  std::map<std::array<size_t, 3>, size_t> sim_index;
   for (int me = 0; me < profile::kNumClasses; ++me) {
     if (members[static_cast<size_t>(me)].empty()) continue;
     for (int a = 0; a < profile::kNumClasses; ++a) {
@@ -306,16 +361,31 @@ void SlowdownModel::measure_triples(
         };
         if (!pick(me) || !pick(a) || !pick(b)) continue;
 
-        const CoRunResult r = co_run(
-            cfg,
-            {kernels[chosen[0]], kernels[chosen[1]], kernels[chosen[2]]},
-            {profiles[chosen[0]].solo_cycles, profiles[chosen[1]].solo_cycles,
-             profiles[chosen[2]].solo_cycles});
-        multi_[{me, {a < b ? a : b, a < b ? b : a}}] =
-            static_cast<double>(r.group_cycles) /
-            static_cast<double>(profiles[chosen[0]].solo_cycles);
+        std::array<size_t, 3> key{chosen[0], chosen[1], chosen[2]};
+        std::sort(key.begin(), key.end());
+        const auto [it, inserted] = sim_index.emplace(key, sims.size());
+        if (inserted) sims.push_back(key);
+        entries.push_back(
+            Entry{me, a, b, {chosen[0], chosen[1], chosen[2]}, it->second});
       }
     }
+  }
+
+  std::vector<uint64_t> group_cycles(sims.size(), 0);
+  parallel_for(threads, sims.size(), [&](size_t s) {
+    const auto& t = sims[s];
+    group_cycles[s] =
+        co_run(cfg, {kernels[t[0]], kernels[t[1]], kernels[t[2]]},
+               {profiles[t[0]].solo_cycles, profiles[t[1]].solo_cycles,
+                profiles[t[2]].solo_cycles},
+               {}, cache)
+            .group_cycles;
+  });
+
+  for (const Entry& e : entries) {
+    multi_[{e.me, {e.a < e.b ? e.a : e.b, e.a < e.b ? e.b : e.a}}] =
+        static_cast<double>(group_cycles[e.sim]) /
+        static_cast<double>(profiles[e.chosen[0]].solo_cycles);
   }
 }
 

@@ -16,6 +16,10 @@
 #include "sim/gpu_config.h"
 #include "sim/kernel.h"
 
+namespace gpumas::profile {
+class ProfileCache;  // the artifact store's group-run layer (profile_cache.h)
+}
+
 namespace gpumas::interference {
 
 struct CoRunAppResult {
@@ -35,10 +39,18 @@ struct CoRunResult {
 // Runs `kernels` concurrently. `partition` gives the SM count per app (empty
 // = even split). `solo_cycles[i]` is app i's solo runtime on the full device
 // (the slowdown denominator, exactly as the paper defines it).
+//
+// The group is always simulated in its *canonical* member order
+// (profile::canonicalize_group) and the per-app results are mapped back, so
+// co_run(A, B) and co_run(B, A) are one simulation with permuted reports.
+// When `cache` is non-null the simulation is memoized in (and persisted
+// with) the artifact store's group-run layer; slowdowns are recomputed from
+// `solo_cycles` either way, so a cached group serves any caller's solos.
 CoRunResult co_run(const sim::GpuConfig& cfg,
                    const std::vector<sim::KernelParams>& kernels,
                    const std::vector<uint64_t>& solo_cycles,
-                   const std::vector<int>& partition = {});
+                   const std::vector<int>& partition = {},
+                   profile::ProfileCache* cache = nullptr);
 
 // Class-level slowdown model (Fig 3.4), extended to class multisets so the
 // 3-application ILP can be weighted.
@@ -47,12 +59,19 @@ class SlowdownModel {
   // Measures the pairwise matrix by co-running applications of each class
   // pair with an even split. `max_samples_per_cell` bounds the number of
   // distinct app pairs averaged per matrix cell (0 = exhaustive, i.e. every
-  // ordered app pair as in the paper).
+  // ordered app pair as in the paper). Because co_run canonicalizes member
+  // order, the two ordered pairs (i,j)/(j,i) share one simulation — the
+  // cold measurement runs at most n(n-1)/2 co-runs for n apps — and
+  // `threads` fans the cell simulations out over a worker pool. Cells are
+  // always accumulated in the serial enumeration order, so the matrix is
+  // byte-identical for any thread count. `cache` memoizes/persists the
+  // co-runs through the artifact store's group layer.
   static SlowdownModel measure_pairwise(
       const sim::GpuConfig& cfg,
       const std::vector<sim::KernelParams>& kernels,
       const std::vector<profile::AppProfile>& profiles,
-      int max_samples_per_cell = 0);
+      int max_samples_per_cell = 0, profile::ProfileCache* cache = nullptr,
+      int threads = 1);
 
   // Average slowdown of a class-`me` app co-running with one class-`other`
   // app (an entry of Fig 3.4).
@@ -66,10 +85,14 @@ class SlowdownModel {
                   const std::vector<profile::AppClass>& others) const;
 
   // Optionally measures 3-way entries (one representative app per class) so
-  // that 3-application weights use direct measurements.
+  // that 3-application weights use direct measurements. `cache` and
+  // `threads` behave as in measure_pairwise: deduped triples simulate in
+  // parallel, entries fill in enumeration order.
   void measure_triples(const sim::GpuConfig& cfg,
                        const std::vector<sim::KernelParams>& kernels,
-                       const std::vector<profile::AppProfile>& profiles);
+                       const std::vector<profile::AppProfile>& profiles,
+                       profile::ProfileCache* cache = nullptr,
+                       int threads = 1);
 
   void set_pair_slowdown(profile::AppClass me, profile::AppClass other,
                          double s);

@@ -1,14 +1,17 @@
 #include "profile/profile_cache.h"
 
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
 #include <iomanip>
+#include <numeric>
 #include <set>
 #include <sstream>
 
 #include "common/check.h"
 #include "common/text.h"
 #include "sim/config_io.h"
+#include "sim/gpu.h"
 
 namespace gpumas::profile {
 
@@ -28,25 +31,79 @@ uint64_t config_fingerprint(const sim::GpuConfig& cfg) {
 
 uint64_t kernel_fingerprint(const sim::KernelParams& kp) {
   // Canonical key = value rendering of every field that shapes the address
-  // and instruction streams, hashed like the config.
-  std::ostringstream os;
-  os << "name = " << kp.name << "\n"
-     << "num_blocks = " << kp.num_blocks << "\n"
-     << "warps_per_block = " << kp.warps_per_block << "\n"
-     << "insns_per_warp = " << kp.insns_per_warp << "\n"
-     << "mem_ratio = " << render_double(kp.mem_ratio) << "\n"
-     << "store_ratio = " << render_double(kp.store_ratio) << "\n"
-     << "pattern = " << static_cast<int>(kp.pattern) << "\n"
-     << "footprint_bytes = " << kp.footprint_bytes << "\n"
-     << "hot_fraction = " << render_double(kp.hot_fraction) << "\n"
-     << "hot_bytes = " << kp.hot_bytes << "\n"
-     << "divergence = " << kp.divergence << "\n"
-     << "burst_lines = " << kp.burst_lines << "\n"
-     << "ilp = " << kp.ilp << "\n"
-     << "mlp = " << kp.mlp << "\n"
-     << "l2_streaming_bypass = " << (kp.l2_streaming_bypass ? 1 : 0) << "\n"
-     << "seed = " << kp.seed << "\n";
-  return fnv1a(os.str());
+  // and instruction streams (sim::kernel_to_string), hashed like the config.
+  return fnv1a(sim::kernel_to_string(kp));
+}
+
+CanonicalGroup canonicalize_group(const sim::GpuConfig& cfg,
+                                  const std::vector<sim::KernelParams>& kernels,
+                                  const std::vector<int>& partition,
+                                  const std::string& mode) {
+  GPUMAS_CHECK(!kernels.empty());
+  GPUMAS_CHECK(partition.empty() || partition.size() == kernels.size());
+  const size_t k = kernels.size();
+
+  std::vector<uint64_t> fps(k);
+  for (size_t i = 0; i < k; ++i) fps[i] = kernel_fingerprint(kernels[i]);
+
+  // Stable sort by (kernel fingerprint, declared SM share): members with
+  // identical kernels AND shares are interchangeable, so the stable
+  // tie-break only fixes which caller slot maps to which record slot.
+  CanonicalGroup canon;
+  canon.perm.resize(k);
+  std::iota(canon.perm.begin(), canon.perm.end(), size_t{0});
+  std::stable_sort(canon.perm.begin(), canon.perm.end(),
+                   [&](size_t a, size_t b) {
+                     if (fps[a] != fps[b]) return fps[a] < fps[b];
+                     if (!partition.empty() && partition[a] != partition[b]) {
+                       return partition[a] < partition[b];
+                     }
+                     return false;
+                   });
+
+  canon.kernels.reserve(k);
+  std::vector<uint64_t> canon_fps(k);
+  for (size_t c = 0; c < k; ++c) {
+    canon.kernels.push_back(kernels[canon.perm[c]]);
+    canon_fps[c] = fps[canon.perm[c]];
+  }
+  if (partition.empty()) {
+    // Resolve the even split over the canonical order, so the remainder
+    // SMs land on the same members for every caller-side permutation.
+    canon.partition.assign(k, cfg.num_sms / static_cast<int>(k));
+    for (size_t c = 0; c < static_cast<size_t>(cfg.num_sms) % k; ++c) {
+      canon.partition[c]++;
+    }
+  } else {
+    canon.partition.reserve(k);
+    for (size_t c = 0; c < k; ++c) {
+      canon.partition.push_back(partition[canon.perm[c]]);
+    }
+  }
+
+  canon.config_fp = config_fingerprint(cfg);
+  canon.group_fp =
+      fnv1a(sim::group_to_string(canon_fps, canon.partition, mode));
+  return canon;
+}
+
+GroupRunRecord simulate_static_group(
+    const sim::GpuConfig& cfg, const std::vector<sim::KernelParams>& kernels,
+    const std::vector<int>& partition) {
+  sim::Gpu gpu(cfg);
+  for (const auto& kp : kernels) gpu.launch(kp);
+  gpu.set_partition_counts(partition);
+  const sim::RunResult run = gpu.run_to_completion();
+
+  GroupRunRecord record;
+  record.group_cycles = run.cycles;
+  record.names.reserve(kernels.size());
+  for (size_t i = 0; i < kernels.size(); ++i) {
+    record.names.push_back(kernels[i].name);
+    record.app_cycles.push_back(run.apps[i].finish_cycle);
+    record.app_thread_insns.push_back(run.apps[i].thread_insns(run.warp_size));
+  }
+  return record;
 }
 
 uint64_t model_suite_fingerprint(const std::vector<sim::KernelParams>& kernels,
@@ -68,7 +125,8 @@ AppProfile ProfileCache::raw_solo(const sim::GpuConfig& cfg,
 }
 
 AppProfile ProfileCache::lookup(const Key& key, const sim::GpuConfig& cfg,
-                                const sim::KernelParams& kp, int num_sms) {
+                                const sim::KernelParams& kp, int num_sms,
+                                bool scalability) {
   GPUMAS_CHECK_MSG(num_sms <= cfg.num_sms,
                    "profile request for " << num_sms << " SMs on a "
                                           << cfg.num_sms << "-SM device");
@@ -80,9 +138,11 @@ AppProfile ProfileCache::lookup(const Key& key, const sim::GpuConfig& cfg,
     const auto it = entries_.find(key);
     if (it != entries_.end()) {
       ++hits_;
+      if (scalability) ++scalability_hits_;
       future = it->second;
     } else {
       ++misses_;
+      if (scalability) ++scalability_misses_;
       future = promise.get_future().share();
       entries_.emplace(key, future);
       owner = true;
@@ -119,7 +179,8 @@ std::vector<ScalabilityPoint> ProfileCache::scalability(
   for (const int n : sm_counts) {
     GPUMAS_CHECK(n > 0 && n <= cfg.num_sms);
     key.sms = n;
-    points.push_back(ScalabilityPoint{n, lookup(key, cfg, kp, n).ipc});
+    points.push_back(
+        ScalabilityPoint{n, lookup(key, cfg, kp, n, /*scalability=*/true).ipc});
   }
   return points;
 }
@@ -136,7 +197,7 @@ std::vector<AppProfile> ProfileCache::suite_profiles(
 std::shared_ptr<const interference::SlowdownModel> ProfileCache::model(
     const sim::GpuConfig& cfg, const std::vector<sim::KernelParams>& kernels,
     const std::vector<AppProfile>& profiles, int max_samples_per_cell,
-    bool with_triples) {
+    bool with_triples, int measure_threads) {
   const ModelKey key{config_fingerprint(cfg),
                      model_suite_fingerprint(kernels, profiles),
                      max_samples_per_cell, with_triples};
@@ -162,16 +223,68 @@ std::shared_ptr<const interference::SlowdownModel> ProfileCache::model(
   // co-run simulations.
   if (owner) {
     try {
+      // The measurement's co-runs route back through this store's group
+      // layer (memoized + persisted), so a warm store re-measures nothing
+      // and a cold one simulates each unordered pair exactly once, fanned
+      // out over `measure_threads` workers.
       auto measured = std::make_shared<interference::SlowdownModel>(
           interference::SlowdownModel::measure_pairwise(
-              cfg, kernels, profiles, max_samples_per_cell));
-      if (with_triples) measured->measure_triples(cfg, kernels, profiles);
+              cfg, kernels, profiles, max_samples_per_cell, this,
+              measure_threads));
+      if (with_triples) {
+        measured->measure_triples(cfg, kernels, profiles, this,
+                                  measure_threads);
+      }
       promise.set_value(std::move(measured));
     } catch (...) {
       promise.set_exception(std::current_exception());
     }
   }
   return future.get();
+}
+
+GroupRunRecord ProfileCache::group_run(const sim::GpuConfig& cfg,
+                                       const CanonicalGroup& canon,
+                                       const GroupSimulator& simulate) {
+  const GroupKey key{canon.config_fp, canon.group_fp};
+  std::promise<GroupRunRecord> promise;
+  std::shared_future<GroupRunRecord> future;
+  bool owner = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = groups_.find(key);
+    if (it != groups_.end()) {
+      ++group_hits_;
+      future = it->second;
+    } else {
+      ++group_misses_;
+      future = promise.get_future().share();
+      groups_.emplace(key, future);
+      owner = true;
+    }
+  }
+  // The inserting thread simulates outside the lock; same-group waiters
+  // (two policies picking the same split, the two ordered pairs of a
+  // matrix cell, a warm re-run) block on the shared record instead.
+  if (owner) {
+    try {
+      promise.set_value(simulate
+                            ? simulate(cfg, canon.kernels, canon.partition)
+                            : simulate_static_group(cfg, canon.kernels,
+                                                    canon.partition));
+    } catch (...) {
+      promise.set_exception(std::current_exception());
+    }
+  }
+  return future.get();
+}
+
+void ProfileCache::insert_loaded_group(const GroupKey& key,
+                                       GroupRunRecord record) {
+  std::promise<GroupRunRecord> promise;
+  promise.set_value(std::move(record));
+  std::lock_guard<std::mutex> lock(mu_);
+  groups_.emplace(key, promise.get_future().share());  // keep existing entry
 }
 
 void ProfileCache::insert_loaded_model(const ModelKey& key,
@@ -196,6 +309,31 @@ uint64_t ProfileCache::misses() const {
 size_t ProfileCache::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return entries_.size();
+}
+
+uint64_t ProfileCache::scalability_hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return scalability_hits_;
+}
+
+uint64_t ProfileCache::scalability_misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return scalability_misses_;
+}
+
+uint64_t ProfileCache::group_hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return group_hits_;
+}
+
+uint64_t ProfileCache::group_misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return group_misses_;
+}
+
+size_t ProfileCache::group_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return groups_.size();
 }
 
 uint64_t ProfileCache::model_hits() const {
@@ -462,10 +600,208 @@ bool ProfileCache::load_models_if_exists(const std::string& path) {
   return true;
 }
 
+namespace {
+
+// Strictly-digits unsigned parsing: istream extraction into an unsigned
+// type happily wraps "-5" to a huge value and silently truncates "10abc"
+// to 10 — a hand-mangled store must reject both (extraction still guards
+// against overflow).
+bool is_unsigned_decimal(const std::string& v) {
+  if (v.empty()) return false;
+  for (const char c : v) {
+    if (c < '0' || c > '9') return false;
+  }
+  return true;
+}
+
+std::vector<uint64_t> parse_u64_list(const std::string& v, size_t expected,
+                                     const char* what, int line_no) {
+  const auto parts = split_commas(v);
+  GPUMAS_CHECK_MSG(parts.size() == expected,
+                   "group cache entry at line "
+                       << line_no << ": " << what << " has " << parts.size()
+                       << " elements, expected " << expected);
+  std::vector<uint64_t> out;
+  out.reserve(parts.size());
+  for (const auto& p : parts) {
+    std::istringstream is(p);
+    uint64_t value = 0;
+    GPUMAS_CHECK_MSG(is_unsigned_decimal(p) && static_cast<bool>(is >> value),
+                     "group cache entry at line " << line_no << ": bad "
+                                                  << what << " element '" << p
+                                                  << "'");
+    out.push_back(value);
+  }
+  return out;
+}
+
+}  // namespace
+
+void ProfileCache::save_groups(const std::string& path) const {
+  std::ostringstream os;
+  os << "# gpumas group-run cache v1\n";
+  std::map<GroupKey, std::shared_future<GroupRunRecord>> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snapshot = groups_;
+  }
+  for (const auto& [key, future] : snapshot) {
+    if (future.wait_for(std::chrono::seconds(0)) !=
+        std::future_status::ready) {
+      continue;  // still being simulated by another thread
+    }
+    GroupRunRecord record;
+    try {
+      record = future.get();
+    } catch (const std::exception&) {
+      continue;  // failed simulations are not persisted
+    }
+    const auto join = [](const std::vector<uint64_t>& xs) {
+      std::string s;
+      for (size_t i = 0; i < xs.size(); ++i) {
+        if (i) s += ',';
+        s += std::to_string(xs[i]);
+      }
+      return s;
+    };
+    std::string names;
+    for (size_t i = 0; i < record.names.size(); ++i) {
+      if (i) names += ',';
+      names += percent_escape(record.names[i]);
+    }
+    os << "[group]\n"
+       << "config = " << key.config_fp << "\n"
+       << "group = " << key.group_fp << "\n"
+       << "apps = " << record.names.size() << "\n"
+       << "names = " << names << "\n"
+       << "app_cycles = " << join(record.app_cycles) << "\n"
+       << "app_insns = " << join(record.app_thread_insns) << "\n"
+       << "cycles = " << record.group_cycles << "\n"
+       << "smra_adjustments = " << record.smra_adjustments << "\n"
+       << "smra_reverts = " << record.smra_reverts << "\n";
+  }
+  std::ofstream out(path);
+  GPUMAS_CHECK_MSG(out.good(), "cannot open '" << path << "' for writing");
+  out << os.str();
+  out.flush();
+  GPUMAS_CHECK_MSG(out.good(), "short write to '" << path << "'");
+}
+
+void ProfileCache::load_groups(const std::string& path) {
+  std::ifstream in(path);
+  GPUMAS_CHECK_MSG(in.good(), "cannot open group cache '" << path << "'");
+
+  // save_groups writes 9 keys per entry; all must be present, the three
+  // lists must have exactly `apps` elements, and every value must parse —
+  // a truncated or hand-mangled store must never serve zeroed co-runs.
+  constexpr size_t kNumRequired = 9;
+
+  GroupKey key;
+  GroupRunRecord record;
+  size_t apps = 0;
+  std::string names_v, cycles_v, insns_v;
+  std::set<std::string> seen;
+  bool in_entry = false;
+  int entry_line = 0;
+  const auto flush = [&] {
+    if (in_entry) {
+      GPUMAS_CHECK_MSG(seen.size() == kNumRequired,
+                       "group cache entry at line "
+                           << entry_line << " is incomplete (" << seen.size()
+                           << "/" << kNumRequired << " fields)");
+      GPUMAS_CHECK_MSG(apps >= 1, "group cache entry at line "
+                                      << entry_line << ": apps must be >= 1");
+      for (const auto& name : split_commas(names_v)) {
+        // percent_unescape throws std::logic_error on a malformed escape.
+        record.names.push_back(percent_unescape(name));
+      }
+      GPUMAS_CHECK_MSG(record.names.size() == apps,
+                       "group cache entry at line "
+                           << entry_line << ": names has "
+                           << record.names.size() << " elements, expected "
+                           << apps);
+      record.app_cycles =
+          parse_u64_list(cycles_v, apps, "app_cycles", entry_line);
+      record.app_thread_insns =
+          parse_u64_list(insns_v, apps, "app_insns", entry_line);
+      insert_loaded_group(key, std::move(record));
+    }
+    key = GroupKey{};
+    record = GroupRunRecord{};
+    apps = 0;
+    names_v.clear();
+    cycles_v.clear();
+    insns_v.clear();
+    seen.clear();
+    in_entry = false;
+  };
+
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    line = trim(line);
+    if (line.empty() || line.front() == '#') continue;
+    if (line == "[group]") {
+      flush();
+      in_entry = true;
+      entry_line = line_no;
+      continue;
+    }
+    const size_t eq = line.find('=');
+    GPUMAS_CHECK_MSG(eq != std::string::npos && in_entry,
+                     "group cache line " << line_no << ": malformed");
+    const std::string k = trim(line.substr(0, eq));
+    const std::string v = trim(line.substr(eq + 1));
+    // `names` may legitimately render empty: a single member whose kernel
+    // name is the empty string escapes to "".
+    GPUMAS_CHECK_MSG(!v.empty() || k == "names",
+                     "group cache line " << line_no << ": empty value");
+    std::istringstream vs(v);
+    // Every numeric field of a group entry is unsigned.
+    const bool unsgn = is_unsigned_decimal(v);
+    bool ok = true;
+    if (k == "config") ok = unsgn && static_cast<bool>(vs >> key.config_fp);
+    else if (k == "group") ok = unsgn && static_cast<bool>(vs >> key.group_fp);
+    else if (k == "apps") ok = unsgn && static_cast<bool>(vs >> apps);
+    else if (k == "names") names_v = v;
+    else if (k == "app_cycles") cycles_v = v;
+    else if (k == "app_insns") insns_v = v;
+    else if (k == "cycles")
+      ok = unsgn && static_cast<bool>(vs >> record.group_cycles);
+    else if (k == "smra_adjustments")
+      ok = unsgn && static_cast<bool>(vs >> record.smra_adjustments);
+    else if (k == "smra_reverts")
+      ok = unsgn && static_cast<bool>(vs >> record.smra_reverts);
+    else {
+      GPUMAS_CHECK_MSG(false, "group cache line " << line_no
+                                                  << ": unknown key '" << k
+                                                  << "'");
+    }
+    GPUMAS_CHECK_MSG(ok, "group cache line " << line_no
+                                             << ": cannot parse value '" << v
+                                             << "'");
+    GPUMAS_CHECK_MSG(seen.insert(k).second,
+                     "group cache line " << line_no << ": duplicate key '"
+                                         << k << "'");
+  }
+  flush();
+}
+
+bool ProfileCache::load_groups_if_exists(const std::string& path) {
+  {
+    std::ifstream probe(path);
+    if (!probe.good()) return false;
+  }
+  load_groups(path);
+  return true;
+}
+
 void ProfileCache::save_store(const std::string& dir) const {
   std::filesystem::create_directories(dir);
   save(dir + "/profiles.txt");
   save_models(dir + "/models.txt");
+  save_groups(dir + "/groups.txt");
 }
 
 bool ProfileCache::load_store_if_exists(const std::string& dir) {
@@ -473,6 +809,7 @@ bool ProfileCache::load_store_if_exists(const std::string& dir) {
   if (!std::filesystem::is_directory(dir, ec)) return false;
   load_if_exists(dir + "/profiles.txt");
   load_models_if_exists(dir + "/models.txt");
+  load_groups_if_exists(dir + "/groups.txt");
   return true;
 }
 

@@ -18,12 +18,25 @@
 // measured matrix, so threshold settings that classify identically share
 // one model.
 //
+// The third layer is the group-run cache: one co-run simulation of a
+// (config, kernel multiset, partition, execution mode) group, stored as the
+// raw per-app cycles/instructions plus the group completion cycle. Groups
+// are content-addressed through a *canonical* member order (sorted by
+// kernel fingerprint, then SM share), so the ordered pairs (A,B) and (B,A)
+// of the interference matrix — and any two policies that pick the same
+// split of the same applications — collapse into one simulation. Slowdowns
+// are deliberately NOT stored: they are recomputed from solo cycles at
+// report time, so a warm store renders reports byte-identical to a cold
+// run.
+//
 // On disk the store is one directory: <dir>/profiles.txt holds the solo
-// measurements, <dir>/models.txt the slowdown models. The single-file
-// profile format of save()/load() is kept for profile-only uses.
+// measurements, <dir>/models.txt the slowdown models, <dir>/groups.txt the
+// group runs. The single-file profile format of save()/load() is kept for
+// profile-only uses.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <map>
 #include <memory>
@@ -51,6 +64,54 @@ uint64_t kernel_fingerprint(const sim::KernelParams& kp);
 // order matters because cell sampling caps truncate in iteration order.
 uint64_t model_suite_fingerprint(const std::vector<sim::KernelParams>& kernels,
                                  const std::vector<AppProfile>& profiles);
+
+// One memoized co-run simulation, in the group's canonical member order.
+// Only raw measurements live here; slowdowns and throughputs are derived by
+// the callers (from solo cycles / instruction sums) at report time.
+struct GroupRunRecord {
+  std::vector<std::string> names;
+  std::vector<uint64_t> app_cycles;        // each member's finish cycle
+  std::vector<uint64_t> app_thread_insns;
+  uint64_t group_cycles = 0;               // group completion cycle
+  uint64_t smra_adjustments = 0;           // 0 for static groups
+  uint64_t smra_reverts = 0;
+};
+
+// A co-run group reduced to canonical form: members stably sorted by
+// (kernel fingerprint, SM share), an even split resolved *after* sorting
+// (so the remainder SMs land on the same members whatever order the caller
+// listed them in), and the fingerprint the group-run cache keys on.
+// perm[c] is the caller index of canonical member c.
+struct CanonicalGroup {
+  uint64_t config_fp = 0;
+  uint64_t group_fp = 0;  // over (kernel fp, SM share) members + mode
+  std::vector<sim::KernelParams> kernels;  // canonical order
+  std::vector<int> partition;              // canonical order, resolved
+  std::vector<size_t> perm;
+};
+
+// `partition` empty = even split over cfg.num_sms. `mode` names the
+// execution semantics ("static", or an SMRA parameter tag) and is part of
+// the fingerprint: a static run and a dynamic run of the same members must
+// never alias.
+CanonicalGroup canonicalize_group(const sim::GpuConfig& cfg,
+                                  const std::vector<sim::KernelParams>& kernels,
+                                  const std::vector<int>& partition,
+                                  const std::string& mode);
+
+// Launches the group's kernels with the given static partition and runs to
+// completion — the default simulator behind ProfileCache::group_run.
+GroupRunRecord simulate_static_group(
+    const sim::GpuConfig& cfg, const std::vector<sim::KernelParams>& kernels,
+    const std::vector<int>& partition);
+
+// Runs one group when the cache has no record of it. Receives the group in
+// canonical order; its semantics must match the `mode` the group was
+// canonicalized with (sched passes an SMRA-driving simulator for dynamic
+// groups).
+using GroupSimulator = std::function<GroupRunRecord(
+    const sim::GpuConfig&, const std::vector<sim::KernelParams>&,
+    const std::vector<int>&)>;
 
 class ProfileCache {
  public:
@@ -81,18 +142,36 @@ class ProfileCache {
   // key block on a single measurement. The returned model lives as long as
   // the store, so callers may hold the raw pointer (sched::QueueRunner
   // does) while the store outlives them.
+  // `measure_threads` sizes the worker pool a cold measurement fans its
+  // co-run cells out over (results are byte-identical for any value); it is
+  // not part of the key.
   std::shared_ptr<const interference::SlowdownModel> model(
       const sim::GpuConfig& cfg, const std::vector<sim::KernelParams>& kernels,
       const std::vector<AppProfile>& profiles, int max_samples_per_cell = 0,
-      bool with_triples = false);
+      bool with_triples = false, int measure_threads = 1);
+
+  // --- group runs (the third artifact layer) ---
+  // The memoized co-run of `canon` (from canonicalize_group). On a miss the
+  // owning thread executes `simulate` (or simulate_static_group when empty)
+  // on the canonical member order, outside the cache lock; same-key waiters
+  // block on the shared result. The returned record is in canonical order —
+  // map back through canon.perm.
+  GroupRunRecord group_run(const sim::GpuConfig& cfg,
+                           const CanonicalGroup& canon,
+                           const GroupSimulator& simulate = {});
 
   // --- observability ---
   uint64_t hits() const;    // profile lookups served from an existing entry
   uint64_t misses() const;  // profile lookups that triggered a simulation
   size_t size() const;      // resident profile entries
+  uint64_t scalability_hits() const;    // subset of hits(): curve points
+  uint64_t scalability_misses() const;  // subset of misses(): curve points
   uint64_t model_hits() const;    // model lookups served without measuring
   uint64_t model_misses() const;  // model lookups that ran co-run sims
   size_t model_count() const;     // resident models
+  uint64_t group_hits() const;    // group runs served without simulating
+  uint64_t group_misses() const;  // group runs that simulated
+  size_t group_count() const;     // resident group records
 
   // --- persistence (config_io key = value idiom) ---
   // Profile-only single-file form.
@@ -105,9 +184,15 @@ class ProfileCache {
   void load_models(const std::string& path);  // throws if unreadable/corrupt
   bool load_models_if_exists(const std::string& path);
 
-  // Whole-store directory form: <dir>/profiles.txt + <dir>/models.txt.
-  // save_store creates the directory; load_store_if_exists returns false
-  // when the directory is absent and loads whichever artifact files exist.
+  // Group-run single-file form.
+  void save_groups(const std::string& path) const;
+  void load_groups(const std::string& path);  // throws if unreadable/corrupt
+  bool load_groups_if_exists(const std::string& path);
+
+  // Whole-store directory form: <dir>/profiles.txt + <dir>/models.txt +
+  // <dir>/groups.txt. save_store creates the directory;
+  // load_store_if_exists returns false when the directory is absent and
+  // loads whichever artifact files exist.
   void save_store(const std::string& dir) const;
   bool load_store_if_exists(const std::string& dir);
 
@@ -136,25 +221,42 @@ class ProfileCache {
     }
   };
 
+  struct GroupKey {
+    uint64_t config_fp = 0;
+    uint64_t group_fp = 0;
+    bool operator<(const GroupKey& o) const {
+      if (config_fp != o.config_fp) return config_fp < o.config_fp;
+      return group_fp < o.group_fp;
+    }
+  };
+
   // Raw measurement lookup; classification applied by callers.
   AppProfile raw_solo(const sim::GpuConfig& cfg, const sim::KernelParams& kp,
                       int num_sms);
   // Same, with the key already fingerprinted (key.sms must equal num_sms).
+  // `scalability` routes the lookup to the curve-point sub-counters.
   AppProfile lookup(const Key& key, const sim::GpuConfig& cfg,
-                    const sim::KernelParams& kp, int num_sms);
+                    const sim::KernelParams& kp, int num_sms,
+                    bool scalability = false);
   void insert_loaded(const Key& key, const AppProfile& p);
   void insert_loaded_model(const ModelKey& key,
                            interference::SlowdownModel model);
+  void insert_loaded_group(const GroupKey& key, GroupRunRecord record);
 
   mutable std::mutex mu_;
   std::map<Key, std::shared_future<AppProfile>> entries_;
   std::map<ModelKey,
            std::shared_future<std::shared_ptr<const interference::SlowdownModel>>>
       models_;
+  std::map<GroupKey, std::shared_future<GroupRunRecord>> groups_;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
+  uint64_t scalability_hits_ = 0;
+  uint64_t scalability_misses_ = 0;
   uint64_t model_hits_ = 0;
   uint64_t model_misses_ = 0;
+  uint64_t group_hits_ = 0;
+  uint64_t group_misses_ = 0;
 };
 
 }  // namespace gpumas::profile

@@ -1,6 +1,8 @@
 #include "sched/runner.h"
 
 #include <algorithm>
+#include <iomanip>
+#include <sstream>
 
 #include "common/check.h"
 #include "sim/gpu.h"
@@ -11,6 +13,19 @@ namespace {
 // SM-count grid at which ProfileBased's offline curves are sampled.
 constexpr int kScalabilityGrid[] = {5, 10, 15, 20, 25, 30, 40, 50};
 constexpr int kSplitStep = 5;  // granularity of the ProfileBased split search
+
+// Execution-mode tag of an SMRA-dynamic group for the group-run cache: the
+// dynamics (and hence the record) depend on every controller parameter, so
+// all of them key the entry. Doubles carry full precision — two parameter
+// sweeps differing in the 17th digit are different experiments.
+std::string smra_mode_tag(const SmraParams& smra) {
+  std::ostringstream os;
+  os << std::setprecision(17);
+  os << "smra tc=" << smra.tc << " ipc_thr=" << smra.ipc_thr
+     << " bw_thr=" << smra.bw_thr << " nr=" << smra.nr
+     << " rmin=" << smra.rmin;
+  return os.str();
+}
 }  // namespace
 
 QueueRunner::QueueRunner(const sim::GpuConfig& cfg,
@@ -22,13 +37,31 @@ QueueRunner::QueueRunner(const sim::GpuConfig& cfg,
     owned_cache_ = std::make_shared<profile::ProfileCache>();
     cache_ = owned_cache_.get();
   }
-  for (const auto& p : suite_profiles) profiles_[p.name] = p;
+  // Stable name sort with the map's last-wins duplicate semantics: keep
+  // only the final occurrence of each name.
+  profiles_ = suite_profiles;
+  std::stable_sort(
+      profiles_.begin(), profiles_.end(),
+      [](const profile::AppProfile& a, const profile::AppProfile& b) {
+        return a.name < b.name;
+      });
+  const auto last_of_name = std::unique(
+      profiles_.rbegin(), profiles_.rend(),
+      [](const profile::AppProfile& a, const profile::AppProfile& b) {
+        return a.name == b.name;
+      });
+  profiles_.erase(profiles_.begin(), last_of_name.base());
 }
 
 uint64_t QueueRunner::solo_cycles(const std::string& name) const {
-  const auto it = profiles_.find(name);
-  GPUMAS_CHECK_MSG(it != profiles_.end(), "no profile for '" << name << "'");
-  return it->second.solo_cycles;
+  const auto it = std::lower_bound(
+      profiles_.begin(), profiles_.end(), name,
+      [](const profile::AppProfile& p, const std::string& n) {
+        return p.name < n;
+      });
+  GPUMAS_CHECK_MSG(it != profiles_.end() && it->name == name,
+                   "no profile for '" << name << "'");
+  return it->solo_cycles;
 }
 
 double QueueRunner::scalability_ipc(const sim::KernelParams& kernel,
@@ -99,61 +132,102 @@ std::vector<int> QueueRunner::profile_based_partition(
   return even;
 }
 
+namespace {
+
+// Simulates one SMRA-dynamic group (canonical member order): the group-run
+// cache's GroupSimulator for IlpSmra groups.
+profile::GroupRunRecord simulate_smra_group(
+    const sim::GpuConfig& cfg, const std::vector<sim::KernelParams>& kernels,
+    const std::vector<int>& partition, const SmraParams& smra) {
+  sim::Gpu gpu(cfg);
+  for (const auto& kp : kernels) gpu.launch(kp);
+  gpu.set_partition_counts(partition);
+
+  SmraController controller(smra, cfg);
+  while (!gpu.done()) {
+    GPUMAS_CHECK_MSG(gpu.cycle() < cfg.max_cycles,
+                     "group exceeded max_cycles");
+    // The controller observes the device at fixed window boundaries;
+    // cap idle-cycle fast-forwarding there so the evaluation happens at
+    // the same cycle (with the same windowed stats) as without skipping.
+    gpu.set_skip_barrier(controller.next_eval());
+    gpu.tick();
+    controller.on_tick(gpu);
+  }
+
+  profile::GroupRunRecord record;
+  record.group_cycles = gpu.cycle();
+  record.smra_adjustments = controller.adjustments();
+  record.smra_reverts = controller.reverts();
+  for (size_t i = 0; i < kernels.size(); ++i) {
+    const sim::AppStats& s = gpu.stats()[i];
+    record.names.push_back(kernels[i].name);
+    record.app_cycles.push_back(s.finish_cycle);
+    record.app_thread_insns.push_back(s.thread_insns(cfg.warp_size));
+  }
+  return record;
+}
+
+}  // namespace
+
 GroupReport QueueRunner::run_group(
     const std::vector<Job>& group, Policy policy, const SmraParams& smra,
     const std::vector<int>& partition_override) const {
-  sim::Gpu gpu(cfg_);
-  for (const Job& job : group) gpu.launch(job.kernel);
-
   const bool pinned = partition_override.size() == group.size();
+
+  // Resolve the partition the policy declares (empty = even split, which
+  // canonicalize_group resolves over the canonical member order so every
+  // permutation of the same group shares one record).
+  std::vector<int> partition;
   if (pinned) {
-    gpu.set_partition_counts(partition_override);
+    partition = partition_override;
   } else if (group.size() == 1) {
-    gpu.set_partition_counts({cfg_.num_sms});
+    partition = {cfg_.num_sms};
   } else if (policy == Policy::kProfileBased) {
-    gpu.set_partition_counts(profile_based_partition(group));
-  } else {
-    gpu.set_even_partition();
+    partition = profile_based_partition(group);
   }
 
-  uint64_t smra_adjustments = 0;
-  uint64_t smra_reverts = 0;
+  std::vector<sim::KernelParams> kernels;
+  kernels.reserve(group.size());
+  for (const Job& job : group) kernels.push_back(job.kernel);
+
   // A pinned group runs with a static split: SMRA would immediately drift
   // away from the override, defeating static-allocation sweeps.
-  if (policy == Policy::kIlpSmra && group.size() > 1 && !pinned) {
-    SmraController controller(smra, cfg_);
-    while (!gpu.done()) {
-      GPUMAS_CHECK_MSG(gpu.cycle() < cfg_.max_cycles,
-                       "group exceeded max_cycles");
-      // The controller observes the device at fixed window boundaries;
-      // cap idle-cycle fast-forwarding there so the evaluation happens at
-      // the same cycle (with the same windowed stats) as without skipping.
-      gpu.set_skip_barrier(controller.next_eval());
-      gpu.tick();
-      controller.on_tick(gpu);
-    }
-    smra_adjustments = controller.adjustments();
-    smra_reverts = controller.reverts();
-  } else {
-    while (!gpu.done()) {
-      GPUMAS_CHECK_MSG(gpu.cycle() < cfg_.max_cycles,
-                       "group exceeded max_cycles");
-      gpu.tick();
-    }
+  const bool dynamic = policy == Policy::kIlpSmra && group.size() > 1 &&
+                       !pinned;
+  profile::GroupSimulator simulate;  // empty = static simulator
+  if (dynamic) {
+    simulate = [&smra](const sim::GpuConfig& cfg,
+                       const std::vector<sim::KernelParams>& ks,
+                       const std::vector<int>& part) {
+      return simulate_smra_group(cfg, ks, part, smra);
+    };
   }
 
+  const profile::CanonicalGroup canon = profile::canonicalize_group(
+      cfg_, kernels, partition, dynamic ? smra_mode_tag(smra) : "static");
+  const profile::GroupRunRecord record =
+      cache_->group_run(cfg_, canon, simulate);
+
+  // Map the canonical-order record back to job order; slowdowns and serial
+  // time are derived from the suite's solo cycles at report time, so a
+  // record served from disk renders byte-identically to a fresh simulation.
   GroupReport report;
-  report.cycles = gpu.cycle();
-  report.smra_adjustments = smra_adjustments;
-  report.smra_reverts = smra_reverts;
-  for (size_t i = 0; i < group.size(); ++i) {
-    const sim::AppStats& s = gpu.stats()[i];
+  report.cycles = record.group_cycles;
+  report.smra_adjustments = record.smra_adjustments;
+  report.smra_reverts = record.smra_reverts;
+  report.names.resize(group.size());
+  report.app_cycles.resize(group.size());
+  report.app_thread_insns.resize(group.size());
+  report.slowdowns.resize(group.size());
+  for (size_t c = 0; c < group.size(); ++c) {
+    const size_t i = canon.perm[c];
     const uint64_t solo = solo_cycles(group[i].kernel.name);
-    report.names.push_back(group[i].kernel.name);
-    report.app_cycles.push_back(s.finish_cycle);
-    report.app_thread_insns.push_back(s.thread_insns(cfg_.warp_size));
-    report.slowdowns.push_back(static_cast<double>(s.finish_cycle) /
-                               static_cast<double>(solo));
+    report.names[i] = group[i].kernel.name;
+    report.app_cycles[i] = record.app_cycles[c];
+    report.app_thread_insns[i] = record.app_thread_insns[c];
+    report.slowdowns[i] = static_cast<double>(record.app_cycles[c]) /
+                          static_cast<double>(solo);
     report.serial_cycles += solo;
   }
   return report;

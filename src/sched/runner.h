@@ -4,7 +4,6 @@
 #pragma once
 
 #include <algorithm>
-#include <map>
 #include <memory>
 #include <string>
 #include <utility>
@@ -80,9 +79,12 @@ inline const double* find_app_ipc(
 class QueueRunner {
  public:
   // `cache` supplies the memoized solo scalability curves ProfileBased [17]
-  // needs and must outlive the runner; when null, the runner owns a private
-  // cache (convenient for tests and one-off uses, at the cost of not
-  // sharing measurements with other runners).
+  // needs AND the group-run layer every executed group is memoized in —
+  // two policies (or a warm store) that pick the same (kernels, partition,
+  // mode) group share one simulation. It must outlive the runner; when
+  // null, the runner owns a private cache (convenient for tests and
+  // one-off uses, at the cost of not sharing measurements with other
+  // runners).
   QueueRunner(const sim::GpuConfig& cfg,
               const std::vector<profile::AppProfile>& suite_profiles,
               const interference::SlowdownModel& model,
@@ -109,7 +111,10 @@ class QueueRunner {
   double scalability_ipc(const sim::KernelParams& kernel, int sms) const;
 
   sim::GpuConfig cfg_;
-  std::map<std::string, profile::AppProfile> profiles_;
+  // Name-sorted, binary-searched by solo_cycles() — the per_app_ipc()
+  // precedent: a flat sorted array beats a node-based map on this hot
+  // lookup path.
+  std::vector<profile::AppProfile> profiles_;
   const interference::SlowdownModel* model_;
   profile::ProfileCache* cache_;
   std::shared_ptr<profile::ProfileCache> owned_cache_;  // when none injected

@@ -2,6 +2,7 @@
 
 #include <fstream>
 #include <functional>
+#include <iomanip>
 #include <map>
 #include <sstream>
 
@@ -114,6 +115,43 @@ std::string config_to_string(const GpuConfig& cfg) {
   for (const auto& [name, field] : fields()) {
     os << name << " = " << field.get(cfg) << "\n";
   }
+  return os.str();
+}
+
+std::string kernel_to_string(const KernelParams& kp) {
+  // setprecision(17) (not fixed) so every double round-trips exactly; any
+  // field change — including the seed — yields a different rendering and
+  // hence a different fingerprint.
+  std::ostringstream os;
+  os << std::setprecision(17);
+  os << "name = " << kp.name << "\n"
+     << "num_blocks = " << kp.num_blocks << "\n"
+     << "warps_per_block = " << kp.warps_per_block << "\n"
+     << "insns_per_warp = " << kp.insns_per_warp << "\n"
+     << "mem_ratio = " << kp.mem_ratio << "\n"
+     << "store_ratio = " << kp.store_ratio << "\n"
+     << "pattern = " << static_cast<int>(kp.pattern) << "\n"
+     << "footprint_bytes = " << kp.footprint_bytes << "\n"
+     << "hot_fraction = " << kp.hot_fraction << "\n"
+     << "hot_bytes = " << kp.hot_bytes << "\n"
+     << "divergence = " << kp.divergence << "\n"
+     << "burst_lines = " << kp.burst_lines << "\n"
+     << "ilp = " << kp.ilp << "\n"
+     << "mlp = " << kp.mlp << "\n"
+     << "l2_streaming_bypass = " << (kp.l2_streaming_bypass ? 1 : 0) << "\n"
+     << "seed = " << kp.seed << "\n";
+  return os.str();
+}
+
+std::string group_to_string(const std::vector<uint64_t>& kernel_fps,
+                            const std::vector<int>& partition,
+                            const std::string& mode) {
+  GPUMAS_CHECK(kernel_fps.size() == partition.size());
+  std::ostringstream os;
+  for (size_t i = 0; i < kernel_fps.size(); ++i) {
+    os << "member = " << kernel_fps[i] << "/" << partition[i] << "\n";
+  }
+  os << "mode = " << mode << "\n";
   return os.str();
 }
 

@@ -4,13 +4,30 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "sim/gpu_config.h"
+#include "sim/kernel.h"
 
 namespace gpumas::sim {
 
 // Renders the full configuration as key = value lines.
 std::string config_to_string(const GpuConfig& cfg);
+
+// Canonical key = value rendering of every KernelParams field that shapes
+// the instruction and address streams. This is the identity of a kernel as
+// the artifact store sees it (profile::kernel_fingerprint hashes it): two
+// kernels that render identically are the same workload, whatever their
+// variables were called.
+std::string kernel_to_string(const KernelParams& kp);
+
+// Canonical rendering of a co-run group: one `kernel/sms` line per member
+// plus the execution mode ("static", or an SMRA parameter tag). Members
+// must already be in canonical order (profile::canonicalize_group); the
+// group-run cache hashes this rendering.
+std::string group_to_string(const std::vector<uint64_t>& kernel_fps,
+                            const std::vector<int>& partition,
+                            const std::string& mode);
 
 // Parses `key = value` lines. Defined behavior:
 //  - '#' starts a comment; blank lines are skipped;

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include "profile/profile_cache.h"
+
 namespace gpumas::interference {
 namespace {
 
@@ -66,6 +68,29 @@ TEST(CoRunTest, HonorsExplicitPartition) {
             static_cast<double>(fair.apps[1].co_cycles) * 0.95);
 }
 
+TEST(CoRunTest, MemberOrderDoesNotChangeTheSimulation) {
+  // co_run canonicalizes the launch order, so (A,B) and (B,A) are the same
+  // co-run with permuted per-app reports — the property that lets the
+  // group cache halve the pairwise matrix.
+  const sim::GpuConfig cfg = small_gpu();
+  const auto a = kernel("a", 0.05, 1);
+  const auto b = kernel("b", 0.3, 2);
+  profile::Profiler profiler(cfg);
+  const uint64_t solo_a = profiler.profile(a).solo_cycles;
+  const uint64_t solo_b = profiler.profile(b).solo_cycles;
+
+  const CoRunResult ab = co_run(cfg, {a, b}, {solo_a, solo_b});
+  const CoRunResult ba = co_run(cfg, {b, a}, {solo_b, solo_a});
+  EXPECT_EQ(ab.group_cycles, ba.group_cycles);
+  EXPECT_EQ(ab.total_thread_insns, ba.total_thread_insns);
+  EXPECT_DOUBLE_EQ(ab.device_throughput, ba.device_throughput);
+  ASSERT_EQ(ab.apps.size(), 2u);
+  EXPECT_EQ(ab.apps[0].name, ba.apps[1].name);
+  EXPECT_EQ(ab.apps[0].co_cycles, ba.apps[1].co_cycles);
+  EXPECT_EQ(ab.apps[1].co_cycles, ba.apps[0].co_cycles);
+  EXPECT_DOUBLE_EQ(ab.apps[0].slowdown, ba.apps[1].slowdown);
+}
+
 TEST(SlowdownModelTest, PairwiseMeasurementFillsSampledCells) {
   const sim::GpuConfig cfg = small_gpu();
   std::vector<sim::KernelParams> kernels = {kernel("a", 0.05, 1),
@@ -107,6 +132,88 @@ TEST(SlowdownModelTest, GroupSlowdownSemantics) {
               static_cast<double>(r.group_cycles) /
                   static_cast<double>(profiles[0].solo_cycles),
               1e-9);
+}
+
+TEST(SlowdownModelTest, SymmetricPairsShareOneSimulation) {
+  // The ordered pairs (a,b) and (b,a) fill two matrix cells from ONE co-run
+  // simulation: measured through the store, a two-app suite costs exactly
+  // one group miss, and both cells divide the same group completion by
+  // their own member's solo time.
+  const sim::GpuConfig cfg = small_gpu();
+  std::vector<sim::KernelParams> kernels = {kernel("a", 0.05, 1),
+                                            kernel("b", 0.3, 2)};
+  profile::Profiler profiler(cfg);
+  std::vector<AppProfile> profiles;
+  for (const auto& k : kernels) profiles.push_back(profiler.profile(k));
+  profiles[0].cls = AppClass::kA;
+  profiles[1].cls = AppClass::kM;
+
+  profile::ProfileCache cache;
+  const SlowdownModel model =
+      SlowdownModel::measure_pairwise(cfg, kernels, profiles, 0, &cache);
+  EXPECT_EQ(cache.group_misses(), 1u)
+      << "one unordered pair = one simulation";
+  EXPECT_EQ(cache.group_hits(), 0u)
+      << "the mirrored cell is deduped in the plan, before the cache";
+  EXPECT_EQ(model.pair_samples(AppClass::kA, AppClass::kM), 1);
+  EXPECT_EQ(model.pair_samples(AppClass::kM, AppClass::kA), 1);
+  // Both cells come from the same group completion cycle.
+  EXPECT_NEAR(model.pair_slowdown(AppClass::kA, AppClass::kM) *
+                  static_cast<double>(profiles[0].solo_cycles),
+              model.pair_slowdown(AppClass::kM, AppClass::kA) *
+                  static_cast<double>(profiles[1].solo_cycles),
+              1e-6);
+
+  // And the model itself is identical to a cache-less measurement.
+  EXPECT_EQ(model.to_string(),
+            SlowdownModel::measure_pairwise(cfg, kernels, profiles)
+                .to_string());
+}
+
+TEST(SlowdownModelTest, ColdMeasurementStaysWithinTheSimulationBudget) {
+  // Acceptance bound: a cold pairwise measurement over n suite apps may
+  // simulate at most n(n+1)/2 + n groups (with symmetric dedupe it
+  // actually needs n(n-1)/2 distinct pairs here).
+  const sim::GpuConfig cfg = small_gpu();
+  std::vector<sim::KernelParams> kernels = {
+      kernel("a", 0.05, 1), kernel("b", 0.3, 2), kernel("c", 0.15, 3),
+      kernel("d", 0.02, 4)};
+  profile::Profiler profiler(cfg);
+  std::vector<AppProfile> profiles;
+  for (const auto& k : kernels) profiles.push_back(profiler.profile(k));
+  profiles[0].cls = AppClass::kA;
+  profiles[1].cls = AppClass::kM;
+  profiles[2].cls = AppClass::kC;
+  profiles[3].cls = AppClass::kA;  // a duplicated class, like a real suite
+
+  profile::ProfileCache cache;
+  const SlowdownModel model =
+      SlowdownModel::measure_pairwise(cfg, kernels, profiles, 0, &cache);
+  const uint64_t n = kernels.size();
+  EXPECT_EQ(cache.group_misses(), n * (n - 1) / 2);
+  EXPECT_LE(cache.group_misses(), n * (n + 1) / 2 + n);
+  // Every ordered pair still contributed a sample to its cell.
+  EXPECT_EQ(model.total_pair_samples(), static_cast<int>(n * (n - 1)));
+}
+
+TEST(SlowdownModelTest, ParallelMeasurementIsByteIdenticalToSerial) {
+  const sim::GpuConfig cfg = small_gpu();
+  std::vector<sim::KernelParams> kernels = {
+      kernel("a", 0.05, 1), kernel("b", 0.3, 2), kernel("c", 0.15, 3)};
+  profile::Profiler profiler(cfg);
+  std::vector<AppProfile> profiles;
+  for (const auto& k : kernels) profiles.push_back(profiler.profile(k));
+  profiles[0].cls = AppClass::kA;
+  profiles[1].cls = AppClass::kM;
+  profiles[2].cls = AppClass::kC;
+
+  SlowdownModel serial =
+      SlowdownModel::measure_pairwise(cfg, kernels, profiles, 0, nullptr, 1);
+  serial.measure_triples(cfg, kernels, profiles, nullptr, 1);
+  SlowdownModel parallel =
+      SlowdownModel::measure_pairwise(cfg, kernels, profiles, 0, nullptr, 4);
+  parallel.measure_triples(cfg, kernels, profiles, nullptr, 4);
+  EXPECT_EQ(serial.to_string(), parallel.to_string());
 }
 
 TEST(SlowdownModelTest, AdditiveCompositionForMultiway) {

@@ -314,19 +314,241 @@ TEST(ProfileCacheModelTest, StoreDirectoryRoundTrip) {
   cache.save_store(dir);
   ASSERT_TRUE(std::filesystem::is_regular_file(dir + "/profiles.txt"));
   ASSERT_TRUE(std::filesystem::is_regular_file(dir + "/models.txt"));
+  ASSERT_TRUE(std::filesystem::is_regular_file(dir + "/groups.txt"));
 
   ProfileCache warm;
   ASSERT_TRUE(warm.load_store_if_exists(dir));
   EXPECT_EQ(warm.size(), cache.size());
   EXPECT_EQ(warm.model_count(), 1u);
+  EXPECT_EQ(warm.group_count(), cache.group_count());
+  EXPECT_GT(warm.group_count(), 0u)
+      << "the model measurement must populate the group layer";
   warm.solo(f.cfg, f.kernels[0]);
   warm.model(f.cfg, f.kernels, f.profiles);
   EXPECT_EQ(warm.misses(), 0u);
   EXPECT_EQ(warm.model_misses(), 0u);
+  EXPECT_EQ(warm.group_misses(), 0u);
 
   ProfileCache empty;
   EXPECT_FALSE(empty.load_store_if_exists("/tmp/gpumas_no_such_store"));
   std::filesystem::remove_all(dir);
+}
+
+// --- the group-run layer ---
+
+void expect_same_record(const GroupRunRecord& a, const GroupRunRecord& b) {
+  EXPECT_EQ(a.names, b.names);
+  EXPECT_EQ(a.app_cycles, b.app_cycles);
+  EXPECT_EQ(a.app_thread_insns, b.app_thread_insns);
+  EXPECT_EQ(a.group_cycles, b.group_cycles);
+  EXPECT_EQ(a.smra_adjustments, b.smra_adjustments);
+  EXPECT_EQ(a.smra_reverts, b.smra_reverts);
+}
+
+TEST(GroupCacheTest, CanonicalizationCollapsesMemberPermutations) {
+  const sim::GpuConfig cfg = small_gpu();
+  const auto a = kernel("a", 0.05, 1);
+  const auto b = kernel("b", 0.3, 2);
+
+  const CanonicalGroup ab = canonicalize_group(cfg, {a, b}, {}, "static");
+  const CanonicalGroup ba = canonicalize_group(cfg, {b, a}, {}, "static");
+  EXPECT_EQ(ab.group_fp, ba.group_fp);
+  EXPECT_EQ(ab.config_fp, ba.config_fp);
+  // Same canonical member list either way; the permutations invert each
+  // other's caller orders.
+  ASSERT_EQ(ab.kernels.size(), 2u);
+  EXPECT_EQ(ab.kernels[0].name, ba.kernels[0].name);
+  EXPECT_EQ(ab.kernels[1].name, ba.kernels[1].name);
+  EXPECT_EQ(ab.partition, ba.partition);
+  EXPECT_NE(ab.perm, ba.perm);
+
+  // An explicit partition permutes with its kernels...
+  const CanonicalGroup lop62 = canonicalize_group(cfg, {a, b}, {6, 2},
+                                                  "static");
+  const CanonicalGroup lop26 = canonicalize_group(cfg, {b, a}, {2, 6},
+                                                  "static");
+  EXPECT_EQ(lop62.group_fp, lop26.group_fp);
+  // ...and a different split or mode is a different group.
+  EXPECT_NE(lop62.group_fp, ab.group_fp);
+  EXPECT_NE(canonicalize_group(cfg, {a, b}, {}, "smra tc=3000").group_fp,
+            ab.group_fp);
+}
+
+TEST(GroupCacheTest, EvenSplitResolvesAfterCanonicalSort) {
+  // 8 SMs over 3 members: {3, 3, 2} with the remainder on the canonical
+  // first members, whatever order the caller listed them in.
+  const sim::GpuConfig cfg = small_gpu();  // 12 SMs
+  const auto a = kernel("a", 0.05, 1);
+  const auto b = kernel("b", 0.3, 2);
+  const auto c = kernel("c", 0.15, 3);
+  const CanonicalGroup abc = canonicalize_group(cfg, {a, b, c}, {}, "static");
+  const CanonicalGroup cba = canonicalize_group(cfg, {c, b, a}, {}, "static");
+  EXPECT_EQ(abc.group_fp, cba.group_fp);
+  EXPECT_EQ(abc.partition, cba.partition);
+  int total = 0;
+  for (const int n : abc.partition) total += n;
+  EXPECT_EQ(total, cfg.num_sms);
+}
+
+TEST(GroupCacheTest, GroupRunMemoizesPermutedCallers) {
+  const sim::GpuConfig cfg = small_gpu();
+  const auto a = kernel("a", 0.05, 1);
+  const auto b = kernel("b", 0.3, 2);
+  ProfileCache cache;
+
+  const GroupRunRecord first =
+      cache.group_run(cfg, canonicalize_group(cfg, {a, b}, {}, "static"));
+  EXPECT_EQ(cache.group_misses(), 1u);
+  EXPECT_EQ(cache.group_hits(), 0u);
+  EXPECT_GT(first.group_cycles, 0u);
+  ASSERT_EQ(first.app_cycles.size(), 2u);
+  EXPECT_EQ(first.group_cycles,
+            std::max(first.app_cycles[0], first.app_cycles[1]));
+
+  // The permuted caller is served from the same record.
+  const GroupRunRecord second =
+      cache.group_run(cfg, canonicalize_group(cfg, {b, a}, {}, "static"));
+  EXPECT_EQ(cache.group_misses(), 1u);
+  EXPECT_EQ(cache.group_hits(), 1u);
+  expect_same_record(first, second);
+
+  // The cached record matches a direct canonical simulation.
+  const CanonicalGroup canon = canonicalize_group(cfg, {a, b}, {}, "static");
+  expect_same_record(first,
+                     simulate_static_group(cfg, canon.kernels,
+                                           canon.partition));
+}
+
+TEST(GroupCacheTest, DiskRoundTripServesWarmRunsWithoutSimulating) {
+  const std::string path = "/tmp/gpumas_group_cache_test.txt";
+  const sim::GpuConfig cfg = small_gpu();
+  // A hostile name exercises the %-escaping of the comma-joined list.
+  const auto a = kernel("a space,comma%pct", 0.05, 1);
+  const auto b = kernel("b", 0.3, 2);
+
+  ProfileCache cache;
+  const auto canon = canonicalize_group(cfg, {a, b}, {}, "static");
+  const GroupRunRecord measured = cache.group_run(cfg, canon);
+  cache.save_groups(path);
+
+  ProfileCache warm;
+  ASSERT_TRUE(warm.load_groups_if_exists(path));
+  EXPECT_EQ(warm.group_count(), 1u);
+  const GroupRunRecord loaded = warm.group_run(cfg, canon);
+  EXPECT_EQ(warm.group_misses(), 0u)
+      << "a warm group load must perform zero simulations";
+  EXPECT_EQ(warm.group_hits(), 1u);
+  expect_same_record(measured, loaded);
+  EXPECT_EQ(loaded.names[canon.perm[0] == 0 ? 0 : 1], "a space,comma%pct");
+  std::remove(path.c_str());
+}
+
+TEST(GroupCacheTest, EmptyKernelNameRoundTrips) {
+  // A default-constructed KernelParams has an empty name; its group entry
+  // renders `names = ` (escape of "" is ""), which the loader must accept
+  // rather than rejecting the whole store as corrupt.
+  const std::string path = "/tmp/gpumas_group_cache_empty_name.txt";
+  const sim::GpuConfig cfg = small_gpu();
+  auto anon = kernel("", 0.1, 5);
+
+  ProfileCache cache;
+  const auto canon = canonicalize_group(cfg, {anon}, {}, "static");
+  const GroupRunRecord measured = cache.group_run(cfg, canon);
+  cache.save_groups(path);
+
+  ProfileCache warm;
+  warm.load_groups(path);
+  EXPECT_EQ(warm.group_count(), 1u);
+  const GroupRunRecord loaded = warm.group_run(cfg, canon);
+  EXPECT_EQ(warm.group_misses(), 0u);
+  expect_same_record(measured, loaded);
+  EXPECT_EQ(loaded.names, std::vector<std::string>{""});
+  std::remove(path.c_str());
+}
+
+TEST(GroupCacheTest, LoadRejectsCorruptGroupFiles) {
+  const std::string path = "/tmp/gpumas_group_cache_bad.txt";
+  const auto write = [&](const std::string& text) {
+    std::ofstream out(path);
+    out << text;
+  };
+  ProfileCache cache;
+  // Truncated entry.
+  write("[group]\nconfig = 7\ngroup = 9\napps = 2\n");
+  EXPECT_THROW(cache.load_groups(path), std::logic_error);
+  // List length disagrees with apps.
+  write(
+      "[group]\nconfig = 7\ngroup = 9\napps = 2\nnames = a,b\n"
+      "app_cycles = 10\napp_insns = 5,6\ncycles = 10\n"
+      "smra_adjustments = 0\nsmra_reverts = 0\n");
+  EXPECT_THROW(cache.load_groups(path), std::logic_error);
+  // Malformed number.
+  write("[group]\nconfig = banana\n");
+  EXPECT_THROW(cache.load_groups(path), std::logic_error);
+  // Negative and trailing-garbage numbers (istream would wrap/truncate).
+  write("[group]\nconfig = 7\ngroup = -9\n");
+  EXPECT_THROW(cache.load_groups(path), std::logic_error);
+  write(
+      "[group]\nconfig = 7\ngroup = 9\napps = 1\nnames = a\n"
+      "app_cycles = -10\napp_insns = 5\ncycles = 10\n"
+      "smra_adjustments = 0\nsmra_reverts = 0\n");
+  EXPECT_THROW(cache.load_groups(path), std::logic_error);
+  write(
+      "[group]\nconfig = 7\ngroup = 9\napps = 1\nnames = a\n"
+      "app_cycles = 10\napp_insns = 5\ncycles = 10abc\n"
+      "smra_adjustments = 0\nsmra_reverts = 0\n");
+  EXPECT_THROW(cache.load_groups(path), std::logic_error);
+  // Unknown key.
+  write("[group]\nconfig = 7\nmystery = 1\n");
+  EXPECT_THROW(cache.load_groups(path), std::logic_error);
+  // Duplicate key.
+  write("[group]\nconfig = 7\nconfig = 8\n");
+  EXPECT_THROW(cache.load_groups(path), std::logic_error);
+  // Malformed %-escape in a name.
+  write(
+      "[group]\nconfig = 7\ngroup = 9\napps = 1\nnames = a%zz\n"
+      "app_cycles = 10\napp_insns = 5\ncycles = 10\n"
+      "smra_adjustments = 0\nsmra_reverts = 0\n");
+  EXPECT_THROW(cache.load_groups(path), std::logic_error);
+  EXPECT_EQ(cache.group_count(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(GroupCacheTest, ConcurrentGroupRequestsSimulateEachKeyOnce) {
+  const sim::GpuConfig cfg = small_gpu();
+  ProfileCache cache;
+  constexpr int kThreads = 8;
+  std::vector<GroupRunRecord> results(kThreads);
+  {
+    std::vector<std::thread> pool;
+    for (int t = 0; t < kThreads; ++t) {
+      pool.emplace_back([&cache, &results, &cfg, t] {
+        // Even threads all want the same pair — half of them in swapped
+        // member order, so canonicalization is what makes them collide.
+        // Odd threads each bring a distinct co-runner.
+        const auto shared_a = kernel("shared_a", 0.1, 7);
+        const auto shared_b = kernel("shared_b", 0.05, 8);
+        std::vector<sim::KernelParams> group;
+        if (t % 2 == 0) {
+          group = t % 4 == 0
+                      ? std::vector<sim::KernelParams>{shared_a, shared_b}
+                      : std::vector<sim::KernelParams>{shared_b, shared_a};
+        } else {
+          group = {shared_a, kernel("k" + std::to_string(t), 0.1, 100 + t)};
+        }
+        results[t] = cache.group_run(
+            cfg, canonicalize_group(cfg, group, {}, "static"));
+      });
+    }
+    for (auto& th : pool) th.join();
+  }
+  // 4 threads share one canonical pair + 4 distinct pairs.
+  EXPECT_EQ(cache.group_misses(), 5u);
+  EXPECT_EQ(cache.group_hits(), 3u);
+  EXPECT_EQ(cache.group_count(), 5u);
+  for (int t = 2; t < kThreads; t += 2) {
+    expect_same_record(results[0], results[t]);
+  }
 }
 
 }  // namespace

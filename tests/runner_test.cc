@@ -194,6 +194,46 @@ TEST(RunnerTest, PartitionOverridePinsTheSplit) {
   EXPECT_NE(even.total_cycles, skewed.total_cycles);
 }
 
+// Serialized run shape used for exact re-run comparisons.
+std::string serialize(const RunReport& r) {
+  std::ostringstream os;
+  os << r.total_cycles << ":" << r.total_thread_insns;
+  for (const auto& g : r.groups) {
+    os << " " << g.label() << "=" << g.cycles << "/" << g.serial_cycles;
+    for (size_t i = 0; i < g.names.size(); ++i) {
+      os << "," << g.app_cycles[i] << "+" << g.app_thread_insns[i] << "@"
+         << g.slowdowns[i];
+    }
+  }
+  return os.str();
+}
+
+TEST(RunnerTest, RepeatedRunsSimulateZeroGroups) {
+  Fixture f;
+  profile::ProfileCache cache;
+  const QueueRunner runner(f.cfg, f.profiles, f.model, &cache);
+  const RunReport first = runner.run(f.queue, Policy::kEven, 2);
+  const uint64_t misses_after_first = cache.group_misses();
+  EXPECT_GT(misses_after_first, 0u);
+
+  // Same queue, same policy: every group is a cache hit and the report is
+  // byte-identical (slowdowns recomputed, not replayed).
+  const RunReport second = runner.run(f.queue, Policy::kEven, 2);
+  EXPECT_EQ(cache.group_misses(), misses_after_first);
+  EXPECT_EQ(serialize(first), serialize(second));
+
+  // ILP picks different pairings here, so it may simulate new groups — but
+  // any group it shares with Even (same members, same even split) hits.
+  const uint64_t hits_before = cache.group_hits();
+  runner.run(f.queue, Policy::kSerial, 2);
+  const uint64_t serial_misses = cache.group_misses() - misses_after_first;
+  EXPECT_EQ(serial_misses, f.queue.size())
+      << "each job's solo group simulates once";
+  runner.run(f.queue, Policy::kSerial, 2);
+  EXPECT_EQ(cache.group_misses(), misses_after_first + serial_misses);
+  EXPECT_GT(cache.group_hits(), hits_before);
+}
+
 TEST(RunnerTest, ThreeAppGroupsRun) {
   Fixture f;
   // Six jobs so nc = 3 divides evenly: duplicate the queue.
