@@ -22,7 +22,7 @@
 //                         table rows print "-". Combine with
 //                         --dump-results to split a bench across
 //                         processes/machines and merge the outputs.
-//   --dump-results FILE   write one versioned `result v=1 ...` key=value
+//   --dump-results FILE   write one versioned `result v=2 ...` key=value
 //                         record (exp/result_io.h) per executed scenario
 //                         repetition; the sorted union of all shards'
 //                         dumps equals the sorted dump of the unsharded
@@ -43,11 +43,20 @@
 //                         are byte-identical either way; this only trades
 //                         wall-clock time for a cycle-by-cycle trace when
 //                         debugging the simulator core
+//   --sim-mode MODE       detailed (default) | sampled: sampled simulates
+//                         short detailed windows and fast-forwards between
+//                         them (GpuConfig::sim_mode). Sampled results are
+//                         approximate; artifacts carry an accuracy tag in
+//                         their store keys so a shared --profile-cache
+//                         never serves sampled data to a detailed run or
+//                         vice versa
 //   --store-stats         after the bench, print per-layer artifact-store
 //                         statistics (entries and hit/miss counters for
 //                         profiles, scalability curve points, slowdown
 //                         models and group runs) in the merge-results
-//                         summary style, plus the store-growth caveat
+//                         summary style, a detailed/sampled accuracy-split
+//                         sub-line per keyed layer (mixed-store audit),
+//                         plus the store-growth caveat
 #pragma once
 
 #include <cctype>
@@ -63,6 +72,7 @@
 
 #include "common/check.h"
 #include "common/table.h"
+#include "common/text.h"
 #include "exp/experiment.h"
 #include "exp/result_io.h"
 #include "profile/profile.h"
@@ -108,44 +118,20 @@ struct Options {
   bool dump_append = false;
   bool no_skip = false;
   bool store_stats = false;
+  std::string sim_mode;  // "", "detailed" or "sampled"
   int reps = 1;
 };
 
-// Strict decimal integer parsing for CLI values: the whole string must be
-// consumed, so "4x" or "1/2x" is an error instead of silently becoming 4
-// or 1/2 (std::atoi accepted any garbage suffix).
+// Strict decimal CLI parsing — "4x" or "1/2x" is an error instead of
+// silently becoming 4 or 1/2 (std::atoi accepted any garbage suffix). The
+// implementation lives in common/text.h so the benches, merge-results and
+// the file-format parsers all share one strictness contract.
 inline std::optional<int> parse_int(const std::string& s) {
-  // std::stoi would skip leading whitespace; reject it for symmetry with
-  // the trailing-garbage check.
-  if (s.empty() || std::isspace(static_cast<unsigned char>(s[0]))) {
-    return std::nullopt;
-  }
-  size_t pos = 0;
-  int v = 0;
-  try {
-    v = std::stoi(s, &pos);
-  } catch (const std::exception&) {
-    return std::nullopt;
-  }
-  if (pos != s.size()) return std::nullopt;
-  return v;
+  return text::parse_int_strict(s);
 }
 
-// Strict decimal parsing for floating-point CLI values, same contract as
-// parse_int: the whole string must be consumed.
 inline std::optional<double> parse_double(const std::string& s) {
-  if (s.empty() || std::isspace(static_cast<unsigned char>(s[0]))) {
-    return std::nullopt;
-  }
-  size_t pos = 0;
-  double v = 0.0;
-  try {
-    v = std::stod(s, &pos);
-  } catch (const std::exception&) {
-    return std::nullopt;
-  }
-  if (pos != s.size()) return std::nullopt;
-  return v;
+  return text::parse_double_strict(s);
 }
 
 inline std::optional<sched::Policy> parse_policy(const std::string& name) {
@@ -167,7 +153,8 @@ inline Options parse_options(int argc, char** argv) {
               << " [--threads N] [--config FILE] [--profile-cache DIR]"
                  " [--policy serial|even|profile|ilp|ilp-smra]"
                  " [--shard I/N] [--dump-results FILE] [--dump-append]"
-                 " [--reps N] [--no-skip] [--store-stats]\n";
+                 " [--reps N] [--no-skip] [--sim-mode detailed|sampled]"
+                 " [--store-stats]\n";
     std::exit(2);
   };
   for (int i = 1; i < argc; ++i) {
@@ -207,6 +194,11 @@ inline Options parse_options(int argc, char** argv) {
       opts.dump_append = true;
     } else if (arg == "--no-skip") {
       opts.no_skip = true;
+    } else if (arg == "--sim-mode") {
+      opts.sim_mode = value();
+      if (opts.sim_mode != "detailed" && opts.sim_mode != "sampled") {
+        usage("--sim-mode wants detailed or sampled, got " + opts.sim_mode);
+      }
     } else if (arg == "--store-stats") {
       opts.store_stats = true;
     } else if (arg == "--reps") {
@@ -236,6 +228,11 @@ class Harness {
         cfg_ = sim::load_config(opts_.config_path);
       }
       if (opts_.no_skip) cfg_.skip_idle_cycles = false;
+      if (opts_.sim_mode == "sampled") {
+        cfg_.sim_mode = sim::SimMode::kSampled;
+      } else if (opts_.sim_mode == "detailed") {
+        cfg_.sim_mode = sim::SimMode::kDetailed;
+      }
       if (!opts_.dump_path.empty()) {
         // A leftover dump from an earlier run would silently gain this
         // run's records too, and the duplicates would poison every later
@@ -357,6 +354,16 @@ class Harness {
         .cell(cache_.group_hits())
         .cell(cache_.group_misses());
     table.print(os);
+    // Per-layer accuracy split: every artifact's key carries the SimMode it
+    // was measured under, so a mixed store is auditable (and CI asserts
+    // sampled and detailed artifacts never cross-serve).
+    const auto ps = cache_.profile_split();
+    const auto ms = cache_.model_split();
+    const auto gs = cache_.group_split();
+    os << "Accuracy split: profiles " << ps.detailed << " detailed / "
+       << ps.sampled << " sampled; models " << ms.detailed << " detailed / "
+       << ms.sampled << " sampled; group runs " << gs.detailed
+       << " detailed / " << gs.sampled << " sampled\n";
     os << "Note: store entries are keyed by content fingerprint and never "
           "expire, so a long-lived --profile-cache directory grows "
           "monotonically (no eviction/versioning yet; see ROADMAP).\n";

@@ -1,0 +1,391 @@
+// Sampled-simulation accuracy and speedup gate.
+//
+// For each scenario this runs the simulator twice — detailed (the
+// byte-identical reference) and sampled (GpuConfig::sim_mode = kSampled:
+// detailed measurement windows + analytic fast-forward between them) — and
+// gates the approximation:
+//   * per-app IPC error (sampled vs detailed) must stay under
+//     --max-ipc-error percent (default 2%), and
+//   * per-pair slowdown error — each member's co-run cycles over its solo
+//     cycles, computed mode-consistently (sampled slowdowns from sampled
+//     solos) — must stay under --max-slowdown-error percent (default 3%).
+// Either violation exits 1: sampling that misranks co-runs is a
+// correctness bug for every consumer of the mode, not a tuning knob.
+//
+// It also reports the wall-clock speedup of sampled over detailed;
+// --min-speedup gates the scenarios marked speedup_gate (the
+// memory-latency-bound co-run, where sampling pays off most) and fails
+// with exit 3 — informational in CI, like micro_sim_benchmark's
+// thresholds. Results go to stdout as a table and, with --json FILE, to a
+// machine-readable BENCH_sample.json for CI artifacts; the JSON is
+// written before any gate is checked so artifacts survive a red gate.
+//
+// Exit codes: 0 ok; 1 accuracy-gate violation; 2 usage error or an
+// unwritable --json path; 3 a --min-speedup threshold failed.
+//
+// usage: micro_sample_benchmark [--json FILE] [--reps N] [--min-speedup X]
+//                               [--max-ipc-error PCT]
+//                               [--max-slowdown-error PCT]
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/table.h"
+#include "sim/gpu.h"
+
+namespace {
+
+using namespace gpumas;
+
+// A memory-latency-bound kernel (GUPS-class: divergent random access, no
+// mlp, near-zero IPC) — most cycles are DRAM round-trip stalls, the case
+// sampling compresses hardest.
+sim::KernelParams latency_kernel(const std::string& name, uint64_t seed) {
+  sim::KernelParams kp;
+  kp.name = name;
+  kp.num_blocks = 60;
+  kp.warps_per_block = 2;
+  kp.insns_per_warp = 3000;
+  kp.mem_ratio = 0.4;
+  kp.pattern = sim::AccessPattern::kRandom;
+  kp.footprint_bytes = 512ull << 20;
+  kp.divergence = 1;
+  kp.burst_lines = 1;
+  kp.ilp = 1;
+  kp.mlp = 1;
+  kp.seed = seed;
+  return kp;
+}
+
+// The micro_sim_benchmark tiled kernel shape, stretched to ~12x its
+// length so a run spans enough sampling windows for a stable rate
+// estimate and the launch/drain transients (which sampling cannot
+// compress) amortize below the error gates.
+sim::KernelParams tiled_kernel(const std::string& name, double mem_ratio,
+                               uint64_t seed) {
+  sim::KernelParams kp;
+  kp.name = name;
+  kp.num_blocks = 60;
+  kp.warps_per_block = 4;
+  kp.insns_per_warp = 6000;
+  kp.mem_ratio = mem_ratio;
+  kp.footprint_bytes = 32ull << 20;
+  kp.pattern = sim::AccessPattern::kTiled;
+  kp.hot_fraction = 0.7;
+  kp.divergence = 2;
+  kp.ilp = 4;
+  kp.mlp = 4;
+  kp.seed = seed;
+  return kp;
+}
+
+struct Scenario {
+  std::string name;
+  std::vector<sim::KernelParams> kernels;
+  bool speedup_gate = false;  // --min-speedup applies here
+};
+
+struct Measurement {
+  sim::RunResult result;
+  double wall_ms = 0.0;
+  uint64_t ticked_cycles = 0;
+  uint64_t skipped_cycles = 0;
+  uint64_t sample_windows = 0;
+};
+
+Measurement run_once(const std::vector<sim::KernelParams>& kernels,
+                     sim::SimMode mode) {
+  sim::GpuConfig cfg;
+  cfg.sim_mode = mode;
+  // A 20k-cycle period (2k detailed + 18k skipped) instead of the 100k
+  // default: these micro runs finish in ~100-400k cycles, and a short
+  // period both gives the estimator enough windows to be meaningful and
+  // lets a phase change (mixed_pair's compute app finishing first) be
+  // re-measured within one period. The 10x duty ceiling stays above the
+  // 5x acceptance speedup.
+  cfg.sample_detail_cycles = 2'000;
+  cfg.sample_skip_cycles = 18'000;
+  sim::Gpu gpu(cfg);
+  for (const auto& kp : kernels) gpu.launch(kp);
+  const auto t0 = std::chrono::steady_clock::now();
+  Measurement m;
+  m.result = gpu.run_to_completion();
+  const auto t1 = std::chrono::steady_clock::now();
+  m.wall_ms =
+      std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+          t1 - t0)
+          .count();
+  m.ticked_cycles = gpu.ticked_cycles();
+  m.skipped_cycles = gpu.skipped_cycles();
+  m.sample_windows = gpu.sample_windows();
+  return m;
+}
+
+// Best-of-N wall time (least-disturbed run); the simulation itself is
+// deterministic per mode, so only the timing varies across repetitions.
+Measurement run_best(const std::vector<sim::KernelParams>& kernels,
+                     sim::SimMode mode, int reps) {
+  Measurement best = run_once(kernels, mode);
+  for (int i = 1; i < reps; ++i) {
+    Measurement m = run_once(kernels, mode);
+    if (m.wall_ms < best.wall_ms) best.wall_ms = m.wall_ms;
+  }
+  return best;
+}
+
+double pct_error(double approx, double exact) {
+  return exact == 0.0 ? 0.0 : 100.0 * std::abs(approx - exact) / exact;
+}
+
+struct Row {
+  std::string name;
+  uint64_t cycles_detailed = 0;
+  uint64_t cycles_sampled = 0;
+  uint64_t sample_windows = 0;
+  uint64_t ticked_detailed = 0;
+  uint64_t ticked_sampled = 0;
+  double max_ipc_error_pct = 0.0;
+  double max_slowdown_error_pct = 0.0;
+  double wall_ms_detailed = 0.0;
+  double wall_ms_sampled = 0.0;
+  double speedup = 0.0;
+  bool speedup_gate = false;
+};
+
+bool write_json(const std::string& path, const std::vector<Row>& rows,
+                int reps) {
+  std::ofstream out(path);
+  if (!out.good()) {
+    std::cerr << "cannot write --json file " << path << "\n";
+    return false;
+  }
+  out << std::setprecision(6) << std::fixed;
+  out << "{\n  \"version\": 1,\n  \"reps\": " << reps
+      << ",\n  \"scenarios\": [\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    out << "    {\n"
+        << "      \"name\": \"" << r.name << "\",\n"
+        << "      \"cycles_detailed\": " << r.cycles_detailed << ",\n"
+        << "      \"cycles_sampled\": " << r.cycles_sampled << ",\n"
+        << "      \"sample_windows\": " << r.sample_windows << ",\n"
+        << "      \"ticked_cycles_detailed\": " << r.ticked_detailed << ",\n"
+        << "      \"ticked_cycles_sampled\": " << r.ticked_sampled << ",\n"
+        << "      \"max_ipc_error_pct\": " << r.max_ipc_error_pct << ",\n"
+        << "      \"max_slowdown_error_pct\": " << r.max_slowdown_error_pct
+        << ",\n"
+        << "      \"wall_ms_detailed\": " << r.wall_ms_detailed << ",\n"
+        << "      \"wall_ms_sampled\": " << r.wall_ms_sampled << ",\n"
+        << "      \"speedup\": " << r.speedup << ",\n"
+        << "      \"speedup_gate\": " << (r.speedup_gate ? "true" : "false")
+        << "\n"
+        << "    }" << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  out.flush();
+  if (!out.good()) {
+    std::cerr << "error writing --json file " << path << "\n";
+    return false;
+  }
+  std::cerr << "[bench] wrote " << path << "\n";
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  int reps = 1;
+  double min_speedup = 0.0;
+  double max_ipc_error = 2.0;       // percent
+  double max_slowdown_error = 3.0;  // percent
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << arg << "\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    const auto int_value = [&](int min) {
+      const std::string v = value();
+      const auto n = bench::parse_int(v);
+      if (!n || *n < min) {
+        std::cerr << arg << " wants an integer >= " << min << ", got " << v
+                  << "\n";
+        std::exit(2);
+      }
+      return *n;
+    };
+    const auto double_value = [&]() {
+      const std::string v = value();
+      const auto d = bench::parse_double(v);
+      if (!d || !std::isfinite(*d) || *d <= 0.0) {
+        std::cerr << arg << " wants a positive finite number, got " << v
+                  << "\n";
+        std::exit(2);
+      }
+      return *d;
+    };
+    if (arg == "--json") {
+      json_path = value();
+    } else if (arg == "--reps") {
+      reps = int_value(1);
+    } else if (arg == "--min-speedup") {
+      min_speedup = double_value();
+    } else if (arg == "--max-ipc-error") {
+      max_ipc_error = double_value();
+    } else if (arg == "--max-slowdown-error") {
+      max_slowdown_error = double_value();
+    } else {
+      std::cerr << "usage: " << argv[0]
+                << " [--json FILE] [--reps N] [--min-speedup X]"
+                   " [--max-ipc-error PCT] [--max-slowdown-error PCT]\n";
+      return 2;
+    }
+  }
+
+  std::vector<Scenario> scenarios;
+  {
+    // The acceptance scenario: two co-scheduled memory-latency-bound apps.
+    // Detailed mode already event-horizon-skips the stall cycles, so the
+    // speedup measured here is sampling's own contribution on top of it.
+    Scenario s;
+    s.name = "memory_pair";
+    s.kernels = {latency_kernel("lat", 3), latency_kernel("lat2", 11)};
+    s.speedup_gate = true;
+    scenarios.push_back(s);
+  }
+  {
+    Scenario s;
+    s.name = "bandwidth_pair";
+    s.kernels = {tiled_kernel("bw", 0.3, 3), tiled_kernel("bw2", 0.3, 11)};
+    scenarios.push_back(s);
+  }
+  {
+    Scenario s;
+    s.name = "compute_pair";
+    s.kernels = {tiled_kernel("cp", 0.02, 3), tiled_kernel("cp2", 0.02, 11)};
+    scenarios.push_back(s);
+  }
+  {
+    Scenario s;
+    s.name = "mixed_pair";
+    s.kernels = {tiled_kernel("cp", 0.02, 3), tiled_kernel("bw2", 0.3, 11)};
+    scenarios.push_back(s);
+  }
+
+  // Solo runs for the slowdown denominators, memoized per kernel and mode
+  // (mode-consistent: sampled slowdowns use sampled solos, so the pipeline
+  // a --sim-mode sampled bench runs end to end is what gets gated).
+  std::map<std::string, Measurement> solo[2];
+  const auto solo_of = [&](const sim::KernelParams& kp,
+                           sim::SimMode mode) -> const Measurement& {
+    auto& memo = solo[mode == sim::SimMode::kSampled ? 1 : 0];
+    const auto it = memo.find(kp.name);
+    if (it != memo.end()) return it->second;
+    return memo.emplace(kp.name, run_best({kp}, mode, reps)).first->second;
+  };
+
+  std::vector<Row> rows;
+  for (const Scenario& s : scenarios) {
+    const Measurement detailed =
+        run_best(s.kernels, sim::SimMode::kDetailed, reps);
+    const Measurement sampled =
+        run_best(s.kernels, sim::SimMode::kSampled, reps);
+    Row row;
+    row.name = s.name;
+    row.cycles_detailed = detailed.result.cycles;
+    row.cycles_sampled = sampled.result.cycles;
+    row.sample_windows = sampled.sample_windows;
+    row.ticked_detailed = detailed.ticked_cycles;
+    row.ticked_sampled = sampled.ticked_cycles;
+    row.wall_ms_detailed = detailed.wall_ms;
+    row.wall_ms_sampled = sampled.wall_ms;
+    row.speedup = sampled.wall_ms > 0.0 ? detailed.wall_ms / sampled.wall_ms
+                                        : 0.0;
+    row.speedup_gate = s.speedup_gate;
+    for (size_t a = 0; a < s.kernels.size(); ++a) {
+      row.max_ipc_error_pct =
+          std::max(row.max_ipc_error_pct,
+                   pct_error(sampled.result.app_ipc(a),
+                             detailed.result.app_ipc(a)));
+      if (s.kernels.size() < 2) continue;
+      const Measurement& solo_d = solo_of(s.kernels[a], sim::SimMode::kDetailed);
+      const Measurement& solo_s = solo_of(s.kernels[a], sim::SimMode::kSampled);
+      const double sd_detailed =
+          static_cast<double>(detailed.result.apps[a].finish_cycle) /
+          static_cast<double>(solo_d.result.apps[0].finish_cycle);
+      const double sd_sampled =
+          static_cast<double>(sampled.result.apps[a].finish_cycle) /
+          static_cast<double>(solo_s.result.apps[0].finish_cycle);
+      row.max_slowdown_error_pct = std::max(
+          row.max_slowdown_error_pct, pct_error(sd_sampled, sd_detailed));
+    }
+    rows.push_back(row);
+  }
+
+  gpumas::Table table({"scenario", "cycles (detailed)", "cycles (sampled)",
+                       "windows", "IPC err%", "slowdown err%", "detailed ms",
+                       "sampled ms", "speedup"});
+  for (const Row& r : rows) {
+    table.begin_row()
+        .cell(r.name)
+        .cell(r.cycles_detailed)
+        .cell(r.cycles_sampled)
+        .cell(r.sample_windows)
+        .cell(r.max_ipc_error_pct, 2)
+        .cell(r.max_slowdown_error_pct, 2)
+        .cell(r.wall_ms_detailed, 2)
+        .cell(r.wall_ms_sampled, 2)
+        .cell(r.speedup, 2);
+  }
+  table.print(std::cout);
+
+  // A missing artifact must not let the CI gate pass silently.
+  const bool json_ok = json_path.empty() || write_json(json_path, rows, reps);
+  if (!json_ok) return 2;
+
+  bool accuracy_ok = true;
+  double worst_ipc = 0.0, worst_slowdown = 0.0;
+  for (const Row& r : rows) {
+    worst_ipc = std::max(worst_ipc, r.max_ipc_error_pct);
+    worst_slowdown = std::max(worst_slowdown, r.max_slowdown_error_pct);
+    if (r.max_ipc_error_pct > max_ipc_error) {
+      std::cerr << "ACCURACY VIOLATION in " << r.name << ": IPC error "
+                << r.max_ipc_error_pct << "% > allowed " << max_ipc_error
+                << "%\n";
+      accuracy_ok = false;
+    }
+    if (r.max_slowdown_error_pct > max_slowdown_error) {
+      std::cerr << "ACCURACY VIOLATION in " << r.name << ": slowdown error "
+                << r.max_slowdown_error_pct << "% > allowed "
+                << max_slowdown_error << "%\n";
+      accuracy_ok = false;
+    }
+  }
+  if (!accuracy_ok) return 1;
+  std::cout << "sample accuracy gates passed (worst IPC error "
+            << std::setprecision(2) << std::fixed << worst_ipc
+            << "% <= " << max_ipc_error << "%, worst slowdown error "
+            << worst_slowdown << "% <= " << max_slowdown_error << "%)\n";
+
+  bool thresholds_ok = true;
+  for (const Row& r : rows) {
+    if (min_speedup > 0.0 && r.speedup_gate && r.speedup < min_speedup) {
+      std::cerr << "threshold: " << r.name << " speedup " << r.speedup
+                << " < required " << min_speedup << "\n";
+      thresholds_ok = false;
+    }
+  }
+  return thresholds_ok ? 0 : 3;
+}

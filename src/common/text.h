@@ -2,7 +2,9 @@
 // profile::ProfileCache, exp::result_io) and the fingerprinting helpers.
 #pragma once
 
+#include <cctype>
 #include <cstdint>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -102,5 +104,57 @@ inline uint64_t fnv1a(const std::string& s,
   }
   return h;
 }
+
+// Strict whole-string numeric parsers for CLI flags and file values:
+// nullopt on any leading/trailing junk (whitespace included, which
+// std::stoi would skip) and on overflow, so "4x" or " 4" can never
+// silently become 4.
+namespace text {
+
+inline std::optional<int> parse_int_strict(const std::string& s) {
+  if (s.empty() || std::isspace(static_cast<unsigned char>(s[0]))) {
+    return std::nullopt;
+  }
+  try {
+    size_t pos = 0;
+    const int v = std::stoi(s, &pos);
+    if (pos != s.size()) return std::nullopt;
+    return v;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+inline std::optional<double> parse_double_strict(const std::string& s) {
+  if (s.empty() || std::isspace(static_cast<unsigned char>(s[0]))) {
+    return std::nullopt;
+  }
+  try {
+    size_t pos = 0;
+    const double v = std::stod(s, &pos);
+    if (pos != s.size()) return std::nullopt;
+    return v;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+// Unsigned decimal: digits only (no sign, no whitespace, no hex).
+inline std::optional<uint64_t> parse_u64_strict(const std::string& s) {
+  if (s.empty()) return std::nullopt;
+  for (const char c : s) {
+    if (c < '0' || c > '9') return std::nullopt;
+  }
+  try {
+    size_t pos = 0;
+    const unsigned long long v = std::stoull(s, &pos);
+    if (pos != s.size()) return std::nullopt;
+    return static_cast<uint64_t>(v);
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace text
 
 }  // namespace gpumas

@@ -86,7 +86,7 @@ std::vector<std::string> split_csv(const std::string& v) {
   return split_commas(v);
 }
 
-sched::RunReport report_from_tokens(TokenMap& t) {
+sched::RunReport report_from_tokens(TokenMap& t, int version) {
   sched::RunReport report;
   report.policy = sched::policy_from_name(t.take("policy"));
   report.total_cycles = parse_u64(t.take("cycles"), "cycles");
@@ -128,9 +128,22 @@ sched::RunReport report_from_tokens(TokenMap& t) {
     grp.cycles = parse_u64(t.take(p + "cycles"), "group cycles");
     grp.serial_cycles =
         parse_u64(t.take(p + "serial_cycles"), "serial_cycles");
+    if (version >= 2) {
+      // v2 simulator-efficiency counters; a v1 record predates them and
+      // loads zeros (TokenMap strictness rejects them in a v1 line).
+      grp.ticked_cycles = parse_u64(t.take(p + "ticked_cycles"),
+                                    "ticked_cycles");
+      grp.skipped_cycles = parse_u64(t.take(p + "skipped_cycles"),
+                                     "skipped_cycles");
+      grp.sample_windows = parse_u64(t.take(p + "sample_windows"),
+                                     "sample_windows");
+    }
     grp.smra_adjustments =
         parse_u64(t.take(p + "smra_adjustments"), "smra_adjustments");
     grp.smra_reverts = parse_u64(t.take(p + "smra_reverts"), "smra_reverts");
+    report.total_ticked_cycles += grp.ticked_cycles;
+    report.total_skipped_cycles += grp.skipped_cycles;
+    report.total_sample_windows += grp.sample_windows;
     report.groups.push_back(std::move(grp));
   }
   return report;
@@ -177,6 +190,9 @@ std::string to_string(const sched::RunReport& report) {
     append_csv(os, grp.slowdowns, [&](double v) { os << v; });
     os << p << "cycles=" << grp.cycles << p
        << "serial_cycles=" << grp.serial_cycles << p
+       << "ticked_cycles=" << grp.ticked_cycles << p
+       << "skipped_cycles=" << grp.skipped_cycles << p
+       << "sample_windows=" << grp.sample_windows << p
        << "smra_adjustments=" << grp.smra_adjustments << p
        << "smra_reverts=" << grp.smra_reverts;
   }
@@ -185,7 +201,7 @@ std::string to_string(const sched::RunReport& report) {
 
 sched::RunReport report_from_string(const std::string& fragment) {
   TokenMap t(fragment);
-  sched::RunReport report = report_from_tokens(t);
+  sched::RunReport report = report_from_tokens(t, kFormatVersion);
   t.expect_empty();
   return report;
 }
@@ -216,10 +232,11 @@ Record parse_record(const std::string& line) {
                    "result record: missing version token (expected v="
                        << kFormatVersion << ")");
   const int version = parse_nonneg_int(vtok.substr(2), "v");
-  GPUMAS_CHECK_MSG(version == kFormatVersion,
+  GPUMAS_CHECK_MSG(version >= kMinFormatVersion && version <= kFormatVersion,
                    "result record: unsupported format version v="
                        << version << " (this reader understands v="
-                       << kFormatVersion << ")");
+                       << kMinFormatVersion << "..v=" << kFormatVersion
+                       << ")");
   std::string rest;
   std::getline(in, rest);
   TokenMap t(rest);
@@ -234,7 +251,7 @@ Record parse_record(const std::string& line) {
                                          << " out of range for reps "
                                          << rec.reps);
   rec.name = unescape(t.take("name"));
-  rec.report = report_from_tokens(t);
+  rec.report = report_from_tokens(t, version);
   t.expect_empty();
   return rec;
 }

@@ -4,10 +4,11 @@
 // A dump is a sequence of self-contained record lines, one per executed
 // scenario repetition, in the key=value idiom the other artifacts use:
 //
-//   result v=1 batch=0 idx=3 rep=0 reps=2 name=Equal-dist/ILP policy=ILP
+//   result v=2 batch=0 idx=3 rep=0 reps=2 name=Equal-dist/ILP policy=ILP
 //     cycles=812345 insns=1234567 groups=2
 //     g0.apps=GUPS,HS g0.app_cycles=4000,3500 g0.app_insns=9000,8000
 //     g0.slowdowns=1.2,1.4 g0.cycles=4000 g0.serial_cycles=7000
+//     g0.ticked_cycles=2500 g0.skipped_cycles=1500 g0.sample_windows=0
 //     g0.smra_adjustments=3 g0.smra_reverts=1 g1....
 //
 // (shown wrapped; a record is one line). `batch` counts the Harness::run()
@@ -36,7 +37,12 @@ namespace gpumas::exp::result_io {
 
 // Stamped into every record line as `v=N`; bump when the schema changes.
 // A reader rejects any other version rather than guessing at fields.
-inline constexpr int kFormatVersion = 1;
+// v1 records (pre simulator-efficiency counters) still parse: their
+// per-group ticked/skipped/sample_windows fields load as zero. v2 adds
+// `gK.ticked_cycles`, `gK.skipped_cycles` and `gK.sample_windows` —
+// required in a v2 record, rejected in a v1 record.
+inline constexpr int kFormatVersion = 2;
+inline constexpr int kMinFormatVersion = 1;
 
 // Percent-escaping for names embedded in record values: '%', '=', ',',
 // whitespace and control bytes become %XX so a value never contains a

@@ -23,6 +23,24 @@ std::string render_double(double v) {
   return os.str();
 }
 
+// The on-disk rendering of an artifact's simulation fidelity. Loaders
+// accept exactly these two strings; anything else marks a mangled store.
+const char* accuracy_name(sim::SimMode m) {
+  return m == sim::SimMode::kSampled ? "sampled" : "detailed";
+}
+
+bool accuracy_from_name(const std::string& v, sim::SimMode* out) {
+  if (v == "detailed") {
+    *out = sim::SimMode::kDetailed;
+    return true;
+  }
+  if (v == "sampled") {
+    *out = sim::SimMode::kSampled;
+    return true;
+  }
+  return false;
+}
+
 }  // namespace
 
 uint64_t config_fingerprint(const sim::GpuConfig& cfg) {
@@ -84,6 +102,7 @@ CanonicalGroup canonicalize_group(const sim::GpuConfig& cfg,
   canon.config_fp = config_fingerprint(cfg);
   canon.group_fp =
       fnv1a(sim::group_to_string(canon_fps, canon.partition, mode));
+  canon.accuracy = cfg.sim_mode;
   return canon;
 }
 
@@ -97,6 +116,9 @@ GroupRunRecord simulate_static_group(
 
   GroupRunRecord record;
   record.group_cycles = run.cycles;
+  record.ticked_cycles = gpu.ticked_cycles();
+  record.skipped_cycles = gpu.skipped_cycles();
+  record.sample_windows = gpu.sample_windows();
   record.names.reserve(kernels.size());
   for (size_t i = 0; i < kernels.size(); ++i) {
     record.names.push_back(kernels[i].name);
@@ -120,7 +142,8 @@ uint64_t model_suite_fingerprint(const std::vector<sim::KernelParams>& kernels,
 AppProfile ProfileCache::raw_solo(const sim::GpuConfig& cfg,
                                   const sim::KernelParams& kp, int num_sms) {
   if (num_sms <= 0) num_sms = cfg.num_sms;
-  return lookup(Key{config_fingerprint(cfg), kernel_fingerprint(kp), num_sms},
+  return lookup(Key{config_fingerprint(cfg), kernel_fingerprint(kp), num_sms,
+                    cfg.sim_mode},
                 cfg, kp, num_sms);
 }
 
@@ -173,7 +196,7 @@ std::vector<ScalabilityPoint> ProfileCache::scalability(
     const std::vector<int>& sm_counts) {
   // The fingerprints are invariant across the grid; hash once, not per
   // point (ProfileBased queries this on every candidate split).
-  Key key{config_fingerprint(cfg), kernel_fingerprint(kp), 0};
+  Key key{config_fingerprint(cfg), kernel_fingerprint(kp), 0, cfg.sim_mode};
   std::vector<ScalabilityPoint> points;
   points.reserve(sm_counts.size());
   for (const int n : sm_counts) {
@@ -200,7 +223,7 @@ std::shared_ptr<const interference::SlowdownModel> ProfileCache::model(
     bool with_triples, int measure_threads) {
   const ModelKey key{config_fingerprint(cfg),
                      model_suite_fingerprint(kernels, profiles),
-                     max_samples_per_cell, with_triples};
+                     max_samples_per_cell, with_triples, cfg.sim_mode};
   std::promise<std::shared_ptr<const interference::SlowdownModel>> promise;
   std::shared_future<std::shared_ptr<const interference::SlowdownModel>>
       future;
@@ -246,7 +269,7 @@ std::shared_ptr<const interference::SlowdownModel> ProfileCache::model(
 GroupRunRecord ProfileCache::group_run(const sim::GpuConfig& cfg,
                                        const CanonicalGroup& canon,
                                        const GroupSimulator& simulate) {
-  const GroupKey key{canon.config_fp, canon.group_fp};
+  const GroupKey key{canon.config_fp, canon.group_fp, canon.accuracy};
   std::promise<GroupRunRecord> promise;
   std::shared_future<GroupRunRecord> future;
   bool owner = false;
@@ -351,6 +374,33 @@ size_t ProfileCache::model_count() const {
   return models_.size();
 }
 
+ProfileCache::AccuracySplit ProfileCache::profile_split() const {
+  AccuracySplit split;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [key, future] : entries_) {
+    (key.accuracy == sim::SimMode::kSampled ? split.sampled : split.detailed)++;
+  }
+  return split;
+}
+
+ProfileCache::AccuracySplit ProfileCache::model_split() const {
+  AccuracySplit split;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [key, future] : models_) {
+    (key.accuracy == sim::SimMode::kSampled ? split.sampled : split.detailed)++;
+  }
+  return split;
+}
+
+ProfileCache::AccuracySplit ProfileCache::group_split() const {
+  AccuracySplit split;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [key, future] : groups_) {
+    (key.accuracy == sim::SimMode::kSampled ? split.sampled : split.detailed)++;
+  }
+  return split;
+}
+
 void ProfileCache::insert_loaded(const Key& key, const AppProfile& p) {
   std::promise<AppProfile> promise;
   promise.set_value(p);
@@ -360,7 +410,7 @@ void ProfileCache::insert_loaded(const Key& key, const AppProfile& p) {
 
 void ProfileCache::save(const std::string& path) const {
   std::ostringstream os;
-  os << "# gpumas profile cache v1\n";
+  os << "# gpumas profile cache v2\n";
   std::map<Key, std::shared_future<AppProfile>> snapshot;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -381,6 +431,7 @@ void ProfileCache::save(const std::string& path) const {
        << "config = " << key.config_fp << "\n"
        << "kernel = " << key.kernel_fp << "\n"
        << "sms = " << key.sms << "\n"
+       << "accuracy = " << accuracy_name(key.accuracy) << "\n"
        << "name = " << p.name << "\n"
        << "mb_gbps = " << render_double(p.mb_gbps) << "\n"
        << "l2l1_gbps = " << render_double(p.l2l1_gbps) << "\n"
@@ -402,11 +453,11 @@ void ProfileCache::load(const std::string& path) {
   std::ifstream in(path);
   GPUMAS_CHECK_MSG(in.good(), "cannot open profile cache '" << path << "'");
 
-  // save() writes 12 keys per entry (config, kernel, sms, name and the 8
-  // measurement fields); an entry must carry all of them, otherwise the
-  // file was truncated or hand-mangled and loading it would serve
-  // silently zeroed measurements.
-  constexpr size_t kNumRequired = 12;
+  // save() writes 13 keys per entry (config, kernel, sms, accuracy, name
+  // and the 8 measurement fields); an entry must carry all of them,
+  // otherwise the file was truncated or hand-mangled and loading it would
+  // serve silently zeroed measurements.
+  constexpr size_t kNumRequired = 13;
 
   Key key;
   AppProfile p;
@@ -454,6 +505,7 @@ void ProfileCache::load(const std::string& path) {
     if (k == "config") ok = static_cast<bool>(vs >> key.config_fp);
     else if (k == "kernel") ok = static_cast<bool>(vs >> key.kernel_fp);
     else if (k == "sms") ok = static_cast<bool>(vs >> key.sms);
+    else if (k == "accuracy") ok = accuracy_from_name(v, &key.accuracy);
     else if (k == "name") p.name = v;
     else if (k == "mb_gbps") ok = static_cast<bool>(vs >> p.mb_gbps);
     else if (k == "l2l1_gbps") ok = static_cast<bool>(vs >> p.l2l1_gbps);
@@ -487,7 +539,7 @@ bool ProfileCache::load_if_exists(const std::string& path) {
 
 void ProfileCache::save_models(const std::string& path) const {
   std::ostringstream os;
-  os << "# gpumas model cache v1\n";
+  os << "# gpumas model cache v2\n";
   std::map<ModelKey,
            std::shared_future<std::shared_ptr<const interference::SlowdownModel>>>
       snapshot;
@@ -511,6 +563,7 @@ void ProfileCache::save_models(const std::string& path) const {
        << "suite = " << key.suite_fp << "\n"
        << "samples_per_cell = " << key.samples << "\n"
        << "triples = " << (key.triples ? 1 : 0) << "\n"
+       << "accuracy = " << accuracy_name(key.accuracy) << "\n"
        << model->to_string();
   }
   std::ofstream out(path);
@@ -531,11 +584,11 @@ void ProfileCache::load_models(const std::string& path) {
   int entry_line = 0;
   const auto flush = [&] {
     if (in_entry) {
-      GPUMAS_CHECK_MSG(
-          seen_keys.size() == 4,
-          "model cache entry at line "
-              << entry_line
-              << " is missing its config/suite/samples_per_cell/triples key");
+      GPUMAS_CHECK_MSG(seen_keys.size() == 5,
+                       "model cache entry at line "
+                           << entry_line
+                           << " is missing its config/suite/samples_per_cell/"
+                              "triples/accuracy key");
       // from_string validates the model body (all cells, multi_count).
       insert_loaded_model(
           key, interference::SlowdownModel::from_string(model_text));
@@ -577,6 +630,8 @@ void ProfileCache::load_models(const std::string& path) {
       int t = 0;
       ok = static_cast<bool>(vs >> t) && (t == 0 || t == 1);
       key.triples = t == 1;
+    } else if (k == "accuracy") {
+      ok = accuracy_from_name(v, &key.accuracy);
     } else {
       // A model-body line; SlowdownModel::from_string owns its validation.
       model_text += line;
@@ -639,7 +694,7 @@ std::vector<uint64_t> parse_u64_list(const std::string& v, size_t expected,
 
 void ProfileCache::save_groups(const std::string& path) const {
   std::ostringstream os;
-  os << "# gpumas group-run cache v1\n";
+  os << "# gpumas group-run cache v2\n";
   std::map<GroupKey, std::shared_future<GroupRunRecord>> snapshot;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -672,11 +727,15 @@ void ProfileCache::save_groups(const std::string& path) const {
     os << "[group]\n"
        << "config = " << key.config_fp << "\n"
        << "group = " << key.group_fp << "\n"
+       << "accuracy = " << accuracy_name(key.accuracy) << "\n"
        << "apps = " << record.names.size() << "\n"
        << "names = " << names << "\n"
        << "app_cycles = " << join(record.app_cycles) << "\n"
        << "app_insns = " << join(record.app_thread_insns) << "\n"
        << "cycles = " << record.group_cycles << "\n"
+       << "ticked_cycles = " << record.ticked_cycles << "\n"
+       << "skipped_cycles = " << record.skipped_cycles << "\n"
+       << "sample_windows = " << record.sample_windows << "\n"
        << "smra_adjustments = " << record.smra_adjustments << "\n"
        << "smra_reverts = " << record.smra_reverts << "\n";
   }
@@ -691,10 +750,10 @@ void ProfileCache::load_groups(const std::string& path) {
   std::ifstream in(path);
   GPUMAS_CHECK_MSG(in.good(), "cannot open group cache '" << path << "'");
 
-  // save_groups writes 9 keys per entry; all must be present, the three
+  // save_groups writes 13 keys per entry; all must be present, the three
   // lists must have exactly `apps` elements, and every value must parse —
   // a truncated or hand-mangled store must never serve zeroed co-runs.
-  constexpr size_t kNumRequired = 9;
+  constexpr size_t kNumRequired = 13;
 
   GroupKey key;
   GroupRunRecord record;
@@ -763,12 +822,19 @@ void ProfileCache::load_groups(const std::string& path) {
     bool ok = true;
     if (k == "config") ok = unsgn && static_cast<bool>(vs >> key.config_fp);
     else if (k == "group") ok = unsgn && static_cast<bool>(vs >> key.group_fp);
+    else if (k == "accuracy") ok = accuracy_from_name(v, &key.accuracy);
     else if (k == "apps") ok = unsgn && static_cast<bool>(vs >> apps);
     else if (k == "names") names_v = v;
     else if (k == "app_cycles") cycles_v = v;
     else if (k == "app_insns") insns_v = v;
     else if (k == "cycles")
       ok = unsgn && static_cast<bool>(vs >> record.group_cycles);
+    else if (k == "ticked_cycles")
+      ok = unsgn && static_cast<bool>(vs >> record.ticked_cycles);
+    else if (k == "skipped_cycles")
+      ok = unsgn && static_cast<bool>(vs >> record.skipped_cycles);
+    else if (k == "sample_windows")
+      ok = unsgn && static_cast<bool>(vs >> record.sample_windows);
     else if (k == "smra_adjustments")
       ok = unsgn && static_cast<bool>(vs >> record.smra_adjustments);
     else if (k == "smra_reverts")

@@ -75,6 +75,12 @@ struct GroupRunRecord {
   uint64_t group_cycles = 0;               // group completion cycle
   uint64_t smra_adjustments = 0;           // 0 for static groups
   uint64_t smra_reverts = 0;
+  // Simulation-efficiency accounting of the run that produced the record:
+  // executed vs fast-forwarded cycles, and the number of detailed
+  // measurement windows when the run was sampled (0 for detailed runs).
+  uint64_t ticked_cycles = 0;
+  uint64_t skipped_cycles = 0;
+  uint64_t sample_windows = 0;
 };
 
 // A co-run group reduced to canonical form: members stably sorted by
@@ -88,6 +94,9 @@ struct CanonicalGroup {
   std::vector<sim::KernelParams> kernels;  // canonical order
   std::vector<int> partition;              // canonical order, resolved
   std::vector<size_t> perm;
+  // Simulation fidelity of cfg at canonicalization time: part of the store
+  // key, so sampled and detailed records never cross-serve.
+  sim::SimMode accuracy = sim::SimMode::kDetailed;
 };
 
 // `partition` empty = even split over cfg.num_sms. `mode` names the
@@ -173,6 +182,19 @@ class ProfileCache {
   uint64_t group_misses() const;  // group runs that simulated
   size_t group_count() const;     // resident group records
 
+  // Per-accuracy entry counts of one store layer. Every artifact carries
+  // the SimMode it was measured under in its key (and as an `accuracy =`
+  // field on disk); these counters make a mixed store auditable
+  // (--store-stats) and let CI assert that sampled and detailed artifacts
+  // never cross-serve.
+  struct AccuracySplit {
+    size_t detailed = 0;
+    size_t sampled = 0;
+  };
+  AccuracySplit profile_split() const;
+  AccuracySplit model_split() const;
+  AccuracySplit group_split() const;
+
   // --- persistence (config_io key = value idiom) ---
   // Profile-only single-file form.
   void save(const std::string& path) const;
@@ -197,14 +219,21 @@ class ProfileCache {
   bool load_store_if_exists(const std::string& dir);
 
  private:
+  // Every key carries the simulation fidelity the artifact was measured
+  // under. The config fingerprint already separates modes (sim_mode is part
+  // of the config rendering), but the explicit field makes the separation
+  // structural — loaders reject entries whose accuracy tag is corrupt, and
+  // the per-accuracy counters above need it to audit mixed stores.
   struct Key {
     uint64_t config_fp = 0;
     uint64_t kernel_fp = 0;
     int sms = 0;
+    sim::SimMode accuracy = sim::SimMode::kDetailed;
     bool operator<(const Key& o) const {
       if (config_fp != o.config_fp) return config_fp < o.config_fp;
       if (kernel_fp != o.kernel_fp) return kernel_fp < o.kernel_fp;
-      return sms < o.sms;
+      if (sms != o.sms) return sms < o.sms;
+      return accuracy < o.accuracy;
     }
   };
 
@@ -213,20 +242,24 @@ class ProfileCache {
     uint64_t suite_fp = 0;
     int samples = 0;
     bool triples = false;
+    sim::SimMode accuracy = sim::SimMode::kDetailed;
     bool operator<(const ModelKey& o) const {
       if (config_fp != o.config_fp) return config_fp < o.config_fp;
       if (suite_fp != o.suite_fp) return suite_fp < o.suite_fp;
       if (samples != o.samples) return samples < o.samples;
-      return triples < o.triples;
+      if (triples != o.triples) return triples < o.triples;
+      return accuracy < o.accuracy;
     }
   };
 
   struct GroupKey {
     uint64_t config_fp = 0;
     uint64_t group_fp = 0;
+    sim::SimMode accuracy = sim::SimMode::kDetailed;
     bool operator<(const GroupKey& o) const {
       if (config_fp != o.config_fp) return config_fp < o.config_fp;
-      return group_fp < o.group_fp;
+      if (group_fp != o.group_fp) return group_fp < o.group_fp;
+      return accuracy < o.accuracy;
     }
   };
 

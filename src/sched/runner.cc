@@ -157,6 +157,9 @@ profile::GroupRunRecord simulate_smra_group(
 
   profile::GroupRunRecord record;
   record.group_cycles = gpu.cycle();
+  record.ticked_cycles = gpu.ticked_cycles();
+  record.skipped_cycles = gpu.skipped_cycles();
+  record.sample_windows = gpu.sample_windows();
   record.smra_adjustments = controller.adjustments();
   record.smra_reverts = controller.reverts();
   for (size_t i = 0; i < kernels.size(); ++i) {
@@ -216,6 +219,9 @@ GroupReport QueueRunner::run_group(
   report.cycles = record.group_cycles;
   report.smra_adjustments = record.smra_adjustments;
   report.smra_reverts = record.smra_reverts;
+  report.ticked_cycles = record.ticked_cycles;
+  report.skipped_cycles = record.skipped_cycles;
+  report.sample_windows = record.sample_windows;
   report.names.resize(group.size());
   report.app_cycles.resize(group.size());
   report.app_thread_insns.resize(group.size());
@@ -242,6 +248,9 @@ RunReport QueueRunner::run(const std::vector<Job>& queue, Policy policy,
   for (const auto& group : groups) {
     GroupReport g = run_group(group, policy, smra, partition_override);
     report.total_cycles += g.cycles;
+    report.total_ticked_cycles += g.ticked_cycles;
+    report.total_skipped_cycles += g.skipped_cycles;
+    report.total_sample_windows += g.sample_windows;
     for (uint64_t insns : g.app_thread_insns) {
       report.total_thread_insns += insns;
     }

@@ -29,6 +29,11 @@ struct GroupReport {
   uint64_t serial_cycles = 0;              // sum of members' solo cycles
   uint64_t smra_adjustments = 0;  // SMRA moves during this group (IlpSmra)
   uint64_t smra_reverts = 0;      // moves undone by the throughput guard
+  // Simulator-efficiency accounting for this group's run (cycles ==
+  // ticked + skipped; sample_windows > 0 only in sampled mode).
+  uint64_t ticked_cycles = 0;
+  uint64_t skipped_cycles = 0;
+  uint64_t sample_windows = 0;
 
   std::string label() const {
     std::string s;
@@ -45,6 +50,10 @@ struct RunReport {
   std::vector<GroupReport> groups;
   uint64_t total_cycles = 0;
   uint64_t total_thread_insns = 0;
+  // Queue-wide simulator-efficiency totals (sums over groups).
+  uint64_t total_ticked_cycles = 0;
+  uint64_t total_skipped_cycles = 0;
+  uint64_t total_sample_windows = 0;
 
   // Device throughput over the whole queue, Eq 1.1.
   double device_throughput() const {

@@ -95,6 +95,9 @@ const std::map<std::string, Field>& fields() {
       {"channel_queue_size",
        number_field(&GpuConfig::channel_queue_size)},
       {"skip_idle_cycles", number_field(&GpuConfig::skip_idle_cycles)},
+      {"sample_detail_cycles",
+       number_field(&GpuConfig::sample_detail_cycles)},
+      {"sample_skip_cycles", number_field(&GpuConfig::sample_skip_cycles)},
       {"max_cycles", number_field(&GpuConfig::max_cycles)},
   };
   return kFields;
@@ -112,6 +115,8 @@ std::string config_to_string(const GpuConfig& cfg) {
   os << "mem_sched = "
      << (cfg.mem_sched == MemSchedPolicy::kFrFcfs ? "frfcfs" : "fcfs")
      << "\n";
+  os << "sim_mode = "
+     << (cfg.sim_mode == SimMode::kDetailed ? "detailed" : "sampled") << "\n";
   for (const auto& [name, field] : fields()) {
     os << name << " = " << field.get(cfg) << "\n";
   }
@@ -187,6 +192,13 @@ void config_from_string(const std::string& text, GpuConfig& cfg) {
                        "unknown mem_sched '" << value << "'");
       cfg.mem_sched = value == "frfcfs" ? MemSchedPolicy::kFrFcfs
                                         : MemSchedPolicy::kFcfs;
+      continue;
+    }
+    if (key == "sim_mode") {
+      GPUMAS_CHECK_MSG(value == "detailed" || value == "sampled",
+                       "unknown sim_mode '" << value << "'");
+      cfg.sim_mode =
+          value == "detailed" ? SimMode::kDetailed : SimMode::kSampled;
       continue;
     }
     const auto it = fields().find(key);

@@ -178,4 +178,19 @@ uint64_t DramChannel::next_work_cycle(uint64_t cycle) const {
   return wake;
 }
 
+void DramChannel::retime(uint64_t now, uint64_t delta) {
+  for (Bank& b : banks_) {
+    if (b.busy_until > now) b.busy_until += delta;
+  }
+  if (bus_busy_until_ > now) bus_busy_until_ += delta;
+  min_inflight_ready_ = ~0ull;
+  for (DramCompletion& c : inflight_) {
+    if (c.ready_cycle > now) c.ready_cycle += delta;
+    min_inflight_ready_ = std::min(min_inflight_ready_, c.ready_cycle);
+  }
+  for (Slot& s : slots_) {
+    if (s.used) s.req.enqueue_cycle += delta;
+  }
+}
+
 }  // namespace gpumas::sim

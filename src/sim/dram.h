@@ -75,6 +75,14 @@ class DramChannel {
   // the owning component's own wake conditions.
   uint64_t next_work_cycle(uint64_t cycle) const;
 
+  // Shifts every pending timestamp later than `now` by `delta`: bank and
+  // bus busy times, in-flight completion ready cycles, and queued
+  // requests' enqueue stamps (so queue-wait statistics stay jump-free).
+  // Used by the sampled-mode fast-forward to make the jump invisible to
+  // in-flight work — the channel resumes at exactly the occupancy it
+  // paused with instead of draining everything across the gap.
+  void retime(uint64_t now, uint64_t delta);
+
   // --- statistics ---
   uint64_t serviced() const { return serviced_; }
   uint64_t row_hits() const { return row_hits_; }

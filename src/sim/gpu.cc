@@ -1,6 +1,7 @@
 #include "sim/gpu.h"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 
 #include "common/check.h"
@@ -20,9 +21,16 @@ constexpr size_t kMissQueueCapacity = 96;
 Gpu::Gpu(const GpuConfig& cfg)
     : cfg_(cfg),
       sm_wake_(static_cast<size_t>(cfg.num_sms), 0),
-      distributor_(cfg.num_sms) {
+      distributor_(cfg.num_sms),
+      sampling_(cfg.sim_mode == SimMode::kSampled) {
   GPUMAS_CHECK(cfg_.num_sms > 0);
   GPUMAS_CHECK(cfg_.num_channels > 0);
+  if (sampling_) {
+    GPUMAS_CHECK_MSG(
+        cfg_.sample_detail_cycles > 0 && cfg_.sample_skip_cycles > 0,
+        "sampled mode needs positive sample_detail_cycles and "
+        "sample_skip_cycles");
+  }
   sms_.reserve(static_cast<size_t>(cfg_.num_sms));
   for (int i = 0; i < cfg_.num_sms; ++i) sms_.emplace_back(cfg_, i);
   slices_.reserve(static_cast<size_t>(cfg_.num_channels));
@@ -343,6 +351,324 @@ void Gpu::tick() {
   ++cycle_;
   ++ticked_cycles_;
   if (!progress && cfg_.skip_idle_cycles) fast_forward();
+  if (sampling_) sample_tick();
+}
+
+void Gpu::open_sample_window() {
+  window_start_ = cycle_;
+  window_end_ = cycle_ + cfg_.sample_detail_cycles;
+  measuring_ = false;  // snapshot armed after the settle prefix
+  window_base_ = stats_;
+  if (rate_n_.size() != apps_.size()) {
+    rate_n_.assign(apps_.size(), 0);
+    rate_mean_.assign(apps_.size(), 0.0);
+    rate_m2_.assign(apps_.size(), 0.0);
+    last_rate_.assign(apps_.size(), 0.0);
+    pred_frac_.assign(apps_.size(), 0.0);
+    pred_b_.assign(apps_.size(), 0.0);
+    pred_xbar_.assign(apps_.size(), 0.0);
+    pred_ybar_.assign(apps_.size(), 1.0);
+    diff_rate_.assign(apps_.size(), 0.0);
+    diff_varx_prev_.assign(apps_.size(), -1.0);
+    diff_n_prev_.assign(apps_.size(), 0.0);
+    diff_tick_prev_.assign(apps_.size(), 0);
+  }
+}
+
+// The sampled-mode controller, run after every tick: while a measurement
+// window is open, execution is fully detailed (including idle-cycle
+// fast-forwarding, which is exact). When the window closes, each live
+// app's observed warp-issue rate joins its Welford population, the clock
+// jumps up to sample_skip_cycles while per-app progress is advanced
+// analytically at the rate the window just observed, and a fresh window
+// opens. Everything time-gated that was in flight at the jump — DRAM/L2
+// state, pending fills, warp stalls — is carried across the gap by
+// shifting its timestamps (retime_inflight), so the next window resumes
+// the memory system at exactly the occupancy this one closed with.
+void Gpu::sample_tick() {
+  if (window_end_ == 0) {  // first tick of a sampled run
+    open_sample_window();
+    return;
+  }
+  // Arm the measurement snapshot once the settle prefix has passed: the
+  // jump that opened this window moved every warp forward in its
+  // instruction stream while the caches still hold the pre-jump working
+  // set, and that locality transient must not enter the rate estimate.
+  if (!measuring_ && cycle_ >= window_start_ + cfg_.sample_detail_cycles / 4) {
+    measure_from_ = cycle_;
+    window_base_ = stats_;
+    for (auto& sm : sms_) sm.begin_progress_window();
+    measuring_ = true;
+  }
+  if (cycle_ < window_end_ || done()) return;
+
+  // Close the window. The elapsed span is measured, not assumed: an
+  // idle-span fast-forward can overshoot the nominal window end (or even
+  // swallow the whole measurement span, in which case the previous
+  // window's rates stand).
+  ++sample_windows_;
+  if (measuring_ && cycle_ > measure_from_) {
+    const uint64_t elapsed = cycle_ - measure_from_;
+    for (size_t a = 0; a < apps_.size(); ++a) {
+      if (stats_[a].done) continue;
+      const double rate =
+          static_cast<double>(stats_[a].warp_insns -
+                              window_base_[a].warp_insns) /
+          static_cast<double>(elapsed);
+      last_rate_[a] = rate;
+      const uint64_t n = ++rate_n_[a];
+      const double d = rate - rate_mean_[a];
+      rate_mean_[a] += d / static_cast<double>(n);
+      rate_m2_[a] += d * (rate - rate_mean_[a]);
+      // Persistence regression across the device's warps: window
+      // progress y on cumulative detailed progress x. Warps that stay
+      // in rank order window after window (persistent GTO bias) yield a
+      // positive slope; mean-reverting stall luck regresses to ~0. Kept
+      // at the previous fit when the window carries no signal.
+      double sums[6] = {0, 0, 0, 0, 0, 0};
+      for (const auto& sm : sms_) {
+        sm.persistence_terms(static_cast<uint8_t>(a), sums);
+      }
+      const double n_w = sums[0];
+      if (n_w >= 2.0) {
+        const double cov = sums[5] - sums[1] * sums[2] / n_w;
+        const double var_x = sums[3] - sums[1] * sums[1] / n_w;
+        const double var_y = sums[4] - sums[2] * sums[2] / n_w;
+        const double xb = sums[1] / n_w;
+        const double yb = sums[2] / n_w;
+        double struct_growth = 0.0;  // per-warp var_x growth from the slope
+        if (var_x > 0.0 && xb > 0.0 && yb > 0.0) {
+          // The naive slope cov/var_x is attenuated: x is itself a sum
+          // of ~x_bar/y_bar noisy window progresses, so var_x carries
+          // an accumulated-noise share on top of the structural rate
+          // spread. Method of moments: under y = r*span + eps with
+          // persistent per-warp rate r, cov = var_r*T*span, so the
+          // structural part of var_y is cov*(span/T) = cov*y_bar/x_bar,
+          // the rest is noise, and x has accumulated ~x_bar/y_bar
+          // windows of it. Subtracting that share recovers the
+          // structural slope; full proportionality (predictions ~ x,
+          // through the origin) is b = y_bar/x_bar, and the fit is
+          // capped at twice that.
+          const double ratio = yb / xb;
+          const double var_eps = std::max(0.0, var_y - cov * ratio);
+          const double var_x_struct = var_x - var_eps / ratio;
+          // Under the all-noise null, cov's sampling variance is
+          // ~var_x*var_y/n: a covariance within two standard errors of
+          // zero (or a noise estimate swallowing all of var_x) is read
+          // as no structural spread, not amplified by a tiny divisor.
+          double b = 0.0;
+          if (var_x_struct > 0.0 &&
+              cov * cov > 4.0 * var_x * var_y / n_w && cov > 0.0) {
+            b = std::min(cov / var_x_struct, 2.0 * ratio);
+          }
+          // The scale-free slope fraction b/ratio is smoothed across
+          // windows, adopting increases immediately and decaying losses
+          // slowly: the structural spread is a property of the kernel
+          // and scheduler, not of one window, and drain-phase windows
+          // (retiring warps, exploding variance) would otherwise zero
+          // the dispersion exactly when the drain is being reproduced —
+          // while a window that measures strong persistence is evidence
+          // the spread was there all along.
+          const double frac = ratio > 0.0 ? b / ratio : 0.0;
+          pred_frac_[a] = std::max(frac, 0.5 * pred_frac_[a] + 0.5 * frac);
+          pred_b_[a] = pred_frac_[a] * ratio;
+          pred_xbar_[a] = xb;
+          pred_ybar_[a] = yb;
+          // One window of persistent-rate spread widens var(x+y) by
+          // 2cov + var_y_struct = 2cov + cov*ratio — growth the slope
+          // already reproduces, to be excluded from the random walk.
+          if (b > 0.0) struct_growth = (2.0 * cov + cov * ratio) / n_w;
+        }
+        // Progress-diffusion update: growth of the per-warp progress
+        // variance per ticked cycle since the previous window close,
+        // net of the structural share. Skipped when the advanceable
+        // population changed (dispatch or retirement moves the variance
+        // for bookkeeping reasons, not physical ones); negative
+        // observations — mean reversion pulled the warps back together
+        // — decay the EMA toward zero.
+        const double vx = var_x / n_w;
+        if (diff_varx_prev_[a] >= 0.0 && n_w == diff_n_prev_[a] &&
+            ticked_cycles_ > diff_tick_prev_[a]) {
+          const double d_obs =
+              (vx - diff_varx_prev_[a] - struct_growth) /
+              static_cast<double>(ticked_cycles_ - diff_tick_prev_[a]);
+          diff_rate_[a] = 0.5 * diff_rate_[a] + 0.5 * std::max(d_obs, 0.0);
+        }
+        diff_varx_prev_[a] = vx;
+        diff_n_prev_[a] = n_w;
+        diff_tick_prev_[a] = ticked_cycles_;
+      }
+    }
+  }
+
+  // Warm-up guard: the first window observes cold caches and an
+  // unsettled DRAM row state, so its rate would bias the first jump.
+  // Measure a second window before skipping anything.
+  if (sample_windows_ == 1) {
+    open_sample_window();
+    return;
+  }
+
+  // Jump length: the configured skip, clipped to the skip barrier (SMRA
+  // observation windows are never jumped over), the runaway guard, and
+  // half of each live app's remaining work at its observed rate. The
+  // half is load-bearing: completion is approached geometrically, so the
+  // drain phase — warps finishing unevenly (GTO spread) and throughput
+  // decaying as latency hiding dries up — is re-measured by windows at
+  // its decaying rate instead of being jumped over at the steady one,
+  // and the final stretch of every app runs detailed. When that horizon
+  // (not the configured skip) is what limits the jump, some app is being
+  // approached and its rate is decaying faster than the window cadence
+  // can track, so the jump is further capped at two detail windows: the
+  // drain gets sampled densely instead of extrapolated from stale
+  // steady-state rates.
+  uint64_t jump = cfg_.sample_skip_cycles;
+  if (skip_barrier_ != ~0ull) {
+    jump = skip_barrier_ > cycle_ ? std::min(jump, skip_barrier_ - cycle_)
+                                  : 0;
+  }
+  jump = cycle_ < cfg_.max_cycles ? std::min(jump, cfg_.max_cycles - cycle_)
+                                  : 0;
+  uint64_t horizon_min = ~0ull;
+  for (size_t a = 0; a < apps_.size(); ++a) {
+    if (stats_[a].done || last_rate_[a] <= 0.0) continue;
+    const uint64_t remaining =
+        apps_[a].kernel.total_warp_insns() - stats_[a].warp_insns;
+    const uint64_t horizon = static_cast<uint64_t>(
+        static_cast<double>(remaining) / (2.0 * last_rate_[a]));
+    horizon_min = std::min(horizon_min, horizon);
+  }
+  if (horizon_min < jump) {
+    jump = std::min(horizon_min, 2 * cfg_.sample_detail_cycles);
+  }
+  if (jump > 0) {
+    advance_analytically(jump);
+    retime_inflight(jump);
+    skipped_cycles_ += jump;
+    cycle_ += jump;
+  }
+  open_sample_window();
+}
+
+// Makes the jump invisible to in-flight work: every pending timestamp in
+// the device — SM response events and warp stalls, crossbar packets,
+// DRAM bank/bus timing and in-flight completions — shifts forward by the
+// jump, so the next window resumes the memory system mid-steady-state at
+// exactly the occupancy the previous window closed with. Without this, a
+// jump longer than the memory round trip drains everything and delivers
+// it all at once at the window open; the synchronized re-issue burst
+// then keeps every DRAM channel's queue deep through the whole
+// measurement span, and each window measures peak bandwidth instead of
+// the true average (which includes the throughput lost whenever a
+// channel's queue runs dry) — a systematic early-finish bias on
+// bandwidth-bound apps. Queued requests' enqueue stamps shift too, so
+// queue-wait statistics stay jump-free.
+void Gpu::retime_inflight(uint64_t delta) {
+  const uint64_t now = cycle_;
+  for (auto& sm : sms_) sm.retime(now, delta);
+  for (uint64_t& w : sm_wake_) {
+    if (w != ~0ull && w > now) w += delta;
+  }
+  for (auto& slice : slices_) {
+    for (auto& q : slice.vq) {
+      for (IcntPacket& p : q) {
+        if (p.ready_cycle > now) p.ready_cycle += delta;
+      }
+    }
+    for (DramRequest& r : slice.miss_queue) r.enqueue_cycle += delta;
+    slice.dram.retime(now, delta);
+  }
+}
+
+// Advances per-app progress across a jump of `jump` cycles: each live app
+// is credited floor(last_window_rate * jump) warp instructions — the most
+// recently closed window's observed rate, so a phase change (a co-runner
+// finishing, a working set falling out of L2) is picked up within one
+// window instead of being smeared over the whole run — split over its
+// SMs, and then over each core's warps, by a persistence-weighted blend
+// of cumulative detailed-progress share and uniform share (see
+// advance_warps_analytically; completion is never synthesized — each
+// warp's final instruction and retirement stay detailed). Warps that
+// clamp at their advanceable cap forfeit their surplus, which later
+// passes redistribute over the still advanceable warps so the aggregate
+// rate holds to the end of the jump. Downstream
+// memory-hierarchy counters are credited proportionally to the closed
+// window's per-instruction traffic, so sampled profiles (hit rates,
+// bandwidths, the Table 3.1 classifier inputs) track the detailed ones.
+void Gpu::advance_analytically(uint64_t jump) {
+  std::vector<double> sm_weight(sms_.size());
+  for (size_t a = 0; a < apps_.size(); ++a) {
+    if (stats_[a].done || last_rate_[a] <= 0.0) continue;
+    const uint64_t budget = static_cast<uint64_t>(
+        last_rate_[a] * static_cast<double>(jump));
+    if (budget == 0) continue;
+    const uint64_t window_insns =
+        stats_[a].warp_insns - window_base_[a].warp_insns;
+    const AppStats base = window_base_[a];
+    const AppStats before = stats_[a];
+    const double b = pred_b_[a];
+    const double x_bar = pred_xbar_[a];
+    const double y_bar = pred_ybar_[a];
+    // Dispersion the detailed run would have accumulated over the jump:
+    // the random walk grows variance linearly in time, so each warp's
+    // share of the budget is jittered by its square root (zero-sum
+    // within warp pairs, direction independent across jumps).
+    const double sigma =
+        std::sqrt(diff_rate_[a] * static_cast<double>(jump));
+    uint64_t credited = 0;
+    uint64_t leftover = budget;
+    for (int pass = 0; pass < 3 && leftover > 0; ++pass) {
+      double total_weight = 0.0;
+      for (size_t s = 0; s < sms_.size(); ++s) {
+        sm_weight[s] = sms_[s].predicted_weight(static_cast<uint8_t>(a), b,
+                                                x_bar, y_bar);
+        total_weight += sm_weight[s];
+      }
+      if (total_weight <= 0.0) break;
+      uint64_t pass_credit = 0;
+      for (size_t s = 0; s < sms_.size(); ++s) {
+        if (sm_weight[s] <= 0.0) continue;
+        const uint64_t sm_budget = static_cast<uint64_t>(
+            static_cast<double>(leftover) * sm_weight[s] / total_weight);
+        pass_credit += sms_[s].advance_warps_analytically(
+            static_cast<uint8_t>(a), sm_budget, b, x_bar, y_bar,
+            pass == 0 ? sigma : 0.0, sample_windows_, stats_);
+      }
+      if (pass_credit == 0) break;
+      credited += pass_credit;
+      leftover -= pass_credit;
+    }
+    if (credited == 0 || window_insns == 0) continue;
+    const double scale = static_cast<double>(credited) /
+                         static_cast<double>(window_insns);
+    const auto credit = [&](uint64_t AppStats::* f) {
+      stats_[a].*f += static_cast<uint64_t>(std::llround(
+          static_cast<double>(before.*f - base.*f) * scale));
+    };
+    // warp_insns/mem_insns are exact (bumped by the SMs above); the
+    // memory-system counters are extrapolated from the window.
+    credit(&AppStats::l1_accesses);
+    credit(&AppStats::l1_hits);
+    credit(&AppStats::l1_fills);
+    credit(&AppStats::l2_accesses);
+    credit(&AppStats::l2_hits);
+    credit(&AppStats::dram_transactions);
+  }
+}
+
+SampleEstimate Gpu::sample_estimate(size_t app) const {
+  SampleEstimate e;
+  if (app >= rate_n_.size() || rate_n_[app] == 0) return e;
+  const uint64_t n = rate_n_[app];
+  const double threads = static_cast<double>(cfg_.warp_size);
+  e.windows = n;
+  e.mean_ipc = rate_mean_[app] * threads;
+  if (n > 1) {
+    const double var = rate_m2_[app] / static_cast<double>(n - 1);
+    const double sd = var > 0.0 ? std::sqrt(var) : 0.0;
+    e.ci95 = 1.96 * sd / std::sqrt(static_cast<double>(n)) * threads;
+  }
+  return e;
 }
 
 bool Gpu::done() const {
@@ -378,6 +704,12 @@ RunResult Gpu::run_to_completion() {
   r.cycles = cycle_;
   r.apps = stats_;
   r.warp_size = cfg_.warp_size;
+  if (sampling_) {
+    r.sample_estimates.reserve(apps_.size());
+    for (size_t a = 0; a < apps_.size(); ++a) {
+      r.sample_estimates.push_back(sample_estimate(a));
+    }
+  }
   return r;
 }
 

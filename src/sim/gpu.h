@@ -32,10 +32,23 @@
 
 namespace gpumas::sim {
 
+// Window-population estimate of one app's steady-state IPC in sampled
+// mode (GpuConfig::sim_mode == kSampled): mean thread-instruction IPC over
+// the detailed measurement windows the app was live in, with a 95%
+// confidence interval (1.96 * stddev / sqrt(windows)). All zero in
+// detailed mode.
+struct SampleEstimate {
+  uint64_t windows = 0;
+  double mean_ipc = 0.0;
+  double ci95 = 0.0;
+};
+
 // Result of running all launched kernels to completion.
 struct RunResult {
   uint64_t cycles = 0;
   std::vector<AppStats> apps;
+  // Per-app window-population IPC estimates; empty in detailed mode.
+  std::vector<SampleEstimate> sample_estimates;
   int warp_size = 32;
 
   uint64_t total_thread_insns() const {
@@ -93,6 +106,11 @@ class Gpu final : public MemoryFabric {
   // --- fast-forward accounting (cycle() == ticked + skipped) ---
   uint64_t ticked_cycles() const { return ticked_cycles_; }
   uint64_t skipped_cycles() const { return skipped_cycles_; }
+
+  // --- sampled mode (GpuConfig::sim_mode == kSampled) ---
+  // Detailed measurement windows closed so far.
+  uint64_t sample_windows() const { return sample_windows_; }
+  SampleEstimate sample_estimate(size_t app) const;
 
   const std::vector<AppStats>& stats() const { return stats_; }
   const GpuConfig& config() const { return cfg_; }
@@ -152,6 +170,10 @@ class Gpu final : public MemoryFabric {
   uint64_t slice_next_wake(const L2Slice& slice, uint64_t cycle) const;
   void check_app_completion();
   void fast_forward();
+  void sample_tick();
+  void open_sample_window();
+  void advance_analytically(uint64_t jump);
+  void retime_inflight(uint64_t delta);
   // Response delivery that also reschedules the destination core.
   void deliver_fill(uint16_t sm, uint64_t line, uint64_t ready_cycle) {
     sms_[sm].schedule_fill(line, ready_cycle);
@@ -176,6 +198,59 @@ class Gpu final : public MemoryFabric {
   std::vector<uint16_t> retired_sms_; // scratch: SMs that retired a block
   WorkDistributor distributor_;
   bool started_ = false;
+
+  // --- sampled-mode controller state (see sample_tick) ---
+  bool sampling_ = false;             // cfg_.sim_mode == kSampled
+  uint64_t window_start_ = 0;
+  uint64_t window_end_ = 0;           // 0 = no window opened yet
+  uint64_t sample_windows_ = 0;
+  // Each window starts with a settle prefix (a quarter of the window):
+  // the jump that opened it moved every warp forward in its instruction
+  // stream while the caches still hold the pre-jump working set, and
+  // that locality transient must not enter the rate estimate. The
+  // snapshot is armed once the prefix has passed.
+  uint64_t measure_from_ = 0;
+  bool measuring_ = false;
+  std::vector<AppStats> window_base_; // stats snapshot at settle point
+  // Welford accumulators of each app's per-cycle warp-instruction rate
+  // over the closed windows it was live in. The population feeds the
+  // reported confidence interval only; jump crediting uses last_rate_
+  // (the most recently closed window), which tracks phase changes the
+  // population mean would smear over.
+  std::vector<uint64_t> rate_n_;
+  std::vector<double> rate_mean_;
+  std::vector<double> rate_m2_;
+  std::vector<double> last_rate_;
+  // Per-app persistence regression from the last closed window: each
+  // warp's window progress y regressed on its cumulative detailed
+  // progress x, giving the per-warp credit predictor
+  // y_bar + b * (x - x_bar). Under GTO's persistent priority ranks the
+  // slope recovers the structural warp-rate spread (compute-bound
+  // kernels — the spread must be credited forward or the end-of-app
+  // drain phase vanishes); mean-reverting stall luck regresses to slope
+  // ~0 and the predictor collapses to uniform (latency-bound random
+  // access — crediting noise forward would over-disperse the warps).
+  // See StreamingMultiprocessor::advance_warps_analytically.
+  std::vector<double> pred_frac_;  // EMA of b / (y_bar/x_bar)
+  std::vector<double> pred_b_;
+  std::vector<double> pred_xbar_;
+  std::vector<double> pred_ybar_;
+  // Per-app empirical progress diffusion: how fast the cross-warp
+  // variance of cumulative detailed progress grows per ticked cycle,
+  // measured between consecutive window closes. Independent stall luck
+  // random-walks the warps apart (variance linear in time) even when
+  // the persistence slope is zero; jumps inject the equivalent zero-sum
+  // spread (see StreamingMultiprocessor::advance_warps_analytically) so
+  // the sampled device carries the same dispersion the detailed one
+  // would — an under-dispersed device runs measurably faster and its
+  // end-of-run drain collapses. Because the variance is measured on
+  // detailed-only progress (analytic credits excluded), any physical
+  // mean reversion that counteracts the injected spread shows up as
+  // reduced growth and the estimate self-corrects.
+  std::vector<double> diff_rate_;       // EMA, insns^2 per ticked cycle
+  std::vector<double> diff_varx_prev_;  // -1 until first observation
+  std::vector<double> diff_n_prev_;
+  std::vector<uint64_t> diff_tick_prev_;
 };
 
 }  // namespace gpumas::sim

@@ -14,6 +14,13 @@ namespace gpumas::sim {
 enum class WarpSchedPolicy { kGto, kLrr };
 enum class MemSchedPolicy { kFrFcfs, kFcfs };
 
+// Simulation fidelity (not a hardware knob). kDetailed executes every
+// non-skippable cycle through the full model and is the byte-identical
+// reference; kSampled alternates detailed measurement windows with
+// analytic fast-forward jumps (see Gpu::sample_tick) and trades a small,
+// CI-gated accuracy loss for wall-clock speed.
+enum class SimMode { kDetailed, kSampled };
+
 // Geometry of one set-associative cache.
 struct CacheConfig {
   uint32_t size_bytes = 0;
@@ -74,6 +81,21 @@ struct GpuConfig {
   // loop that ticks every component every cycle, for debugging the
   // simulator core and validating the fast path against it.
   bool skip_idle_cycles = true;
+
+  // Time-based sampled simulation (sim_mode = sampled): execute detailed
+  // measurement windows of sample_detail_cycles, then jump up to
+  // sample_skip_cycles by advancing per-app progress analytically at the
+  // last closed window's observed per-app issue rate (the population mean
+  // across windows only feeds the reported confidence interval), with
+  // DRAM/L2/cache state carried across the gap. The first window is
+  // warm-up — it joins the population but never drives a jump. Jumps
+  // never cross a skip barrier (SMRA observation windows stay exact) and
+  // shrink near each app's end of work, so completion always runs
+  // detailed. Orthogonal to skip_idle_cycles, which stays exact in both
+  // modes.
+  SimMode sim_mode = SimMode::kDetailed;
+  uint64_t sample_detail_cycles = 10'000;
+  uint64_t sample_skip_cycles = 90'000;
 
   // --- Safety ---
   uint64_t max_cycles = 80'000'000;  // runaway-simulation guard

@@ -1,6 +1,8 @@
 #include "sim/sm.h"
 
 #include <algorithm>
+#include <array>
+#include <vector>
 
 #include "common/check.h"
 
@@ -79,6 +81,121 @@ void StreamingMultiprocessor::dispatch_block(uint8_t app,
 void StreamingMultiprocessor::schedule_fill(uint64_t line,
                                             uint64_t ready_cycle) {
   events_.push(Event{ready_cycle, line, 0, 0});
+}
+
+int StreamingMultiprocessor::advanceable_warp_count(uint8_t app) const {
+  int n = 0;
+  for (const int slot : active_slots_) {
+    const WarpCtx& w = warps_[static_cast<size_t>(slot)];
+    if (w.app == app && w.insns_done + 1 < w.kp->insns_per_warp) ++n;
+  }
+  return n;
+}
+
+void StreamingMultiprocessor::begin_progress_window() {
+  for (const int slot : active_slots_) {
+    WarpCtx& w = warps_[static_cast<size_t>(slot)];
+    w.window_base_insns = w.insns_done;
+  }
+}
+
+void StreamingMultiprocessor::persistence_terms(uint8_t app,
+                                                double sums[6]) const {
+  for (const int slot : active_slots_) {
+    const WarpCtx& w = warps_[static_cast<size_t>(slot)];
+    if (w.app != app || w.insns_done + 1 >= w.kp->insns_per_warp) continue;
+    // Analytic credits land between windows, so analytic_insns is
+    // unchanged since the snapshot: base - analytic is the cumulative
+    // detailed progress at window start.
+    const double x =
+        static_cast<double>(w.window_base_insns - w.analytic_insns);
+    const double y = static_cast<double>(w.insns_done - w.window_base_insns);
+    sums[0] += 1.0;
+    sums[1] += x;
+    sums[2] += y;
+    sums[3] += x * x;
+    sums[4] += y * y;
+    sums[5] += x * y;
+  }
+}
+
+double StreamingMultiprocessor::predicted_weight(uint8_t app, double b,
+                                                 double x_bar,
+                                                 double y_bar) const {
+  double weight = 0.0;
+  for (const int slot : active_slots_) {
+    const WarpCtx& w = warps_[static_cast<size_t>(slot)];
+    if (w.app != app || w.insns_done + 1 >= w.kp->insns_per_warp) continue;
+    const double x = static_cast<double>(w.insns_done - w.analytic_insns);
+    weight += std::max(y_bar + b * (x - x_bar), 0.01 * y_bar);
+  }
+  return weight;
+}
+
+uint64_t StreamingMultiprocessor::advance_warps_analytically(
+    uint8_t app, uint64_t sm_budget, double b, double x_bar, double y_bar,
+    double jitter, uint64_t salt, std::vector<AppStats>& stats) {
+  if (sm_budget == 0) return 0;
+  const double total_weight = predicted_weight(app, b, x_bar, y_bar);
+  if (total_weight <= 0.0) return 0;
+  const auto bump = [&](int slot, uint64_t take) {
+    WarpCtx& w = warps_[static_cast<size_t>(slot)];
+    int mem = 0;
+    const uint32_t first = static_cast<uint32_t>(w.insns_done);
+    for (uint32_t idx = first; idx < first + take; ++idx) {
+      if (insn_is_mem(*w.kp, w.gwarp, idx)) ++mem;
+    }
+    w.insns_done += static_cast<int>(take);
+    w.analytic_insns += static_cast<int>(take);
+    w.mem_insns_done += mem;
+    w.next_is_mem =
+        insn_is_mem(*w.kp, w.gwarp, static_cast<uint32_t>(w.insns_done));
+    stats[w.app].warp_insns += take;
+    stats[w.app].mem_insns += static_cast<uint64_t>(mem);
+  };
+
+  // Advanceable slots are collected first so the dispersion jitter can
+  // be applied in exact zero-sum pairs (the odd warp out gets none).
+  std::vector<int> adv;
+  adv.reserve(static_cast<size_t>(resident_warps_));
+  for (const int slot : active_slots_) {
+    const WarpCtx& w = warps_[static_cast<size_t>(slot)];
+    if (w.app != app || w.insns_done + 1 >= w.kp->insns_per_warp) continue;
+    adv.push_back(slot);
+  }
+  uint64_t credited = 0;
+  for (size_t i = 0; i < adv.size(); ++i) {
+    const WarpCtx& w = warps_[static_cast<size_t>(adv[i])];
+    const double x = static_cast<double>(w.insns_done - w.analytic_insns);
+    const double weight = std::max(y_bar + b * (x - x_bar), 0.01 * y_bar);
+    const uint64_t cap =
+        static_cast<uint64_t>(w.kp->insns_per_warp - 1 - w.insns_done);
+    double quota = static_cast<double>(sm_budget) * weight / total_weight;
+    if (jitter > 0.0 && (i ^ 1) < adv.size()) {
+      // splitmix64-style hash of (jump, core, pair) picks which side of
+      // the pair gains: independent across jumps (a fixed direction
+      // would compound into structural spread, an alternating one would
+      // cancel; an independent draw yields the random walk being
+      // modeled).
+      uint64_t h = (salt + 1) * 0x9E3779B97F4A7C15ull +
+                   (static_cast<uint64_t>(id_) << 20) + (i >> 1);
+      h ^= h >> 30;
+      h *= 0xBF58476D1CE4E5B9ull;
+      h ^= h >> 27;
+      const bool gains = ((h >> 13) ^ i) & 1;
+      quota += gains ? jitter : -jitter;
+    }
+    const uint64_t take =
+        std::min(quota <= 0.0 ? 0 : static_cast<uint64_t>(quota), cap);
+    if (take == 0) continue;
+    bump(adv[i], take);
+    credited += take;
+  }
+  if (credited > 0) {
+    warp_wake_cache_ = 0;
+    warp_wake_dirty_ = true;
+  }
+  return credited;
 }
 
 bool StreamingMultiprocessor::drain_events(uint64_t cycle,
@@ -364,6 +481,32 @@ uint64_t StreamingMultiprocessor::next_wake_cycle(uint64_t cycle) const {
     wake = events_.top().cycle;
   }
   return wake > cycle ? wake : ~0ull;
+}
+
+void StreamingMultiprocessor::retime(uint64_t now, uint64_t delta) {
+  if (!events_.empty()) {
+    // A uniform shift preserves heap order, but priority_queue hides its
+    // container; events are few (bounded by in-flight fills), so rebuild.
+    std::vector<Event> pending;
+    pending.reserve(events_.size());
+    while (!events_.empty()) {
+      Event e = events_.top();
+      events_.pop();
+      if (e.cycle > now) e.cycle += delta;
+      pending.push_back(e);
+    }
+    for (const Event& e : pending) events_.push(e);
+  }
+  for (const int slot : active_slots_) {
+    WarpCtx& w = warps_[static_cast<size_t>(slot)];
+    if (w.not_before > now) w.not_before += delta;
+  }
+  for (uint64_t& p : pipe_busy_until_) {
+    if (p > now) p += delta;
+  }
+  // The cached wake is derived from the shifted times; shift it in step
+  // (a stale value <= the post-jump cycle would be recomputed anyway).
+  if (warp_wake_cache_ > now) warp_wake_cache_ += delta;
 }
 
 SmTickResult StreamingMultiprocessor::tick(uint64_t cycle,

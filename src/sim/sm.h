@@ -68,6 +68,84 @@ class StreamingMultiprocessor {
   // Response path: `line` becomes available in this SM's L1 at `ready_cycle`.
   void schedule_fill(uint64_t line, uint64_t ready_cycle);
 
+  // --- sampled-mode analytic advance (see Gpu::sample_tick) ---
+  // Resident warps of `app` that can absorb analytic progress: at least two
+  // instructions from the end, because the final instruction and retirement
+  // always execute on the detailed path — completion bookkeeping
+  // (maybe_retire, block drain, app finish) is never synthesized.
+  int advanceable_warp_count(uint8_t app) const;
+
+  // Snapshots every resident warp's instruction cursor; window progress
+  // is measured against the latest snapshot. Taken by the sampling
+  // controller at the start of each measurement span.
+  void begin_progress_window();
+
+  // Folds this core's advanceable warps of `app` into the persistence
+  // regression sums (n, Σx, Σy, Σxx, Σyy, Σxy) where x is a warp's
+  // cumulative detailed progress at the window snapshot (insns issued on
+  // the detailed path — analytic credits excluded, they would echo the
+  // model's own output back into its input) and y its progress within
+  // the window. The sampling controller regresses y on x across the
+  // device: under GTO's persistent priority ranks warps ahead keep
+  // progressing faster (slope recovers the structural rate spread),
+  // while mean-reverting stall luck regresses to slope ~0. x is
+  // averaged over every window the warp has run, so the slope is not
+  // attenuated by single-window noise the way a raw correlation is.
+  void persistence_terms(uint8_t app, double sums[6]) const;
+
+  // Sum over this core's advanceable warps of `app` of the regression
+  // prediction max(y_bar + b * (x_i - x_bar), 0.01 * y_bar) — each
+  // warp's expected per-window progress given its history. The weights
+  // a jump's budget is split by, both across SMs (this sum) and across
+  // each SM's warps. The floor keeps a freshly dispatched or
+  // persistently starved warp from being frozen out of credit entirely.
+  double predicted_weight(uint8_t app, double b, double x_bar,
+                          double y_bar) const;
+
+  // Bumps this core's advanceable warps of `app` by `sm_budget`
+  // instructions in total, split proportionally to the same regression
+  // predictions as predicted_weight. Crediting each warp at its
+  // predicted rate preserves — and, under persistent GTO priority
+  // ranks, keeps growing — the warp-progress spread that makes the
+  // end-of-app drain phase (throughput decaying as warps finish
+  // unevenly and latency hiding dries up) re-emerge when the tail runs
+  // detailed; for latency-bound kernels whose window progress is
+  // mean-reverting stall luck the slope shrinks the predictions toward
+  // the mean and the split degenerates to uniform — crediting noise
+  // forward would over-disperse the warps and stretch the drain.
+  // Shares are capped at each warp's advanceable budget (the final
+  // instruction and retirement always execute detailed). On top of the
+  // regression prediction, `jitter` instructions of zero-sum dispersion
+  // are folded in: consecutive advanceable warps are paired and one of
+  // each pair gains what the other loses, with the direction drawn from
+  // a hash of (salt, core, pair) so it is independent across jumps.
+  // Detailed execution random-walks the warps apart even when no warp
+  // is persistently faster (independent stall luck accumulates variance
+  // linearly in time); the caller measures that diffusion from the
+  // window population and injects the equivalent spread here, because a
+  // jump that credits warps uniformly leaves them artificially
+  // synchronized — an under-dispersed device runs measurably faster
+  // than the detailed one (smoother DRAM channel interleaving) and its
+  // end-of-run drain collapses. The skipped instruction indices are
+  // walked through the same hash the detailed issue path uses, so the
+  // memory-instruction cursor (mem_insns_done, next_is_mem) stays
+  // exactly consistent with the address stream. Credits
+  // warp_insns/mem_insns in `stats`; in-flight state (outstanding
+  // misses, stalls, events) is deliberately untouched — it is re-timed
+  // across the jump and drains in the next detailed window. Returns the
+  // instructions credited.
+  uint64_t advance_warps_analytically(uint8_t app, uint64_t sm_budget,
+                                      double b, double x_bar, double y_bar,
+                                      double jitter, uint64_t salt,
+                                      std::vector<AppStats>& stats);
+
+  // Shifts every pending timestamp later than `now` by `delta`: queued
+  // response events, warp dependency stalls, and busy ALU pipes. Used by
+  // the sampled-mode fast-forward to make the jump invisible to
+  // in-flight work — the core resumes exactly where the window close
+  // paused it instead of having every pending fill become due at once.
+  void retime(uint64_t now, uint64_t delta);
+
   // Earliest cycle strictly after `cycle` at which this core's time-gated
   // state changes (a pending response arrives, a dependency stall expires,
   // an ALU pipe frees); UINT64_MAX when none. A non-empty LSU means "could
@@ -113,6 +191,8 @@ class StreamingMultiprocessor {
     uint64_t age = 0;
     uint32_t gwarp = 0;
     int insns_done = 0;
+    int analytic_insns = 0;     // share of insns_done credited by jumps
+    int window_base_insns = 0;  // cursor at begin_progress_window()
     int mem_insns_done = 0;
     int outstanding = 0;
     uint8_t app = 0;

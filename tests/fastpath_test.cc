@@ -223,5 +223,79 @@ TEST(FastPathTest, SmraControlLoopIsByteIdentical) {
   EXPECT_EQ(adjustments[0], adjustments[1]);
 }
 
+// --- sampled mode (SimMode::kSampled) ---
+
+KernelParams sampled_kernel(uint64_t seed) {
+  KernelParams kp;
+  kp.name = "sampled";
+  kp.num_blocks = 16;
+  kp.warps_per_block = 4;
+  kp.insns_per_warp = 2000;
+  kp.mem_ratio = 0.2;
+  kp.footprint_bytes = 8ull << 20;
+  kp.seed = seed;
+  return kp;
+}
+
+// An SMRA-style observer that reads the device at fixed cycle boundaries:
+// a sampled-mode jump must clip to the skip barrier exactly like the
+// idle-span fast-forward does, or the controller would evaluate windows
+// it never saw.
+TEST(FastPathTest, SampledModeHonorsSkipBarrier) {
+  GpuConfig cfg = small_gpu();
+  cfg.sim_mode = SimMode::kSampled;
+  cfg.sample_detail_cycles = 300;
+  cfg.sample_skip_cycles = 1500;
+  Gpu gpu(cfg);
+  gpu.launch(sampled_kernel(3));
+  gpu.launch(sampled_kernel(7));
+  gpu.set_even_partition();
+  constexpr uint64_t kStep = 1000;
+  uint64_t barrier = kStep;
+  gpu.set_skip_barrier(barrier);
+  while (!gpu.done()) {
+    gpu.tick();
+    ASSERT_LE(gpu.cycle(), barrier) << "jump carried the clock past the "
+                                       "observation barrier";
+    if (gpu.cycle() == barrier) {
+      barrier += kStep;
+      gpu.set_skip_barrier(barrier);
+    }
+  }
+  EXPECT_GT(gpu.sample_windows(), 0u);
+  EXPECT_GT(gpu.skipped_cycles(), 0u);
+}
+
+// Analytic crediting may move instructions between windows, but never
+// invents or loses them: every warp still executes (or is credited)
+// exactly its program, completion is never synthesized, and the
+// ticked/skipped split accounts for every cycle.
+TEST(FastPathTest, SampledRunConservesWork) {
+  GpuConfig cfg = small_gpu();
+  cfg.sim_mode = SimMode::kSampled;
+  cfg.sample_detail_cycles = 300;
+  cfg.sample_skip_cycles = 1500;
+  Gpu gpu(cfg);
+  const KernelParams a = sampled_kernel(3);
+  const KernelParams b = sampled_kernel(7);
+  gpu.launch(a);
+  gpu.launch(b);
+  const RunResult res = gpu.run_to_completion();
+  ASSERT_EQ(res.apps.size(), 2u);
+  EXPECT_TRUE(res.apps[0].done);
+  EXPECT_TRUE(res.apps[1].done);
+  EXPECT_EQ(res.apps[0].warp_insns, a.total_warp_insns());
+  EXPECT_EQ(res.apps[1].warp_insns, b.total_warp_insns());
+  EXPECT_EQ(gpu.ticked_cycles() + gpu.skipped_cycles(), res.cycles);
+  EXPECT_GT(gpu.skipped_cycles(), 0u);
+  EXPECT_GT(gpu.sample_windows(), 0u);
+  ASSERT_EQ(res.sample_estimates.size(), 2u);
+  for (const SampleEstimate& e : res.sample_estimates) {
+    EXPECT_GT(e.windows, 0u);
+    EXPECT_GT(e.mean_ipc, 0.0);
+    EXPECT_GE(e.ci95, 0.0);
+  }
+}
+
 }  // namespace
 }  // namespace gpumas::sim

@@ -206,6 +206,42 @@ TEST(ProfileCacheTest, LoadMissingFile) {
   EXPECT_THROW(cache.load("/nonexistent/cache.txt"), std::logic_error);
 }
 
+TEST(ProfileCacheTest, AccuracyPartitionsSoloEntries) {
+  // sim_mode is part of the config fingerprint, so a store warmed under
+  // one fidelity must never serve the other — a sampled profile standing
+  // in for a detailed one (or vice versa) would silently change every
+  // downstream classification and model fit.
+  const std::string path = "/tmp/gpumas_profile_cache_acc.txt";
+  const sim::GpuConfig detailed = small_gpu();
+  sim::GpuConfig sampled = small_gpu();
+  sampled.sim_mode = sim::SimMode::kSampled;
+  sampled.sample_detail_cycles = 200;
+  sampled.sample_skip_cycles = 400;
+  const auto kp = kernel("a", 0.1, 1);
+
+  ProfileCache cache;
+  cache.solo(detailed, kp);
+  cache.save(path);
+
+  ProfileCache warm;
+  warm.load(path);
+  warm.solo(sampled, kp);
+  EXPECT_EQ(warm.hits(), 0u) << "detailed-warm store served a sampled lookup";
+  EXPECT_EQ(warm.misses(), 1u);
+  warm.solo(detailed, kp);
+  EXPECT_EQ(warm.hits(), 1u);
+
+  ProfileCache cache2;
+  cache2.solo(sampled, kp);
+  cache2.save(path);
+  ProfileCache warm2;
+  warm2.load(path);
+  warm2.solo(detailed, kp);
+  EXPECT_EQ(warm2.hits(), 0u) << "sampled-warm store served a detailed lookup";
+  EXPECT_EQ(warm2.misses(), 1u);
+  std::remove(path.c_str());
+}
+
 TEST(ProfileCacheTest, LoadRejectsMalformedEntries) {
   const std::string path = "/tmp/gpumas_profile_cache_bad.txt";
   {
@@ -343,6 +379,9 @@ void expect_same_record(const GroupRunRecord& a, const GroupRunRecord& b) {
   EXPECT_EQ(a.group_cycles, b.group_cycles);
   EXPECT_EQ(a.smra_adjustments, b.smra_adjustments);
   EXPECT_EQ(a.smra_reverts, b.smra_reverts);
+  EXPECT_EQ(a.ticked_cycles, b.ticked_cycles);
+  EXPECT_EQ(a.skipped_cycles, b.skipped_cycles);
+  EXPECT_EQ(a.sample_windows, b.sample_windows);
 }
 
 TEST(GroupCacheTest, CanonicalizationCollapsesMemberPermutations) {
@@ -507,6 +546,69 @@ TEST(GroupCacheTest, LoadRejectsCorruptGroupFiles) {
   // Malformed %-escape in a name.
   write(
       "[group]\nconfig = 7\ngroup = 9\napps = 1\nnames = a%zz\n"
+      "app_cycles = 10\napp_insns = 5\ncycles = 10\n"
+      "smra_adjustments = 0\nsmra_reverts = 0\n");
+  EXPECT_THROW(cache.load_groups(path), std::logic_error);
+  EXPECT_EQ(cache.group_count(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(GroupCacheTest, SampledGroupRunRoundTrips) {
+  const std::string path = "/tmp/gpumas_group_cache_sampled.txt";
+  sim::GpuConfig cfg = small_gpu();
+  cfg.sim_mode = sim::SimMode::kSampled;
+  cfg.sample_detail_cycles = 200;
+  cfg.sample_skip_cycles = 400;
+  const auto a = kernel("a", 0.05, 1);
+  const auto b = kernel("b", 0.3, 2);
+
+  ProfileCache cache;
+  const auto canon = canonicalize_group(cfg, {a, b}, {}, "static");
+  EXPECT_EQ(canon.accuracy, sim::SimMode::kSampled);
+  const GroupRunRecord measured = cache.group_run(cfg, canon);
+  EXPECT_GT(measured.sample_windows, 0u);
+  EXPECT_GT(measured.skipped_cycles, 0u);
+  EXPECT_EQ(measured.ticked_cycles + measured.skipped_cycles,
+            measured.group_cycles);
+  cache.save_groups(path);
+
+  ProfileCache warm;
+  warm.load_groups(path);
+  const GroupRunRecord loaded = warm.group_run(cfg, canon);
+  EXPECT_EQ(warm.group_misses(), 0u)
+      << "a sampled record must serve a sampled lookup without simulating";
+  EXPECT_EQ(warm.group_hits(), 1u);
+  expect_same_record(measured, loaded);
+
+  // The detailed run of the same members is a different key: the sampled
+  // record must not stand in for it.
+  const sim::GpuConfig det = small_gpu();
+  ProfileCache warm2;
+  warm2.load_groups(path);
+  warm2.group_run(det, canonicalize_group(det, {a, b}, {}, "static"));
+  EXPECT_EQ(warm2.group_misses(), 1u)
+      << "sampled-warm store served a detailed group run";
+  std::remove(path.c_str());
+}
+
+TEST(GroupCacheTest, LoadRejectsUnknownOrMissingAccuracy) {
+  const std::string path = "/tmp/gpumas_group_cache_acc.txt";
+  const auto write = [&](const std::string& text) {
+    std::ofstream out(path);
+    out << text;
+  };
+  ProfileCache cache;
+  // A full entry whose accuracy tag names no known fidelity.
+  write(
+      "[group]\nconfig = 7\ngroup = 9\naccuracy = bogus\napps = 1\n"
+      "names = a\napp_cycles = 10\napp_insns = 5\ncycles = 10\n"
+      "ticked_cycles = 10\nskipped_cycles = 0\nsample_windows = 0\n"
+      "smra_adjustments = 0\nsmra_reverts = 0\n");
+  EXPECT_THROW(cache.load_groups(path), std::logic_error);
+  // A pre-sampling store without the accuracy/accounting keys: its
+  // fidelity is unknowable, so it must be re-measured, not guessed at.
+  write(
+      "[group]\nconfig = 7\ngroup = 9\napps = 1\nnames = a\n"
       "app_cycles = 10\napp_insns = 5\ncycles = 10\n"
       "smra_adjustments = 0\nsmra_reverts = 0\n");
   EXPECT_THROW(cache.load_groups(path), std::logic_error);

@@ -25,6 +25,9 @@ sched::GroupReport group(std::vector<std::string> names, uint64_t base) {
   }
   g.cycles = base + 10 * (g.names.size() - 1);
   g.serial_cycles = 2 * base + 7;
+  g.ticked_cycles = base / 2 + 5;
+  g.skipped_cycles = g.cycles - g.ticked_cycles;
+  g.sample_windows = base % 3;
   g.smra_adjustments = 4;
   g.smra_reverts = 1;
   return g;
@@ -35,7 +38,12 @@ sched::RunReport report(sched::Policy policy, uint64_t base) {
   r.policy = policy;
   r.groups.push_back(group({"GUPS", "HS"}, base));
   r.groups.push_back(group({"BFS2", "LUD", "SPMV"}, base + 100));
-  for (const auto& g : r.groups) r.total_cycles += g.cycles;
+  for (const auto& g : r.groups) {
+    r.total_cycles += g.cycles;
+    r.total_ticked_cycles += g.ticked_cycles;
+    r.total_skipped_cycles += g.skipped_cycles;
+    r.total_sample_windows += g.sample_windows;
+  }
   r.total_thread_insns = 17 * base + 3;
   return r;
 }
@@ -44,6 +52,9 @@ void expect_eq(const sched::RunReport& a, const sched::RunReport& b) {
   EXPECT_EQ(a.policy, b.policy);
   EXPECT_EQ(a.total_cycles, b.total_cycles);
   EXPECT_EQ(a.total_thread_insns, b.total_thread_insns);
+  EXPECT_EQ(a.total_ticked_cycles, b.total_ticked_cycles);
+  EXPECT_EQ(a.total_skipped_cycles, b.total_skipped_cycles);
+  EXPECT_EQ(a.total_sample_windows, b.total_sample_windows);
   ASSERT_EQ(a.groups.size(), b.groups.size());
   for (size_t g = 0; g < a.groups.size(); ++g) {
     EXPECT_EQ(a.groups[g].names, b.groups[g].names);
@@ -56,6 +67,9 @@ void expect_eq(const sched::RunReport& a, const sched::RunReport& b) {
     }
     EXPECT_EQ(a.groups[g].cycles, b.groups[g].cycles);
     EXPECT_EQ(a.groups[g].serial_cycles, b.groups[g].serial_cycles);
+    EXPECT_EQ(a.groups[g].ticked_cycles, b.groups[g].ticked_cycles);
+    EXPECT_EQ(a.groups[g].skipped_cycles, b.groups[g].skipped_cycles);
+    EXPECT_EQ(a.groups[g].sample_windows, b.groups[g].sample_windows);
     EXPECT_EQ(a.groups[g].smra_adjustments, b.groups[g].smra_adjustments);
     EXPECT_EQ(a.groups[g].smra_reverts, b.groups[g].smra_reverts);
   }
@@ -163,17 +177,75 @@ TEST(ResultIoTest, CorruptLinesAreRejected) {
   EXPECT_THROW(parse_record("profile BFS2 cycles=3"), std::logic_error);
 }
 
-TEST(ResultIoTest, OtherVersionsAreRejected) {
+// Strips every `gK.<key>=...` token from a serialized v2 line and relabels
+// it v=1 — the shape an old writer produced.
+std::string downgrade_to_v1(std::string line) {
+  line.replace(line.find("v=2"), 3, "v=1");
+  for (const char* key : {"ticked_cycles", "skipped_cycles",
+                          "sample_windows"}) {
+    const std::string needle = std::string(".") + key + "=";
+    size_t at;
+    while ((at = line.find(needle)) != std::string::npos) {
+      const size_t start = line.rfind(' ', at);
+      const size_t end = line.find(' ', at);
+      line.erase(start, (end == std::string::npos ? line.size() : end) -
+                            start);
+    }
+  }
+  return line;
+}
+
+TEST(ResultIoTest, VersionHandling) {
   std::string line = to_string(scenario("s", sched::Policy::kEven, 1, 7), 0, 0);
   line.pop_back();
-  ASSERT_NE(line.find("result v=1 "), std::string::npos);
-  std::string v2 = line;
-  v2.replace(v2.find("v=1"), 3, "v=2");
-  EXPECT_THROW(parse_record(v2), std::logic_error);
+  ASSERT_NE(line.find("result v=2 "), std::string::npos);
 
-  // A dump mixing versions is rejected even when the v=1 lines are fine.
-  const std::string mixed = line + "\n" + v2 + "\n";
-  EXPECT_THROW(merge_dumps({{"mixed.dump", mixed}}), std::logic_error);
+  // A future version is rejected rather than guessed at.
+  std::string v3 = line;
+  v3.replace(v3.find("v=2"), 3, "v=3");
+  EXPECT_THROW(parse_record(v3), std::logic_error);
+
+  // A v1 line carrying v2-only keys is rejected (TokenMap strictness).
+  std::string v1_with_v2_keys = line;
+  v1_with_v2_keys.replace(v1_with_v2_keys.find("v=2"), 3, "v=1");
+  EXPECT_THROW(parse_record(v1_with_v2_keys), std::logic_error);
+
+  // A genuine v1 line (no efficiency counters) still parses: the new
+  // fields load as zero, everything else is field-exact.
+  const Record rec = parse_record(downgrade_to_v1(line));
+  EXPECT_EQ(rec.name, "s");
+  EXPECT_EQ(rec.report.total_ticked_cycles, 0u);
+  EXPECT_EQ(rec.report.total_skipped_cycles, 0u);
+  EXPECT_EQ(rec.report.total_sample_windows, 0u);
+  const Record now = parse_record(line);
+  EXPECT_EQ(rec.report.total_cycles, now.report.total_cycles);
+  EXPECT_EQ(rec.report.total_thread_insns, now.report.total_thread_insns);
+  ASSERT_EQ(rec.report.groups.size(), now.report.groups.size());
+  for (size_t g = 0; g < rec.report.groups.size(); ++g) {
+    EXPECT_EQ(rec.report.groups[g].names, now.report.groups[g].names);
+    EXPECT_EQ(rec.report.groups[g].cycles, now.report.groups[g].cycles);
+    EXPECT_EQ(rec.report.groups[g].ticked_cycles, 0u);
+    EXPECT_EQ(rec.report.groups[g].skipped_cycles, 0u);
+    EXPECT_EQ(rec.report.groups[g].sample_windows, 0u);
+  }
+
+  // A v2 line missing one of the required counters is rejected.
+  {
+    std::string bad = line;
+    const std::string needle = "g0.ticked_cycles=";
+    const size_t at = bad.find(needle);
+    ASSERT_NE(at, std::string::npos);
+    const size_t start = bad.rfind(' ', at);
+    bad.erase(start, bad.find(' ', at) - start);
+    EXPECT_THROW(parse_record(bad), std::logic_error);
+  }
+
+  // Old and new dumps merge side by side (disjoint scenarios).
+  const std::string other =
+      to_string(scenario("t", sched::Policy::kEven, 1, 8), 0, 1);
+  const std::string mixed =
+      downgrade_to_v1(line) + "\n" + other;
+  EXPECT_NO_THROW(merge_dumps({{"mixed.dump", mixed}}));
 }
 
 // --- merge_dumps ---
@@ -247,7 +319,7 @@ TEST(ResultIoTest, MergeRejectsIncompleteCoverage) {
                std::logic_error);
   // Missing one repetition of one scenario.
   std::string text = dump_shard(results, 0, 1);
-  const size_t cut = text.rfind("result v=1");
+  const size_t cut = text.rfind("result v=2");
   EXPECT_THROW(merge_dumps({{"cut.dump", text.substr(0, cut)}}),
                std::logic_error);
   // Empty input.

@@ -1,7 +1,7 @@
 // merge-results: rebuilds the full bench tables from sharded
 // `--dump-results` files.
 //
-//   merge-results [--table auto|grid|per-app] DUMP [DUMP...]
+//   merge-results [--table auto|grid|per-app] [--batch N] DUMP [DUMP...]
 //
 // Reads the versioned result records (exp/result_io.h) of every given
 // dump, validates that the dumps are disjoint shards of one bench run
@@ -22,8 +22,14 @@
 //   auto     grid when every scenario name of the batch fits the
 //            "<row>/<col>" grid layout, per-app otherwise (the default).
 //
+// `--batch N` renders only batch N (a bench's Nth Harness::run() call)
+// after the dumps pass full-run validation — handy when a multi-batch
+// bench's tables are wanted one at a time.
+//
 // Tables go to stdout; diagnostics go to stderr; any validation failure
-// exits non-zero without printing a table.
+// exits non-zero without printing a table. When the records carry the v2
+// simulator-efficiency counters, a `[merge-results] simulated ...` summary
+// (ticked/skipped cycles and sampled-mode windows) also goes to stderr.
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -33,6 +39,7 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "common/text.h"
 #include "exp/result_io.h"
 #include "workloads/suite.h"
 
@@ -42,8 +49,8 @@ using namespace gpumas;
 
 [[noreturn]] void usage(const std::string& why) {
   std::cerr << "merge-results: " << why << "\n"
-            << "usage: merge-results [--table auto|grid|per-app] DUMP"
-               " [DUMP...]\n";
+            << "usage: merge-results [--table auto|grid|per-app] [--batch N]"
+               " DUMP [DUMP...]\n";
   std::exit(2);
 }
 
@@ -83,6 +90,7 @@ std::optional<GridShape> derive_grid(
 
 int main(int argc, char** argv) {
   std::string mode = "auto";
+  std::optional<int> only_batch;
   std::vector<std::string> paths;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -91,6 +99,15 @@ int main(int argc, char** argv) {
       mode = argv[++i];
       if (mode != "auto" && mode != "grid" && mode != "per-app") {
         usage("unknown --table mode " + mode);
+      }
+    } else if (arg == "--batch") {
+      if (i + 1 >= argc) usage("missing value for --batch");
+      const std::string v = argv[++i];
+      // The strict parser shared with the benches (common/text.h): "0x"
+      // must be an error, not batch 0.
+      only_batch = text::parse_int_strict(v);
+      if (!only_batch || *only_batch < 0) {
+        usage("--batch wants an integer >= 0, got " + v);
       }
     } else if (arg == "--help" || arg == "-h") {
       usage("help");
@@ -124,15 +141,45 @@ int main(int argc, char** argv) {
 
   int scenarios = 0;
   int records = 0;
+  uint64_t ticked = 0, skipped = 0, windows = 0;
   for (const auto& mb : batches) {
     scenarios += static_cast<int>(mb.results.size());
-    for (const auto& r : mb.results) records += static_cast<int>(r.reps.size());
+    for (const auto& r : mb.results) {
+      records += static_cast<int>(r.reps.size());
+      for (const auto& rep : r.reps) {
+        ticked += rep.total_ticked_cycles;
+        skipped += rep.total_skipped_cycles;
+        windows += rep.total_sample_windows;
+      }
+    }
   }
   std::cerr << "[merge-results] merged " << records << " records ("
             << scenarios << " scenarios, " << batches.size()
             << (batches.size() == 1 ? " batch" : " batches") << ") from "
             << dumps.size() << (dumps.size() == 1 ? " dump" : " dumps")
             << "\n";
+  // Skip/sample efficiency across the whole run; v1 dumps predate the
+  // counters and load them as zero, so stay silent for those.
+  if (ticked + skipped > 0) {
+    std::cerr << "[merge-results] simulated " << ticked << " ticked + "
+              << skipped << " skipped cycles ("
+              << 100.0 * static_cast<double>(skipped) /
+                     static_cast<double>(ticked + skipped)
+              << "% skipped, " << windows << " sampled windows)\n";
+  }
+
+  if (only_batch) {
+    std::vector<exp::result_io::MergedBatch> kept;
+    for (auto& mb : batches) {
+      if (mb.batch == *only_batch) kept.push_back(std::move(mb));
+    }
+    if (kept.empty()) {
+      std::cerr << "merge-results: the dumps contain no batch " << *only_batch
+                << " (batches 0.." << batches.back().batch << ")\n";
+      return 1;
+    }
+    batches = std::move(kept);
+  }
 
   for (size_t b = 0; b < batches.size(); ++b) {
     if (b > 0) std::cout << "\n";
