@@ -8,6 +8,7 @@
 #include <iostream>
 
 #include "bench/bench_common.h"
+#include "common/table.h"
 
 namespace {
 

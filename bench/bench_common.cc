@@ -1,0 +1,480 @@
+// Implementation of the shared bench harness (see bench_common.h for the
+// CLI contract). One translation unit, linked into every bench through the
+// gpumas_bench_common static library.
+#include "bench/bench_common.h"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <system_error>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/table.h"
+#include "exp/result_io.h"
+#include "sim/config_io.h"
+#include "workloads/suite.h"
+
+namespace gpumas::bench {
+
+void print_setup(const sim::GpuConfig& cfg) {
+  std::cout << "Experimental setup (Table 4.1):\n"
+            << "  GPU architecture        GTX 480-class\n"
+            << "  # of SMs                " << cfg.num_sms << "\n"
+            << "  Core frequency          " << cfg.core_freq_ghz * 1000
+            << " MHz\n"
+            << "  Warps per SM            " << cfg.max_warps_per_sm << "\n"
+            << "  Blocks per SM           " << cfg.max_blocks_per_sm << "\n"
+            << "  L1 data cache           " << cfg.l1d.size_bytes / 1024
+            << " kB per SM\n"
+            << "  L2 cache                " << cfg.l2.size_bytes / 1024
+            << " kB shared, " << cfg.num_channels << " slices\n"
+            << "  Warp scheduler          "
+            << (cfg.warp_sched == sim::WarpSchedPolicy::kGto ? "GTO" : "LRR")
+            << "\n"
+            << "  Memory scheduler        "
+            << (cfg.mem_sched == sim::MemSchedPolicy::kFrFcfs ? "FR-FCFS"
+                                                              : "FCFS")
+            << "\n"
+            << "  Peak DRAM bandwidth     " << cfg.peak_bandwidth_gbps()
+            << " GB/s\n";
+}
+
+Options parse_options(int argc, char** argv) {
+  Options opts;
+  const auto usage = [&argv](const std::string& why) {
+    std::cerr << argv[0] << ": " << why << "\n"
+              << "usage: " << argv[0]
+              << " [--threads N] [--sim-threads N] [--config FILE]"
+                 " [--profile-cache DIR]"
+                 " [--policy serial|even|profile|ilp|ilp-smra]"
+                 " [--shard I/N] [--dump-results FILE] [--dump-append]"
+                 " [--reps N] [--no-skip] [--sim-mode detailed|sampled]"
+                 " [--store-stats]\n";
+    std::exit(2);
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage("missing value for " + arg);
+      return argv[++i];
+    };
+    if (arg == "--threads") {
+      const std::string v = value();
+      const auto n = parse_int(v);
+      if (!n || *n < 1) usage("--threads wants an integer >= 1, got " + v);
+      opts.threads = *n;
+    } else if (arg == "--sim-threads") {
+      const std::string v = value();
+      const auto n = parse_int(v);
+      if (!n || *n < 1) {
+        usage("--sim-threads wants an integer >= 1, got " + v);
+      }
+      opts.sim_threads = *n;
+    } else if (arg == "--config") {
+      opts.config_path = value();
+    } else if (arg == "--profile-cache") {
+      opts.profile_cache_path = value();
+    } else if (arg == "--policy") {
+      opts.policy = value();
+      if (!parse_policy(opts.policy)) usage("unknown policy " + opts.policy);
+    } else if (arg == "--shard") {
+      const std::string v = value();
+      const size_t slash = v.find('/');
+      if (slash == std::string::npos) usage("--shard wants I/N, got " + v);
+      const auto index = parse_int(v.substr(0, slash));
+      const auto count = parse_int(v.substr(slash + 1));
+      if (!index || !count) usage("--shard wants integers I/N, got " + v);
+      opts.shard.index = *index;
+      opts.shard.count = *count;
+      if (opts.shard.count < 1 || opts.shard.index < 0 ||
+          opts.shard.index >= opts.shard.count) {
+        usage("--shard wants 0 <= I < N, got " + v);
+      }
+    } else if (arg == "--dump-results") {
+      opts.dump_path = value();
+    } else if (arg == "--dump-append") {
+      opts.dump_append = true;
+    } else if (arg == "--no-skip") {
+      opts.no_skip = true;
+    } else if (arg == "--sim-mode") {
+      opts.sim_mode = value();
+      if (opts.sim_mode != "detailed" && opts.sim_mode != "sampled") {
+        usage("--sim-mode wants detailed or sampled, got " + opts.sim_mode);
+      }
+    } else if (arg == "--store-stats") {
+      opts.store_stats = true;
+    } else if (arg == "--reps") {
+      const std::string v = value();
+      const auto n = parse_int(v);
+      if (!n || *n < 1) usage("--reps wants an integer >= 1, got " + v);
+      opts.reps = *n;
+    } else if (arg == "--help" || arg == "-h") {
+      usage("help");
+    } else {
+      usage("unknown flag " + arg);
+    }
+  }
+  return opts;
+}
+
+Harness::Harness(int argc, char** argv)
+    : opts_(parse_options(argc, argv)), engine_(cache_, opts_.threads) {
+  try {
+    if (!opts_.config_path.empty()) {
+      cfg_ = sim::load_config(opts_.config_path);
+    }
+    if (opts_.no_skip) cfg_.skip_idle_cycles = false;
+    // --sim-threads pins the intra-run SM-phase parallelism of every
+    // scenario this harness runs; unset (0) leaves the engine's two-level
+    // budget to resolve it per batch. Either way results are identical —
+    // the flag only moves wall-clock time around.
+    if (opts_.sim_threads > 0) cfg_.sim_threads = opts_.sim_threads;
+    if (opts_.sim_mode == "sampled") {
+      cfg_.sim_mode = sim::SimMode::kSampled;
+    } else if (opts_.sim_mode == "detailed") {
+      cfg_.sim_mode = sim::SimMode::kDetailed;
+    }
+    if (!opts_.dump_path.empty()) {
+      // A leftover dump from an earlier run would silently gain this
+      // run's records too, and the duplicates would poison every later
+      // merge — refuse up front unless appending was asked for.
+      std::error_code ec;
+      const auto size = std::filesystem::file_size(opts_.dump_path, ec);
+      if (!ec && size > 0 && !opts_.dump_append) {
+        std::cerr << argv[0] << ": --dump-results file " << opts_.dump_path
+                  << " already contains records; re-running would append "
+                     "duplicates that corrupt a merge. Remove the file or "
+                     "pass --dump-append to extend it on purpose.\n";
+        std::exit(2);
+      }
+      // Probe the dump path now: failing after hours of simulation (and
+      // skipping the destructor's store save) is the expensive way to
+      // learn about a typo.
+      std::ofstream probe(opts_.dump_path, std::ios::app);
+      if (!probe.good()) {
+        std::cerr << argv[0] << ": cannot open --dump-results file "
+                  << opts_.dump_path << "\n";
+        std::exit(2);
+      }
+    }
+    if (!opts_.profile_cache_path.empty()) {
+      // An existing regular file is the legacy profile-only cache; any
+      // other path is the directory artifact store (profiles + models).
+      legacy_cache_file_ =
+          std::filesystem::is_regular_file(opts_.profile_cache_path);
+      const bool loaded =
+          legacy_cache_file_
+              ? cache_.load_if_exists(opts_.profile_cache_path)
+              : cache_.load_store_if_exists(opts_.profile_cache_path);
+      if (loaded) {
+        std::cerr << "[bench] artifact store: loaded " << cache_.size()
+                  << " profiles, " << cache_.model_count() << " models, "
+                  << cache_.group_count() << " groups from "
+                  << opts_.profile_cache_path << "\n";
+      }
+    }
+  } catch (const std::exception& e) {
+    // Bad --config / --profile-cache files are user errors, not bugs:
+    // report and exit instead of aborting on an uncaught exception.
+    std::cerr << argv[0] << ": " << e.what() << "\n";
+    std::exit(2);
+  }
+}
+
+Harness::~Harness() {
+  if ((opts_.shard.count > 1 || !opts_.dump_path.empty()) && !ran_) {
+    std::cerr << "[bench] warning: --shard/--dump-results have no effect "
+                 "here — this bench does not run scenario batches through "
+                 "the experiment engine\n";
+  }
+  if (opts_.store_stats) print_store_stats();
+  if (!opts_.profile_cache_path.empty()) {
+    try {
+      if (legacy_cache_file_) {
+        cache_.save(opts_.profile_cache_path);
+        std::cerr << "[bench] artifact store: saved " << cache_.size()
+                  << " profiles (" << cache_.misses()
+                  << " measured this run) to " << opts_.profile_cache_path
+                  << " (legacy profile-only file";
+        if (cache_.model_count() > 0 || cache_.group_count() > 0) {
+          std::cerr << "; " << cache_.model_count() << " models and "
+                    << cache_.group_count()
+                    << " group runs NOT persisted — pass a directory to "
+                       "keep them";
+        }
+        std::cerr << ")\n";
+      } else {
+        cache_.save_store(opts_.profile_cache_path);
+        std::cerr << "[bench] artifact store: saved " << cache_.size()
+                  << " profiles (" << cache_.misses()
+                  << " measured this run), " << cache_.model_count()
+                  << " models (" << cache_.model_misses()
+                  << " measured this run), " << cache_.group_count()
+                  << " groups (" << cache_.group_misses()
+                  << " measured this run) to " << opts_.profile_cache_path
+                  << "\n";
+      }
+    } catch (const std::exception& e) {
+      std::cerr << "[bench] artifact store save failed: " << e.what()
+                << "\n";
+    }
+  }
+}
+
+void Harness::print_store_stats(std::ostream& os) const {
+  print_banner("Artifact store statistics (--store-stats)", os);
+  Table table({"layer", "entries", "hits", "misses"});
+  table.begin_row()
+      .cell(std::string("profiles (solo)"))
+      .cell(static_cast<uint64_t>(cache_.size()))
+      .cell(cache_.hits() - cache_.scalability_hits())
+      .cell(cache_.misses() - cache_.scalability_misses());
+  table.begin_row()
+      .cell(std::string("scalability points"))
+      .cell(std::string("(in profiles)"))
+      .cell(cache_.scalability_hits())
+      .cell(cache_.scalability_misses());
+  table.begin_row()
+      .cell(std::string("slowdown models"))
+      .cell(static_cast<uint64_t>(cache_.model_count()))
+      .cell(cache_.model_hits())
+      .cell(cache_.model_misses());
+  table.begin_row()
+      .cell(std::string("group runs"))
+      .cell(static_cast<uint64_t>(cache_.group_count()))
+      .cell(cache_.group_hits())
+      .cell(cache_.group_misses());
+  table.print(os);
+  // Per-layer accuracy split: every artifact's key carries the SimMode it
+  // was measured under, so a mixed store is auditable (and CI asserts
+  // sampled and detailed artifacts never cross-serve).
+  const auto ps = cache_.profile_split();
+  const auto ms = cache_.model_split();
+  const auto gs = cache_.group_split();
+  os << "Accuracy split: profiles " << ps.detailed << " detailed / "
+     << ps.sampled << " sampled; models " << ms.detailed << " detailed / "
+     << ms.sampled << " sampled; group runs " << gs.detailed
+     << " detailed / " << gs.sampled << " sampled\n";
+  os << "Note: store entries are keyed by content fingerprint and never "
+        "expire, so a long-lived --profile-cache directory grows "
+        "monotonically (no eviction/versioning yet; see ROADMAP).\n";
+}
+
+std::vector<exp::ScenarioResult> Harness::run(
+    const std::vector<exp::ScenarioSpec>& scenarios) {
+  ran_ = true;
+  const int batch = batch_++;
+  const auto results = engine_.run(scenarios, opts_.shard);
+  if (!opts_.dump_path.empty()) dump_results(results, batch);
+  return results;
+}
+
+const std::vector<profile::AppProfile>& Harness::profiles() {
+  if (!profiles_) {
+    profiles_ = cache_.suite_profiles(workloads::suite(), cfg_);
+  }
+  return *profiles_;
+}
+
+std::vector<sched::Policy> Harness::policies(
+    std::vector<sched::Policy> wanted) const {
+  const auto filter = parse_policy(opts_.policy);
+  if (!filter || wanted.empty()) return wanted;
+  std::vector<sched::Policy> kept{wanted.front()};
+  for (size_t i = 1; i < wanted.size(); ++i) {
+    if (wanted[i] == *filter) kept.push_back(wanted[i]);
+  }
+  return kept;
+}
+
+exp::ScenarioSpec Harness::scenario(std::string name) const {
+  exp::ScenarioSpec spec;
+  spec.name = std::move(name);
+  spec.config = cfg_;
+  return spec;
+}
+
+void Harness::dump_results(const std::vector<exp::ScenarioResult>& results,
+                           int batch) {
+  std::ofstream out(opts_.dump_path, std::ios::app);
+  if (!out.good()) {
+    // The constructor probed this path; losing the dump mid-run is not
+    // worth losing the measured artifacts too (the destructor still
+    // saves the store), so report and continue.
+    std::cerr << "[bench] cannot append to --dump-results file "
+              << opts_.dump_path << "; results not dumped\n";
+    return;
+  }
+  for (size_t i = 0; i < results.size(); ++i) {
+    if (!results[i].has_reps()) continue;  // another shard's scenario
+    out << exp::result_io::to_string(results[i], batch,
+                                     static_cast<int>(i));
+  }
+}
+
+std::vector<double> render_policy_grid(
+    const std::vector<exp::ScenarioResult>& results,
+    const std::vector<std::string>& row_names,
+    const std::vector<std::string>& col_names, int reps, std::ostream& os) {
+  GPUMAS_CHECK(results.size() == row_names.size() * col_names.size());
+  std::vector<std::string> header{"workload"};
+  for (const auto& col : col_names) header.push_back(col);
+  Table table(header);
+  std::vector<double> sums(col_names.size(), 0.0);
+  std::vector<int> counts(col_names.size(), 0);
+  for (size_t d = 0; d < row_names.size(); ++d) {
+    const auto& base_result = results[d * col_names.size()];
+    const double base =
+        base_result.has_reps() ? base_result.mean_device_throughput() : 0.0;
+    table.begin_row().cell(row_names[d]);
+    for (size_t p = 0; p < col_names.size(); ++p) {
+      const auto& r = results[d * col_names.size() + p];
+      if (base <= 0.0 || !r.has_reps()) {
+        table.cell(std::string("-"));
+        continue;
+      }
+      const double ratio = r.mean_device_throughput() / base;
+      sums[p] += ratio;
+      counts[p]++;
+      table.cell(ratio, 3);
+    }
+  }
+  table.print(os);
+
+  // Repetition statistics (mean/stddev over the re-drawn queues) for the
+  // seeded-queue tables; a single repetition has nothing to summarize.
+  if (reps > 1) {
+    print_banner("Per-scenario repetition statistics (" +
+                     std::to_string(reps) + " seeded repetitions)",
+                 os);
+    Table stats({"scenario", "STP mean", "STP sd", "cycles mean",
+                 "cycles sd"});
+    for (const auto& r : results) {
+      if (!r.has_reps()) continue;
+      const exp::RepStats stp = r.throughput_stats();
+      const exp::RepStats cyc = r.cycles_stats();
+      stats.begin_row()
+          .cell(r.name)
+          .cell(stp.mean, 3)
+          .cell(stp.stddev, 3)
+          .cell(cyc.mean, 1)
+          .cell(cyc.stddev, 1);
+    }
+    stats.print(os);
+  }
+
+  std::vector<double> mean_normalized;
+  for (size_t p = 0; p < col_names.size(); ++p) {
+    mean_normalized.push_back(
+        counts[p] > 0 ? sums[p] / static_cast<double>(counts[p]) : 0.0);
+  }
+  return mean_normalized;
+}
+
+PolicyGridResult run_policy_grid(
+    Harness& h, const std::vector<sched::QueueDistribution>& dists,
+    const std::vector<sched::Policy>& wanted, int nc, int length,
+    uint64_t seed) {
+  const auto policies = h.policies(wanted);
+  std::vector<exp::ScenarioSpec> scenarios;
+  for (const auto dist : dists) {
+    for (const auto policy : policies) {
+      exp::ScenarioSpec spec =
+          h.scenario(std::string(sched::distribution_name(dist)) + "/" +
+                     sched::policy_name(policy));
+      spec.queue = exp::QueueSpec::Distribution(dist, length, seed);
+      spec.policy = policy;
+      spec.nc = nc;
+      spec.repetitions = h.options().reps;
+      scenarios.push_back(spec);
+    }
+  }
+  const auto results = h.run(scenarios);
+
+  std::vector<std::string> rows, cols;
+  for (const auto dist : dists) rows.push_back(sched::distribution_name(dist));
+  for (const auto policy : policies) cols.push_back(sched::policy_name(policy));
+
+  PolicyGridResult grid;
+  grid.policies = policies;
+  grid.mean_normalized =
+      render_policy_grid(results, rows, cols, h.options().reps);
+  return grid;
+}
+
+void render_per_app_table(const std::vector<exp::ScenarioResult>& results,
+                          const std::vector<PerAppRow>& rows, bool show_class,
+                          std::ostream& os) {
+  GPUMAS_CHECK(!results.empty());
+  // Under --shard some policies belong to other shards: their columns stay
+  // empty here and their reports come back default-constructed (callers
+  // merge via --dump-results, not via the partial tables).
+  std::vector<std::vector<std::pair<std::string, double>>> ipc;
+  for (const auto& r : results) {
+    ipc.push_back(r.has_reps()
+                      ? r.report().per_app_ipc()
+                      : std::vector<std::pair<std::string, double>>{});
+  }
+
+  std::vector<std::string> header{"Benchmark"};
+  if (show_class) header.push_back("class");
+  header.push_back(results[0].name + " IPC");
+  for (size_t p = 1; p < results.size(); ++p) {
+    header.push_back(results[p].name + "/" + results[0].name);
+  }
+  Table table(header);
+  for (const auto& row : rows) {
+    const double* base = sched::find_app_ipc(ipc[0], row.name);
+    if (base == nullptr) continue;  // not drawn into this queue
+    table.begin_row().cell(row.name);
+    if (show_class) table.cell(row.cls);
+    table.cell(*base, 1);
+    for (size_t p = 1; p < results.size(); ++p) {
+      if (const double* v = sched::find_app_ipc(ipc[p], row.name)) {
+        table.cell(*v / *base, 3);
+      } else {
+        table.cell(std::string("-"));
+      }
+    }
+  }
+  table.print(os);
+}
+
+std::vector<sched::RunReport> run_per_app_table(
+    Harness& h, const exp::QueueSpec& queue,
+    const std::vector<sched::Policy>& wanted, int nc, bool show_class) {
+  const auto policies = h.policies(wanted);
+  std::vector<exp::ScenarioSpec> scenarios;
+  for (const auto policy : policies) {
+    exp::ScenarioSpec spec = h.scenario(sched::policy_name(policy));
+    spec.queue = queue;
+    spec.policy = policy;
+    spec.nc = nc;
+    scenarios.push_back(spec);
+  }
+  const auto results = h.run(scenarios);
+
+  std::vector<PerAppRow> rows;
+  for (const auto& pr : h.profiles()) {
+    rows.push_back({pr.name, profile::class_name(pr.cls)});
+  }
+  render_per_app_table(results, rows, show_class);
+
+  std::vector<sched::RunReport> reports;
+  for (size_t p = 0; p < results.size(); ++p) {
+    if (results[p].has_reps()) {
+      reports.push_back(results[p].report());
+    } else {
+      sched::RunReport placeholder;  // this shard didn't run the scenario
+      placeholder.policy = policies[p];
+      reports.push_back(placeholder);
+    }
+  }
+  return reports;
+}
+
+}  // namespace gpumas::bench

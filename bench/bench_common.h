@@ -5,10 +5,18 @@
 // (profile::ProfileCache — solo profiles AND slowdown models, with optional
 // disk persistence so back-to-back bench runs measure each artifact exactly
 // once), and the ExperimentRunner that executes scenario batches across
-// worker threads.
+// worker threads. Declarations only — the implementations live in
+// bench_common.cc (built once into the gpumas_bench_common static library)
+// so the 10+ bench translation units stop recompiling the harness each.
 //
 // Flags understood by every bench:
 //   --threads N           scenario worker threads (default 1)
+//   --sim-threads N       intra-run SM-phase threads per simulation
+//                         (GpuConfig::sim_threads). Results are
+//                         byte-identical for every value; unset leaves the
+//                         engine's two-level budget to decide (surplus
+//                         --threads flow into runs when the scenario pool
+//                         is not saturated)
 //   --config FILE         device description in sim::config_io format
 //   --profile-cache DIR   artifact store: load profiles, slowdown models
 //                         and group-run records before running, save them
@@ -22,7 +30,7 @@
 //                         table rows print "-". Combine with
 //                         --dump-results to split a bench across
 //                         processes/machines and merge the outputs.
-//   --dump-results FILE   write one versioned `result v=2 ...` key=value
+//   --dump-results FILE   write one versioned `result v=3 ...` key=value
 //                         record (exp/result_io.h) per executed scenario
 //                         repetition; the sorted union of all shards'
 //                         dumps equals the sorted dump of the unsharded
@@ -59,57 +67,26 @@
 //                         plus the store-growth caveat
 #pragma once
 
-#include <cctype>
-#include <cstdlib>
-#include <filesystem>
-#include <fstream>
-#include <iomanip>
 #include <iostream>
 #include <optional>
-#include <sstream>
 #include <string>
 #include <vector>
 
-#include "common/check.h"
-#include "common/table.h"
 #include "common/text.h"
 #include "exp/experiment.h"
-#include "exp/result_io.h"
 #include "profile/profile.h"
 #include "profile/profile_cache.h"
-#include "sim/config_io.h"
 #include "sim/gpu_config.h"
-#include "workloads/suite.h"
 
 namespace gpumas::bench {
 
 // Prints the experimental setup (paper Table 4.1) so every bench's output is
 // self-describing.
-inline void print_setup(const sim::GpuConfig& cfg) {
-  std::cout << "Experimental setup (Table 4.1):\n"
-            << "  GPU architecture        GTX 480-class\n"
-            << "  # of SMs                " << cfg.num_sms << "\n"
-            << "  Core frequency          " << cfg.core_freq_ghz * 1000
-            << " MHz\n"
-            << "  Warps per SM            " << cfg.max_warps_per_sm << "\n"
-            << "  Blocks per SM           " << cfg.max_blocks_per_sm << "\n"
-            << "  L1 data cache           " << cfg.l1d.size_bytes / 1024
-            << " kB per SM\n"
-            << "  L2 cache                " << cfg.l2.size_bytes / 1024
-            << " kB shared, " << cfg.num_channels << " slices\n"
-            << "  Warp scheduler          "
-            << (cfg.warp_sched == sim::WarpSchedPolicy::kGto ? "GTO" : "LRR")
-            << "\n"
-            << "  Memory scheduler        "
-            << (cfg.mem_sched == sim::MemSchedPolicy::kFrFcfs ? "FR-FCFS"
-                                                              : "FCFS")
-            << "\n"
-            << "  Peak DRAM bandwidth     " << cfg.peak_bandwidth_gbps()
-            << " GB/s\n";
-}
+void print_setup(const sim::GpuConfig& cfg);
 
 struct Options {
   int threads = 1;
+  int sim_threads = 0;  // 0 = leave the engine's two-level budget to decide
   std::string config_path;
   std::string profile_cache_path;
   std::string policy;
@@ -145,75 +122,9 @@ inline std::optional<sched::Policy> parse_policy(const std::string& name) {
   return std::nullopt;
 }
 
-inline Options parse_options(int argc, char** argv) {
-  Options opts;
-  const auto usage = [&argv](const std::string& why) {
-    std::cerr << argv[0] << ": " << why << "\n"
-              << "usage: " << argv[0]
-              << " [--threads N] [--config FILE] [--profile-cache DIR]"
-                 " [--policy serial|even|profile|ilp|ilp-smra]"
-                 " [--shard I/N] [--dump-results FILE] [--dump-append]"
-                 " [--reps N] [--no-skip] [--sim-mode detailed|sampled]"
-                 " [--store-stats]\n";
-    std::exit(2);
-  };
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    const auto value = [&]() -> std::string {
-      if (i + 1 >= argc) usage("missing value for " + arg);
-      return argv[++i];
-    };
-    if (arg == "--threads") {
-      const std::string v = value();
-      const auto n = parse_int(v);
-      if (!n || *n < 1) usage("--threads wants an integer >= 1, got " + v);
-      opts.threads = *n;
-    } else if (arg == "--config") {
-      opts.config_path = value();
-    } else if (arg == "--profile-cache") {
-      opts.profile_cache_path = value();
-    } else if (arg == "--policy") {
-      opts.policy = value();
-      if (!parse_policy(opts.policy)) usage("unknown policy " + opts.policy);
-    } else if (arg == "--shard") {
-      const std::string v = value();
-      const size_t slash = v.find('/');
-      if (slash == std::string::npos) usage("--shard wants I/N, got " + v);
-      const auto index = parse_int(v.substr(0, slash));
-      const auto count = parse_int(v.substr(slash + 1));
-      if (!index || !count) usage("--shard wants integers I/N, got " + v);
-      opts.shard.index = *index;
-      opts.shard.count = *count;
-      if (opts.shard.count < 1 || opts.shard.index < 0 ||
-          opts.shard.index >= opts.shard.count) {
-        usage("--shard wants 0 <= I < N, got " + v);
-      }
-    } else if (arg == "--dump-results") {
-      opts.dump_path = value();
-    } else if (arg == "--dump-append") {
-      opts.dump_append = true;
-    } else if (arg == "--no-skip") {
-      opts.no_skip = true;
-    } else if (arg == "--sim-mode") {
-      opts.sim_mode = value();
-      if (opts.sim_mode != "detailed" && opts.sim_mode != "sampled") {
-        usage("--sim-mode wants detailed or sampled, got " + opts.sim_mode);
-      }
-    } else if (arg == "--store-stats") {
-      opts.store_stats = true;
-    } else if (arg == "--reps") {
-      const std::string v = value();
-      const auto n = parse_int(v);
-      if (!n || *n < 1) usage("--reps wants an integer >= 1, got " + v);
-      opts.reps = *n;
-    } else if (arg == "--help" || arg == "-h") {
-      usage("help");
-    } else {
-      usage("unknown flag " + arg);
-    }
-  }
-  return opts;
-}
+// Parses the shared bench CLI; prints usage and exits 2 on any malformed
+// flag.
+Options parse_options(int argc, char** argv);
 
 // Owns the CLI options, device config, artifact store and experiment
 // engine for one bench invocation. Store persistence happens in the
@@ -221,104 +132,8 @@ inline Options parse_options(int argc, char** argv) {
 // next run.
 class Harness {
  public:
-  Harness(int argc, char** argv)
-      : opts_(parse_options(argc, argv)), engine_(cache_, opts_.threads) {
-    try {
-      if (!opts_.config_path.empty()) {
-        cfg_ = sim::load_config(opts_.config_path);
-      }
-      if (opts_.no_skip) cfg_.skip_idle_cycles = false;
-      if (opts_.sim_mode == "sampled") {
-        cfg_.sim_mode = sim::SimMode::kSampled;
-      } else if (opts_.sim_mode == "detailed") {
-        cfg_.sim_mode = sim::SimMode::kDetailed;
-      }
-      if (!opts_.dump_path.empty()) {
-        // A leftover dump from an earlier run would silently gain this
-        // run's records too, and the duplicates would poison every later
-        // merge — refuse up front unless appending was asked for.
-        std::error_code ec;
-        const auto size = std::filesystem::file_size(opts_.dump_path, ec);
-        if (!ec && size > 0 && !opts_.dump_append) {
-          std::cerr << argv[0] << ": --dump-results file " << opts_.dump_path
-                    << " already contains records; re-running would append "
-                       "duplicates that corrupt a merge. Remove the file or "
-                       "pass --dump-append to extend it on purpose.\n";
-          std::exit(2);
-        }
-        // Probe the dump path now: failing after hours of simulation (and
-        // skipping the destructor's store save) is the expensive way to
-        // learn about a typo.
-        std::ofstream probe(opts_.dump_path, std::ios::app);
-        if (!probe.good()) {
-          std::cerr << argv[0] << ": cannot open --dump-results file "
-                    << opts_.dump_path << "\n";
-          std::exit(2);
-        }
-      }
-      if (!opts_.profile_cache_path.empty()) {
-        // An existing regular file is the legacy profile-only cache; any
-        // other path is the directory artifact store (profiles + models).
-        legacy_cache_file_ =
-            std::filesystem::is_regular_file(opts_.profile_cache_path);
-        const bool loaded =
-            legacy_cache_file_
-                ? cache_.load_if_exists(opts_.profile_cache_path)
-                : cache_.load_store_if_exists(opts_.profile_cache_path);
-        if (loaded) {
-          std::cerr << "[bench] artifact store: loaded " << cache_.size()
-                    << " profiles, " << cache_.model_count() << " models, "
-                    << cache_.group_count() << " groups from "
-                    << opts_.profile_cache_path << "\n";
-        }
-      }
-    } catch (const std::exception& e) {
-      // Bad --config / --profile-cache files are user errors, not bugs:
-      // report and exit instead of aborting on an uncaught exception.
-      std::cerr << argv[0] << ": " << e.what() << "\n";
-      std::exit(2);
-    }
-  }
-
-  ~Harness() {
-    if ((opts_.shard.count > 1 || !opts_.dump_path.empty()) && !ran_) {
-      std::cerr << "[bench] warning: --shard/--dump-results have no effect "
-                   "here — this bench does not run scenario batches through "
-                   "the experiment engine\n";
-    }
-    if (opts_.store_stats) print_store_stats();
-    if (!opts_.profile_cache_path.empty()) {
-      try {
-        if (legacy_cache_file_) {
-          cache_.save(opts_.profile_cache_path);
-          std::cerr << "[bench] artifact store: saved " << cache_.size()
-                    << " profiles (" << cache_.misses()
-                    << " measured this run) to " << opts_.profile_cache_path
-                    << " (legacy profile-only file";
-          if (cache_.model_count() > 0 || cache_.group_count() > 0) {
-            std::cerr << "; " << cache_.model_count() << " models and "
-                      << cache_.group_count()
-                      << " group runs NOT persisted — pass a directory to "
-                         "keep them";
-          }
-          std::cerr << ")\n";
-        } else {
-          cache_.save_store(opts_.profile_cache_path);
-          std::cerr << "[bench] artifact store: saved " << cache_.size()
-                    << " profiles (" << cache_.misses()
-                    << " measured this run), " << cache_.model_count()
-                    << " models (" << cache_.model_misses()
-                    << " measured this run), " << cache_.group_count()
-                    << " groups (" << cache_.group_misses()
-                    << " measured this run) to " << opts_.profile_cache_path
-                    << "\n";
-        }
-      } catch (const std::exception& e) {
-        std::cerr << "[bench] artifact store save failed: " << e.what()
-                  << "\n";
-      }
-    }
-  }
+  Harness(int argc, char** argv);
+  ~Harness();
 
   const Options& options() const { return opts_; }
   const sim::GpuConfig& config() const { return cfg_; }
@@ -330,87 +145,25 @@ class Harness {
   // are lookups that simulated. Scalability curve points share the profile
   // table (they are solo profiles at explicit SM counts), so their row is
   // a sub-count of the profiles row and shows no separate entry count.
-  void print_store_stats(std::ostream& os = std::cout) const {
-    print_banner("Artifact store statistics (--store-stats)", os);
-    Table table({"layer", "entries", "hits", "misses"});
-    table.begin_row()
-        .cell(std::string("profiles (solo)"))
-        .cell(static_cast<uint64_t>(cache_.size()))
-        .cell(cache_.hits() - cache_.scalability_hits())
-        .cell(cache_.misses() - cache_.scalability_misses());
-    table.begin_row()
-        .cell(std::string("scalability points"))
-        .cell(std::string("(in profiles)"))
-        .cell(cache_.scalability_hits())
-        .cell(cache_.scalability_misses());
-    table.begin_row()
-        .cell(std::string("slowdown models"))
-        .cell(static_cast<uint64_t>(cache_.model_count()))
-        .cell(cache_.model_hits())
-        .cell(cache_.model_misses());
-    table.begin_row()
-        .cell(std::string("group runs"))
-        .cell(static_cast<uint64_t>(cache_.group_count()))
-        .cell(cache_.group_hits())
-        .cell(cache_.group_misses());
-    table.print(os);
-    // Per-layer accuracy split: every artifact's key carries the SimMode it
-    // was measured under, so a mixed store is auditable (and CI asserts
-    // sampled and detailed artifacts never cross-serve).
-    const auto ps = cache_.profile_split();
-    const auto ms = cache_.model_split();
-    const auto gs = cache_.group_split();
-    os << "Accuracy split: profiles " << ps.detailed << " detailed / "
-       << ps.sampled << " sampled; models " << ms.detailed << " detailed / "
-       << ms.sampled << " sampled; group runs " << gs.detailed
-       << " detailed / " << gs.sampled << " sampled\n";
-    os << "Note: store entries are keyed by content fingerprint and never "
-          "expire, so a long-lived --profile-cache directory grows "
-          "monotonically (no eviction/versioning yet; see ROADMAP).\n";
-  }
+  void print_store_stats(std::ostream& os = std::cout) const;
 
   // Runs a scenario batch on this invocation's shard and, when
   // --dump-results is set, appends one mergeable result_io record per
   // executed repetition. Benches should call this instead of
   // engine().run() so --shard/--dump-results apply uniformly.
   std::vector<exp::ScenarioResult> run(
-      const std::vector<exp::ScenarioSpec>& scenarios) {
-    ran_ = true;
-    const int batch = batch_++;
-    const auto results = engine_.run(scenarios, opts_.shard);
-    if (!opts_.dump_path.empty()) dump_results(results, batch);
-    return results;
-  }
+      const std::vector<exp::ScenarioSpec>& scenarios);
 
   // Suite profiles on the harness config, through the shared cache.
-  const std::vector<profile::AppProfile>& profiles() {
-    if (!profiles_) {
-      profiles_ = cache_.suite_profiles(workloads::suite(), cfg_);
-    }
-    return *profiles_;
-  }
+  const std::vector<profile::AppProfile>& profiles();
 
   // Intersects the bench's policy list with --policy. The first element is
   // each bench's normalization baseline and is always kept so relative
   // columns stay meaningful.
-  std::vector<sched::Policy> policies(
-      std::vector<sched::Policy> wanted) const {
-    const auto filter = parse_policy(opts_.policy);
-    if (!filter || wanted.empty()) return wanted;
-    std::vector<sched::Policy> kept{wanted.front()};
-    for (size_t i = 1; i < wanted.size(); ++i) {
-      if (wanted[i] == *filter) kept.push_back(wanted[i]);
-    }
-    return kept;
-  }
+  std::vector<sched::Policy> policies(std::vector<sched::Policy> wanted) const;
 
   // A ScenarioSpec pre-filled with the harness device config.
-  exp::ScenarioSpec scenario(std::string name) const {
-    exp::ScenarioSpec spec;
-    spec.name = std::move(name);
-    spec.config = cfg_;
-    return spec;
-  }
+  exp::ScenarioSpec scenario(std::string name) const;
 
   void print_setup() const { bench::print_setup(cfg_); }
 
@@ -421,22 +174,7 @@ class Harness {
   // shards reproduces the sorted dump of the unsharded run byte for byte,
   // and the merge-results tool rebuilds the full tables from them.
   void dump_results(const std::vector<exp::ScenarioResult>& results,
-                    int batch) {
-    std::ofstream out(opts_.dump_path, std::ios::app);
-    if (!out.good()) {
-      // The constructor probed this path; losing the dump mid-run is not
-      // worth losing the measured artifacts too (the destructor still
-      // saves the store), so report and continue.
-      std::cerr << "[bench] cannot append to --dump-results file "
-                << opts_.dump_path << "; results not dumped\n";
-      return;
-    }
-    for (size_t i = 0; i < results.size(); ++i) {
-      if (!results[i].has_reps()) continue;  // another shard's scenario
-      out << exp::result_io::to_string(results[i], batch,
-                                       static_cast<int>(i));
-    }
-  }
+                    int batch);
 
   Options opts_;
   sim::GpuConfig cfg_;
@@ -466,96 +204,16 @@ struct PolicyGridResult {
 // run_policy_grid(), split out so the merge-results tool can re-render a
 // merged sharded run byte-identically to the unsharded bench. Returns the
 // per-column averages of the normalized throughput.
-inline std::vector<double> render_policy_grid(
+std::vector<double> render_policy_grid(
     const std::vector<exp::ScenarioResult>& results,
     const std::vector<std::string>& row_names,
     const std::vector<std::string>& col_names, int reps,
-    std::ostream& os = std::cout) {
-  GPUMAS_CHECK(results.size() == row_names.size() * col_names.size());
-  std::vector<std::string> header{"workload"};
-  for (const auto& col : col_names) header.push_back(col);
-  Table table(header);
-  std::vector<double> sums(col_names.size(), 0.0);
-  std::vector<int> counts(col_names.size(), 0);
-  for (size_t d = 0; d < row_names.size(); ++d) {
-    const auto& base_result = results[d * col_names.size()];
-    const double base =
-        base_result.has_reps() ? base_result.mean_device_throughput() : 0.0;
-    table.begin_row().cell(row_names[d]);
-    for (size_t p = 0; p < col_names.size(); ++p) {
-      const auto& r = results[d * col_names.size() + p];
-      if (base <= 0.0 || !r.has_reps()) {
-        table.cell(std::string("-"));
-        continue;
-      }
-      const double ratio = r.mean_device_throughput() / base;
-      sums[p] += ratio;
-      counts[p]++;
-      table.cell(ratio, 3);
-    }
-  }
-  table.print(os);
+    std::ostream& os = std::cout);
 
-  // Repetition statistics (mean/stddev over the re-drawn queues) for the
-  // seeded-queue tables; a single repetition has nothing to summarize.
-  if (reps > 1) {
-    print_banner("Per-scenario repetition statistics (" +
-                     std::to_string(reps) + " seeded repetitions)",
-                 os);
-    Table stats({"scenario", "STP mean", "STP sd", "cycles mean",
-                 "cycles sd"});
-    for (const auto& r : results) {
-      if (!r.has_reps()) continue;
-      const exp::RepStats stp = r.throughput_stats();
-      const exp::RepStats cyc = r.cycles_stats();
-      stats.begin_row()
-          .cell(r.name)
-          .cell(stp.mean, 3)
-          .cell(stp.stddev, 3)
-          .cell(cyc.mean, 1)
-          .cell(cyc.stddev, 1);
-    }
-    stats.print(os);
-  }
-
-  std::vector<double> mean_normalized;
-  for (size_t p = 0; p < col_names.size(); ++p) {
-    mean_normalized.push_back(
-        counts[p] > 0 ? sums[p] / static_cast<double>(counts[p]) : 0.0);
-  }
-  return mean_normalized;
-}
-
-inline PolicyGridResult run_policy_grid(
+PolicyGridResult run_policy_grid(
     Harness& h, const std::vector<sched::QueueDistribution>& dists,
     const std::vector<sched::Policy>& wanted, int nc, int length,
-    uint64_t seed) {
-  const auto policies = h.policies(wanted);
-  std::vector<exp::ScenarioSpec> scenarios;
-  for (const auto dist : dists) {
-    for (const auto policy : policies) {
-      exp::ScenarioSpec spec =
-          h.scenario(std::string(sched::distribution_name(dist)) + "/" +
-                     sched::policy_name(policy));
-      spec.queue = exp::QueueSpec::Distribution(dist, length, seed);
-      spec.policy = policy;
-      spec.nc = nc;
-      spec.repetitions = h.options().reps;
-      scenarios.push_back(spec);
-    }
-  }
-  const auto results = h.run(scenarios);
-
-  std::vector<std::string> rows, cols;
-  for (const auto dist : dists) rows.push_back(sched::distribution_name(dist));
-  for (const auto policy : policies) cols.push_back(sched::policy_name(policy));
-
-  PolicyGridResult grid;
-  grid.policies = policies;
-  grid.mean_normalized =
-      render_policy_grid(results, rows, cols, h.options().reps);
-  return grid;
-}
+    uint64_t seed);
 
 // One row of the per-application table: a benchmark name and (optionally)
 // its class label. The benches fill rows from their measured profiles; the
@@ -571,79 +229,15 @@ struct PerAppRow {
 // results, one scenario per policy column, using the scenario names as
 // column labels. This is the printing half of run_per_app_table(), split
 // out so merge-results can re-render a merged sharded run.
-inline void render_per_app_table(
-    const std::vector<exp::ScenarioResult>& results,
-    const std::vector<PerAppRow>& rows, bool show_class,
-    std::ostream& os = std::cout) {
-  GPUMAS_CHECK(!results.empty());
-  // Under --shard some policies belong to other shards: their columns stay
-  // empty here and their reports come back default-constructed (callers
-  // merge via --dump-results, not via the partial tables).
-  std::vector<std::vector<std::pair<std::string, double>>> ipc;
-  for (const auto& r : results) {
-    ipc.push_back(r.has_reps()
-                      ? r.report().per_app_ipc()
-                      : std::vector<std::pair<std::string, double>>{});
-  }
-
-  std::vector<std::string> header{"Benchmark"};
-  if (show_class) header.push_back("class");
-  header.push_back(results[0].name + " IPC");
-  for (size_t p = 1; p < results.size(); ++p) {
-    header.push_back(results[p].name + "/" + results[0].name);
-  }
-  Table table(header);
-  for (const auto& row : rows) {
-    const double* base = sched::find_app_ipc(ipc[0], row.name);
-    if (base == nullptr) continue;  // not drawn into this queue
-    table.begin_row().cell(row.name);
-    if (show_class) table.cell(row.cls);
-    table.cell(*base, 1);
-    for (size_t p = 1; p < results.size(); ++p) {
-      if (const double* v = sched::find_app_ipc(ipc[p], row.name)) {
-        table.cell(*v / *base, 3);
-      } else {
-        table.cell(std::string("-"));
-      }
-    }
-  }
-  table.print(os);
-}
+void render_per_app_table(const std::vector<exp::ScenarioResult>& results,
+                          const std::vector<PerAppRow>& rows, bool show_class,
+                          std::ostream& os = std::cout);
 
 // Runs one queue under several policies and prints the per-benchmark IPC of
 // the first policy plus each other policy's per-benchmark ratio to it (the
 // Fig 4.4/4.5-4.8/4.12 table shape). Returns the reports in policy order.
-inline std::vector<sched::RunReport> run_per_app_table(
+std::vector<sched::RunReport> run_per_app_table(
     Harness& h, const exp::QueueSpec& queue,
-    const std::vector<sched::Policy>& wanted, int nc, bool show_class) {
-  const auto policies = h.policies(wanted);
-  std::vector<exp::ScenarioSpec> scenarios;
-  for (const auto policy : policies) {
-    exp::ScenarioSpec spec = h.scenario(sched::policy_name(policy));
-    spec.queue = queue;
-    spec.policy = policy;
-    spec.nc = nc;
-    scenarios.push_back(spec);
-  }
-  const auto results = h.run(scenarios);
-
-  std::vector<PerAppRow> rows;
-  for (const auto& pr : h.profiles()) {
-    rows.push_back({pr.name, profile::class_name(pr.cls)});
-  }
-  render_per_app_table(results, rows, show_class);
-
-  std::vector<sched::RunReport> reports;
-  for (size_t p = 0; p < results.size(); ++p) {
-    if (results[p].has_reps()) {
-      reports.push_back(results[p].report());
-    } else {
-      sched::RunReport placeholder;  // this shard didn't run the scenario
-      placeholder.policy = policies[p];
-      reports.push_back(placeholder);
-    }
-  }
-  return reports;
-}
+    const std::vector<sched::Policy>& wanted, int nc, bool show_class);
 
 }  // namespace gpumas::bench

@@ -10,6 +10,8 @@
 #include <iostream>
 
 #include "bench/bench_common.h"
+#include "common/table.h"
+#include "workloads/suite.h"
 #include "ilp/pattern.h"
 #include "interference/interference.h"
 #include "sched/policies.h"

@@ -3,6 +3,8 @@
 #include <iostream>
 
 #include "bench/bench_common.h"
+#include "common/table.h"
+#include "workloads/suite.h"
 
 int main(int argc, char** argv) {
   using namespace gpumas;

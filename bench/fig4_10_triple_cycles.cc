@@ -6,6 +6,7 @@
 #include <iostream>
 
 #include "bench/bench_common.h"
+#include "common/table.h"
 
 namespace {
 

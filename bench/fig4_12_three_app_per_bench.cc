@@ -4,6 +4,7 @@
 #include <iostream>
 
 #include "bench/bench_common.h"
+#include "common/table.h"
 
 int main(int argc, char** argv) {
   using namespace gpumas;

@@ -7,6 +7,7 @@
 #include <iostream>
 
 #include "bench/bench_common.h"
+#include "common/table.h"
 
 namespace {
 

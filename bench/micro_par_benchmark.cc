@@ -1,0 +1,344 @@
+// Intra-run parallelism microbenchmark and byte-identity gate.
+//
+// For each scenario this runs one simulation serially (sim_threads = 1)
+// and again under every parallel stripe count in {2, 4, 8}, asserts that
+// every parallel RunResult is byte-identical to the serial one (cycles,
+// every AppStats counter, and the sampled-mode window estimates), and
+// reports the wall times. Identity must hold on any machine — the staged
+// SM phase is deterministic per stripe count regardless of how many
+// workers actually execute the stripes — so the gate is meaningful even on
+// a single-core CI runner, where the speedup itself is not.
+//
+// Results go to stdout as a table and, with --json FILE, to a
+// machine-readable BENCH_par.json for CI artifacts.
+//
+// Exit codes: 0 ok; 1 byte-identity violation (correctness — always a CI
+// blocker); 2 usage error or an unwritable --json path (a missing artifact
+// must not pass silently); 3 the --min-speedup threshold failed on the
+// gated scenario (throughput — CI treats it as informational, since it
+// needs >= 4 real cores to be meaningful). The JSON is written before
+// thresholds are checked so artifacts survive a red gate.
+//
+// usage: micro_par_benchmark [--json FILE] [--reps N] [--min-speedup X]
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/table.h"
+#include "sched/smra.h"
+#include "sim/gpu.h"
+#include "workloads/suite.h"
+
+namespace {
+
+using namespace gpumas;
+
+constexpr int kThreadCounts[] = {2, 4, 8};
+constexpr int kGateThreads = 4;  // --min-speedup compares serial vs this
+
+sim::KernelParams compute_kernel(const std::string& name, uint64_t seed,
+                                 int blocks) {
+  sim::KernelParams kp;
+  kp.name = name;
+  kp.num_blocks = blocks;
+  kp.warps_per_block = 4;
+  kp.insns_per_warp = 600;
+  kp.mem_ratio = 0.02;  // ALU-dominated: the SM phase is the hot loop
+  kp.footprint_bytes = 32ull << 20;
+  kp.pattern = sim::AccessPattern::kTiled;
+  kp.hot_fraction = 0.7;
+  kp.divergence = 2;
+  kp.ilp = 4;
+  kp.mlp = 4;
+  kp.seed = seed;
+  return kp;
+}
+
+struct Scenario {
+  std::string name;
+  sim::GpuConfig config;  // sim_threads overwritten per measurement
+  std::vector<sim::KernelParams> kernels;
+  bool smra = false;          // drive through the SMRA controller loop
+  bool speedup_gate = false;  // --min-speedup applies here
+};
+
+struct Measurement {
+  sim::RunResult result;
+  double wall_ms = 0.0;
+};
+
+Measurement run_once(const Scenario& s, int sim_threads) {
+  sim::GpuConfig cfg = s.config;
+  cfg.sim_threads = sim_threads;
+  sim::Gpu gpu(cfg);
+  for (const auto& kp : s.kernels) gpu.launch(kp);
+  const auto t0 = std::chrono::steady_clock::now();
+  Measurement m;
+  if (s.smra) {
+    // The simulate_smra_group loop (sched/runner.cc): window-capped
+    // skipping plus controller repartitioning — the dynamic path the
+    // parallel SM phase must compose with.
+    std::vector<int> partition(s.kernels.size(),
+                               cfg.num_sms / static_cast<int>(s.kernels.size()));
+    partition.back() +=
+        cfg.num_sms - partition.front() * static_cast<int>(s.kernels.size());
+    gpu.set_partition_counts(partition);
+    sched::SmraController controller(sched::SmraParams{}, cfg);
+    while (!gpu.done()) {
+      gpu.set_skip_barrier(controller.next_eval());
+      gpu.tick();
+      controller.on_tick(gpu);
+    }
+    m.result.cycles = gpu.cycle();
+    m.result.apps = gpu.stats();
+    m.result.warp_size = cfg.warp_size;
+  } else {
+    m.result = gpu.run_to_completion();
+  }
+  m.wall_ms = std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count();
+  return m;
+}
+
+// Best-of-N wall time (least-disturbed run); the RunResult of every
+// repetition must agree anyway — the identity gate checks the first.
+Measurement run_best(const Scenario& s, int sim_threads, int reps) {
+  Measurement best = run_once(s, sim_threads);
+  for (int i = 1; i < reps; ++i) {
+    Measurement m = run_once(s, sim_threads);
+    if (m.wall_ms < best.wall_ms) best.wall_ms = m.wall_ms;
+  }
+  return best;
+}
+
+bool identical(const sim::RunResult& a, const sim::RunResult& b,
+               std::string& why) {
+  std::ostringstream os;
+  if (a.cycles != b.cycles) {
+    os << "cycles " << a.cycles << " != " << b.cycles;
+    why = os.str();
+    return false;
+  }
+  if (a.apps.size() != b.apps.size()) {
+    why = "app count differs";
+    return false;
+  }
+  bool same = true;
+  for (size_t i = 0; i < a.apps.size(); ++i) {
+    sim::for_each_app_stat(
+        a.apps[i], b.apps[i],
+        [&](const char* name, uint64_t u, uint64_t v) {
+          if (u == v || !same) return;
+          os << "app " << i << " " << name << " " << u << " != " << v;
+          why = os.str();
+          same = false;
+        });
+  }
+  if (!same) return false;
+  if (a.sample_estimates.size() != b.sample_estimates.size()) {
+    why = "sample estimate count differs";
+    return false;
+  }
+  for (size_t i = 0; i < a.sample_estimates.size(); ++i) {
+    const auto& u = a.sample_estimates[i];
+    const auto& v = b.sample_estimates[i];
+    if (u.windows != v.windows || u.mean_ipc != v.mean_ipc ||
+        u.ci95 != v.ci95) {
+      os << "app " << i << " sample estimate differs";
+      why = os.str();
+      return false;
+    }
+  }
+  return true;
+}
+
+struct Row {
+  std::string name;
+  uint64_t cycles = 0;
+  double wall_ms_serial = 0.0;
+  std::vector<double> wall_ms_par;  // aligned with kThreadCounts
+  double speedup_gate_value = 0.0;  // serial / T=kGateThreads wall
+  bool identical = false;
+  bool speedup_gate = false;
+};
+
+bool write_json(const std::string& path, const std::vector<Row>& rows,
+                int reps) {
+  std::ofstream out(path);
+  if (!out.good()) {
+    std::cerr << "cannot write --json file " << path << "\n";
+    return false;
+  }
+  out << std::setprecision(6) << std::fixed;
+  out << "{\n  \"version\": 1,\n  \"reps\": " << reps
+      << ",\n  \"gate_threads\": " << kGateThreads
+      << ",\n  \"scenarios\": [\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    out << "    {\n"
+        << "      \"name\": \"" << r.name << "\",\n"
+        << "      \"cycles\": " << r.cycles << ",\n"
+        << "      \"wall_ms_serial\": " << r.wall_ms_serial << ",\n";
+    for (size_t t = 0; t < r.wall_ms_par.size(); ++t) {
+      out << "      \"wall_ms_t" << kThreadCounts[t]
+          << "\": " << r.wall_ms_par[t] << ",\n";
+    }
+    out << "      \"speedup_t" << kGateThreads
+        << "\": " << r.speedup_gate_value << ",\n"
+        << "      \"identical\": " << (r.identical ? "true" : "false") << "\n"
+        << "    }" << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  out.flush();
+  if (!out.good()) {
+    std::cerr << "error writing --json file " << path << "\n";
+    return false;
+  }
+  std::cerr << "[bench] wrote " << path << "\n";
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  int reps = 1;
+  double min_speedup = 0.0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << arg << "\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--json") {
+      json_path = value();
+    } else if (arg == "--reps") {
+      const std::string v = value();
+      const auto n = bench::parse_int(v);
+      if (!n || *n < 1) {
+        std::cerr << "--reps wants an integer >= 1, got " << v << "\n";
+        return 2;
+      }
+      reps = *n;
+    } else if (arg == "--min-speedup") {
+      const std::string v = value();
+      const auto d = bench::parse_double(v);
+      if (!d || !std::isfinite(*d) || *d <= 0.0) {
+        std::cerr << "--min-speedup wants a positive finite number, got " << v
+                  << "\n";
+        return 2;
+      }
+      min_speedup = *d;
+    } else {
+      std::cerr << "usage: " << argv[0]
+                << " [--json FILE] [--reps N] [--min-speedup X]\n";
+      return 2;
+    }
+  }
+
+  std::vector<Scenario> scenarios;
+  {
+    // The acceptance scenario: a compute-heavy pair on a many-SM device.
+    // Nearly every cycle ticks every SM's ALU pipes, so the parallel SM
+    // phase covers almost the whole tick — the best case the tentpole is
+    // sized against, and the one --min-speedup gates.
+    Scenario s;
+    s.name = "compute_pair_120sm";
+    s.config.num_sms = 120;
+    s.kernels = {compute_kernel("alu", 3, 240),
+                 compute_kernel("alu2", 11, 240)};
+    s.speedup_gate = true;
+    scenarios.push_back(s);
+  }
+  {
+    // Default-geometry suite pair: mixed compute/memory with idle-cycle
+    // skipping engaging, so the kParMinDueSms serial fallback and the pool
+    // path interleave within one run.
+    Scenario s;
+    s.name = "suite_pair_HS_GUPS";
+    s.kernels = {workloads::benchmark("HS"), workloads::benchmark("GUPS")};
+    scenarios.push_back(s);
+  }
+  {
+    // SMRA dynamics: controller-driven repartitioning with skip barriers at
+    // window boundaries. Exercises the parallel phase across partition
+    // changes and bounded fast-forwards.
+    Scenario s;
+    s.name = "smra_pair";
+    s.kernels = {compute_kernel("alu", 3, 120),
+                 workloads::benchmark("GUPS")};
+    s.smra = true;
+    scenarios.push_back(s);
+  }
+
+  bool identity_ok = true;
+  std::vector<Row> rows;
+  for (const Scenario& s : scenarios) {
+    const Measurement serial = run_best(s, /*sim_threads=*/1, reps);
+    Row row;
+    row.name = s.name;
+    row.cycles = serial.result.cycles;
+    row.wall_ms_serial = serial.wall_ms;
+    row.speedup_gate = s.speedup_gate;
+    row.identical = true;
+    for (const int t : kThreadCounts) {
+      const Measurement par = run_best(s, t, reps);
+      row.wall_ms_par.push_back(par.wall_ms);
+      std::string why;
+      if (!identical(serial.result, par.result, why)) {
+        row.identical = false;
+        identity_ok = false;
+        std::cerr << "BYTE-IDENTITY VIOLATION in " << s.name
+                  << " at sim_threads=" << t << ": " << why << "\n";
+      }
+      if (t == kGateThreads && par.wall_ms > 0.0) {
+        row.speedup_gate_value = serial.wall_ms / par.wall_ms;
+      }
+    }
+    rows.push_back(row);
+  }
+
+  gpumas::Table table({"scenario", "cycles", "serial ms", "T=2 ms", "T=4 ms",
+                       "T=8 ms", "speedup(T=4)", "identical"});
+  for (const Row& r : rows) {
+    table.begin_row()
+        .cell(r.name)
+        .cell(r.cycles)
+        .cell(r.wall_ms_serial, 2)
+        .cell(r.wall_ms_par[0], 2)
+        .cell(r.wall_ms_par[1], 2)
+        .cell(r.wall_ms_par[2], 2)
+        .cell(r.speedup_gate_value, 2)
+        .cell(std::string(r.identical ? "yes" : "NO"));
+  }
+  table.print(std::cout);
+
+  // A missing artifact must not let the CI gate pass silently.
+  const bool json_ok = json_path.empty() || write_json(json_path, rows, reps);
+
+  if (!identity_ok) return 1;
+  if (!json_ok) return 2;
+
+  bool thresholds_ok = true;
+  for (const Row& r : rows) {
+    if (min_speedup > 0.0 && r.speedup_gate &&
+        r.speedup_gate_value < min_speedup) {
+      std::cerr << "threshold: " << r.name << " speedup "
+                << r.speedup_gate_value << " at sim_threads=" << kGateThreads
+                << " < required " << min_speedup << "\n";
+      thresholds_ok = false;
+    }
+  }
+  return thresholds_ok ? 0 : 3;
+}

@@ -1,8 +1,18 @@
-// Fail-fast index-claiming worker pool, shared by the experiment engine's
-// scenario batches and the interference matrix measurement.
+// Persistent fail-fast worker pool, shared by the experiment engine's
+// scenario batches, the interference matrix measurement and the simulator's
+// intra-run SM phase (sim::Gpu with GpuConfig::sim_threads > 1).
+//
+// One process-wide pool (WorkerPool::shared()) owns its threads for the
+// whole process lifetime, so fine-grained callers — the per-tick SM phase
+// posts a job every simulated cycle — never pay a thread spawn, and total
+// OS-thread concurrency is structurally bounded by the pool size no matter
+// how many logical parallel regions are active at once: a caller that asks
+// for more helpers than are free simply runs more of the work itself.
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
+#include <cstddef>
 #include <exception>
 #include <mutex>
 #include <thread>
@@ -10,46 +20,177 @@
 
 namespace gpumas {
 
-// Runs fn(0..n-1) across up to `threads` workers. Indices are claimed from
-// a shared atomic, so expensive items load-balance; the first exception
-// stops the remaining workers from claiming new indices and is rethrown
-// after the pool drains. Callers own determinism: fn must write to
-// disjoint slots, and any order-sensitive reduction happens after the call
-// returns. threads <= 1 (or n <= 1) degenerates to a serial loop on the
-// calling thread.
+class WorkerPool {
+ public:
+  // Spawns `workers` persistent helper threads (>= 0; 0 makes every run()
+  // execute on the calling thread).
+  explicit WorkerPool(int workers) {
+    if (workers < 0) workers = 0;
+    workers_.reserve(static_cast<size_t>(workers));
+    for (int t = 0; t < workers; ++t) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  ~WorkerPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_.store(true, std::memory_order_relaxed);
+    }
+    work_cv_.notify_all();
+    for (auto& th : workers_) th.join();
+  }
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  int workers() const { return static_cast<int>(workers_.size()); }
+
+  // The process-wide pool, sized for the machine (hardware threads minus
+  // one for the posting thread, at least one helper so parallel code paths
+  // execute — and stay testable — even on a single-core host).
+  static WorkerPool& shared() {
+    static WorkerPool pool(default_workers());
+    return pool;
+  }
+
+  // Runs fn(0..n-1) with up to `threads` concurrent executors: the calling
+  // thread plus up to threads-1 pool helpers (fewer when the pool is busy
+  // or smaller — the caller always participates, so progress never waits
+  // on a free worker and nested run() calls from inside a helper cannot
+  // deadlock). Indices are claimed from a shared atomic, so expensive
+  // items load-balance; the first exception stops everyone from claiming
+  // new indices and is rethrown here after the job drains. Callers own
+  // determinism: fn must write to disjoint slots, and any order-sensitive
+  // reduction happens after the call returns.
+  template <typename Fn>
+  void run(int threads, size_t n, const Fn& fn) {
+    if (n == 0) return;
+    Job job;
+    job.invoke = [](void* ctx, size_t k) { (*static_cast<const Fn*>(ctx))(k); };
+    job.ctx = const_cast<void*>(static_cast<const void*>(&fn));
+    job.n = n;
+    int helpers = threads - 1;
+    if (helpers > workers()) helpers = workers();
+    if (static_cast<size_t>(helpers) > n - 1) {
+      helpers = static_cast<int>(n - 1);
+    }
+    if (helpers <= 0) {
+      execute(job);
+    } else {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        job.budget = helpers;
+        open_.push_back(&job);
+        open_count_.fetch_add(1, std::memory_order_relaxed);
+      }
+      work_cv_.notify_all();
+      execute(job);
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        // The job lives on this stack frame: retract it from the open list
+        // (helpers that never joined must not touch it after we return)
+        // and wait out the ones that did.
+        for (size_t i = 0; i < open_.size(); ++i) {
+          if (open_[i] == &job) {
+            open_.erase(open_.begin() + static_cast<ptrdiff_t>(i));
+            open_count_.fetch_sub(1, std::memory_order_relaxed);
+            break;
+          }
+        }
+        done_cv_.wait(lock, [&] { return job.active == 0; });
+      }
+    }
+    if (job.error) std::rethrow_exception(job.error);
+  }
+
+ private:
+  struct Job {
+    void (*invoke)(void* ctx, size_t k) = nullptr;
+    void* ctx = nullptr;
+    size_t n = 0;
+    std::atomic<size_t> next{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr error;  // first failure; guarded by the pool mutex
+    int budget = 0;            // helpers still allowed to join (under mu_)
+    int active = 0;            // helpers currently executing (under mu_)
+  };
+
+  static int default_workers() {
+    const int hw = static_cast<int>(std::thread::hardware_concurrency());
+    return hw > 2 ? hw - 1 : 1;
+  }
+
+  // The shared claim loop, run by the poster and every joined helper.
+  void execute(Job& job) {
+    while (!job.failed.load(std::memory_order_relaxed)) {
+      const size_t k = job.next.fetch_add(1, std::memory_order_relaxed);
+      if (k >= job.n) return;
+      try {
+        job.invoke(job.ctx, k);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (!job.error) job.error = std::current_exception();
+        job.failed.store(true, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  void worker_loop() {
+    for (;;) {
+      // Brief spin before sleeping: the intra-run SM phase posts a job per
+      // simulated cycle, and a sleep/wake round trip per tick would eat
+      // the parallelism it buys. A worker that just drained a job usually
+      // sees the next one arrive within the spin.
+      for (int spin = 0; spin < 4096; ++spin) {
+        if (open_count_.load(std::memory_order_relaxed) > 0 ||
+            stop_.load(std::memory_order_relaxed)) {
+          break;
+        }
+      }
+      Job* job = nullptr;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        work_cv_.wait(lock, [&] {
+          return stop_.load(std::memory_order_relaxed) || !open_.empty();
+        });
+        if (stop_.load(std::memory_order_relaxed)) return;
+        job = open_.back();
+        if (--job->budget == 0) {
+          open_.pop_back();
+          open_count_.fetch_sub(1, std::memory_order_relaxed);
+        }
+        ++job->active;
+      }
+      execute(*job);
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (--job->active == 0) done_cv_.notify_all();
+      }
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // helpers wait here for open jobs
+  std::condition_variable done_cv_;  // posters wait here for helpers to leave
+  std::vector<Job*> open_;           // jobs with helper budget left (LIFO)
+  std::atomic<int> open_count_{0};   // lock-free mirror for the idle spin
+  std::atomic<bool> stop_{false};
+  std::vector<std::thread> workers_;
+};
+
+// Runs fn(0..n-1) across up to `threads` concurrent executors on the shared
+// pool (no per-call thread spawning). Fail-fast first-exception semantics:
+// the first exception stops the remaining executors from claiming new
+// indices and is rethrown after the job drains. threads <= 1 (or n <= 1)
+// degenerates to a serial loop on the calling thread.
 template <typename Fn>
 void parallel_for(int threads, size_t n, const Fn& fn) {
-  const int pool_size =
-      threads < static_cast<int>(n) ? (threads > 0 ? threads : 1)
-                                    : static_cast<int>(n);
-  if (pool_size <= 1) {
+  if (threads <= 1 || n <= 1) {
     for (size_t k = 0; k < n; ++k) fn(k);
     return;
   }
-  std::atomic<size_t> next{0};
-  std::atomic<bool> failed{false};
-  std::mutex err_mu;
-  std::exception_ptr first_error;
-  const auto worker = [&] {
-    while (!failed.load(std::memory_order_relaxed)) {
-      const size_t k = next.fetch_add(1);
-      if (k >= n) return;
-      try {
-        fn(k);
-      } catch (...) {
-        {
-          std::lock_guard<std::mutex> lock(err_mu);
-          if (!first_error) first_error = std::current_exception();
-        }
-        failed.store(true, std::memory_order_relaxed);
-      }
-    }
-  };
-  std::vector<std::thread> pool;
-  pool.reserve(static_cast<size_t>(pool_size));
-  for (int t = 0; t < pool_size; ++t) pool.emplace_back(worker);
-  for (auto& th : pool) th.join();
-  if (first_error) std::rethrow_exception(first_error);
+  WorkerPool::shared().run(threads, n, fn);
 }
 
 }  // namespace gpumas

@@ -20,6 +20,17 @@
 // deterministic i-of-n slice (scenario j belongs to shard j % n), leaving
 // the other entries empty, so independent processes or machines can split
 // one batch and merge the unions trivially.
+//
+// Two-level thread budget: the engine's `threads` budget is split between
+// scenario-level workers and the intra-run parallel SM phase
+// (GpuConfig::sim_threads). A large batch saturates the scenario pool, so
+// each run stays serial inside (sim_threads = 1); a batch with fewer
+// scenarios than threads — the latency-bound single-scenario path in
+// particular — hands the surplus to the SM phase. The split is computed
+// from the full declared batch size, never from the shard slice, so a
+// sharded run resolves the same sim_threads as the whole batch would and
+// serialized records stay merge-identical. Specs that set sim_threads
+// explicitly are never overridden.
 #pragma once
 
 #include <future>
@@ -98,7 +109,10 @@ class ExperimentRunner {
   std::shared_ptr<const sched::QueueRunner> runner_stage(Env& env,
                                                          bool with_model);
 
-  ScenarioResult run_scenario(const ScenarioSpec& spec);
+  // `intra_threads` is the per-run sim_threads budget resolved by run()'s
+  // two-level split; it fills ScenarioSpec configs that left sim_threads at
+  // 0 (auto) and never overrides an explicit setting.
+  ScenarioResult run_scenario(const ScenarioSpec& spec, int intra_threads);
   std::vector<sched::Job> build_queue(
       const ScenarioSpec& spec, int rep,
       const std::vector<profile::AppProfile>& suite_profiles) const;

@@ -91,6 +91,14 @@ sched::RunReport report_from_tokens(TokenMap& t, int version) {
   report.policy = sched::policy_from_name(t.take("policy"));
   report.total_cycles = parse_u64(t.take("cycles"), "cycles");
   report.total_thread_insns = parse_u64(t.take("insns"), "insns");
+  if (version >= 3) {
+    // v3 intra-run parallelism budget; older records predate it and load
+    // the serial default (TokenMap strictness rejects it in v1/v2 lines).
+    report.sim_threads = parse_nonneg_int(t.take("sim_threads"),
+                                          "sim_threads");
+    GPUMAS_CHECK_MSG(report.sim_threads >= 1,
+                     "result record: sim_threads must be >= 1");
+  }
   const int groups = parse_nonneg_int(t.take("groups"), "groups");
   for (int g = 0; g < groups; ++g) {
     const std::string p = "g" + std::to_string(g) + ".";
@@ -167,9 +175,11 @@ std::string unescape(const std::string& s) { return percent_unescape(s); }
 std::string to_string(const sched::RunReport& report) {
   std::ostringstream os;
   os << std::setprecision(17);
+  // wall_ms is intentionally absent: see the version notes in result_io.h.
   os << "policy=" << sched::policy_name(report.policy)
      << " cycles=" << report.total_cycles
      << " insns=" << report.total_thread_insns
+     << " sim_threads=" << (report.sim_threads >= 1 ? report.sim_threads : 1)
      << " groups=" << report.groups.size();
   for (size_t g = 0; g < report.groups.size(); ++g) {
     const auto& grp = report.groups[g];

@@ -4,8 +4,8 @@
 // A dump is a sequence of self-contained record lines, one per executed
 // scenario repetition, in the key=value idiom the other artifacts use:
 //
-//   result v=2 batch=0 idx=3 rep=0 reps=2 name=Equal-dist/ILP policy=ILP
-//     cycles=812345 insns=1234567 groups=2
+//   result v=3 batch=0 idx=3 rep=0 reps=2 name=Equal-dist/ILP policy=ILP
+//     cycles=812345 insns=1234567 sim_threads=1 groups=2
 //     g0.apps=GUPS,HS g0.app_cycles=4000,3500 g0.app_insns=9000,8000
 //     g0.slowdowns=1.2,1.4 g0.cycles=4000 g0.serial_cycles=7000
 //     g0.ticked_cycles=2500 g0.skipped_cycles=1500 g0.sample_windows=0
@@ -40,8 +40,13 @@ namespace gpumas::exp::result_io {
 // v1 records (pre simulator-efficiency counters) still parse: their
 // per-group ticked/skipped/sample_windows fields load as zero. v2 adds
 // `gK.ticked_cycles`, `gK.skipped_cycles` and `gK.sample_windows` —
-// required in a v2 record, rejected in a v1 record.
-inline constexpr int kFormatVersion = 2;
+// required in a v2 record, rejected in a v1 record. v3 adds the run-level
+// `sim_threads` (the intra-run SM-phase budget the repetition executed
+// under; v1/v2 records load 1). Wall-clock time (RunReport::wall_ms) is
+// deliberately NOT serialized: records of identical runs must be
+// byte-identical across processes and machines so sorted shard-dump
+// unions stay `cmp`-equal, and real time never is.
+inline constexpr int kFormatVersion = 3;
 inline constexpr int kMinFormatVersion = 1;
 
 // Percent-escaping for names embedded in record values: '%', '=', ',',

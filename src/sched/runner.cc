@@ -1,6 +1,7 @@
 #include "sched/runner.h"
 
 #include <algorithm>
+#include <chrono>
 #include <iomanip>
 #include <sstream>
 
@@ -242,8 +243,10 @@ GroupReport QueueRunner::run_group(
 RunReport QueueRunner::run(const std::vector<Job>& queue, Policy policy,
                            int nc, const SmraParams& smra,
                            const std::vector<int>& partition_override) const {
+  const auto t0 = std::chrono::steady_clock::now();
   RunReport report;
   report.policy = policy;
+  report.sim_threads = cfg_.sim_threads > 1 ? cfg_.sim_threads : 1;
   const auto groups = form_groups(queue, policy, nc, *model_);
   for (const auto& group : groups) {
     GroupReport g = run_group(group, policy, smra, partition_override);
@@ -256,6 +259,9 @@ RunReport QueueRunner::run(const std::vector<Job>& queue, Policy policy,
     }
     report.groups.push_back(std::move(g));
   }
+  report.wall_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
   return report;
 }
 

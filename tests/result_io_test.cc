@@ -45,6 +45,12 @@ sched::RunReport report(sched::Policy policy, uint64_t base) {
     r.total_sample_windows += g.sample_windows;
   }
   r.total_thread_insns = 17 * base + 3;
+  // Exercise a non-default intra-run budget so the v3 round trip is not
+  // trivially testing the field's default.
+  r.sim_threads = 4;
+  // wall_ms must NOT survive serialization (real time is not part of a
+  // record's identity); round-trip expectations below assert it reset.
+  r.wall_ms = 123.5;
   return r;
 }
 
@@ -52,6 +58,10 @@ void expect_eq(const sched::RunReport& a, const sched::RunReport& b) {
   EXPECT_EQ(a.policy, b.policy);
   EXPECT_EQ(a.total_cycles, b.total_cycles);
   EXPECT_EQ(a.total_thread_insns, b.total_thread_insns);
+  EXPECT_EQ(a.sim_threads, b.sim_threads);
+  // wall_ms is in-memory-only by design; a parsed report always carries the
+  // default regardless of what the serialized run measured.
+  EXPECT_EQ(b.wall_ms, 0.0);
   EXPECT_EQ(a.total_ticked_cycles, b.total_ticked_cycles);
   EXPECT_EQ(a.total_skipped_cycles, b.total_skipped_cycles);
   EXPECT_EQ(a.total_sample_windows, b.total_sample_windows);
@@ -177,20 +187,34 @@ TEST(ResultIoTest, CorruptLinesAreRejected) {
   EXPECT_THROW(parse_record("profile BFS2 cycles=3"), std::logic_error);
 }
 
-// Strips every `gK.<key>=...` token from a serialized v2 line and relabels
-// it v=1 — the shape an old writer produced.
+// Erases the whole `<space>...needle...` token around each occurrence of
+// `needle` (which must not start mid-another-token or contain a space).
+void erase_tokens(std::string& line, const std::string& needle) {
+  size_t at;
+  while ((at = line.find(needle)) != std::string::npos) {
+    const size_t start = line.rfind(' ', at);
+    const size_t end = line.find(' ', at);
+    line.erase(start,
+               (end == std::string::npos ? line.size() : end) - start);
+  }
+}
+
+// Strips the run-level `sim_threads` token from a serialized v3 line and
+// relabels it v=2 — the shape a v2 writer produced.
+std::string downgrade_to_v2(std::string line) {
+  line.replace(line.find("v=3"), 3, "v=2");
+  erase_tokens(line, "sim_threads=");
+  return line;
+}
+
+// Additionally strips every `gK.<efficiency counter>=...` token and
+// relabels v=1 — the shape the original writer produced.
 std::string downgrade_to_v1(std::string line) {
+  line = downgrade_to_v2(line);
   line.replace(line.find("v=2"), 3, "v=1");
   for (const char* key : {"ticked_cycles", "skipped_cycles",
                           "sample_windows"}) {
-    const std::string needle = std::string(".") + key + "=";
-    size_t at;
-    while ((at = line.find(needle)) != std::string::npos) {
-      const size_t start = line.rfind(' ', at);
-      const size_t end = line.find(' ', at);
-      line.erase(start, (end == std::string::npos ? line.size() : end) -
-                            start);
-    }
+    erase_tokens(line, std::string(".") + key + "=");
   }
   return line;
 }
@@ -198,22 +222,38 @@ std::string downgrade_to_v1(std::string line) {
 TEST(ResultIoTest, VersionHandling) {
   std::string line = to_string(scenario("s", sched::Policy::kEven, 1, 7), 0, 0);
   line.pop_back();
-  ASSERT_NE(line.find("result v=2 "), std::string::npos);
+  ASSERT_NE(line.find("result v=3 "), std::string::npos);
 
   // A future version is rejected rather than guessed at.
-  std::string v3 = line;
-  v3.replace(v3.find("v=2"), 3, "v=3");
-  EXPECT_THROW(parse_record(v3), std::logic_error);
+  std::string v4 = line;
+  v4.replace(v4.find("v=3"), 3, "v=4");
+  EXPECT_THROW(parse_record(v4), std::logic_error);
 
-  // A v1 line carrying v2-only keys is rejected (TokenMap strictness).
-  std::string v1_with_v2_keys = line;
-  v1_with_v2_keys.replace(v1_with_v2_keys.find("v=2"), 3, "v=1");
-  EXPECT_THROW(parse_record(v1_with_v2_keys), std::logic_error);
+  // An old-version line carrying newer-only keys is rejected (TokenMap
+  // strictness): v1 with v2/v3 keys, v2 with the v3 key.
+  for (const char* old_tag : {"v=1", "v=2"}) {
+    std::string relabeled = line;
+    relabeled.replace(relabeled.find("v=3"), 3, old_tag);
+    EXPECT_THROW(parse_record(relabeled), std::logic_error);
+  }
 
-  // A genuine v1 line (no efficiency counters) still parses: the new
-  // fields load as zero, everything else is field-exact.
+  // A genuine v2 line (no sim_threads) still parses: the run loads the
+  // serial default, everything else is field-exact.
+  {
+    const Record rec = parse_record(downgrade_to_v2(line));
+    EXPECT_EQ(rec.name, "s");
+    EXPECT_EQ(rec.report.sim_threads, 1);
+    const Record now = parse_record(line);
+    EXPECT_EQ(rec.report.total_cycles, now.report.total_cycles);
+    EXPECT_EQ(rec.report.total_ticked_cycles,
+              now.report.total_ticked_cycles);
+  }
+
+  // A genuine v1 line (no efficiency counters either) still parses: the
+  // new fields load their defaults, everything else is field-exact.
   const Record rec = parse_record(downgrade_to_v1(line));
   EXPECT_EQ(rec.name, "s");
+  EXPECT_EQ(rec.report.sim_threads, 1);
   EXPECT_EQ(rec.report.total_ticked_cycles, 0u);
   EXPECT_EQ(rec.report.total_skipped_cycles, 0u);
   EXPECT_EQ(rec.report.total_sample_windows, 0u);
@@ -229,10 +269,10 @@ TEST(ResultIoTest, VersionHandling) {
     EXPECT_EQ(rec.report.groups[g].sample_windows, 0u);
   }
 
-  // A v2 line missing one of the required counters is rejected.
-  {
+  // A v3 line missing a required token of its version is rejected — the
+  // run-level sim_threads and a per-group counter alike.
+  for (const char* needle : {"sim_threads=", "g0.ticked_cycles="}) {
     std::string bad = line;
-    const std::string needle = "g0.ticked_cycles=";
     const size_t at = bad.find(needle);
     ASSERT_NE(at, std::string::npos);
     const size_t start = bad.rfind(' ', at);
@@ -240,11 +280,19 @@ TEST(ResultIoTest, VersionHandling) {
     EXPECT_THROW(parse_record(bad), std::logic_error);
   }
 
+  // A nonsensical sim_threads value is rejected.
+  {
+    std::string bad = line;
+    const size_t at = bad.find(" sim_threads=");
+    bad.replace(at, std::string(" sim_threads=4").size(), " sim_threads=0");
+    EXPECT_THROW(parse_record(bad), std::logic_error);
+  }
+
   // Old and new dumps merge side by side (disjoint scenarios).
   const std::string other =
       to_string(scenario("t", sched::Policy::kEven, 1, 8), 0, 1);
   const std::string mixed =
-      downgrade_to_v1(line) + "\n" + other;
+      downgrade_to_v1(line) + "\n" + downgrade_to_v2(other);
   EXPECT_NO_THROW(merge_dumps({{"mixed.dump", mixed}}));
 }
 
@@ -319,7 +367,7 @@ TEST(ResultIoTest, MergeRejectsIncompleteCoverage) {
                std::logic_error);
   // Missing one repetition of one scenario.
   std::string text = dump_shard(results, 0, 1);
-  const size_t cut = text.rfind("result v=2");
+  const size_t cut = text.rfind("result v=3");
   EXPECT_THROW(merge_dumps({{"cut.dump", text.substr(0, cut)}}),
                std::logic_error);
   // Empty input.

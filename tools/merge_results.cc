@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "common/table.h"
 #include "common/text.h"
 #include "exp/result_io.h"
 #include "workloads/suite.h"
