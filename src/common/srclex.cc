@@ -1,0 +1,218 @@
+#include "common/srclex.h"
+
+#include <cstddef>
+
+namespace gpumas::srclex {
+
+namespace {
+
+bool is_ident_start(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+}
+
+bool is_ident_char(char c) { return is_ident_start(c) || (c >= '0' && c <= '9'); }
+
+bool is_digit(char c) { return c >= '0' && c <= '9'; }
+
+// Encoding prefixes that turn a following quote into a string/char
+// literal instead of an identifier next to one.
+bool is_literal_prefix(const std::string& id) {
+  return id == "u8" || id == "u" || id == "U" || id == "L" || id == "R" ||
+         id == "u8R" || id == "uR" || id == "UR" || id == "LR";
+}
+
+// Multi-character punctuators, longest first so maximal munch works with
+// a simple prefix test. Only operators that actually occur in C++ — the
+// rules depend on "::", "==" and "<<" being single tokens.
+const char* const kPuncts[] = {
+    "<<=", ">>=", "->*", "...", "::", "->", "++", "--", "<<", ">>",
+    "<=", ">=", "==", "!=", "&&", "||", "+=", "-=", "*=", "/=",
+    "%=", "&=", "|=", "^=", ".*", "##",
+};
+
+}  // namespace
+
+std::vector<Token> lex(const std::string& src) {
+  std::vector<Token> out;
+  size_t i = 0;
+  const size_t n = src.size();
+  int line = 1;
+
+  const auto advance_over = [&](size_t end) {
+    // Moves i to `end`, counting newlines so `line` stays exact even
+    // inside multi-line tokens.
+    for (; i < end && i < n; ++i) {
+      if (src[i] == '\n') ++line;
+    }
+  };
+
+  const auto lex_quoted = [&](char quote, Kind kind, std::string prefix) {
+    // i points at the opening quote; prefix (possibly empty) was already
+    // consumed. Handles escapes; tolerates an unterminated literal.
+    const int start_line = line;
+    size_t j = i + 1;
+    while (j < n && src[j] != quote) {
+      if (src[j] == '\\' && j + 1 < n) ++j;
+      ++j;
+    }
+    if (j < n) ++j;  // consume the closing quote
+    Token tok;
+    tok.kind = kind;
+    tok.text = prefix + src.substr(i, j - i);
+    tok.line = start_line;
+    advance_over(j);
+    out.push_back(std::move(tok));
+  };
+
+  const auto lex_raw_string = [&](std::string prefix) {
+    // i points at the opening quote of R"tag( ... )tag".
+    const int start_line = line;
+    size_t j = i + 1;
+    std::string tag;
+    while (j < n && src[j] != '(' && src[j] != '"' && src[j] != '\n') {
+      tag.push_back(src[j++]);
+    }
+    const std::string close = ")" + tag + "\"";
+    size_t end = src.find(close, j);
+    end = (end == std::string::npos) ? n : end + close.size();
+    Token tok;
+    tok.kind = Kind::kString;
+    tok.text = prefix + src.substr(i, end - i);
+    tok.line = start_line;
+    advance_over(end);
+    out.push_back(std::move(tok));
+  };
+
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\f' || c == '\v') {
+      ++i;
+      continue;
+    }
+    if (c == '\\' && i + 1 < n && (src[i + 1] == '\n' || src[i + 1] == '\r')) {
+      ++i;  // line continuation; the newline itself is counted above
+      continue;
+    }
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      const size_t end = src.find('\n', i);
+      Token tok;
+      tok.kind = Kind::kComment;
+      tok.text = src.substr(i, (end == std::string::npos ? n : end) - i);
+      tok.line = line;
+      advance_over(end == std::string::npos ? n : end);
+      out.push_back(std::move(tok));
+      continue;
+    }
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      size_t end = src.find("*/", i + 2);
+      end = (end == std::string::npos) ? n : end + 2;
+      Token tok;
+      tok.kind = Kind::kComment;
+      tok.text = src.substr(i, end - i);
+      tok.line = line;
+      advance_over(end);
+      out.push_back(std::move(tok));
+      continue;
+    }
+    if (is_ident_start(c)) {
+      size_t j = i;
+      while (j < n && is_ident_char(src[j])) ++j;
+      std::string id = src.substr(i, j - i);
+      if (j < n && (src[j] == '"' || src[j] == '\'') && is_literal_prefix(id)) {
+        advance_over(j);
+        if (src[i] == '"' && id.back() == 'R') {
+          lex_raw_string(id);
+        } else {
+          lex_quoted(src[i], src[i] == '"' ? Kind::kString : Kind::kChar, id);
+        }
+        continue;
+      }
+      Token tok;
+      tok.kind = Kind::kIdent;
+      tok.text = std::move(id);
+      tok.line = line;
+      i = j;
+      out.push_back(std::move(tok));
+      continue;
+    }
+    if (is_digit(c) || (c == '.' && i + 1 < n && is_digit(src[i + 1]))) {
+      // pp-number: digits, idents, dots, digit separators, and exponent
+      // signs. Over-accepts (like the preprocessor does) — good enough.
+      size_t j = i + 1;
+      while (j < n) {
+        const char d = src[j];
+        if (is_ident_char(d) || d == '.') {
+          ++j;
+        } else if (d == '\'' && j + 1 < n && is_ident_char(src[j + 1])) {
+          j += 2;  // digit separator
+        } else if ((d == '+' || d == '-') &&
+                   (src[j - 1] == 'e' || src[j - 1] == 'E' ||
+                    src[j - 1] == 'p' || src[j - 1] == 'P')) {
+          ++j;
+        } else {
+          break;
+        }
+      }
+      Token tok;
+      tok.kind = Kind::kNumber;
+      tok.text = src.substr(i, j - i);
+      tok.line = line;
+      i = j;
+      out.push_back(std::move(tok));
+      continue;
+    }
+    if (c == '"') {
+      lex_quoted('"', Kind::kString, "");
+      continue;
+    }
+    if (c == '\'') {
+      lex_quoted('\'', Kind::kChar, "");
+      continue;
+    }
+    // Punctuator: longest match from the table, else the single char.
+    {
+      std::string text(1, c);
+      for (const char* p : kPuncts) {
+        const size_t len = std::char_traits<char>::length(p);
+        if (src.compare(i, len, p) == 0) {
+          text.assign(p);
+          break;
+        }
+      }
+      Token tok;
+      tok.kind = Kind::kPunct;
+      tok.text = text;
+      tok.line = line;
+      i += text.size();
+      out.push_back(std::move(tok));
+    }
+  }
+  return out;
+}
+
+std::string string_content(const Token& tok) {
+  if (tok.kind != Kind::kString) return tok.text;
+  const std::string& t = tok.text;
+  size_t open = t.find('"');
+  if (open == std::string::npos) return t;
+  // Raw string: prefix ends in R; content sits between "tag( and )tag".
+  if (open > 0 && t[open - 1] == 'R') {
+    const size_t paren = t.find('(', open);
+    if (paren == std::string::npos) return "";
+    const std::string tag = t.substr(open + 1, paren - open - 1);
+    const std::string close = ")" + tag + "\"";
+    const size_t end = t.rfind(close);
+    if (end == std::string::npos || end < paren + 1) return "";
+    return t.substr(paren + 1, end - paren - 1);
+  }
+  const size_t close = t.rfind('"');
+  if (close <= open) return "";
+  return t.substr(open + 1, close - open - 1);
+}
+
+}  // namespace gpumas::srclex

@@ -1,0 +1,50 @@
+// A token-level C++ scanner for the in-tree static-analysis passes
+// (tools/detlint.cc). Deliberately NOT a parser: detlint's rules are
+// pattern matches over the token stream (declarations of unordered
+// containers, banned identifiers, string literals in parse/render
+// position), so a flat lexer with exact line numbers is all the
+// machinery they need — and all a repo-local linter can afford to keep
+// correct.
+//
+// Coverage: identifiers, pp-numbers (incl. digit separators and hex
+// floats), string literals (escapes, encoding prefixes, raw strings),
+// character literals, comments (kept in the stream — the suppression
+// annotations live there), and maximal-munch punctuators. Preprocessor
+// directives are lexed as ordinary tokens ('#', 'include', '<', name,
+// '>'), which is exactly what the include-ban rules want. The scanner
+// never throws: unterminated literals and stray bytes become best-effort
+// tokens so a half-edited file still lints.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace gpumas::srclex {
+
+enum class Kind {
+  kIdent,    // identifiers and keywords, one token each
+  kNumber,   // pp-number: 42, 1'000, 0x1.8p3, 3.14f
+  kString,   // "..." / u8"..." / R"tag(...)tag" — text keeps prefix+quotes
+  kChar,     // 'x', L'\n'
+  kPunct,    // one operator/punctuator per token ("::", "==", "<<", "{", ...)
+  kComment,  // // ... or /* ... */ — text keeps the delimiters
+};
+
+struct Token {
+  Kind kind = Kind::kPunct;
+  std::string text;
+  int line = 0;  // 1-based line of the token's first character
+};
+
+// Lexes a whole source file. Multi-line tokens (block comments, raw
+// strings) carry their starting line; line numbers always refer to the
+// original text, so findings are clickable.
+std::vector<Token> lex(const std::string& src);
+
+// The literal's content with encoding prefix and quotes stripped; raw
+// string delimiters are removed too. Escape sequences are NOT decoded —
+// the schema rules compare spellings, not runtime values. Returns the
+// token text unchanged for non-string tokens.
+std::string string_content(const Token& tok);
+
+}  // namespace gpumas::srclex

@@ -252,6 +252,7 @@ Record parse_record(const std::string& line) {
   TokenMap t(rest);
 
   Record rec;
+  rec.version = version;
   rec.batch = parse_nonneg_int(t.take("batch"), "batch");
   rec.index = parse_nonneg_int(t.take("idx"), "idx");
   rec.rep = parse_nonneg_int(t.take("rep"), "rep");
@@ -276,6 +277,12 @@ std::vector<MergedBatch> merge_dumps(
   };
   std::map<std::pair<int, int>, Slot> slots;  // key: (batch, idx)
 
+  // Version uniformity across every record of every dump: a v2 shard next
+  // to a v3 shard means the shards ran different binaries, and the older
+  // records would silently read as zero for the newer fields.
+  int seen_version = -1;
+  std::string seen_version_at;
+
   for (size_t f = 0; f < dumps.size(); ++f) {
     const std::string& label = dumps[f].first;
     std::istringstream in(dumps[f].second);
@@ -291,6 +298,21 @@ std::vector<MergedBatch> merge_dumps(
       } catch (const std::logic_error& e) {
         throw std::logic_error(label + ":" + std::to_string(line_no) + ": " +
                                e.what());
+      }
+
+      if (seen_version < 0) {
+        seen_version = rec.version;
+        seen_version_at = label + ":" + std::to_string(line_no);
+      } else {
+        GPUMAS_CHECK_MSG(
+            rec.version == seen_version,
+            "record version mismatch: " << label << ":" << line_no
+                                        << " is v=" << rec.version << " but "
+                                        << seen_version_at << " is v="
+                                        << seen_version
+                                        << " — the dumps were written by "
+                                           "different binaries; re-run the "
+                                           "shards on one version");
       }
 
       const auto key = std::make_pair(rec.batch, rec.index);

@@ -67,6 +67,7 @@ std::string to_string(const ScenarioResult& result, int batch, int index);
 
 // One parsed record line.
 struct Record {
+  int version = kFormatVersion;  // the record's v= format version
   int batch = 0;
   int index = 0;
   int rep = 0;
@@ -87,7 +88,10 @@ struct MergedBatch {
 // the file name) appears in diagnostics. Validates that the dumps are
 // disjoint (no scenario in two dumps), free of double-run duplicates (no
 // repeated (batch, idx, rep), the signature of appending a re-run onto an
-// old dump), mutually consistent (one name/rep-count per scenario) and
+// old dump), mutually consistent (one name/rep-count per scenario),
+// version-uniform (every record of every dump carries the same v= — a
+// mixed v2/v3 merge means the shards ran different binaries, so fields
+// like sample_windows would be silently zero for some scenarios) and
 // complete (contiguous indices, all repetitions), then returns the batches
 // in order. Blank lines and '#' comments are ignored; anything else that
 // fails to parse, and any validation failure, throws std::logic_error.

@@ -74,8 +74,8 @@ SlowdownModel SlowdownModel::measure_pairwise(
   // member order). Accumulation then replays the plan serially, so the
   // matrix is byte-identical whatever `threads` is.
   struct Cell {
-    size_t i, j;  // ordered pair: app i's slowdown next to app j
-    size_t sim;   // index into sims/results
+    size_t i = 0, j = 0;  // ordered pair: app i's slowdown next to app j
+    size_t sim = 0;       // index into sims/results
   };
   std::vector<Cell> cells;
   std::vector<std::pair<size_t, size_t>> sims;  // unordered (min, max) pairs
@@ -336,9 +336,9 @@ void SlowdownModel::measure_triples(
   // makes {x,y,z} one group however a cell orders it), and the entries fill
   // in the serial enumeration order.
   struct Entry {
-    int me, a, b;
-    std::array<size_t, 3> chosen;
-    size_t sim;
+    int me = 0, a = 0, b = 0;
+    std::array<size_t, 3> chosen{};
+    size_t sim = 0;
   };
   std::vector<Entry> entries;
   std::vector<std::array<size_t, 3>> sims;  // index-sorted app triples

@@ -417,6 +417,7 @@ void ProfileCache::save(const std::string& path) const {
     snapshot = entries_;
   }
   for (const auto& [key, future] : snapshot) {
+    // detlint:ok(wall-clock) zero-timeout readiness poll; no time value escapes
     if (future.wait_for(std::chrono::seconds(0)) !=
         std::future_status::ready) {
       continue;  // still being measured by another thread
@@ -548,6 +549,7 @@ void ProfileCache::save_models(const std::string& path) const {
     snapshot = models_;
   }
   for (const auto& [key, future] : snapshot) {
+    // detlint:ok(wall-clock) zero-timeout readiness poll; no time value escapes
     if (future.wait_for(std::chrono::seconds(0)) !=
         std::future_status::ready) {
       continue;  // still being measured by another thread
@@ -701,6 +703,7 @@ void ProfileCache::save_groups(const std::string& path) const {
     snapshot = groups_;
   }
   for (const auto& [key, future] : snapshot) {
+    // detlint:ok(wall-clock) zero-timeout readiness poll; no time value escapes
     if (future.wait_for(std::chrono::seconds(0)) !=
         std::future_status::ready) {
       continue;  // still being simulated by another thread

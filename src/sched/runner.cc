@@ -1,7 +1,7 @@
 #include "sched/runner.h"
 
 #include <algorithm>
-#include <chrono>
+#include <chrono>  // detlint:ok(wall-clock) wall_ms diagnostics only; never serialized
 #include <iomanip>
 #include <sstream>
 
@@ -243,6 +243,7 @@ GroupReport QueueRunner::run_group(
 RunReport QueueRunner::run(const std::vector<Job>& queue, Policy policy,
                            int nc, const SmraParams& smra,
                            const std::vector<int>& partition_override) const {
+  // detlint:ok(wall-clock) wall_ms is diagnostic; never fingerprinted/stored
   const auto t0 = std::chrono::steady_clock::now();
   RunReport report;
   report.policy = policy;
@@ -259,8 +260,9 @@ RunReport QueueRunner::run(const std::vector<Job>& queue, Policy policy,
     }
     report.groups.push_back(std::move(g));
   }
+  // detlint:ok(wall-clock) wall_ms is diagnostic; never fingerprinted/stored
   report.wall_ms = std::chrono::duration<double, std::milli>(
-                       std::chrono::steady_clock::now() - t0)
+                       std::chrono::steady_clock::now() - t0)  // detlint:ok(wall-clock) continuation of the wall_ms diagnostic above
                        .count();
   return report;
 }

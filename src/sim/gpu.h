@@ -126,12 +126,12 @@ class Gpu final : public MemoryFabric {
 
  private:
   struct IcntPacket {
-    uint64_t ready_cycle;
+    uint64_t ready_cycle = 0;
     MemRequest req;
   };
   struct L2Waiter {
-    uint16_t sm;
-    uint8_t app;
+    uint16_t sm = 0;
+    uint8_t app = 0;
   };
   struct L2MshrEntry {
     WaiterPool<L2Waiter>::Chain waiters;
@@ -164,7 +164,7 @@ class Gpu final : public MemoryFabric {
   // One SM's memory traffic of the current cycle, staged during the
   // parallel SM phase and committed serially afterwards.
   struct StagedPacket {
-    int slice;
+    int slice = 0;
     IcntPacket pkt;
   };
   // MemoryFabric view handed to an SM ticking in the parallel phase: the

@@ -212,17 +212,17 @@ class StreamingMultiprocessor {
   // the issuing warp may retire (and its slot be reused) while its stores
   // are still draining through the LSU.
   struct MemTx {
-    uint64_t line;
-    uint16_t warp_slot;
-    uint8_t app;
-    bool is_store;
+    uint64_t line = 0;
+    uint16_t warp_slot = 0;
+    uint8_t app = 0;
+    bool is_store = false;
   };
 
   struct Event {
-    uint64_t cycle;
-    uint64_t line;      // kFill payload
-    uint32_t warp_slot; // kHitDone payload
-    uint8_t kind;       // 0 = kFill, 1 = kHitDone
+    uint64_t cycle = 0;
+    uint64_t line = 0;       // kFill payload
+    uint32_t warp_slot = 0;  // kHitDone payload
+    uint8_t kind = 0;        // 0 = kFill, 1 = kHitDone
   };
   struct EventLater {
     bool operator()(const Event& a, const Event& b) const {

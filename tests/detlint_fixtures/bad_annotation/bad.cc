@@ -1,0 +1,13 @@
+// Seeds bad-annotation findings: an allowlist that can rot silently is
+// no allowlist, so a bogus suppression is itself a finding.
+#include <string>
+
+namespace fixture {
+
+// detlint:ok(no-such-rule) the rule name does not exist — VIOLATION
+int a = 0;
+
+// detlint:ok(wall-clock)
+int b = 0;  // the annotation above has no reason — VIOLATION
+
+}  // namespace fixture

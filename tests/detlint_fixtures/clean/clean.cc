@@ -1,0 +1,53 @@
+// Control fixture: near-miss patterns that must NOT fire any rule.
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+// Ordered containers iterate deterministically — no finding.
+int sum_ordered(const std::map<std::string, int>& m) {
+  int total = 0;
+  for (const auto& [k, v] : m) total += v + static_cast<int>(k.size());
+  return total;
+}
+
+// An unordered map that is only ever probed by key — no iteration, no
+// finding.
+int lookup(const std::unordered_map<std::string, int>& index,
+           const std::string& key) {
+  const auto it = index.find(key);
+  return it == index.end() ? -1 : it->second;
+}
+
+// Members all initialized (NSDMI '=' and '{}' forms) — no pod-init.
+struct Record {
+  int id = 0;
+  double weight{1.0};
+  bool valid = false;
+  std::string name;    // class type: value-initializes itself
+  std::vector<int> v;  // class type
+};
+
+// Classes initialize through constructors; pod-init skips them.
+class Counter {
+ public:
+  explicit Counter(int start) : n_(start) {}
+  int next() { return n_++; }
+
+ private:
+  int n_;
+};
+
+// Value-typed keys in associative containers — no ptr-key.
+std::map<std::string, int> by_name;
+std::set<long> ids;
+
+// An identifier that merely *contains* a banned word is not a banned
+// token ('timeout_cycles' vs 'time').
+uint64_t timeout_cycles = 0;
+int runtime_budget = 0;
+
+}  // namespace fixture

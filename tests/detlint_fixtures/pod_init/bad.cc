@@ -1,0 +1,18 @@
+// Seeds pod-init violations: uninitialized scalar and pointer members
+// of a struct (the kind that reaches serialization).
+#include <cstdint>
+#include <string>
+
+namespace fixture {
+
+struct Sample {
+  uint64_t cycles;      // VIOLATION: no initializer
+  double ipc;           // VIOLATION
+  bool valid;           // VIOLATION
+  const char* label;    // VIOLATION: uninitialized pointer
+  std::string name;     // ok: class type value-initializes
+  int32_t reps = 1;     // ok: NSDMI
+  uint8_t kind{0};      // ok: braced NSDMI
+};
+
+}  // namespace fixture

@@ -1,0 +1,17 @@
+// Seeds ptr-key violations: pointer values as associative keys.
+#include <map>
+#include <string>
+#include <unordered_set>
+
+namespace fixture {
+
+struct Widget {
+  int id = 0;
+  std::string name;
+};
+
+std::map<Widget*, int> rank_by_widget;        // VIOLATION: pointer map key
+std::unordered_set<const Widget*> seen;       // VIOLATION: pointer set key
+std::map<std::string, Widget*> widget_by_id;  // ok: pointer is the value
+
+}  // namespace fixture

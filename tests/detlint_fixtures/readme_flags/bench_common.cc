@@ -1,0 +1,31 @@
+// A miniature bench_common.cc whose flag set drifts from its README in
+// both directions: it accepts --beta (undocumented) while the README
+// documents --gamma (not accepted). detlint's readme-flags rule must
+// report both, against the fixture README passed via --readme.
+#include <string>
+#include <vector>
+
+namespace fixture {
+
+struct Options {
+  int alpha = 0;
+  int beta = 0;
+};
+
+bool parse_options(const std::vector<std::string>& args, Options* opt) {
+  for (size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg == "--alpha") {
+      opt->alpha = 1;
+    } else if (arg == "--beta") {  // VIOLATION: not in the README table
+      opt->beta = 1;
+    } else if (arg == "--help") {  // ok: on the flag exclusion list
+      return false;
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace fixture

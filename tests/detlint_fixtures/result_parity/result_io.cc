@@ -1,0 +1,32 @@
+// A miniature result_io.cc with a planted write/parse drift: ` extra=`
+// is serialized but has no parse branch, so a dump written by this
+// binary could not be read back. detlint's result-parity rule must
+// catch it.
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+namespace fixture {
+
+struct Record {
+  std::string policy;
+  uint64_t cycles = 0;
+  double extra = 0.0;
+};
+
+void write_record(std::ostream& os, const Record& r) {
+  os << "policy=" << r.policy;
+  os << " cycles=" << r.cycles;
+  os << " extra=" << r.extra;  // VIOLATION: no matching parse below
+  os << "\n";
+}
+
+Record parse_record(const std::map<std::string, std::string>& kv) {
+  Record r;
+  r.policy = kv.at("policy");
+  r.cycles = std::stoull(kv.at("cycles"));
+  return r;
+}
+
+}  // namespace fixture

@@ -1,0 +1,20 @@
+// Seeds two unordered-iter violations: a range-for and a .begin().
+#include <string>
+#include <unordered_map>
+
+namespace fixture {
+
+double total_weight(const std::unordered_map<std::string, double>& weights) {
+  double sum = 0.0;
+  for (const auto& [name, w] : weights) {  // VIOLATION: range-for
+    sum += w + name.size();
+  }
+  return sum;
+}
+
+std::string first_key(const std::unordered_map<std::string, double>& weights) {
+  const auto it = weights.begin();  // VIOLATION: iterator harvest
+  return it == weights.end() ? std::string() : it->first;
+}
+
+}  // namespace fixture

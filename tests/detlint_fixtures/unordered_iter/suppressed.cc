@@ -1,0 +1,26 @@
+// The same iteration patterns as bad.cc, but provably order-invariant
+// (commutative '+' reduction) and annotated — detlint must stay quiet.
+#include <string>
+#include <unordered_map>
+
+namespace fixture {
+
+double total_weight(const std::unordered_map<std::string, double>& weights) {
+  double sum = 0.0;
+  // detlint:ok(unordered-iter) integer-weight sum is commutative; order cannot change the result
+  for (const auto& [name, w] : weights) {
+    sum += w + name.size();
+  }
+  return sum;
+}
+
+size_t count_nonzero(const std::unordered_map<std::string, double>& weights) {
+  size_t n = 0;
+  auto it = weights.begin();  // detlint:ok(unordered-iter) counting visits every element exactly once in any order
+  for (; it != weights.end(); ++it) {
+    if (it->second != 0.0) ++n;
+  }
+  return n;
+}
+
+}  // namespace fixture

@@ -1,0 +1,18 @@
+// Seeds wall-clock violations: <chrono> time and unseeded randomness in
+// a TU that is not on the exemption list.
+#include <chrono>
+#include <cstdlib>
+
+namespace fixture {
+
+double elapsed_ms() {
+  const auto t0 = std::chrono::steady_clock::now();  // VIOLATION
+  const auto t1 = std::chrono::steady_clock::now();  // VIOLATION
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+int unseeded() {
+  return rand();  // VIOLATION: unseeded randomness
+}
+
+}  // namespace fixture

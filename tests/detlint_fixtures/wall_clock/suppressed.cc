@@ -1,0 +1,13 @@
+// A wait-path chrono use with a valid annotation — detlint must stay
+// quiet (both trailing and line-above annotation styles).
+#include <chrono>  // detlint:ok(wall-clock) zero-timeout poll vocabulary only; no time value escapes
+#include <future>
+
+namespace fixture {
+
+bool ready(const std::shared_future<int>& f) {
+  // detlint:ok(wall-clock) zero-timeout readiness poll; no time value escapes
+  return f.wait_for(std::chrono::seconds(0)) == std::future_status::ready;
+}
+
+}  // namespace fixture

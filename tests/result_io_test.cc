@@ -241,6 +241,7 @@ TEST(ResultIoTest, VersionHandling) {
   // serial default, everything else is field-exact.
   {
     const Record rec = parse_record(downgrade_to_v2(line));
+    EXPECT_EQ(rec.version, 2);
     EXPECT_EQ(rec.name, "s");
     EXPECT_EQ(rec.report.sim_threads, 1);
     const Record now = parse_record(line);
@@ -288,12 +289,20 @@ TEST(ResultIoTest, VersionHandling) {
     EXPECT_THROW(parse_record(bad), std::logic_error);
   }
 
-  // Old and new dumps merge side by side (disjoint scenarios).
+  // Mixed-version records refuse to merge even inside one dump: they
+  // were written by different binaries, and the older records would
+  // silently read as zero for the newer fields.
   const std::string other =
       to_string(scenario("t", sched::Policy::kEven, 1, 8), 0, 1);
   const std::string mixed =
       downgrade_to_v1(line) + "\n" + downgrade_to_v2(other);
-  EXPECT_NO_THROW(merge_dumps({{"mixed.dump", mixed}}));
+  EXPECT_THROW(merge_dumps({{"mixed.dump", mixed}}), std::logic_error);
+
+  // A uniformly old dump still merges: downgrading both records to v2
+  // keeps the versions consistent.
+  const std::string uniform =
+      downgrade_to_v2(line) + "\n" + downgrade_to_v2(other);
+  EXPECT_NO_THROW(merge_dumps({{"old.dump", uniform}}));
 }
 
 // --- merge_dumps ---
@@ -385,6 +394,28 @@ TEST(ResultIoTest, MergeRejectsConflictingRecords) {
   std::string mangled = text;
   mangled.replace(at, needle.size(), "name=other-name");
   EXPECT_THROW(merge_dumps({{"mangled.dump", mangled}}), std::logic_error);
+}
+
+TEST(ResultIoTest, MergeRejectsVersionMismatchAcrossDumps) {
+  // Two shards written by different binary versions (one v=3, one
+  // downgraded to v=2) must fail the merge with a named error locating
+  // both records — this is how merge-results exits nonzero instead of
+  // silently producing a table with zeroed newer fields.
+  const std::string a =
+      to_string(scenario("s", sched::Policy::kEven, 1, 7), 0, 0);
+  std::string b = to_string(scenario("t", sched::Policy::kEven, 1, 8), 0, 1);
+  b = downgrade_to_v2(b);
+  try {
+    merge_dumps({{"new.dump", a}, {"old.dump", b}});
+    FAIL() << "version-mixed dumps must not merge";
+  } catch (const std::logic_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("record version mismatch"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("new.dump:1"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("old.dump:1"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("v=3"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("v=2"), std::string::npos) << msg;
+  }
 }
 
 TEST(ResultIoTest, MergedShardsRenderByteIdenticalTables) {
