@@ -7,12 +7,14 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <system_error>
 #include <utility>
 #include <vector>
 
 #include "common/check.h"
+#include "common/fault_inject.h"
 #include "common/table.h"
 #include "exp/result_io.h"
 #include "sim/config_io.h"
@@ -52,8 +54,8 @@ Options parse_options(int argc, char** argv) {
                  " [--profile-cache DIR]"
                  " [--policy serial|even|profile|ilp|ilp-smra]"
                  " [--shard I/N] [--dump-results FILE] [--dump-append]"
-                 " [--reps N] [--no-skip] [--sim-mode detailed|sampled]"
-                 " [--store-stats]\n";
+                 " [--resume] [--faults SPEC] [--reps N] [--no-skip]"
+                 " [--sim-mode detailed|sampled] [--store-stats]\n";
     std::exit(2);
   };
   for (int i = 1; i < argc; ++i) {
@@ -98,6 +100,10 @@ Options parse_options(int argc, char** argv) {
       opts.dump_path = value();
     } else if (arg == "--dump-append") {
       opts.dump_append = true;
+    } else if (arg == "--resume") {
+      opts.resume = true;
+    } else if (arg == "--faults") {
+      opts.faults = value();
     } else if (arg == "--no-skip") {
       opts.no_skip = true;
     } else if (arg == "--sim-mode") {
@@ -118,12 +124,24 @@ Options parse_options(int argc, char** argv) {
       usage("unknown flag " + arg);
     }
   }
+  if (opts.resume && opts.dump_path.empty()) {
+    usage("--resume requires --dump-results FILE");
+  }
+  if (opts.resume && opts.dump_append) {
+    usage("--resume and --dump-append are mutually exclusive");
+  }
   return opts;
 }
 
 Harness::Harness(int argc, char** argv)
     : opts_(parse_options(argc, argv)), engine_(cache_, opts_.threads) {
   try {
+    // Parse the fault-injection spec up front: a malformed --faults (or
+    // GPUMAS_FAULTS) is a CLI error, not a mid-run surprise. Touching the
+    // singleton here also forces the env spec to parse before any hook.
+    if (!opts_.faults.empty()) {
+      common::FaultInjector::instance().configure(opts_.faults);
+    }
     if (!opts_.config_path.empty()) {
       cfg_ = sim::load_config(opts_.config_path);
     }
@@ -139,27 +157,43 @@ Harness::Harness(int argc, char** argv)
       cfg_.sim_mode = sim::SimMode::kDetailed;
     }
     if (!opts_.dump_path.empty()) {
-      // A leftover dump from an earlier run would silently gain this
-      // run's records too, and the duplicates would poison every later
-      // merge — refuse up front unless appending was asked for.
-      std::error_code ec;
-      const auto size = std::filesystem::file_size(opts_.dump_path, ec);
-      if (!ec && size > 0 && !opts_.dump_append) {
-        std::cerr << argv[0] << ": --dump-results file " << opts_.dump_path
-                  << " already contains records; re-running would append "
-                     "duplicates that corrupt a merge. Remove the file or "
-                     "pass --dump-append to extend it on purpose.\n";
-        std::exit(2);
+      const std::string journal_path = opts_.dump_path + ".journal";
+      if (opts_.resume) {
+        load_resume_state(journal_path);
+      } else {
+        // A leftover dump from an earlier run would silently gain this
+        // run's records too, and the duplicates would poison every later
+        // merge — refuse up front unless appending or resuming was asked
+        // for.
+        std::error_code ec;
+        const auto size = std::filesystem::file_size(opts_.dump_path, ec);
+        if (!ec && size > 0 && !opts_.dump_append) {
+          std::cerr << argv[0] << ": --dump-results file "
+                    << opts_.dump_path
+                    << " already contains records; re-running would append "
+                       "duplicates that corrupt a merge. Remove the file, "
+                       "pass --dump-append to extend it on purpose, or pass "
+                       "--resume to continue an interrupted run.\n";
+          std::exit(2);
+        }
+        if (opts_.dump_append) {
+          // Keep the pre-existing bytes verbatim: every batch end rewrites
+          // the dump as that prefix + this invocation's canonical records.
+          std::ifstream in(opts_.dump_path);
+          if (in.good()) {
+            std::ostringstream ss;
+            ss << in.rdbuf();
+            dump_prefix_ = ss.str();
+          }
+        }
       }
-      // Probe the dump path now: failing after hours of simulation (and
-      // skipping the destructor's store save) is the expensive way to
-      // learn about a typo.
-      std::ofstream probe(opts_.dump_path, std::ios::app);
-      if (!probe.good()) {
-        std::cerr << argv[0] << ": cannot open --dump-results file "
-                  << opts_.dump_path << "\n";
-        std::exit(2);
-      }
+      // The checkpoint journal doubles as the up-front writability probe:
+      // failing here beats failing after hours of simulation (and skipping
+      // the destructor's store save). A resumed journal with a verified
+      // header is extended in place; anything else starts fresh.
+      journal_ = std::make_unique<common::JournalWriter>(
+          journal_path, /*truncate=*/!journal_has_header_);
+      if (!journal_has_header_) journal_->append(journal_header());
     }
     if (!opts_.profile_cache_path.empty()) {
       // An existing regular file is the legacy profile-only cache; any
@@ -175,6 +209,15 @@ Harness::Harness(int argc, char** argv)
                   << " profiles, " << cache_.model_count() << " models, "
                   << cache_.group_count() << " groups from "
                   << opts_.profile_cache_path << "\n";
+      }
+      const auto q = cache_.quarantine_stats();
+      if (q.total() > 0) {
+        std::cerr << "[bench] artifact store: quarantined " << q.total()
+                  << " corrupt entr" << (q.total() == 1 ? "y" : "ies")
+                  << " (" << q.profiles << " profiles, " << q.models
+                  << " models, " << q.groups << " groups) to "
+                  << opts_.profile_cache_path
+                  << "/quarantine/; they will be re-measured on demand\n";
       }
     }
   } catch (const std::exception& e) {
@@ -223,6 +266,20 @@ Harness::~Harness() {
                 << "\n";
     }
   }
+  if (journal_ && !io_failed_) {
+    // Clean completion: the dump file itself is complete and durable, so
+    // the checkpoint journal has served its purpose. On I/O failure it is
+    // kept — it may be the only surviving copy of this run's records.
+    journal_.reset();
+    std::error_code ec;
+    std::filesystem::remove(opts_.dump_path + ".journal", ec);
+  }
+  if (io_failed_) {
+    std::cerr << "[bench] exiting with status 1: the --dump-results file "
+                 "or its checkpoint journal could not be written (measured "
+                 "artifacts were still saved to the store)\n";
+    std::exit(1);
+  }
 }
 
 void Harness::print_store_stats(std::ostream& os) const {
@@ -259,6 +316,10 @@ void Harness::print_store_stats(std::ostream& os) const {
      << ps.sampled << " sampled; models " << ms.detailed << " detailed / "
      << ms.sampled << " sampled; group runs " << gs.detailed
      << " detailed / " << gs.sampled << " sampled\n";
+  const auto q = cache_.quarantine_stats();
+  os << "Quarantined corrupt store entries: " << q.total() << " ("
+     << q.profiles << " profiles, " << q.models << " models, " << q.groups
+     << " groups)\n";
   os << "Note: store entries are keyed by content fingerprint and never "
         "expire, so a long-lived --profile-cache directory grows "
         "monotonically (no eviction/versioning yet; see ROADMAP).\n";
@@ -268,7 +329,30 @@ std::vector<exp::ScenarioResult> Harness::run(
     const std::vector<exp::ScenarioSpec>& scenarios) {
   ran_ = true;
   const int batch = batch_++;
-  const auto results = engine_.run(scenarios, opts_.shard);
+  std::vector<char> skip(scenarios.size(), 0);
+  std::vector<std::vector<sched::RunReport>> loaded(scenarios.size());
+  if (opts_.resume) prepare_resume_batch(scenarios, batch, &skip, &loaded);
+
+  exp::RunHooks hooks;
+  if (journal_) {
+    hooks.on_result = [this, batch](size_t i,
+                                    const exp::ScenarioResult& r) {
+      // Serialized by the engine. Must not throw — a hook exception aborts
+      // the batch — so append_journal degrades to a warning plus the
+      // nonzero-exit marker on I/O failure.
+      append_journal(
+          exp::result_io::to_string(r, batch, static_cast<int>(i)));
+    };
+  }
+  if (opts_.resume) {
+    hooks.skip = [&skip](size_t i) { return skip[i] != 0; };
+  }
+  auto results = engine_.run(scenarios, opts_.shard, hooks);
+  for (size_t i = 0; i < results.size(); ++i) {
+    // Substitute the reloaded repetitions for skipped scenarios. They are
+    // not re-journaled: their records already survived the crash.
+    if (skip[i]) results[i].reps = std::move(loaded[i]);
+  }
   if (!opts_.dump_path.empty()) dump_results(results, batch);
   return results;
 }
@@ -300,19 +384,188 @@ exp::ScenarioSpec Harness::scenario(std::string name) const {
 
 void Harness::dump_results(const std::vector<exp::ScenarioResult>& results,
                            int batch) {
-  std::ofstream out(opts_.dump_path, std::ios::app);
-  if (!out.good()) {
-    // The constructor probed this path; losing the dump mid-run is not
-    // worth losing the measured artifacts too (the destructor still
-    // saves the store), so report and continue.
-    std::cerr << "[bench] cannot append to --dump-results file "
-              << opts_.dump_path << "; results not dumped\n";
-    return;
-  }
   for (size_t i = 0; i < results.size(); ++i) {
     if (!results[i].has_reps()) continue;  // another shard's scenario
-    out << exp::result_io::to_string(results[i], batch,
-                                     static_cast<int>(i));
+    dump_text_ +=
+        exp::result_io::to_string(results[i], batch, static_cast<int>(i));
+  }
+  try {
+    // Atomic canonical rewrite — declaration order, every finalized batch.
+    // A crash leaves either the previous complete dump or the new one,
+    // never a torn mix, and a resumed run's final file is byte-identical
+    // to an uninterrupted one regardless of journal record order.
+    common::atomic_write_file(opts_.dump_path, dump_prefix_ + dump_text_);
+  } catch (const std::exception& e) {
+    // Losing the dump mid-run is not worth losing the measured artifacts
+    // too (the destructor still saves the store) — but the failure must
+    // not look like success, so the harness exits nonzero at teardown.
+    std::cerr << "[bench] cannot write --dump-results file "
+              << opts_.dump_path << ": " << e.what() << "\n";
+    io_failed_ = true;
+  }
+}
+
+std::string Harness::journal_header() const {
+  // Everything that byte-determines a record of this invocation: the
+  // result schema, the device configuration, the thread budgets the
+  // two-level split resolves sim_threads from, the shard slice, and the
+  // flag-driven scenario parameters. config_fingerprint() deliberately
+  // ignores sim_threads, so the flags carry it here.
+  std::ostringstream os;
+  os << "# gpumas journal v=" << exp::result_io::kFormatVersion
+     << " config=" << profile::config_fingerprint(cfg_)
+     << " threads=" << opts_.threads
+     << " sim_threads=" << opts_.sim_threads << " shard=" << opts_.shard.index
+     << "/" << opts_.shard.count << " reps=" << opts_.reps
+     << " policy=" << (opts_.policy.empty() ? "-" : opts_.policy)
+     << " sim_mode=" << (opts_.sim_mode.empty() ? "-" : opts_.sim_mode)
+     << "\n";
+  return os.str();
+}
+
+void Harness::load_resume_state(const std::string& journal_path) {
+  // The journal carries mid-batch records the dump lacks; the dump carries
+  // finalized batches whose journal may already be gone (resuming a run
+  // that actually completed is an idempotent rewrite). Read both; the
+  // journal wins (batch, idx, rep) collisions, though a consistent pair
+  // never disagrees.
+  size_t records = 0;
+  size_t torn = 0;
+  const auto ingest = [&](std::istream& in, bool is_journal,
+                          const std::string& label) {
+    std::string line;
+    bool header_ok = false;
+    size_t mine = 0;
+    while (std::getline(in, line)) {
+      const std::string t = trim(line);
+      if (t.empty()) continue;
+      if (t.front() == '#') {
+        if (is_journal && t.rfind("# gpumas journal ", 0) == 0) {
+          std::string want = journal_header();
+          if (!want.empty() && want.back() == '\n') want.pop_back();
+          if (t != want) {
+            std::cerr << "[bench] --resume: checkpoint journal " << label
+                      << " was written by a different invocation:\n"
+                      << "  journal:  " << t << "\n"
+                      << "  this run: " << want << "\n"
+                      << "Resume with the original flags, or remove the "
+                         "dump and its journal to start over.\n";
+            std::exit(2);
+          }
+          header_ok = true;
+        }
+        continue;
+      }
+      try {
+        exp::result_io::Record rec = exp::result_io::parse_record(t);
+        auto& slot = resume_records_[{rec.batch, rec.index}];
+        const int rep = rec.rep;
+        if (slot.emplace(rep, std::move(rec)).second) {
+          ++records;
+          ++mine;
+        }
+      } catch (const std::exception&) {
+        // A torn tail is exactly what a crash mid-append leaves behind:
+        // that repetition simply re-runs.
+        ++torn;
+      }
+    }
+    if (is_journal) {
+      if (!header_ok && mine > 0) {
+        // Records without the fingerprint header cannot be trusted to
+        // belong to this invocation.
+        std::cerr << "[bench] --resume: checkpoint journal " << label
+                  << " has records but no header line; refusing to trust "
+                     "it. Remove the dump and its journal to start over.\n";
+        std::exit(2);
+      }
+      // An empty or torn-header journal (crash before the first record)
+      // holds nothing worth keeping — it will be recreated from scratch.
+      journal_has_header_ = header_ok;
+    }
+  };
+  {
+    std::ifstream in(journal_path);
+    if (in.good()) ingest(in, /*is_journal=*/true, journal_path);
+  }
+  {
+    std::ifstream in(opts_.dump_path);
+    if (in.good()) ingest(in, /*is_journal=*/false, opts_.dump_path);
+  }
+  if (torn > 0) {
+    std::cerr << "[bench] resume: dropped " << torn
+              << " unparseable line(s) (torn crash tail); the affected "
+                 "repetitions will re-run\n";
+  }
+  std::cerr << "[bench] resume: reloaded " << records
+            << " completed repetition record(s)\n";
+}
+
+void Harness::prepare_resume_batch(
+    const std::vector<exp::ScenarioSpec>& scenarios, int batch,
+    std::vector<char>* skip,
+    std::vector<std::vector<sched::RunReport>>* loaded) {
+  const auto fatal = [&](const std::string& why) {
+    std::cerr << "[bench] --resume: " << why
+              << " — the reloaded records do not describe batch " << batch
+              << " of this bench. Resume with the exact original "
+                 "invocation, or remove "
+              << opts_.dump_path << " and its journal to start over.\n";
+    std::exit(2);
+  };
+  size_t skipped = 0;
+  for (auto it = resume_records_.lower_bound({batch, 0});
+       it != resume_records_.end() && it->first.first == batch; ++it) {
+    const int idx = it->first.second;
+    if (idx < 0 || idx >= static_cast<int>(scenarios.size())) {
+      fatal("a record names scenario index " + std::to_string(idx) +
+            " but the batch declares " + std::to_string(scenarios.size()) +
+            " scenarios");
+    }
+    if (idx % opts_.shard.count != opts_.shard.index) {
+      fatal("a record names scenario index " + std::to_string(idx) +
+            ", which belongs to another shard");
+    }
+    const auto& spec = scenarios[idx];
+    const int want_reps = spec.repetitions > 0 ? spec.repetitions : 1;
+    for (const auto& [rep, rec] : it->second) {
+      if (rec.name != spec.name) {
+        fatal("scenario " + std::to_string(idx) + " is named '" +
+              spec.name + "' but a record says '" + rec.name + "'");
+      }
+      if (rec.reps != want_reps || rep < 0 || rep >= want_reps) {
+        fatal("scenario '" + spec.name + "' declares " +
+              std::to_string(want_reps) +
+              " repetition(s) but a record carries rep " +
+              std::to_string(rep) + " of " + std::to_string(rec.reps));
+      }
+    }
+    // A partial repetition set re-runs the whole scenario: repetitions of
+    // one scenario are not independent units (rep seeds derive from the
+    // spec), and duplicates in the journal are harmless — only the
+    // canonical dump must stay unique.
+    if (static_cast<int>(it->second.size()) != want_reps) continue;
+    auto& out = (*loaded)[idx];
+    for (int rep = 0; rep < want_reps; ++rep) {
+      out.push_back(it->second.at(rep).report);
+    }
+    (*skip)[idx] = 1;
+    ++skipped;
+  }
+  resume_skipped_ += skipped;
+  std::cerr << "[bench] resume: batch " << batch << ": " << skipped
+            << " scenario(s) already complete, skipped\n";
+}
+
+void Harness::append_journal(const std::string& data) {
+  if (!journal_) return;
+  try {
+    journal_->append(data);
+  } catch (const std::exception& e) {
+    std::cerr << "[bench] checkpoint journal write failed: " << e.what()
+              << "; checkpointing disabled for the rest of the run\n";
+    journal_.reset();
+    io_failed_ = true;
   }
 }
 

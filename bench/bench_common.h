@@ -42,6 +42,19 @@
 //   --dump-append         extend a non-empty --dump-results file instead
 //                         of refusing (for benches dumping across several
 //                         invocations on purpose)
+//   --resume              resume a killed --dump-results run: reload the
+//                         sidecar checkpoint journal (FILE.journal, flushed
+//                         per completed scenario) and the dump itself,
+//                         verify the invocation fingerprint and each
+//                         record's scenario, skip completed (batch, idx,
+//                         rep) entries, and produce a final dump
+//                         byte-identical to an uninterrupted run
+//   --faults SPEC         deterministic fault injection
+//                         (common/fault_inject.h): comma-separated
+//                         fail:/crash:/flaky: clauses over the
+//                         open|write|fsync|rename|dispatch sites, plus
+//                         seed:/retries:. Equivalent to GPUMAS_FAULTS;
+//                         the flag wins when both are set
 //   --reps N              repetitions per seeded-queue scenario in the
 //                         policy-grid benches (distribution queues are
 //                         re-drawn with seed+i); N > 1 adds a
@@ -68,12 +81,17 @@
 #pragma once
 
 #include <iostream>
+#include <map>
+#include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "common/atomic_file.h"
 #include "common/text.h"
 #include "exp/experiment.h"
+#include "exp/result_io.h"
 #include "profile/profile.h"
 #include "profile/profile_cache.h"
 #include "sim/gpu_config.h"
@@ -97,6 +115,8 @@ struct Options {
   bool store_stats = false;
   std::string sim_mode;  // "", "detailed" or "sampled"
   int reps = 1;
+  bool resume = false;   // requires dump_path; excludes dump_append
+  std::string faults;    // fault-injection spec (overrides GPUMAS_FAULTS)
 };
 
 // Strict decimal CLI parsing — "4x" or "1/2x" is an error instead of
@@ -173,8 +193,36 @@ class Harness {
   // order-independent: `LC_ALL=C sort` over the concatenated dumps of all
   // shards reproduces the sorted dump of the unsharded run byte for byte,
   // and the merge-results tool rebuilds the full tables from them.
+  //
+  // The dump is produced twice over: as each scenario completes, its
+  // records are appended + fsynced to the sidecar journal
+  // (<dump>.journal, crash checkpoint, completion order); at each batch
+  // end, dump_results() atomically rewrites the dump file itself with
+  // every finalized batch's records in declaration order, so the on-disk
+  // dump of a finished run is byte-identical whether or not the run was
+  // interrupted and resumed. The journal is deleted on clean completion.
   void dump_results(const std::vector<exp::ScenarioResult>& results,
                     int batch);
+
+  // The journal's first line: result-format version, config fingerprint
+  // and the determinism-relevant flags. --resume byte-compares it, so a
+  // partial dump can never silently continue under different settings.
+  std::string journal_header() const;
+
+  // --resume: reload completed records from the journal and the dump.
+  void load_resume_state(const std::string& journal_path);
+
+  // Maps this batch's reloaded records onto the declared scenarios —
+  // verifying scenario name, repetition count and index range, exiting 2
+  // on any mismatch — and fills the skip/loaded vectors for run().
+  void prepare_resume_batch(const std::vector<exp::ScenarioSpec>& scenarios,
+                            int batch, std::vector<char>* skip,
+                            std::vector<std::vector<sched::RunReport>>* loaded);
+
+  // Journal append that survives I/O failure: on error it warns, disables
+  // further checkpointing and marks the run for a nonzero exit instead of
+  // aborting the in-flight simulations.
+  void append_journal(const std::string& data);
 
   Options opts_;
   sim::GpuConfig cfg_;
@@ -184,6 +232,17 @@ class Harness {
   bool legacy_cache_file_ = false;
   bool ran_ = false;   // whether any scenario batch went through run()
   int batch_ = 0;      // Harness::run() calls so far (the records' batch=)
+
+  // --- checkpoint/resume state (inert unless --dump-results is set) ---
+  // (batch, idx) -> rep -> reloaded record, from --resume.
+  std::map<std::pair<int, int>, std::map<int, exp::result_io::Record>>
+      resume_records_;
+  std::unique_ptr<common::JournalWriter> journal_;
+  bool journal_has_header_ = false;  // reloaded journal already starts with one
+  std::string dump_prefix_;  // --dump-append: pre-existing bytes, verbatim
+  std::string dump_text_;    // canonical records of finalized batches
+  size_t resume_skipped_ = 0;  // scenarios served from the journal
+  bool io_failed_ = false;     // dump/journal I/O failed -> exit status 1
 };
 
 // Runs the (distribution × policy) grid used by Figs 4.3/4.11 and prints

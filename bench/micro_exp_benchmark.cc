@@ -147,11 +147,7 @@ Phase run_phase(profile::ProfileCache& cache, int threads,
 
 bool write_json(const std::string& path, const Phase& cold, const Phase& warm,
                 double group_hit_rate, int threads) {
-  std::ofstream out(path);
-  if (!out.good()) {
-    std::cerr << "cannot write --json file " << path << "\n";
-    return false;
-  }
+  std::ostringstream out;
   out << std::setprecision(6) << std::fixed;
   out << "{\n  \"version\": 1,\n  \"threads\": " << threads << ",\n"
       << "  \"cold\": {\n"
@@ -174,9 +170,13 @@ bool write_json(const std::string& path, const Phase& cold, const Phase& warm,
       << "  \"byte_identical\": "
       << (cold.records == warm.records ? "true" : "false") << "\n"
       << "}\n";
-  out.flush();
-  if (!out.good()) {
-    std::cerr << "error writing --json file " << path << "\n";
+  try {
+    // Atomic replace (common/atomic_file.h): a crash mid-write leaves the
+    // previous JSON intact, never a torn file for CI to parse.
+    common::atomic_write_file(path, out.str());
+  } catch (const std::exception& e) {
+    std::cerr << "cannot write --json file " << path << ": " << e.what()
+              << "\n";
     return false;
   }
   std::cerr << "[bench] wrote " << path << "\n";

@@ -138,11 +138,7 @@ struct Row {
 
 bool write_json(const std::string& path, const std::vector<Row>& rows,
                 int reps) {
-  std::ofstream out(path);
-  if (!out.good()) {
-    std::cerr << "cannot write --json file " << path << "\n";
-    return false;
-  }
+  std::ostringstream out;
   out << std::setprecision(6) << std::fixed;
   out << "{\n  \"version\": 1,\n  \"reps\": " << reps
       << ",\n  \"scenarios\": [\n";
@@ -162,9 +158,13 @@ bool write_json(const std::string& path, const std::vector<Row>& rows,
         << "    }" << (i + 1 < rows.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
-  out.flush();
-  if (!out.good()) {
-    std::cerr << "error writing --json file " << path << "\n";
+  try {
+    // Atomic replace (common/atomic_file.h): a crash mid-write leaves the
+    // previous JSON intact, never a torn file for CI to parse.
+    common::atomic_write_file(path, out.str());
+  } catch (const std::exception& e) {
+    std::cerr << "cannot write --json file " << path << ": " << e.what()
+              << "\n";
     return false;
   }
   std::cerr << "[bench] wrote " << path << "\n";

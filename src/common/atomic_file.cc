@@ -1,0 +1,135 @@
+#include "common/atomic_file.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "common/fault_inject.h"
+
+namespace gpumas::common {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& path, const char* stage, int err) {
+  throw std::runtime_error(std::string(stage) + " failed for '" + path +
+                           "': " + (err != 0 ? std::strerror(err)
+                                             : "injected fault"));
+}
+
+// Full write with EINTR/short-write handling, guarded by the write site.
+// The injector receives the fd and pending bytes so a crash clause can
+// tear the write in half before exiting, like a real crash would.
+void write_all(const std::string& path, int fd, const char* data,
+               size_t len) {
+  if (FaultInjector::instance().should_fail(FaultSite::kFileWrite, fd, data,
+                                            len)) {
+    fail(path, "write", 0);
+  }
+  while (len > 0) {
+    const ssize_t n = ::write(fd, data, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail(path, "write", errno);
+    }
+    data += n;
+    len -= static_cast<size_t>(n);
+  }
+}
+
+void fsync_checked(const std::string& path, int fd) {
+  if (FaultInjector::instance().should_fail(FaultSite::kFileFsync)) {
+    fail(path, "fsync", 0);
+  }
+  if (::fsync(fd) != 0) fail(path, "fsync", errno);
+}
+
+int open_checked(const std::string& path, int flags) {
+  if (FaultInjector::instance().should_fail(FaultSite::kFileOpen)) {
+    fail(path, "open", 0);
+  }
+  const int fd = ::open(path.c_str(), flags, 0644);
+  if (fd < 0) fail(path, "open", errno);
+  return fd;
+}
+
+// fsync the directory holding `path`, so the rename (or file creation)
+// itself is durable. Shares the fsync fault site with file fsyncs.
+void fsync_parent_dir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  if (FaultInjector::instance().should_fail(FaultSite::kFileFsync)) {
+    fail(dir, "directory fsync", 0);
+  }
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) fail(dir, "directory open", errno);
+  if (::fsync(fd) != 0) {
+    const int err = errno;
+    ::close(fd);
+    fail(dir, "directory fsync", err);
+  }
+  ::close(fd);
+}
+
+}  // namespace
+
+void atomic_write_file(const std::string& path, const std::string& content) {
+  const std::string tmp = path + ".tmp";
+  const int fd = open_checked(tmp, O_WRONLY | O_CREAT | O_TRUNC);
+  try {
+    write_all(tmp, fd, content.data(), content.size());
+    fsync_checked(tmp, fd);
+  } catch (...) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    throw;
+  }
+  if (::close(fd) != 0) {
+    const int err = errno;
+    ::unlink(tmp.c_str());
+    fail(tmp, "close", err);
+  }
+  if (FaultInjector::instance().should_fail(FaultSite::kFileRename)) {
+    ::unlink(tmp.c_str());
+    fail(path, "rename", 0);
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int err = errno;
+    ::unlink(tmp.c_str());
+    fail(path, "rename", err);
+  }
+  fsync_parent_dir(path);
+}
+
+void AtomicFile::commit() {
+  if (committed_) {
+    throw std::runtime_error("AtomicFile::commit() called twice for '" +
+                             path_ + "'");
+  }
+  committed_ = true;
+  atomic_write_file(path_, buf_.str());
+}
+
+JournalWriter::JournalWriter(std::string path, bool truncate)
+    : path_(std::move(path)) {
+  fd_ = open_checked(path_,
+                     O_WRONLY | O_CREAT | (truncate ? O_TRUNC : O_APPEND));
+  // Make the (possibly empty) journal's existence itself durable: resume
+  // logic distinguishes "crashed before any scenario" from "never started".
+  fsync_parent_dir(path_);
+}
+
+JournalWriter::~JournalWriter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void JournalWriter::append(const std::string& data) {
+  write_all(path_, fd_, data.data(), data.size());
+  fsync_checked(path_, fd_);
+}
+
+}  // namespace gpumas::common

@@ -1,0 +1,77 @@
+// Crash-safe file persistence primitives.
+//
+// Every artifact the system persists — the three store files, result
+// dumps, merged tables, benchmark JSON — used to be written with a plain
+// std::ofstream straight over the target path, so a crash mid-write left a
+// truncated file that the strict parsers rejected wholesale. AtomicFile
+// replaces that with the classic durable-replace protocol: buffer the
+// content, write it to `<path>.tmp`, fsync the temp file, rename() it over
+// the target (atomic on POSIX), then fsync the parent directory so the
+// rename itself survives a power cut. Readers therefore only ever see the
+// old complete file or the new complete file — never a torn one. Stray
+// `*.tmp` files are the only crash artifact, and loaders ignore them.
+//
+// JournalWriter is the complementary append-side primitive for checkpoint
+// journals: an fd-based append-only writer whose append() returns only
+// after the record bytes are written AND fsynced, so a completed scenario
+// survives any later crash. A crash mid-append leaves a truncated final
+// record, which the journal readers tolerate by design.
+//
+// Both classes consult common::FaultInjector at each open/write/fsync/
+// rename boundary, so crash and transient-failure scenarios are
+// reproducible test cases. All failures throw std::runtime_error naming
+// the path and the failed stage; on any failure the target file is left
+// untouched (AtomicFile unlinks its temp file on the way out).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace gpumas::common {
+
+// One atomic whole-file replacement: stream the content into `stream()`,
+// then `commit()`. Without a commit() the target is never touched.
+class AtomicFile {
+ public:
+  explicit AtomicFile(std::string path) : path_(std::move(path)) {}
+  AtomicFile(const AtomicFile&) = delete;
+  AtomicFile& operator=(const AtomicFile&) = delete;
+
+  std::ostream& stream() { return buf_; }
+
+  // Durably replaces the target with the buffered content (temp + fsync +
+  // rename + directory fsync). Throws std::runtime_error on failure, with
+  // the target left untouched; calling commit() twice is an error.
+  void commit();
+
+ private:
+  std::string path_;
+  std::ostringstream buf_;
+  bool committed_ = false;
+};
+
+// Convenience wrapper: atomically replace `path` with `content`.
+void atomic_write_file(const std::string& path, const std::string& content);
+
+// Append-only durable record stream (checkpoint journals). The file is
+// created on construction (truncated when `truncate`, extended otherwise);
+// every append() is written and fsynced before returning.
+class JournalWriter {
+ public:
+  JournalWriter(std::string path, bool truncate);
+  ~JournalWriter();
+  JournalWriter(const JournalWriter&) = delete;
+  JournalWriter& operator=(const JournalWriter&) = delete;
+
+  // Appends `data` verbatim and fsyncs. Throws std::runtime_error on
+  // failure (the writer stays usable; the file may carry a torn record).
+  void append(const std::string& data);
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+};
+
+}  // namespace gpumas::common

@@ -1,0 +1,200 @@
+#include "common/fault_inject.h"
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <stdexcept>
+#include <thread>
+
+#include "common/check.h"
+#include "common/prng.h"
+#include "common/text.h"
+
+namespace gpumas::common {
+
+namespace {
+
+// Uniform double in [0, 1) from one splitmix64 step (the per-site flaky
+// stream advances its state through splitmix64 itself).
+double unit_double(uint64_t bits) {
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+bool site_from_name(const std::string& name, FaultSite* out) {
+  if (name == "open") *out = FaultSite::kFileOpen;
+  else if (name == "write") *out = FaultSite::kFileWrite;
+  else if (name == "fsync") *out = FaultSite::kFileFsync;
+  else if (name == "rename") *out = FaultSite::kFileRename;
+  else if (name == "dispatch") *out = FaultSite::kDispatch;
+  else return false;
+  return true;
+}
+
+}  // namespace
+
+const char* fault_site_name(FaultSite site) {
+  switch (site) {
+    case FaultSite::kFileOpen: return "open";
+    case FaultSite::kFileWrite: return "write";
+    case FaultSite::kFileFsync: return "fsync";
+    case FaultSite::kFileRename: return "rename";
+    case FaultSite::kDispatch: return "dispatch";
+  }
+  return "?";
+}
+
+FaultInjector& FaultInjector::instance() {
+  static FaultInjector injector;
+  return injector;
+}
+
+FaultInjector::FaultInjector() {
+  if (const char* env = std::getenv("GPUMAS_FAULTS")) {
+    if (*env != '\0') configure(env);
+  }
+}
+
+void FaultInjector::configure(const std::string& spec) {
+  // Parse into locals first: a malformed clause must not half-apply.
+  std::vector<Clause> clauses;
+  uint64_t seed = 1;
+  int retries = 3;
+  for (const std::string& raw : split_commas(spec)) {
+    const std::string part = trim(raw);
+    if (part.empty()) continue;
+    const size_t c1 = part.find(':');
+    GPUMAS_CHECK_MSG(c1 != std::string::npos,
+                     "GPUMAS_FAULTS clause '" << part << "': expected "
+                     "kind:... (fail|crash|flaky|seed|retries)");
+    const std::string kind = part.substr(0, c1);
+    const std::string rest = part.substr(c1 + 1);
+    if (kind == "seed") {
+      const auto v = text::parse_u64_strict(rest);
+      GPUMAS_CHECK_MSG(v, "GPUMAS_FAULTS clause '" << part << "': bad seed");
+      seed = *v;
+      continue;
+    }
+    if (kind == "retries") {
+      const auto v = text::parse_int_strict(rest);
+      GPUMAS_CHECK_MSG(v && *v >= 0,
+                       "GPUMAS_FAULTS clause '" << part << "': bad retry "
+                       "budget");
+      retries = *v;
+      continue;
+    }
+    const size_t c2 = rest.find(':');
+    GPUMAS_CHECK_MSG(c2 != std::string::npos,
+                     "GPUMAS_FAULTS clause '" << part
+                     << "': expected " << kind << ":<site>:<value>");
+    Clause clause;
+    GPUMAS_CHECK_MSG(site_from_name(rest.substr(0, c2), &clause.site),
+                     "GPUMAS_FAULTS clause '" << part << "': unknown site '"
+                     << rest.substr(0, c2)
+                     << "' (open|write|fsync|rename|dispatch)");
+    const std::string value = rest.substr(c2 + 1);
+    if (kind == "fail" || kind == "crash") {
+      clause.crash = kind == "crash";
+      const auto n = text::parse_int_strict(value);
+      GPUMAS_CHECK_MSG(n && *n >= 1, "GPUMAS_FAULTS clause '"
+                       << part << "': hit index must be an integer >= 1");
+      clause.nth = static_cast<uint64_t>(*n);
+    } else if (kind == "flaky") {
+      const auto p = text::parse_double_strict(value);
+      GPUMAS_CHECK_MSG(p && *p >= 0.0 && *p <= 1.0,
+                       "GPUMAS_FAULTS clause '" << part
+                       << "': probability must be in [0, 1]");
+      clause.prob = *p;
+    } else {
+      GPUMAS_CHECK_MSG(false, "GPUMAS_FAULTS clause '" << part
+                       << "': unknown kind '" << kind
+                       << "' (fail|crash|flaky|seed|retries)");
+    }
+    clauses.push_back(clause);
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  clauses_ = std::move(clauses);
+  retries_ = retries;
+  for (int s = 0; s < kNumFaultSites; ++s) {
+    flaky_state_[s] = hash_combine(seed, static_cast<uint64_t>(s));
+    hits_[s] = 0;
+    injected_[s] = 0;
+    bool armed = false;
+    for (const Clause& c : clauses_) {
+      if (static_cast<int>(c.site) == s) armed = true;
+    }
+    armed_[s].store(armed, std::memory_order_relaxed);
+  }
+}
+
+bool FaultInjector::should_fail(FaultSite site, int fd, const char* pending,
+                                size_t pending_len) {
+  const int s = static_cast<int>(site);
+  if (!armed_[s].load(std::memory_order_relaxed)) return false;
+  bool crash = false;
+  bool fail = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const uint64_t hit = ++hits_[s];
+    for (const Clause& c : clauses_) {
+      if (c.site != site) continue;
+      if (c.nth != 0) {
+        if (hit == c.nth) (c.crash ? crash : fail) = true;
+      } else if (c.prob > 0.0) {
+        flaky_state_[s] = splitmix64(flaky_state_[s]);
+        if (unit_double(flaky_state_[s]) < c.prob) fail = true;
+      }
+    }
+    if (fail && !crash) ++injected_[s];
+  }
+  if (crash) {
+    if (fd >= 0 && pending_len > 0) {
+      // Tear the pending write in half before dying: the truncated tail a
+      // real mid-write crash leaves is exactly what recovery must survive.
+      (void)!::write(fd, pending, pending_len / 2);
+    }
+    std::_Exit(kCrashExitCode);
+  }
+  return fail;
+}
+
+uint64_t FaultInjector::hits(FaultSite site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_[static_cast<int>(site)];
+}
+
+uint64_t FaultInjector::injected(FaultSite site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return injected_[static_cast<int>(site)];
+}
+
+int FaultInjector::dispatch_retries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return retries_;
+}
+
+void backoff_pause(int attempt) {
+  if (attempt > 10) attempt = 10;
+  const int yields = 1 << attempt;
+  for (int i = 0; i < yields; ++i) std::this_thread::yield();
+}
+
+namespace detail {
+
+void dispatch_guard_slow() {
+  FaultInjector& injector = FaultInjector::instance();
+  const int budget = injector.dispatch_retries();
+  for (int attempt = 0; injector.should_fail(FaultSite::kDispatch);
+       ++attempt) {
+    if (attempt >= budget) {
+      throw std::runtime_error(
+          "injected dispatch fault persisted past " +
+          std::to_string(budget) + " retries");
+    }
+    backoff_pause(attempt);
+  }
+}
+
+}  // namespace detail
+
+}  // namespace gpumas::common

@@ -18,6 +18,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/fault_inject.h"
+
 namespace gpumas {
 
 class WorkerPool {
@@ -127,6 +129,11 @@ class WorkerPool {
       const size_t k = job.next.fetch_add(1, std::memory_order_relaxed);
       if (k >= job.n) return;
       try {
+        // Fault-injection point: injected transient dispatch failures are
+        // retried in place with a bounded deterministic backoff; only an
+        // exhausted retry budget surfaces as a job failure. Free (one
+        // relaxed load) when no dispatch clause is configured.
+        common::dispatch_guard();
         job.invoke(job.ctx, k);
       } catch (...) {
         std::lock_guard<std::mutex> lock(mu_);
@@ -187,7 +194,12 @@ class WorkerPool {
 template <typename Fn>
 void parallel_for(int threads, size_t n, const Fn& fn) {
   if (threads <= 1 || n <= 1) {
-    for (size_t k = 0; k < n; ++k) fn(k);
+    // The serial path takes the same dispatch fault-injection point as the
+    // pool, so single-threaded runs reproduce injected faults identically.
+    for (size_t k = 0; k < n; ++k) {
+      common::dispatch_guard();
+      fn(k);
+    }
     return;
   }
   WorkerPool::shared().run(threads, n, fn);

@@ -231,7 +231,8 @@ ScenarioResult ExperimentRunner::run_scenario(const ScenarioSpec& raw,
 }
 
 std::vector<ScenarioResult> ExperimentRunner::run(
-    const std::vector<ScenarioSpec>& scenarios, const Shard& shard) {
+    const std::vector<ScenarioSpec>& scenarios, const Shard& shard,
+    const RunHooks& hooks) {
   GPUMAS_CHECK_MSG(shard.count >= 1 && shard.index >= 0 &&
                        shard.index < shard.count,
                    "invalid shard " << shard.index << "/" << shard.count);
@@ -262,8 +263,15 @@ std::vector<ScenarioResult> ExperimentRunner::run(
   // Fail fast (parallel_for): once any worker records an error, the rest
   // stop claiming new scenarios instead of simulating the remainder of the
   // batch, and the first error rethrows here.
+  std::mutex hook_mu;
   parallel_for(threads_, mine.size(), [&](size_t k) {
-    results[mine[k]] = run_scenario(scenarios[mine[k]], intra);
+    const size_t i = mine[k];
+    if (hooks.skip && hooks.skip(i)) return;
+    results[i] = run_scenario(scenarios[i], intra);
+    if (hooks.on_result) {
+      std::lock_guard<std::mutex> lock(hook_mu);
+      hooks.on_result(i, results[i]);
+    }
   });
   return results;
 }

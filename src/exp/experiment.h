@@ -33,6 +33,7 @@
 // explicitly are never overridden.
 #pragma once
 
+#include <functional>
 #include <future>
 #include <map>
 #include <memory>
@@ -55,6 +56,25 @@ struct Shard {
   int count = 1;  // 1 = the whole batch
 };
 
+// Optional per-batch execution hooks, the engine half of checkpoint/resume
+// (bench::Harness wires them to its journal).
+struct RunHooks {
+  // When set and skip(i) is true, scenario i is not executed: its entry
+  // keeps the scenario name and no reps, exactly like an off-shard entry.
+  // Callers substitute previously-recorded reports afterwards. Skipping
+  // never changes the batch's two-level thread budget — that is computed
+  // from the declared batch, so a resumed run resolves the same
+  // sim_threads as the uninterrupted one and records stay byte-identical.
+  std::function<bool(size_t)> skip;
+  // Invoked once per executed scenario as it completes — in completion
+  // order, NOT declaration order, from whichever worker finished it, but
+  // serialized under an engine-internal mutex. `i` is the scenario's index
+  // in the batch. Exceptions thrown here propagate through the engine's
+  // fail-fast path and abort the batch; callers that must survive hook
+  // failures (a full disk mid-checkpoint) catch inside the hook.
+  std::function<void(size_t, const ScenarioResult&)> on_result;
+};
+
 class ExperimentRunner {
  public:
   // `cache` outlives the runner and may be shared with other engines and
@@ -72,7 +92,8 @@ class ExperimentRunner {
   // the pool drains; once one worker fails, the remaining workers stop
   // claiming new scenarios instead of simulating the rest of the batch.
   std::vector<ScenarioResult> run(const std::vector<ScenarioSpec>& scenarios,
-                                  const Shard& shard = {});
+                                  const Shard& shard = {},
+                                  const RunHooks& hooks = {});
 
   // Convenience for the common single-scenario case.
   ScenarioResult run_one(const ScenarioSpec& scenario);

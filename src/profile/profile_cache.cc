@@ -8,6 +8,7 @@
 #include <set>
 #include <sstream>
 
+#include "common/atomic_file.h"
 #include "common/check.h"
 #include "common/text.h"
 #include "sim/config_io.h"
@@ -443,17 +444,18 @@ void ProfileCache::save(const std::string& path) const {
        << "solo_cycles = " << p.solo_cycles << "\n"
        << "thread_insns = " << p.thread_insns << "\n";
   }
-  std::ofstream out(path);
-  GPUMAS_CHECK_MSG(out.good(), "cannot open '" << path << "' for writing");
-  out << os.str();
-  out.flush();
-  GPUMAS_CHECK_MSG(out.good(), "short write to '" << path << "'");
+  // Durable replace: a crash mid-save must leave the previous file, never
+  // a truncated one.
+  common::atomic_write_file(path, os.str());
 }
 
 void ProfileCache::load(const std::string& path) {
   std::ifstream in(path);
   GPUMAS_CHECK_MSG(in.good(), "cannot open profile cache '" << path << "'");
+  load_profiles(in);
+}
 
+void ProfileCache::load_profiles(std::istream& in) {
   // save() writes 13 keys per entry (config, kernel, sms, accuracy, name
   // and the 8 measurement fields); an entry must carry all of them,
   // otherwise the file was truncated or hand-mangled and loading it would
@@ -530,11 +532,12 @@ void ProfileCache::load(const std::string& path) {
 }
 
 bool ProfileCache::load_if_exists(const std::string& path) {
-  {
-    std::ifstream probe(path);
-    if (!probe.good()) return false;
-  }
-  load(path);
+  // Open once and parse that stream: probing with a throwaway ifstream and
+  // reopening raced with a concurrent writer replacing the file between
+  // the two opens.
+  std::ifstream in(path);
+  if (!in.good()) return false;
+  load_profiles(in);
   return true;
 }
 
@@ -568,17 +571,16 @@ void ProfileCache::save_models(const std::string& path) const {
        << "accuracy = " << accuracy_name(key.accuracy) << "\n"
        << model->to_string();
   }
-  std::ofstream out(path);
-  GPUMAS_CHECK_MSG(out.good(), "cannot open '" << path << "' for writing");
-  out << os.str();
-  out.flush();
-  GPUMAS_CHECK_MSG(out.good(), "short write to '" << path << "'");
+  common::atomic_write_file(path, os.str());
 }
 
 void ProfileCache::load_models(const std::string& path) {
   std::ifstream in(path);
   GPUMAS_CHECK_MSG(in.good(), "cannot open model cache '" << path << "'");
+  load_models(in);
+}
 
+void ProfileCache::load_models(std::istream& in) {
   ModelKey key;
   std::set<std::string> seen_keys;
   std::string model_text;  // non-key lines, parsed by SlowdownModel
@@ -649,11 +651,9 @@ void ProfileCache::load_models(const std::string& path) {
 }
 
 bool ProfileCache::load_models_if_exists(const std::string& path) {
-  {
-    std::ifstream probe(path);
-    if (!probe.good()) return false;
-  }
-  load_models(path);
+  std::ifstream in(path);
+  if (!in.good()) return false;
+  load_models(in);
   return true;
 }
 
@@ -742,17 +742,16 @@ void ProfileCache::save_groups(const std::string& path) const {
        << "smra_adjustments = " << record.smra_adjustments << "\n"
        << "smra_reverts = " << record.smra_reverts << "\n";
   }
-  std::ofstream out(path);
-  GPUMAS_CHECK_MSG(out.good(), "cannot open '" << path << "' for writing");
-  out << os.str();
-  out.flush();
-  GPUMAS_CHECK_MSG(out.good(), "short write to '" << path << "'");
+  common::atomic_write_file(path, os.str());
 }
 
 void ProfileCache::load_groups(const std::string& path) {
   std::ifstream in(path);
   GPUMAS_CHECK_MSG(in.good(), "cannot open group cache '" << path << "'");
+  load_groups(in);
+}
 
+void ProfileCache::load_groups(std::istream& in) {
   // save_groups writes 13 keys per entry; all must be present, the three
   // lists must have exactly `apps` elements, and every value must parse —
   // a truncated or hand-mangled store must never serve zeroed co-runs.
@@ -858,27 +857,192 @@ void ProfileCache::load_groups(const std::string& path) {
 }
 
 bool ProfileCache::load_groups_if_exists(const std::string& path) {
-  {
-    std::ifstream probe(path);
-    if (!probe.good()) return false;
-  }
-  load_groups(path);
+  std::ifstream in(path);
+  if (!in.good()) return false;
+  load_groups(in);
   return true;
+}
+
+ProfileCache::QuarantineStats ProfileCache::quarantine_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return quarantine_;
 }
 
 void ProfileCache::save_store(const std::string& dir) const {
   std::filesystem::create_directories(dir);
+  // Each member file is replaced atomically, so a crash at any point of
+  // the save leaves every file either old-and-complete or new-and-complete
+  // (at worst a stray *.tmp, which loaders never read).
   save(dir + "/profiles.txt");
   save_models(dir + "/models.txt");
   save_groups(dir + "/groups.txt");
 }
 
+namespace {
+
+// The schema revision the savers stamp into each member file's header
+// comment ("# gpumas <layer> cache v2").
+constexpr int kStoreFormatVersion = 2;
+
+// One store-file entry: the lines from its [section] header to the next,
+// plus the 1-based line number of the header (for quarantine reports).
+struct StoreEntry {
+  int line = 0;
+  std::vector<std::string> lines;
+};
+
+struct StoreScan {
+  std::vector<StoreEntry> entries;
+  std::vector<StoreEntry> stray;  // non-comment lines outside any entry
+};
+
+// Whole-file rejection is reserved for schema mismatches: a file whose
+// header names a version this build does not write must not be
+// entry-salvaged — every entry could be systematically misread. Files
+// without a recognizable header (hand-written fixtures) pass.
+void check_store_version(const std::string& comment, const char* what) {
+  if (comment.rfind("# gpumas ", 0) != 0) return;
+  const size_t vpos = comment.rfind(" v");
+  if (vpos == std::string::npos) return;
+  const std::string num = comment.substr(vpos + 2);
+  if (!is_unsigned_decimal(num)) return;
+  std::istringstream is(num);
+  int version = 0;
+  is >> version;
+  GPUMAS_CHECK_MSG(version == kStoreFormatVersion,
+                   what << ": schema version v" << version
+                        << " is not the v" << kStoreFormatVersion
+                        << " this build reads — whole file rejected");
+}
+
+// Splits one artifact file into its [section] entries, validating the
+// version header first. Trimmed lines; comments and blanks dropped.
+StoreScan scan_store_entries(std::istream& in, const std::string& section,
+                             const char* what) {
+  StoreScan scan;
+  std::string line;
+  int line_no = 0;
+  bool preamble = true;  // still before the first non-comment line
+  bool open = false;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string t = trim(line);
+    if (t.empty()) continue;
+    if (t.front() == '#') {
+      if (preamble) {
+        check_store_version(t, what);
+        preamble = false;
+      }
+      continue;
+    }
+    preamble = false;
+    if (t == section) {
+      scan.entries.push_back(StoreEntry{line_no, {t}});
+      open = true;
+    } else if (open) {
+      scan.entries.back().lines.push_back(t);
+    } else {
+      scan.stray.push_back(StoreEntry{line_no, {t}});
+    }
+  }
+  return scan;
+}
+
+std::string hex16(uint64_t v) {
+  std::ostringstream os;
+  os << std::hex << std::setw(16) << std::setfill('0') << v;
+  return os.str();
+}
+
+}  // namespace
+
 bool ProfileCache::load_store_if_exists(const std::string& dir) {
   std::error_code ec;
   if (!std::filesystem::is_directory(dir, ec)) return false;
-  load_if_exists(dir + "/profiles.txt");
-  load_models_if_exists(dir + "/models.txt");
-  load_groups_if_exists(dir + "/groups.txt");
+
+  // All-or-nothing with per-entry salvage: every member file is parsed
+  // into a scratch cache first, so a schema-version mismatch (or any other
+  // whole-file rejection) in the LAST file still installs nothing from the
+  // first two. Individual corrupt entries never abort the load — each is
+  // re-parsed in isolation, and the ones that fail are quarantined with
+  // the parser's reason; their keys stay absent, so the run re-measures
+  // them and the next save_store writes a healed file.
+  ProfileCache staged;
+  QuarantineStats counts;
+  struct QuarantineFile {
+    std::string path;
+    std::string report;
+  };
+  std::vector<QuarantineFile> quarantine_files;
+
+  const auto stage_member = [&](const char* name, const char* section,
+                                void (ProfileCache::*loader)(std::istream&),
+                                size_t QuarantineStats::*counter) {
+    std::ifstream in(dir + "/" + name);
+    if (!in.good()) return;  // absent member files are fine
+    StoreScan scan = scan_store_entries(in, section, name);
+    std::string report;
+    const auto quarantine = [&](const StoreEntry& e,
+                                const std::string& reason) {
+      report += "# quarantined from " + std::string(name) + " (line " +
+                std::to_string(e.line) + "): " + reason + "\n";
+      for (const auto& l : e.lines) report += l + "\n";
+      ++(counts.*counter);
+    };
+    for (const auto& e : scan.entries) {
+      std::string text;
+      for (const auto& l : e.lines) text += l + "\n";
+      std::istringstream entry_in(text);
+      try {
+        (staged.*loader)(entry_in);
+      } catch (const std::exception& ex) {
+        quarantine(e, ex.what());
+      }
+    }
+    for (const auto& s : scan.stray) {
+      quarantine(s, std::string("line outside any ") + section + " entry");
+    }
+    if (!report.empty()) {
+      quarantine_files.push_back(QuarantineFile{
+          dir + "/quarantine/" +
+              std::string(name).substr(0, std::string(name).find('.')) + "-" +
+              hex16(fnv1a(report)) + ".txt",
+          std::move(report)});
+    }
+  };
+
+  stage_member("profiles.txt", "[profile]", &ProfileCache::load_profiles,
+               &QuarantineStats::profiles);
+  stage_member("models.txt", "[model]", &ProfileCache::load_models,
+               &QuarantineStats::models);
+  stage_member("groups.txt", "[group]", &ProfileCache::load_groups,
+               &QuarantineStats::groups);
+
+  // Every file parsed — install the staged entries (all futures are ready
+  // by construction) and adopt the quarantine counts.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [k, f] : staged.entries_) entries_.emplace(k, std::move(f));
+    for (auto& [k, f] : staged.models_) models_.emplace(k, std::move(f));
+    for (auto& [k, f] : staged.groups_) groups_.emplace(k, std::move(f));
+    quarantine_.profiles += counts.profiles;
+    quarantine_.models += counts.models;
+    quarantine_.groups += counts.groups;
+  }
+
+  if (!quarantine_files.empty()) {
+    // The quarantine file name is content-addressed, so re-loading the
+    // same corrupt store is idempotent instead of accreting copies.
+    std::filesystem::create_directories(dir + "/quarantine", ec);
+    for (const auto& q : quarantine_files) {
+      try {
+        common::atomic_write_file(q.path, q.report);
+      } catch (const std::exception&) {
+        // Quarantine is best-effort bookkeeping: failing to record the
+        // corpse must not fail the load that already salvaged the rest.
+      }
+    }
+  }
   return true;
 }
 

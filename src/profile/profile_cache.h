@@ -38,6 +38,7 @@
 #include <cstdint>
 #include <functional>
 #include <future>
+#include <iosfwd>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -195,6 +196,17 @@ class ProfileCache {
   AccuracySplit model_split() const;
   AccuracySplit group_split() const;
 
+  // Corrupt store entries sidelined by load_store_if_exists (per layer).
+  // A quarantined entry is absent from the maps, so the run re-measures
+  // it on demand and the next save_store heals the file.
+  struct QuarantineStats {
+    size_t profiles = 0;
+    size_t models = 0;
+    size_t groups = 0;
+    size_t total() const { return profiles + models + groups; }
+  };
+  QuarantineStats quarantine_stats() const;
+
   // --- persistence (config_io key = value idiom) ---
   // Profile-only single-file form.
   void save(const std::string& path) const;
@@ -212,9 +224,16 @@ class ProfileCache {
   bool load_groups_if_exists(const std::string& path);
 
   // Whole-store directory form: <dir>/profiles.txt + <dir>/models.txt +
-  // <dir>/groups.txt. save_store creates the directory;
-  // load_store_if_exists returns false when the directory is absent and
-  // loads whichever artifact files exist.
+  // <dir>/groups.txt. save_store creates the directory and replaces each
+  // file atomically (common::AtomicFile), so a crash mid-save leaves the
+  // previous store intact. load_store_if_exists returns false when the
+  // directory is absent and loads whichever artifact files exist,
+  // all-or-nothing: every file is parsed and staged before a single entry
+  // installs. Unlike the strict single-file loaders, corrupt or truncated
+  // *entries* do not abort the load — they are sidelined to
+  // <dir>/quarantine/ with a named reason (quarantine_stats() counts them)
+  // and re-measured on demand; only a schema-version mismatch in a file's
+  // header rejects that store wholesale (throws std::logic_error).
   void save_store(const std::string& dir) const;
   bool load_store_if_exists(const std::string& dir);
 
@@ -276,6 +295,13 @@ class ProfileCache {
                            interference::SlowdownModel model);
   void insert_loaded_group(const GroupKey& key, GroupRunRecord record);
 
+  // Stream-level strict loaders behind the public path-taking forms; the
+  // *_if_exists wrappers parse the stream they probed with (opening the
+  // path twice raced with concurrent store writers).
+  void load_profiles(std::istream& in);
+  void load_models(std::istream& in);
+  void load_groups(std::istream& in);
+
   mutable std::mutex mu_;
   std::map<Key, std::shared_future<AppProfile>> entries_;
   std::map<ModelKey,
@@ -290,6 +316,7 @@ class ProfileCache {
   uint64_t model_misses_ = 0;
   uint64_t group_hits_ = 0;
   uint64_t group_misses_ = 0;
+  QuarantineStats quarantine_;
 };
 
 }  // namespace gpumas::profile

@@ -6,6 +6,7 @@
 #include <map>
 #include <sstream>
 
+#include "common/atomic_file.h"
 #include "common/check.h"
 #include "common/text.h"
 
@@ -220,9 +221,9 @@ void config_from_string(const std::string& text, GpuConfig& cfg) {
 }
 
 void save_config(const std::string& path, const GpuConfig& cfg) {
-  std::ofstream out(path);
-  GPUMAS_CHECK_MSG(out.good(), "cannot open '" << path << "' for writing");
-  out << config_to_string(cfg);
+  // Atomic replace (common/atomic_file.h): a crash never leaves a torn
+  // config for a later run to half-parse.
+  common::atomic_write_file(path, config_to_string(cfg));
 }
 
 GpuConfig load_config(const std::string& path) {

@@ -1,0 +1,20 @@
+// Seeds raw-ofstream violations: artifact writes straight over the
+// target path, exactly the torn-file hazard common::atomic_write_file
+// exists to remove. The annotated twin below must stay quiet.
+#include <fstream>
+#include <string>
+
+namespace fixture {
+
+void save_report(const std::string& path, const std::string& text) {
+  std::ofstream out(path);  // VIOLATION
+  out << text;
+}
+
+void append_log(const std::string& path, const std::string& line) {
+  // detlint:ok(raw-ofstream) scratch debug log, never reloaded by any run
+  std::ofstream out(path, std::ios::app);
+  out << line << "\n";
+}
+
+}  // namespace fixture

@@ -1,0 +1,13 @@
+// A *_test.cc TU writing fixtures through a raw ofstream — exempt by
+// basename: tests create corrupt/truncated files on purpose.
+#include <fstream>
+#include <string>
+
+namespace fixture {
+
+void write_corrupt_fixture(const std::string& path) {
+  std::ofstream out(path);  // exempt: test TU
+  out << "garbage";
+}
+
+}  // namespace fixture

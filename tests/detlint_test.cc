@@ -179,6 +179,20 @@ TEST(DetlintTest, PodInitSeededViolationCaught) {
   EXPECT_NE(r.output.find("4 findings"), std::string::npos) << r.output;
 }
 
+TEST(DetlintTest, RawOfstreamSeededViolationCaught) {
+  const LintRun r = run_detlint(fixture("raw_ofstream"));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("[raw-ofstream]"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("atomic_write_file"), std::string::npos)
+      << r.output;
+  // Exactly the un-annotated write fires: the annotated twin is
+  // suppressed and the *_test.cc TU is exempt by basename.
+  EXPECT_NE(r.output.find("1 finding"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("1 suppressed by annotations"), std::string::npos)
+      << r.output;
+  EXPECT_EQ(r.output.find("exempt_test.cc"), std::string::npos) << r.output;
+}
+
 TEST(DetlintTest, ConfigParityCatchesPlantedKeyDrift) {
   const LintRun r = run_detlint(fixture("config_parity"));
   EXPECT_EQ(r.exit_code, 1) << r.output;

@@ -45,6 +45,12 @@
 //                   differ across runs. (Heuristic: builtin scalar and
 //                   pointer members of `struct` bodies; classes
 //                   initialize through constructors and are skipped.)
+//   raw-ofstream    an `ofstream` token outside test TUs and
+//                   atomic_file.* — writing an artifact in place is not
+//                   crash-safe (a kill mid-write leaves a torn file the
+//                   next run half-parses); persistent artifacts go
+//                   through common::atomic_write_file / AtomicFile, and
+//                   append+fsync logs through common::JournalWriter.
 //
 // Suppression: a comment naming the rule and a mandatory reason, e.g.
 //   detlint:ok(wall-clock) wall_ms is in-memory only, never serialized
@@ -72,6 +78,7 @@
 #include <tuple>
 #include <vector>
 
+#include "common/atomic_file.h"
 #include "common/srclex.h"
 
 namespace {
@@ -89,7 +96,8 @@ struct Finding {
 
 const std::set<std::string> kRules = {
     "unordered-iter", "wall-clock",    "ptr-key",      "pod-init",
-    "config-parity",  "result-parity", "readme-flags", "bad-annotation",
+    "raw-ofstream",   "config-parity", "result-parity", "readme-flags",
+    "bad-annotation",
 };
 
 // Wall-clock tokens that must not appear outside annotated sites: the
@@ -196,6 +204,7 @@ class Linter {
   void rule_wall_clock(const FileCtx& f);
   void rule_ptr_key(const FileCtx& f);
   void rule_pod_init(const FileCtx& f);
+  void rule_raw_ofstream(const FileCtx& f);
   void rule_config_parity(const FileCtx& f);
   void rule_result_parity(const FileCtx& f);
   void rule_readme_flags(const FileCtx& f);
@@ -613,6 +622,24 @@ void Linter::rule_pod_init(const FileCtx& f) {
   }
 }
 
+void Linter::rule_raw_ofstream(const FileCtx& f) {
+  // Tests write corrupt fixtures on purpose, and atomic_file.* is the
+  // sanctioned implementation the rule funnels everyone toward.
+  if (f.base.size() >= 8 &&
+      f.base.compare(f.base.size() - 8, 8, "_test.cc") == 0) {
+    return;
+  }
+  if (f.base.rfind("atomic_file.", 0) == 0) return;
+  for (const Token& tok : f.code) {
+    if (tok.kind != Kind::kIdent || tok.text != "ofstream") continue;
+    report(f, tok.line, "raw-ofstream",
+           "raw ofstream writes an artifact in place — a crash mid-write "
+           "leaves a torn file the next run half-parses; use "
+           "common::atomic_write_file / AtomicFile (or JournalWriter for "
+           "append+fsync logs) instead");
+  }
+}
+
 void Linter::rule_config_parity(const FileCtx& f) {
   if (f.base != "config_io.cc") return;
   const std::vector<Token>& t = f.code;
@@ -783,6 +810,7 @@ void Linter::lint_file(const std::string& path) {
   rule_wall_clock(f);
   rule_ptr_key(f);
   rule_pod_init(f);
+  rule_raw_ofstream(f);
   rule_config_parity(f);
   rule_result_parity(f);
   rule_readme_flags(f);
@@ -901,8 +929,7 @@ int main(int argc, char** argv) {
             << linter.suppressed() << " suppressed by annotations)\n";
 
   if (!json_path.empty()) {
-    std::ofstream out(json_path);
-    if (!out.good()) return usage("cannot write --json file " + json_path);
+    std::ostringstream out;
     out << "{\n  \"files_scanned\": " << linter.files_scanned()
         << ",\n  \"suppressed\": " << linter.suppressed()
         << ",\n  \"count\": " << findings.size() << ",\n  \"findings\": [";
@@ -914,6 +941,12 @@ int main(int argc, char** argv) {
           << json_escape(f.message) << "\"}";
     }
     out << (findings.empty() ? "" : "\n  ") << "]\n}\n";
+    try {
+      gpumas::common::atomic_write_file(json_path, out.str());
+    } catch (const std::exception& e) {
+      return usage("cannot write --json file " + json_path + ": " +
+                   e.what());
+    }
   }
   return findings.empty() ? 0 : 1;
 }

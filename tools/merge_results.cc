@@ -1,7 +1,8 @@
 // merge-results: rebuilds the full bench tables from sharded
 // `--dump-results` files.
 //
-//   merge-results [--table auto|grid|per-app] [--batch N] DUMP [DUMP...]
+//   merge-results [--table auto|grid|per-app] [--batch N]
+//                 [--output FILE] DUMP [DUMP...]
 //
 // Reads the versioned result records (exp/result_io.h) of every given
 // dump, validates that the dumps are disjoint shards of one bench run
@@ -26,6 +27,12 @@
 // after the dumps pass full-run validation — handy when a multi-batch
 // bench's tables are wanted one at a time.
 //
+// `--output FILE` additionally writes the merged records as one canonical
+// dump — declaration order, every batch — replacing FILE atomically
+// (common/atomic_file.h), so a crash mid-merge never leaves a torn file.
+// The result is byte-identical to the dump an unsharded run of the same
+// bench would have produced.
+//
 // Tables go to stdout; diagnostics go to stderr; any validation failure
 // exits non-zero without printing a table. When the records carry the v2
 // simulator-efficiency counters, a `[merge-results] simulated ...` summary
@@ -39,6 +46,7 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "common/atomic_file.h"
 #include "common/table.h"
 #include "common/text.h"
 #include "exp/result_io.h"
@@ -51,7 +59,7 @@ using namespace gpumas;
 [[noreturn]] void usage(const std::string& why) {
   std::cerr << "merge-results: " << why << "\n"
             << "usage: merge-results [--table auto|grid|per-app] [--batch N]"
-               " DUMP [DUMP...]\n";
+               " [--output FILE] DUMP [DUMP...]\n";
   std::exit(2);
 }
 
@@ -92,6 +100,7 @@ std::optional<GridShape> derive_grid(
 int main(int argc, char** argv) {
   std::string mode = "auto";
   std::optional<int> only_batch;
+  std::string output_path;
   std::vector<std::string> paths;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -110,6 +119,9 @@ int main(int argc, char** argv) {
       if (!only_batch || *only_batch < 0) {
         usage("--batch wants an integer >= 0, got " + v);
       }
+    } else if (arg == "--output") {
+      if (i + 1 >= argc) usage("missing value for --output");
+      output_path = argv[++i];
     } else if (arg == "--help" || arg == "-h") {
       usage("help");
     } else if (!arg.empty() && arg[0] == '-') {
@@ -167,6 +179,28 @@ int main(int argc, char** argv) {
               << 100.0 * static_cast<double>(skipped) /
                      static_cast<double>(ticked + skipped)
               << "% skipped, " << windows << " sampled windows)\n";
+  }
+
+  if (!output_path.empty()) {
+    // The full merged run (ignoring --batch, which only filters the
+    // rendered tables), serialized exactly as an unsharded bench would
+    // have dumped it.
+    std::string text;
+    for (const auto& mb : batches) {
+      for (size_t i = 0; i < mb.results.size(); ++i) {
+        text += exp::result_io::to_string(mb.results[i], mb.batch,
+                                          static_cast<int>(i));
+      }
+    }
+    try {
+      common::atomic_write_file(output_path, text);
+    } catch (const std::exception& e) {
+      std::cerr << "merge-results: cannot write --output file: " << e.what()
+                << "\n";
+      return 1;
+    }
+    std::cerr << "[merge-results] wrote merged dump to " << output_path
+              << "\n";
   }
 
   if (only_batch) {
