@@ -320,9 +320,18 @@ void Harness::print_store_stats(std::ostream& os) const {
   os << "Quarantined corrupt store entries: " << q.total() << " ("
      << q.profiles << " profiles, " << q.models << " models, " << q.groups
      << " groups)\n";
-  os << "Note: store entries are keyed by content fingerprint and never "
-        "expire, so a long-lived --profile-cache directory grows "
-        "monotonically (no eviction/versioning yet; see ROADMAP).\n";
+  // The combined lifecycle line: how old the store is, what the last
+  // compaction dropped, and how much of each layer this run actually used
+  // (live) versus carried along (dead) — the numbers behind the group
+  // layer's generation-stamped LRU eviction (orchestrate
+  // --store-group-bytes; benches themselves never evict).
+  const auto ls = cache_.lifecycle_stats();
+  os << "Lifecycle: generation " << ls.generation << ", last compaction "
+     << ls.last_compaction << "; quarantined " << q.total() << ", evicted "
+     << ls.evicted_groups << "; live/dead bytes: profiles "
+     << ls.profile_live_bytes << "/" << ls.profile_dead_bytes << ", models "
+     << ls.model_live_bytes << "/" << ls.model_dead_bytes << ", groups "
+     << ls.group_live_bytes << "/" << ls.group_dead_bytes << "\n";
 }
 
 std::vector<exp::ScenarioResult> Harness::run(
@@ -443,6 +452,14 @@ void Harness::load_resume_state(const std::string& journal_path) {
         if (is_journal && t.rfind("# gpumas journal ", 0) == 0) {
           std::string want = journal_header();
           if (!want.empty() && want.back() == '\n') want.pop_back();
+          if (t != want && want.rfind(t, 0) == 0) {
+            // A strict prefix of OUR header is a header torn by a crash
+            // mid-write — the same artifact as a torn record tail, not a
+            // different invocation. Nothing can follow a torn header (the
+            // append that tore died), so treat the journal as headerless:
+            // it is recreated from scratch below.
+            continue;
+          }
           if (t != want) {
             std::cerr << "[bench] --resume: checkpoint journal " << label
                       << " was written by a different invocation:\n"

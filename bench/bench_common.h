@@ -77,7 +77,9 @@
 //                         models and group runs) in the merge-results
 //                         summary style, a detailed/sampled accuracy-split
 //                         sub-line per keyed layer (mixed-store audit),
-//                         plus the store-growth caveat
+//                         plus the combined lifecycle line (generation,
+//                         last compaction, quarantined/evicted entries,
+//                         live-vs-dead bytes per layer)
 #pragma once
 
 #include <iostream>
@@ -97,6 +99,22 @@
 #include "sim/gpu_config.h"
 
 namespace gpumas::bench {
+
+// The orchestrator-facing exit-code taxonomy, shared by the benches, the
+// merge-results tool and the orchestrate driver so a supervisor can tell
+// "retry me" from "fix your invocation" without parsing stderr:
+//   0  success — every requested unit of work completed and was written
+//   1  partial failure — the inputs were valid but some work did not
+//      complete or could not be written (a failed shard, an I/O error on
+//      the dump/journal, an incomplete merge); retrying may help
+//   2  invalid input — malformed flags, unreadable files, fingerprint or
+//      schema mismatches; retrying the same invocation cannot help
+// (FaultInjector::kCrashExitCode, 42, is deliberately outside the
+// taxonomy: it marks an injected crash, which supervisors treat like any
+// other abnormal death.)
+inline constexpr int kExitOk = 0;
+inline constexpr int kExitPartial = 1;
+inline constexpr int kExitInvalid = 2;
 
 // Prints the experimental setup (paper Table 4.1) so every bench's output is
 // self-describing.

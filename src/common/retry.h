@@ -1,0 +1,82 @@
+// Bounded exponential backoff with seeded jitter, as a pure schedule.
+//
+// The orchestrator (tools/orchestrate.cc) restarts failed shard workers;
+// naive immediate restarts hammer a struggling machine and synchronized
+// restarts stampede a shared store. The classic fix is exponential
+// backoff with jitter — but this repo's determinism discipline (detlint's
+// wall-clock rule) bans unseeded randomness, so the jitter here is drawn
+// from common::Prng seeded with (seed, stream, attempt): the same seed
+// always yields the same delay sequence, which is what makes retry
+// behavior unit-testable (tests/orchestrate_test.cc asserts the exact
+// schedule) and chaos runs reproducible.
+//
+// This header only *computes* delays; it never sleeps and never reads a
+// clock, so it stays lintable everywhere. Whoever owns the retry loop
+// (the orchestrator) decides how to spend the returned milliseconds.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/prng.h"
+
+namespace gpumas::common {
+
+// Retry policy knobs. Delay for retry k (0-based) before jitter is
+//   min(base_delay_ms * 2^k, max_delay_ms)
+// and jitter rescales that into [delay*(1-jitter), delay], so a jitter
+// of 0 is a pure exponential ladder and 1 allows anything down to an
+// immediate retry. max_attempts counts total tries, not retries: 1 means
+// "no retry at all".
+struct BackoffPolicy {
+  int max_attempts = 3;
+  uint64_t base_delay_ms = 200;
+  uint64_t max_delay_ms = 10000;
+  double jitter = 0.5;
+};
+
+class RetrySchedule {
+ public:
+  // `stream` decorrelates independent retry loops sharing one seed (the
+  // orchestrator uses the shard index), so shard 3's third retry never
+  // mirrors shard 5's.
+  RetrySchedule(const BackoffPolicy& policy, uint64_t seed, uint64_t stream)
+      : policy_(policy), seed_(hash_combine(seed, stream)) {}
+
+  // True while another attempt is allowed after `failed_attempts`
+  // attempts have already failed.
+  bool should_retry(int failed_attempts) const {
+    return failed_attempts < policy_.max_attempts;
+  }
+
+  // Delay before retry `retry` (0-based: the delay between the first
+  // failure and the second attempt is delay_ms(0)). Pure: same
+  // (policy, seed, stream, retry) in, same delay out.
+  uint64_t delay_ms(int retry) const {
+    if (retry < 0) retry = 0;
+    uint64_t delay = policy_.base_delay_ms;
+    for (int i = 0; i < retry; ++i) {
+      if (delay >= policy_.max_delay_ms / 2) {
+        delay = policy_.max_delay_ms;
+        break;
+      }
+      delay *= 2;
+    }
+    delay = std::min(delay, policy_.max_delay_ms);
+    const double jitter = std::clamp(policy_.jitter, 0.0, 1.0);
+    if (jitter <= 0.0 || delay == 0) return delay;
+    Prng prng(hash_combine(seed_, static_cast<uint64_t>(retry)));
+    const double scale = 1.0 - jitter * prng.next_double();
+    const auto jittered = static_cast<uint64_t>(
+        static_cast<double>(delay) * scale);
+    return std::max<uint64_t>(jittered, 1);
+  }
+
+  const BackoffPolicy& policy() const { return policy_; }
+
+ private:
+  BackoffPolicy policy_;
+  uint64_t seed_ = 0;
+};
+
+}  // namespace gpumas::common

@@ -1,0 +1,179 @@
+#include "common/subprocess.h"
+
+#include <cerrno>
+#include <csignal>
+#include <cstdint>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+namespace gpumas::common {
+
+namespace {
+
+ExitStatus status_from_wait(int wstatus) {
+  ExitStatus st;
+  if (WIFEXITED(wstatus)) {
+    st.exited = true;
+    st.code = WEXITSTATUS(wstatus);
+  } else if (WIFSIGNALED(wstatus)) {
+    st.exited = false;
+    st.signal = WTERMSIG(wstatus);
+  } else {
+    // Stopped/continued states are not requested from waitpid; treat
+    // anything unexpected as an abnormal death.
+    st.exited = false;
+    st.signal = 0;
+  }
+  return st;
+}
+
+}  // namespace
+
+std::string ExitStatus::describe() const {
+  if (exited) return "exit " + std::to_string(code);
+  return "signal " + std::to_string(signal);
+}
+
+Subprocess::~Subprocess() {
+  if (pid_ > 0) {
+    // A supervisor that forgets a child must not leak it: kill and reap
+    // so the process table stays clean even on early error paths.
+    ::kill(pid_, SIGKILL);
+    int wstatus = 0;
+    while (waitpid(pid_, &wstatus, 0) < 0 && errno == EINTR) {
+    }
+  }
+}
+
+Subprocess::Subprocess(Subprocess&& other) noexcept
+    : pid_(other.pid_), error_(std::move(other.error_)) {
+  other.pid_ = -1;
+}
+
+Subprocess& Subprocess::operator=(Subprocess&& other) noexcept {
+  if (this != &other) {
+    this->~Subprocess();
+    pid_ = other.pid_;
+    error_ = std::move(other.error_);
+    other.pid_ = -1;
+  }
+  return *this;
+}
+
+bool Subprocess::spawn(const std::vector<std::string>& argv,
+                       const Options& opts) {
+  error_.clear();
+  if (pid_ > 0) {
+    error_ = "spawn: a child is already running (pid " +
+             std::to_string(pid_) + ")";
+    return false;
+  }
+  if (argv.empty()) {
+    error_ = "spawn: empty argv";
+    return false;
+  }
+
+  // Self-pipe for synchronous exec-failure reporting: CLOEXEC means a
+  // successful exec closes the write end and the parent reads EOF; a
+  // failed exec writes errno first.
+  int fds[2] = {-1, -1};
+  if (pipe(fds) != 0) {
+    error_ = std::string("pipe: ") + std::strerror(errno);
+    return false;
+  }
+  fcntl(fds[1], F_SETFD, FD_CLOEXEC);
+
+  const pid_t pid = fork();
+  if (pid < 0) {
+    error_ = std::string("fork: ") + std::strerror(errno);
+    close(fds[0]);
+    close(fds[1]);
+    return false;
+  }
+
+  if (pid == 0) {
+    // Child. Only async-signal-safe-ish work between fork and exec.
+    close(fds[0]);
+    if (!opts.output_path.empty()) {
+      const int out = open(opts.output_path.c_str(),
+                           O_WRONLY | O_CREAT | O_APPEND, 0644);
+      if (out >= 0) {
+        dup2(out, STDOUT_FILENO);
+        dup2(out, STDERR_FILENO);
+        if (out > STDERR_FILENO) close(out);
+      }
+    }
+    for (const auto& [key, value] : opts.env) {
+      setenv(key.c_str(), value.c_str(), /*overwrite=*/1);
+    }
+    std::vector<char*> cargv;
+    cargv.reserve(argv.size() + 1);
+    for (const auto& a : argv) cargv.push_back(const_cast<char*>(a.c_str()));
+    cargv.push_back(nullptr);
+    execvp(cargv[0], cargv.data());
+    const int32_t err = errno;
+    ssize_t ignored = write(fds[1], &err, sizeof(err));
+    (void)ignored;
+    _exit(127);
+  }
+
+  // Parent.
+  close(fds[1]);
+  int32_t child_errno = 0;
+  ssize_t n;
+  while ((n = read(fds[0], &child_errno, sizeof(child_errno))) < 0 &&
+         errno == EINTR) {
+  }
+  close(fds[0]);
+  if (n > 0) {
+    // exec failed: the child has already _exit(127)'d — reap it so the
+    // failure is fully absorbed here.
+    int wstatus = 0;
+    while (waitpid(pid, &wstatus, 0) < 0 && errno == EINTR) {
+    }
+    error_ = "exec " + argv[0] + ": " + std::strerror(child_errno);
+    return false;
+  }
+  pid_ = pid;
+  return true;
+}
+
+std::optional<ExitStatus> Subprocess::poll() {
+  if (pid_ <= 0) return std::nullopt;
+  int wstatus = 0;
+  const pid_t r = waitpid(pid_, &wstatus, WNOHANG);
+  if (r == 0) return std::nullopt;  // still running
+  if (r < 0) {
+    // Lost child (should not happen without SIGCHLD tricks); report an
+    // abnormal death rather than spinning forever.
+    pid_ = -1;
+    ExitStatus st;
+    st.exited = false;
+    st.signal = 0;
+    return st;
+  }
+  pid_ = -1;
+  return status_from_wait(wstatus);
+}
+
+ExitStatus Subprocess::wait() {
+  if (pid_ <= 0) {
+    ExitStatus st;
+    st.exited = false;
+    return st;
+  }
+  int wstatus = 0;
+  while (waitpid(pid_, &wstatus, 0) < 0 && errno == EINTR) {
+  }
+  pid_ = -1;
+  return status_from_wait(wstatus);
+}
+
+void Subprocess::kill(int sig) {
+  if (pid_ > 0) ::kill(pid_, sig);
+}
+
+}  // namespace gpumas::common

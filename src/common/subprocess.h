@@ -1,0 +1,81 @@
+// Minimal fork/exec subprocess supervision for the shard orchestrator.
+//
+// tools/orchestrate.cc launches each `--shard I/N` bench run as a child
+// process, watches it via non-blocking polls (so one supervisor thread
+// can multiplex every worker plus the journal-liveness probe), kills
+// workers that hang, and reads precise exit status back: a normal exit
+// code (the bench exit taxonomy, or FaultInjector::kCrashExitCode from
+// an injected crash) versus a terminating signal (a real SIGKILL/SIGSEGV
+// death). Nothing here sleeps or reads a clock — deadlines are the
+// caller's business — so the TU stays clean under detlint's wall-clock
+// rule.
+//
+// exec failure (missing binary, permission) is reported synchronously
+// from spawn() via the classic CLOEXEC self-pipe: the child writes errno
+// to the pipe if execvp returns, so a typo'd worker path is a spawn
+// error, not a mysterious exit-127 retry loop.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace gpumas::common {
+
+// How a child ended: a normal exit (code) or a terminating signal.
+struct ExitStatus {
+  bool exited = false;  // true: exit(code); false: killed by `signal`
+  int code = 0;
+  int signal = 0;
+
+  bool ok() const { return exited && code == 0; }
+  std::string describe() const;  // "exit 42" / "signal 9"
+};
+
+class Subprocess {
+ public:
+  struct Options {
+    // Extra environment entries set in the child before exec (on top of
+    // the inherited environment). Later entries win.
+    std::vector<std::pair<std::string, std::string>> env;
+    // When non-empty: the child's stdout+stderr are appended to this
+    // file (append, so a retried worker's log continues the story).
+    std::string output_path;
+  };
+
+  Subprocess() = default;
+  ~Subprocess();
+
+  Subprocess(const Subprocess&) = delete;
+  Subprocess& operator=(const Subprocess&) = delete;
+  Subprocess(Subprocess&& other) noexcept;
+  Subprocess& operator=(Subprocess&& other) noexcept;
+
+  // Forks and execs argv (argv[0] is the binary; PATH is searched).
+  // Returns false — with error() set — on fork/pipe/exec failure, in
+  // which case no child is left behind. Calling spawn() while a child is
+  // still running is an error.
+  bool spawn(const std::vector<std::string>& argv,
+             const Options& opts = Options());
+
+  // Non-blocking: reaps and returns the status if the child has exited,
+  // nullopt while it is still running (or if none was spawned).
+  std::optional<ExitStatus> poll();
+
+  // Blocking reap. Must only be called after a successful spawn().
+  ExitStatus wait();
+
+  // Sends `sig` (default SIGKILL) to the child; no-op when none runs.
+  void kill(int sig = 9);
+
+  bool running() const { return pid_ > 0; }
+  int pid() const { return pid_; }
+  const std::string& error() const { return error_; }
+
+ private:
+  int pid_ = -1;  // > 0 while a child is live and unreaped
+  std::string error_;
+};
+
+}  // namespace gpumas::common

@@ -361,28 +361,37 @@ std::vector<MergedBatch> merge_dumps(
   for (auto& [key, slot] : slots) {
     const int batch = key.first;
     const int idx = key.second;
+    // Coverage failures throw IncompleteDumps — the partial-failure case
+    // of the exit taxonomy, retryable by supplying the missing shard —
+    // unlike the malformed-record logic_errors above.
     if (merged.empty() || merged.back().batch != batch) {
       const int expected = merged.empty() ? 0 : merged.back().batch + 1;
-      GPUMAS_CHECK_MSG(batch == expected,
-                       "dumps are missing batch "
-                           << expected << " (found batch " << batch
-                           << ") — a shard dump is missing or truncated");
+      if (batch != expected) {
+        std::ostringstream os;
+        os << "dumps are missing batch " << expected << " (found batch "
+           << batch << ") — a shard dump is missing or truncated";
+        throw IncompleteDumps(os.str());
+      }
       merged.push_back(MergedBatch{batch, {}});
     }
     MergedBatch& mb = merged.back();
-    GPUMAS_CHECK_MSG(idx == static_cast<int>(mb.results.size()),
-                     "batch " << batch << " is missing scenario idx "
-                              << mb.results.size()
-                              << " — provide every shard's dump");
+    if (idx != static_cast<int>(mb.results.size())) {
+      std::ostringstream os;
+      os << "batch " << batch << " is missing scenario idx "
+         << mb.results.size() << " — provide every shard's dump";
+      throw IncompleteDumps(os.str());
+    }
     ScenarioResult result;
     result.name = slot.name;
     for (int rep = 0; rep < slot.reps; ++rep) {
       auto& cell = slot.rep_reports[static_cast<size_t>(rep)];
-      GPUMAS_CHECK_MSG(cell.has_value(),
-                       "scenario '" << slot.name << "' (batch " << batch
-                                    << " idx " << idx
-                                    << ") is missing repetition " << rep
-                                    << " of " << slot.reps);
+      if (!cell.has_value()) {
+        std::ostringstream os;
+        os << "scenario '" << slot.name << "' (batch " << batch << " idx "
+           << idx << ") is missing repetition " << rep << " of "
+           << slot.reps;
+        throw IncompleteDumps(os.str());
+      }
       result.reps.push_back(std::move(*cell));
     }
     mb.results.push_back(std::move(result));

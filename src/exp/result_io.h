@@ -26,6 +26,7 @@
 // printers (bench_common.h) can re-render byte-identically.
 #pragma once
 
+#include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
@@ -34,6 +35,17 @@
 #include "sched/runner.h"
 
 namespace gpumas::exp::result_io {
+
+// Thrown by merge_dumps when every record parses and the dumps agree,
+// but they do not cover the whole run: a batch, scenario or repetition
+// is missing. This is the *partial* case of the orchestrator exit
+// taxonomy (bench/bench_common.h) — supply or re-run the missing shard
+// and the merge succeeds — distinct from the plain std::logic_error of
+// malformed or mutually inconsistent records, which no retry can fix.
+class IncompleteDumps : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
 
 // Stamped into every record line as `v=N`; bump when the schema changes.
 // A reader rejects any other version rather than guessing at fields.

@@ -18,6 +18,10 @@ namespace gpumas::profile {
 
 namespace {
 
+// Defined with the store scanner below; merge_store names quarantine
+// reports with it too.
+std::string hex16(uint64_t v);
+
 std::string render_double(double v) {
   std::ostringstream os;
   os << std::setprecision(17) << v;
@@ -159,6 +163,7 @@ AppProfile ProfileCache::lookup(const Key& key, const sim::GpuConfig& cfg,
   bool owner = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    profile_touched_[key] = true;
     const auto it = entries_.find(key);
     if (it != entries_.end()) {
       ++hits_;
@@ -231,6 +236,7 @@ std::shared_ptr<const interference::SlowdownModel> ProfileCache::model(
   bool owner = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    model_touched_[key] = true;
     const auto it = models_.find(key);
     if (it != models_.end()) {
       ++model_hits_;
@@ -276,6 +282,9 @@ GroupRunRecord ProfileCache::group_run(const sim::GpuConfig& cfg,
   bool owner = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    // LRU stamp: a hit refreshes the entry's generation, so warm entries
+    // outlive the eviction of long-unused ones.
+    group_meta_[key] = EntryMeta{generation_, true};
     const auto it = groups_.find(key);
     if (it != groups_.end()) {
       ++group_hits_;
@@ -304,11 +313,13 @@ GroupRunRecord ProfileCache::group_run(const sim::GpuConfig& cfg,
 }
 
 void ProfileCache::insert_loaded_group(const GroupKey& key,
-                                       GroupRunRecord record) {
+                                       GroupRunRecord record, uint64_t gen) {
   std::promise<GroupRunRecord> promise;
   promise.set_value(std::move(record));
   std::lock_guard<std::mutex> lock(mu_);
-  groups_.emplace(key, promise.get_future().share());  // keep existing entry
+  if (groups_.emplace(key, promise.get_future().share()).second) {
+    group_meta_.emplace(key, EntryMeta{gen, false});  // loaded, not touched
+  }
 }
 
 void ProfileCache::insert_loaded_model(const ModelKey& key,
@@ -409,6 +420,26 @@ void ProfileCache::insert_loaded(const Key& key, const AppProfile& p) {
   entries_.emplace(key, promise.get_future().share());  // keep existing entry
 }
 
+std::string ProfileCache::render_profile_entry(const Key& key,
+                                               const AppProfile& p) {
+  std::ostringstream os;
+  os << "[profile]\n"
+     << "config = " << key.config_fp << "\n"
+     << "kernel = " << key.kernel_fp << "\n"
+     << "sms = " << key.sms << "\n"
+     << "accuracy = " << accuracy_name(key.accuracy) << "\n"
+     << "name = " << p.name << "\n"
+     << "mb_gbps = " << render_double(p.mb_gbps) << "\n"
+     << "l2l1_gbps = " << render_double(p.l2l1_gbps) << "\n"
+     << "ipc = " << render_double(p.ipc) << "\n"
+     << "r = " << render_double(p.r) << "\n"
+     << "l1_hit_rate = " << render_double(p.l1_hit_rate) << "\n"
+     << "l2_hit_rate = " << render_double(p.l2_hit_rate) << "\n"
+     << "solo_cycles = " << p.solo_cycles << "\n"
+     << "thread_insns = " << p.thread_insns << "\n";
+  return os.str();
+}
+
 void ProfileCache::save(const std::string& path) const {
   std::ostringstream os;
   os << "# gpumas profile cache v2\n";
@@ -429,20 +460,7 @@ void ProfileCache::save(const std::string& path) const {
     } catch (const std::exception&) {
       continue;  // failed measurements are not persisted
     }
-    os << "[profile]\n"
-       << "config = " << key.config_fp << "\n"
-       << "kernel = " << key.kernel_fp << "\n"
-       << "sms = " << key.sms << "\n"
-       << "accuracy = " << accuracy_name(key.accuracy) << "\n"
-       << "name = " << p.name << "\n"
-       << "mb_gbps = " << render_double(p.mb_gbps) << "\n"
-       << "l2l1_gbps = " << render_double(p.l2l1_gbps) << "\n"
-       << "ipc = " << render_double(p.ipc) << "\n"
-       << "r = " << render_double(p.r) << "\n"
-       << "l1_hit_rate = " << render_double(p.l1_hit_rate) << "\n"
-       << "l2_hit_rate = " << render_double(p.l2_hit_rate) << "\n"
-       << "solo_cycles = " << p.solo_cycles << "\n"
-       << "thread_insns = " << p.thread_insns << "\n";
+    os << render_profile_entry(key, p);
   }
   // Durable replace: a crash mid-save must leave the previous file, never
   // a truncated one.
@@ -563,15 +581,22 @@ void ProfileCache::save_models(const std::string& path) const {
     } catch (const std::exception&) {
       continue;  // failed measurements are not persisted
     }
-    os << "[model]\n"
-       << "config = " << key.config_fp << "\n"
-       << "suite = " << key.suite_fp << "\n"
-       << "samples_per_cell = " << key.samples << "\n"
-       << "triples = " << (key.triples ? 1 : 0) << "\n"
-       << "accuracy = " << accuracy_name(key.accuracy) << "\n"
-       << model->to_string();
+    os << render_model_entry(key, *model);
   }
   common::atomic_write_file(path, os.str());
+}
+
+std::string ProfileCache::render_model_entry(
+    const ModelKey& key, const interference::SlowdownModel& m) {
+  std::ostringstream os;
+  os << "[model]\n"
+     << "config = " << key.config_fp << "\n"
+     << "suite = " << key.suite_fp << "\n"
+     << "samples_per_cell = " << key.samples << "\n"
+     << "triples = " << (key.triples ? 1 : 0) << "\n"
+     << "accuracy = " << accuracy_name(key.accuracy) << "\n"
+     << m.to_string();
+  return os.str();
 }
 
 void ProfileCache::load_models(const std::string& path) {
@@ -694,13 +719,51 @@ std::vector<uint64_t> parse_u64_list(const std::string& v, size_t expected,
 
 }  // namespace
 
+std::string ProfileCache::render_group_entry(const GroupKey& key,
+                                             const GroupRunRecord& record,
+                                             uint64_t gen) {
+  const auto join = [](const std::vector<uint64_t>& xs) {
+    std::string s;
+    for (size_t i = 0; i < xs.size(); ++i) {
+      if (i) s += ',';
+      s += std::to_string(xs[i]);
+    }
+    return s;
+  };
+  std::string names;
+  for (size_t i = 0; i < record.names.size(); ++i) {
+    if (i) names += ',';
+    names += percent_escape(record.names[i]);
+  }
+  std::ostringstream os;
+  os << "[group]\n"
+     << "config = " << key.config_fp << "\n"
+     << "group = " << key.group_fp << "\n"
+     << "accuracy = " << accuracy_name(key.accuracy) << "\n"
+     << "apps = " << record.names.size() << "\n"
+     << "names = " << names << "\n"
+     << "app_cycles = " << join(record.app_cycles) << "\n"
+     << "app_insns = " << join(record.app_thread_insns) << "\n"
+     << "cycles = " << record.group_cycles << "\n"
+     << "ticked_cycles = " << record.ticked_cycles << "\n"
+     << "skipped_cycles = " << record.skipped_cycles << "\n"
+     << "sample_windows = " << record.sample_windows << "\n"
+     << "smra_adjustments = " << record.smra_adjustments << "\n"
+     << "smra_reverts = " << record.smra_reverts << "\n"
+     << "gen = " << gen << "\n";
+  return os.str();
+}
+
 void ProfileCache::save_groups(const std::string& path) const {
   std::ostringstream os;
-  os << "# gpumas group-run cache v2\n";
   std::map<GroupKey, std::shared_future<GroupRunRecord>> snapshot;
+  std::map<GroupKey, EntryMeta> meta;
   {
     std::lock_guard<std::mutex> lock(mu_);
     snapshot = groups_;
+    meta = group_meta_;
+    os << "# gpumas group-run cache v2\n"
+       << "# generation = " << generation_ << "\n";
   }
   for (const auto& [key, future] : snapshot) {
     // detlint:ok(wall-clock) zero-timeout readiness poll; no time value escapes
@@ -714,33 +777,9 @@ void ProfileCache::save_groups(const std::string& path) const {
     } catch (const std::exception&) {
       continue;  // failed simulations are not persisted
     }
-    const auto join = [](const std::vector<uint64_t>& xs) {
-      std::string s;
-      for (size_t i = 0; i < xs.size(); ++i) {
-        if (i) s += ',';
-        s += std::to_string(xs[i]);
-      }
-      return s;
-    };
-    std::string names;
-    for (size_t i = 0; i < record.names.size(); ++i) {
-      if (i) names += ',';
-      names += percent_escape(record.names[i]);
-    }
-    os << "[group]\n"
-       << "config = " << key.config_fp << "\n"
-       << "group = " << key.group_fp << "\n"
-       << "accuracy = " << accuracy_name(key.accuracy) << "\n"
-       << "apps = " << record.names.size() << "\n"
-       << "names = " << names << "\n"
-       << "app_cycles = " << join(record.app_cycles) << "\n"
-       << "app_insns = " << join(record.app_thread_insns) << "\n"
-       << "cycles = " << record.group_cycles << "\n"
-       << "ticked_cycles = " << record.ticked_cycles << "\n"
-       << "skipped_cycles = " << record.skipped_cycles << "\n"
-       << "sample_windows = " << record.sample_windows << "\n"
-       << "smra_adjustments = " << record.smra_adjustments << "\n"
-       << "smra_reverts = " << record.smra_reverts << "\n";
+    const auto m = meta.find(key);
+    os << render_group_entry(key, record,
+                             m == meta.end() ? 0 : m->second.gen);
   }
   common::atomic_write_file(path, os.str());
 }
@@ -752,23 +791,28 @@ void ProfileCache::load_groups(const std::string& path) {
 }
 
 void ProfileCache::load_groups(std::istream& in) {
-  // save_groups writes 13 keys per entry; all must be present, the three
-  // lists must have exactly `apps` elements, and every value must parse —
-  // a truncated or hand-mangled store must never serve zeroed co-runs.
+  // save_groups writes 13 required keys per entry plus the lifecycle
+  // `gen` stamp (optional on read, so pre-lifecycle stores still load —
+  // their entries default to generation 0, the oldest eviction
+  // candidates); all required keys must be present, the three lists must
+  // have exactly `apps` elements, and every value must parse — a
+  // truncated or hand-mangled store must never serve zeroed co-runs.
   constexpr size_t kNumRequired = 13;
 
   GroupKey key;
   GroupRunRecord record;
   size_t apps = 0;
+  uint64_t gen = 0;
   std::string names_v, cycles_v, insns_v;
   std::set<std::string> seen;
   bool in_entry = false;
   int entry_line = 0;
   const auto flush = [&] {
     if (in_entry) {
-      GPUMAS_CHECK_MSG(seen.size() == kNumRequired,
+      const size_t required = seen.size() - seen.count("gen");
+      GPUMAS_CHECK_MSG(required == kNumRequired,
                        "group cache entry at line "
-                           << entry_line << " is incomplete (" << seen.size()
+                           << entry_line << " is incomplete (" << required
                            << "/" << kNumRequired << " fields)");
       GPUMAS_CHECK_MSG(apps >= 1, "group cache entry at line "
                                       << entry_line << ": apps must be >= 1");
@@ -785,11 +829,12 @@ void ProfileCache::load_groups(std::istream& in) {
           parse_u64_list(cycles_v, apps, "app_cycles", entry_line);
       record.app_thread_insns =
           parse_u64_list(insns_v, apps, "app_insns", entry_line);
-      insert_loaded_group(key, std::move(record));
+      insert_loaded_group(key, std::move(record), gen);
     }
     key = GroupKey{};
     record = GroupRunRecord{};
     apps = 0;
+    gen = 0;
     names_v.clear();
     cycles_v.clear();
     insns_v.clear();
@@ -841,6 +886,8 @@ void ProfileCache::load_groups(std::istream& in) {
       ok = unsgn && static_cast<bool>(vs >> record.smra_adjustments);
     else if (k == "smra_reverts")
       ok = unsgn && static_cast<bool>(vs >> record.smra_reverts);
+    else if (k == "gen")
+      ok = unsgn && static_cast<bool>(vs >> gen);
     else {
       GPUMAS_CHECK_MSG(false, "group cache line " << line_no
                                                   << ": unknown key '" << k
@@ -868,7 +915,15 @@ ProfileCache::QuarantineStats ProfileCache::quarantine_stats() const {
   return quarantine_;
 }
 
-void ProfileCache::save_store(const std::string& dir) const {
+void ProfileCache::save_store(const std::string& dir) {
+  // The save doubles as the store's compaction: quarantined entries are
+  // already absent from the maps, the group byte bound is applied here,
+  // and the files are rewritten with this run's generation stamped.
+  compact_groups();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    last_compaction_ = generation_;
+  }
   std::filesystem::create_directories(dir);
   // Each member file is replaced atomically, so a crash at any point of
   // the save leaves every file either old-and-complete or new-and-complete
@@ -876,6 +931,212 @@ void ProfileCache::save_store(const std::string& dir) const {
   save(dir + "/profiles.txt");
   save_models(dir + "/models.txt");
   save_groups(dir + "/groups.txt");
+}
+
+void ProfileCache::set_group_byte_limit(uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  group_byte_limit_ = bytes;
+}
+
+void ProfileCache::compact_groups() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (group_byte_limit_ == 0) return;
+  // Serialized size of each ready entry (in-flight or failed entries are
+  // not written, so they cost no bytes), plus the header save_groups
+  // writes.
+  struct Candidate {
+    GroupKey key;
+    uint64_t gen = 0;
+    size_t bytes = 0;
+  };
+  std::vector<Candidate> candidates;  // evictable: untouched generations
+  uint64_t total = std::string("# gpumas group-run cache v2\n").size() +
+                   ("# generation = " + std::to_string(generation_) + "\n")
+                       .size();
+  for (const auto& [key, future] : groups_) {
+    // detlint:ok(wall-clock) zero-timeout readiness poll; no time value escapes
+    if (future.wait_for(std::chrono::seconds(0)) !=
+        std::future_status::ready) {
+      continue;
+    }
+    GroupRunRecord record;
+    try {
+      record = future.get();
+    } catch (const std::exception&) {
+      continue;
+    }
+    const auto m = group_meta_.find(key);
+    const uint64_t gen = m == group_meta_.end() ? 0 : m->second.gen;
+    const size_t bytes = render_group_entry(key, record, gen).size();
+    total += bytes;
+    // Entries touched this generation are never evicted: evicting work
+    // the current run just produced or served would guarantee
+    // re-simulation on the very next run.
+    if (gen < generation_) candidates.push_back(Candidate{key, gen, bytes});
+  }
+  if (total <= group_byte_limit_) return;
+  // Deterministic LRU: oldest generation first; the map's key order (the
+  // iteration order above) breaks ties, so two runs of the same store
+  // always evict the same entries.
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const Candidate& a, const Candidate& b) {
+                     return a.gen < b.gen;
+                   });
+  for (const auto& c : candidates) {
+    if (total <= group_byte_limit_) break;
+    groups_.erase(c.key);
+    group_meta_.erase(c.key);
+    total -= c.bytes;
+    ++evicted_groups_;
+  }
+}
+
+ProfileCache::LifecycleStats ProfileCache::lifecycle_stats() const {
+  LifecycleStats ls;
+  std::lock_guard<std::mutex> lock(mu_);
+  ls.generation = generation_;
+  ls.last_compaction = last_compaction_;
+  ls.evicted_groups = evicted_groups_;
+  const auto ready = [](const auto& future) {
+    // detlint:ok(wall-clock) zero-timeout readiness poll; no time value escapes
+    return future.wait_for(std::chrono::seconds(0)) ==
+           std::future_status::ready;
+  };
+  for (const auto& [key, future] : entries_) {
+    if (!ready(future)) continue;
+    try {
+      const size_t bytes = render_profile_entry(key, future.get()).size();
+      const auto t = profile_touched_.find(key);
+      (t != profile_touched_.end() && t->second ? ls.profile_live_bytes
+                                                : ls.profile_dead_bytes) +=
+          bytes;
+    } catch (const std::exception&) {
+    }
+  }
+  for (const auto& [key, future] : models_) {
+    if (!ready(future)) continue;
+    try {
+      const size_t bytes = render_model_entry(key, *future.get()).size();
+      const auto t = model_touched_.find(key);
+      (t != model_touched_.end() && t->second ? ls.model_live_bytes
+                                              : ls.model_dead_bytes) += bytes;
+    } catch (const std::exception&) {
+    }
+  }
+  for (const auto& [key, future] : groups_) {
+    if (!ready(future)) continue;
+    try {
+      const auto m = group_meta_.find(key);
+      const bool touched = m != group_meta_.end() && m->second.touched;
+      const uint64_t gen = m == group_meta_.end() ? 0 : m->second.gen;
+      const size_t bytes =
+          render_group_entry(key, future.get(), gen).size();
+      (touched ? ls.group_live_bytes : ls.group_dead_bytes) += bytes;
+    } catch (const std::exception&) {
+    }
+  }
+  return ls;
+}
+
+size_t ProfileCache::merge_store(const std::string& dir) {
+  // Stage the incoming store through the salvaging loader, so its corrupt
+  // entries are quarantined (to the incoming store's own quarantine/)
+  // exactly as a direct load would, then union the survivors.
+  ProfileCache incoming;
+  if (!incoming.load_store_if_exists(dir)) return 0;
+
+  size_t conflicts = 0;
+  std::string report;
+  const auto conflict = [&](const char* layer, const std::string& rendering,
+                            size_t QuarantineStats::*counter) {
+    report += "# quarantined from store merge of " + dir + ": " + layer +
+              " entry conflicts with the resident store under the same "
+              "content-addressed key — one of the two stores is corrupt\n" +
+              rendering;
+    ++(quarantine_.*counter);
+    ++conflicts;
+  };
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // All incoming futures are ready with values by construction (the
+    // loader only installs parsed entries). Resident in-flight entries
+    // are skipped: they cannot be compared yet and must not be replaced.
+    const auto resident_ready = [](const auto& future) {
+      // detlint:ok(wall-clock) zero-timeout readiness poll; no time value escapes
+      return future.wait_for(std::chrono::seconds(0)) ==
+             std::future_status::ready;
+    };
+    for (auto& [k, f] : incoming.entries_) {
+      const auto it = entries_.find(k);
+      if (it == entries_.end()) {
+        entries_.emplace(k, std::move(f));
+        continue;
+      }
+      if (!resident_ready(it->second)) continue;
+      const std::string theirs = render_profile_entry(k, f.get());
+      if (theirs != render_profile_entry(k, it->second.get())) {
+        conflict("profile", theirs, &QuarantineStats::profiles);
+      }
+    }
+    for (auto& [k, f] : incoming.models_) {
+      const auto it = models_.find(k);
+      if (it == models_.end()) {
+        models_.emplace(k, std::move(f));
+        continue;
+      }
+      if (!resident_ready(it->second)) continue;
+      const std::string theirs = render_model_entry(k, *f.get());
+      if (theirs != render_model_entry(k, *it->second.get())) {
+        conflict("model", theirs, &QuarantineStats::models);
+      }
+    }
+    for (auto& [k, f] : incoming.groups_) {
+      const auto im = incoming.group_meta_.find(k);
+      const uint64_t their_gen =
+          im == incoming.group_meta_.end() ? 0 : im->second.gen;
+      const auto it = groups_.find(k);
+      if (it == groups_.end()) {
+        groups_.emplace(k, std::move(f));
+        // An entry a worker measured this generation counts as touched
+        // here too: eviction must never drop work the run just produced.
+        group_meta_[k] = EntryMeta{their_gen, their_gen >= generation_};
+        continue;
+      }
+      if (!resident_ready(it->second)) continue;
+      // The rendering comparison excludes the gen stamp (both rendered at
+      // gen 0): two stores that agree on the measurement but disagree on
+      // when it was last used are both healthy.
+      const std::string theirs = render_group_entry(k, f.get(), 0);
+      if (theirs != render_group_entry(k, it->second.get(), 0)) {
+        conflict("group", theirs, &QuarantineStats::groups);
+        continue;
+      }
+      // Identical content: keep the fresher LRU stamp.
+      auto& meta = group_meta_[k];
+      meta.gen = std::max(meta.gen, their_gen);
+      meta.touched = meta.touched || their_gen >= generation_;
+    }
+    // Parse-time quarantines of the incoming store surface in this
+    // cache's stats too — the merged view should account for them.
+    const QuarantineStats in_q = incoming.quarantine_;
+    quarantine_.profiles += in_q.profiles;
+    quarantine_.models += in_q.models;
+    quarantine_.groups += in_q.groups;
+  }
+
+  if (!report.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(dir + "/quarantine", ec);
+    try {
+      common::atomic_write_file(
+          dir + "/quarantine/merge-" + hex16(fnv1a(report)) + ".txt",
+          report);
+    } catch (const std::exception&) {
+      // Best-effort bookkeeping, like load-time quarantine.
+    }
+  }
+  return conflicts;
 }
 
 namespace {
@@ -894,6 +1155,7 @@ struct StoreEntry {
 struct StoreScan {
   std::vector<StoreEntry> entries;
   std::vector<StoreEntry> stray;  // non-comment lines outside any entry
+  uint64_t generation = 0;  // from a `# generation = N` preamble comment
 };
 
 // Whole-file rejection is reserved for schema mismatches: a file whose
@@ -930,8 +1192,18 @@ StoreScan scan_store_entries(std::istream& in, const std::string& section,
     if (t.empty()) continue;
     if (t.front() == '#') {
       if (preamble) {
+        // Preamble comments carry the file's metadata: the schema-version
+        // header plus the lifecycle generation stamp. Both checks ignore
+        // comments of any other shape.
         check_store_version(t, what);
-        preamble = false;
+        const std::string kGenPrefix = "# generation = ";
+        if (t.rfind(kGenPrefix, 0) == 0) {
+          const std::string num = t.substr(kGenPrefix.size());
+          if (is_unsigned_decimal(num)) {
+            std::istringstream is(num);
+            is >> scan.generation;
+          }
+        }
       }
       continue;
     }
@@ -969,6 +1241,7 @@ bool ProfileCache::load_store_if_exists(const std::string& dir) {
   // them and the next save_store writes a healed file.
   ProfileCache staged;
   QuarantineStats counts;
+  uint64_t loaded_gen = 0;
   struct QuarantineFile {
     std::string path;
     std::string report;
@@ -981,6 +1254,7 @@ bool ProfileCache::load_store_if_exists(const std::string& dir) {
     std::ifstream in(dir + "/" + name);
     if (!in.good()) return;  // absent member files are fine
     StoreScan scan = scan_store_entries(in, section, name);
+    loaded_gen = std::max(loaded_gen, scan.generation);
     std::string report;
     const auto quarantine = [&](const StoreEntry& e,
                                 const std::string& reason) {
@@ -1019,15 +1293,25 @@ bool ProfileCache::load_store_if_exists(const std::string& dir) {
                &QuarantineStats::groups);
 
   // Every file parsed — install the staged entries (all futures are ready
-  // by construction) and adopt the quarantine counts.
+  // by construction), adopt the quarantine counts, and advance the
+  // lifecycle generation past the loaded store's stamp: the store was
+  // last written at `loaded_gen`, so this run is `loaded_gen + 1`.
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (auto& [k, f] : staged.entries_) entries_.emplace(k, std::move(f));
     for (auto& [k, f] : staged.models_) models_.emplace(k, std::move(f));
-    for (auto& [k, f] : staged.groups_) groups_.emplace(k, std::move(f));
+    for (auto& [k, f] : staged.groups_) {
+      if (groups_.emplace(k, std::move(f)).second) {
+        const auto m = staged.group_meta_.find(k);
+        group_meta_.emplace(
+            k, m == staged.group_meta_.end() ? EntryMeta{} : m->second);
+      }
+    }
     quarantine_.profiles += counts.profiles;
     quarantine_.models += counts.models;
     quarantine_.groups += counts.groups;
+    generation_ = std::max(generation_, loaded_gen + 1);
+    last_compaction_ = std::max(last_compaction_, loaded_gen);
   }
 
   if (!quarantine_files.empty()) {

@@ -198,7 +198,9 @@ class ProfileCache {
 
   // Corrupt store entries sidelined by load_store_if_exists (per layer).
   // A quarantined entry is absent from the maps, so the run re-measures
-  // it on demand and the next save_store heals the file.
+  // it on demand and the next save_store heals the file. merge_store
+  // conflicts (same content-addressed key, different content) count here
+  // too — a disagreement between two stores is corruption by definition.
   struct QuarantineStats {
     size_t profiles = 0;
     size_t models = 0;
@@ -206,6 +208,48 @@ class ProfileCache {
     size_t total() const { return profiles + models + groups; }
   };
   QuarantineStats quarantine_stats() const;
+
+  // --- store lifecycle (generation stamps, compaction, bounded groups) ---
+  // Every store carries a generation counter (a `# generation = N` header
+  // comment, so older readers skip it): loading a store at generation N
+  // makes this run generation N+1, and every group entry records the last
+  // generation that touched it (measured or served a hit) as an optional
+  // `gen =` field. save_store is a compaction: it rewrites the files
+  // without quarantined or evicted entries and stamps the new generation.
+  struct LifecycleStats {
+    uint64_t generation = 0;       // this run's generation
+    uint64_t last_compaction = 0;  // generation of the last save_store /
+                                   // loaded store write (0 = never)
+    uint64_t evicted_groups = 0;   // group entries evicted by this process
+    // live = serialized bytes of entries touched (hit or measured) this
+    // run; dead = bytes of loaded-but-untouched entries. The split is what
+    // makes the eviction decision auditable from --store-stats.
+    uint64_t profile_live_bytes = 0;
+    uint64_t profile_dead_bytes = 0;
+    uint64_t model_live_bytes = 0;
+    uint64_t model_dead_bytes = 0;
+    uint64_t group_live_bytes = 0;
+    uint64_t group_dead_bytes = 0;
+  };
+  LifecycleStats lifecycle_stats() const;
+
+  // Byte bound for the group-run layer (the only layer that grows per
+  // distinct scenario; 0 = unbounded). When the serialized groups.txt
+  // would exceed the bound, save_store evicts least-recently-touched
+  // entries first (lowest generation, then key order — deterministic)
+  // until it fits; entries touched this generation are never evicted,
+  // even if the file stays over the bound.
+  void set_group_byte_limit(uint64_t bytes);
+
+  // Union-merges the store directory `dir` (a worker's synced copy) into
+  // this cache: entries absent here install; entries present with
+  // byte-identical content deduplicate (their generation advances to the
+  // newer of the two); entries present with DIFFERENT content are
+  // corruption — the keys are content-addressed, so two honest runs can
+  // never disagree — and the incoming entry is quarantined to
+  // <dir>/quarantine/ with a named reason. Returns the number of
+  // conflicting entries; false-y (0) also when `dir` does not exist.
+  size_t merge_store(const std::string& dir);
 
   // --- persistence (config_io key = value idiom) ---
   // Profile-only single-file form.
@@ -234,7 +278,10 @@ class ProfileCache {
   // <dir>/quarantine/ with a named reason (quarantine_stats() counts them)
   // and re-measured on demand; only a schema-version mismatch in a file's
   // header rejects that store wholesale (throws std::logic_error).
-  void save_store(const std::string& dir) const;
+  // save_store is non-const because it is also the compaction step: it
+  // applies the group-layer byte bound (set_group_byte_limit) and stamps
+  // the lifecycle generation before writing.
+  void save_store(const std::string& dir);
   bool load_store_if_exists(const std::string& dir);
 
  private:
@@ -293,7 +340,24 @@ class ProfileCache {
   void insert_loaded(const Key& key, const AppProfile& p);
   void insert_loaded_model(const ModelKey& key,
                            interference::SlowdownModel model);
-  void insert_loaded_group(const GroupKey& key, GroupRunRecord record);
+  // `gen` is the entry's last-touched generation from its store file (0
+  // for pre-lifecycle stores, which makes them the oldest candidates).
+  void insert_loaded_group(const GroupKey& key, GroupRunRecord record,
+                           uint64_t gen = 0);
+
+  // Canonical per-entry renderings — the exact bytes the savers write per
+  // entry, shared with merge_store's conflict check (conflict = same key,
+  // different rendering) and the lifecycle byte accounting.
+  static std::string render_profile_entry(const Key& key, const AppProfile& p);
+  static std::string render_model_entry(const ModelKey& key,
+                                        const interference::SlowdownModel& m);
+  static std::string render_group_entry(const GroupKey& key,
+                                        const GroupRunRecord& r, uint64_t gen);
+
+  // Applies the group byte bound: evicts least-recently-touched ready
+  // entries (never ones touched this generation) until the serialized
+  // layer fits. Called by save_store with mu_ NOT held.
+  void compact_groups();
 
   // Stream-level strict loaders behind the public path-taking forms; the
   // *_if_exists wrappers parse the stream they probed with (opening the
@@ -317,6 +381,24 @@ class ProfileCache {
   uint64_t group_hits_ = 0;
   uint64_t group_misses_ = 0;
   QuarantineStats quarantine_;
+
+  // --- lifecycle state ---
+  // Per-group-entry metadata: the last generation that touched the entry
+  // (persisted as `gen =`) and whether this run touched it (drives the
+  // live/dead byte split; gen == generation_ is what eviction protects).
+  struct EntryMeta {
+    uint64_t gen = 0;
+    bool touched = false;
+  };
+  std::map<GroupKey, EntryMeta> group_meta_;
+  // Profiles and models are not evicted (they are small and shared); only
+  // their touched sets are tracked, for the live/dead byte accounting.
+  std::map<Key, bool> profile_touched_;
+  std::map<ModelKey, bool> model_touched_;
+  uint64_t generation_ = 1;       // loaded store generation + 1
+  uint64_t last_compaction_ = 0;  // generation of the last store write
+  uint64_t group_byte_limit_ = 0;  // 0 = unbounded
+  uint64_t evicted_groups_ = 0;
 };
 
 }  // namespace gpumas::profile

@@ -1,0 +1,15 @@
+// Named exactly like the exempted driver (tools/orchestrate.cc) but
+// living in the wrong directory: the wall-clock exemption is anchored to
+// the path, not the basename, so this file MUST still be flagged. If it
+// ever lints clean, the exemption has decayed into a basename match and
+// any TU could dodge the rule by renaming itself.
+#include <chrono>
+#include <thread>
+
+namespace fixture {
+
+void impostor_backoff() {
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));  // VIOLATION
+}
+
+}  // namespace fixture

@@ -153,6 +153,11 @@ TEST(DetlintTest, WallClockSeededViolationCaught) {
   EXPECT_NE(r.output.find("'rand'"), std::string::npos) << r.output;
   // The annotated wait-path twin is suppressed, not reported.
   EXPECT_EQ(r.output.find("suppressed.cc"), std::string::npos) << r.output;
+  // The exemption for the orchestrator driver is anchored to the path
+  // tools/orchestrate.cc, not the basename: the fixture's impostor
+  // orchestrate.cc lives in the wrong directory and must be flagged.
+  EXPECT_NE(r.output.find("orchestrate.cc"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("'chrono'"), std::string::npos) << r.output;
 }
 
 TEST(DetlintTest, PtrKeySeededViolationCaught) {

@@ -1,0 +1,472 @@
+// Tests for the fault-tolerant shard orchestrator and its parts: the
+// subprocess supervisor (spawn/poll/kill/exit status), the seeded retry
+// schedule, the store union/conflict/eviction lifecycle, and the
+// orchestrate + merge-results binaries' shared exit-code taxonomy
+// (ORCHESTRATE_BIN / MERGE_RESULTS_BIN, injected by CMake).
+#include <gtest/gtest.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/retry.h"
+#include "common/subprocess.h"
+#include "exp/result_io.h"
+#include "profile/profile_cache.h"
+
+namespace gpumas {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------------
+// Harness helpers
+
+struct CmdRun {
+  int exit_code = -1;
+  std::string output;  // stdout + stderr, interleaved
+};
+
+CmdRun run_cmd(const std::string& cmd) {
+  FILE* pipe = popen((cmd + " 2>&1").c_str(), "r");
+  EXPECT_NE(pipe, nullptr) << cmd;
+  CmdRun r;
+  if (!pipe) return r;
+  char buf[4096];
+  while (size_t got = fread(buf, 1, sizeof buf, pipe)) {
+    r.output.append(buf, got);
+  }
+  const int status = pclose(pipe);
+  r.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return r;
+}
+
+// A fresh scratch directory per test, removed on destruction.
+struct TempDir {
+  std::string path;
+  TempDir() {
+    char tmpl[] = "/tmp/gpumas_orch_test.XXXXXX";
+    const char* p = mkdtemp(tmpl);
+    EXPECT_NE(p, nullptr);
+    path = p ? p : "";
+  }
+  ~TempDir() {
+    if (!path.empty()) fs::remove_all(path);
+  }
+  std::string file(const std::string& name) const {
+    return (fs::path(path) / name).string();
+  }
+};
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  out << content;
+  ASSERT_TRUE(out.good()) << path;
+}
+
+void write_script(const std::string& path, const std::string& body) {
+  write_file(path, "#!/bin/sh\n" + body);
+  ASSERT_EQ(chmod(path.c_str(), 0755), 0) << path;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+// ---------------------------------------------------------------------
+// Subprocess
+
+TEST(SubprocessTest, CapturesNormalExitCode) {
+  common::Subprocess p;
+  ASSERT_TRUE(p.spawn({"/bin/sh", "-c", "exit 7"})) << p.error();
+  const auto status = p.wait();
+  EXPECT_TRUE(status.exited);
+  EXPECT_EQ(status.code, 7);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.describe(), "exit 7");
+  EXPECT_FALSE(p.running());
+}
+
+TEST(SubprocessTest, KillReportsSignalDeath) {
+  common::Subprocess p;
+  ASSERT_TRUE(p.spawn({"/bin/sh", "-c", "sleep 30"})) << p.error();
+  EXPECT_TRUE(p.running());
+  p.kill();
+  const auto status = p.wait();
+  EXPECT_FALSE(status.exited);
+  EXPECT_EQ(status.signal, 9);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.describe(), "signal 9");
+}
+
+TEST(SubprocessTest, ExecFailureIsASynchronousSpawnError) {
+  common::Subprocess p;
+  EXPECT_FALSE(p.spawn({"/no/such/binary/definitely-missing"}));
+  EXPECT_NE(p.error().find("exec"), std::string::npos) << p.error();
+  EXPECT_FALSE(p.running());
+}
+
+TEST(SubprocessTest, PollReapsWithoutBlocking) {
+  common::Subprocess p;
+  ASSERT_TRUE(p.spawn({"/bin/sh", "-c", "exit 5"})) << p.error();
+  std::optional<common::ExitStatus> status;
+  for (int i = 0; i < 5000 && !status; ++i) {
+    status = p.poll();
+    if (!status) usleep(1000);
+  }
+  ASSERT_TRUE(status.has_value()) << "child never reaped";
+  EXPECT_TRUE(status->exited);
+  EXPECT_EQ(status->code, 5);
+}
+
+TEST(SubprocessTest, OutputPathAppendsAcrossRuns) {
+  TempDir tmp;
+  const std::string log = tmp.file("out.log");
+  common::Subprocess::Options opts;
+  opts.output_path = log;
+  for (const char* word : {"first", "second"}) {
+    common::Subprocess p;
+    ASSERT_TRUE(
+        p.spawn({"/bin/sh", "-c", std::string("echo ") + word}, opts))
+        << p.error();
+    EXPECT_TRUE(p.wait().ok());
+  }
+  const std::string text = read_file(log);
+  EXPECT_NE(text.find("first"), std::string::npos) << text;
+  EXPECT_NE(text.find("second"), std::string::npos) << text;
+}
+
+// ---------------------------------------------------------------------
+// RetrySchedule
+
+TEST(RetryScheduleTest, JitterZeroIsThePureExponentialLadder) {
+  common::BackoffPolicy policy;
+  policy.max_attempts = 6;
+  policy.base_delay_ms = 100;
+  policy.max_delay_ms = 1000;
+  policy.jitter = 0.0;
+  common::RetrySchedule s(policy, /*seed=*/1, /*stream=*/0);
+  EXPECT_EQ(s.delay_ms(0), 100u);
+  EXPECT_EQ(s.delay_ms(1), 200u);
+  EXPECT_EQ(s.delay_ms(2), 400u);
+  EXPECT_EQ(s.delay_ms(3), 800u);
+  EXPECT_EQ(s.delay_ms(4), 1000u);  // capped
+  EXPECT_EQ(s.delay_ms(5), 1000u);  // stays capped
+}
+
+TEST(RetryScheduleTest, SeededJitterIsDeterministicAndBounded) {
+  common::BackoffPolicy policy;
+  policy.base_delay_ms = 200;
+  policy.max_delay_ms = 5000;
+  policy.jitter = 0.5;
+  common::RetrySchedule a(policy, 42, 3);
+  common::RetrySchedule b(policy, 42, 3);
+  common::RetrySchedule other_stream(policy, 42, 4);
+  bool streams_differ = false;
+  for (int retry = 0; retry < 8; ++retry) {
+    const uint64_t d = a.delay_ms(retry);
+    // Same (policy, seed, stream, retry) in, same delay out — every time.
+    EXPECT_EQ(d, b.delay_ms(retry)) << retry;
+    const uint64_t ladder =
+        std::min<uint64_t>(200u << std::min(retry, 30), 5000u);
+    EXPECT_LE(d, ladder) << retry;
+    EXPECT_GE(d, ladder / 2) << retry;  // jitter 0.5 halves at most
+    EXPECT_GE(d, 1u) << retry;
+    if (d != other_stream.delay_ms(retry)) streams_differ = true;
+  }
+  EXPECT_TRUE(streams_differ)
+      << "distinct streams must not mirror each other's schedule";
+}
+
+TEST(RetryScheduleTest, AttemptBudgetCountsTotalTries) {
+  common::BackoffPolicy policy;
+  policy.max_attempts = 3;
+  common::RetrySchedule s(policy, 1, 0);
+  EXPECT_TRUE(s.should_retry(1));
+  EXPECT_TRUE(s.should_retry(2));
+  EXPECT_FALSE(s.should_retry(3));
+}
+
+// ---------------------------------------------------------------------
+// Store sync: union, conflict quarantine, lifecycle eviction
+
+sim::GpuConfig small_gpu() {
+  sim::GpuConfig cfg;
+  cfg.num_sms = 12;
+  cfg.num_channels = 2;
+  cfg.l2.size_bytes = 64 * 1024;
+  return cfg;
+}
+
+sim::KernelParams kernel(const std::string& name, double mem_ratio,
+                         uint64_t seed) {
+  sim::KernelParams kp;
+  kp.name = name;
+  kp.num_blocks = 10;
+  kp.warps_per_block = 4;
+  kp.insns_per_warp = 250;
+  kp.mem_ratio = mem_ratio;
+  kp.footprint_bytes = 8 << 20;
+  kp.divergence = 2;
+  kp.seed = seed;
+  return kp;
+}
+
+TEST(StoreSyncTest, MergeUnionsDisjointWorkerStores) {
+  TempDir tmp;
+  const sim::GpuConfig cfg = small_gpu();
+  const std::string shared = tmp.file("shared");
+  const std::string worker = tmp.file("worker");
+
+  profile::ProfileCache ours;
+  ours.solo(cfg, kernel("a", 0.1, 1));
+  ours.save_store(shared);
+
+  profile::ProfileCache theirs;
+  theirs.solo(cfg, kernel("b", 0.3, 2));
+  theirs.save_store(worker);
+
+  profile::ProfileCache merged;
+  ASSERT_TRUE(merged.load_store_if_exists(shared));
+  EXPECT_EQ(merged.merge_store(worker), 0u);
+  EXPECT_EQ(merged.size(), 2u);
+  EXPECT_EQ(merged.quarantine_stats().total(), 0u);
+
+  // Identical content under the same key is a dedupe, not a conflict.
+  EXPECT_EQ(merged.merge_store(worker), 0u);
+  EXPECT_EQ(merged.size(), 2u);
+}
+
+TEST(StoreSyncTest, MergeConflictIsQuarantinedNotOverwritten) {
+  TempDir tmp;
+  const sim::GpuConfig cfg = small_gpu();
+  const std::string shared = tmp.file("shared");
+  const std::string worker = tmp.file("worker");
+
+  profile::ProfileCache ours;
+  const auto honest = ours.solo(cfg, kernel("a", 0.1, 1));
+  ours.save_store(shared);
+  ours.save_store(worker);
+
+  // Corrupt the worker's copy of the same content-addressed entry: same
+  // key, different measurement — exactly what a store can never contain.
+  std::string text = read_file(worker + "/profiles.txt");
+  const std::string field = "solo_cycles = ";
+  const size_t at = text.find(field);
+  ASSERT_NE(at, std::string::npos) << text;
+  text.insert(at + field.size(), "9");
+  write_file(worker + "/profiles.txt", text);
+
+  profile::ProfileCache merged;
+  ASSERT_TRUE(merged.load_store_if_exists(shared));
+  EXPECT_EQ(merged.merge_store(worker), 1u);
+  EXPECT_EQ(merged.quarantine_stats().profiles, 1u);
+  // Ours wins: the shared store keeps the original measurement.
+  EXPECT_EQ(merged.size(), 1u);
+  profile::ProfileCache check;
+  ASSERT_TRUE(check.load_store_if_exists(shared));
+  EXPECT_EQ(check.solo(cfg, kernel("a", 0.1, 1)).solo_cycles,
+            honest.solo_cycles);
+
+  // The conflict report landed in the worker store's quarantine dir.
+  bool found_report = false;
+  for (const auto& e : fs::directory_iterator(worker + "/quarantine")) {
+    const std::string name = e.path().filename().string();
+    if (name.rfind("merge-", 0) == 0) found_report = true;
+  }
+  EXPECT_TRUE(found_report);
+}
+
+TEST(StoreSyncTest, EvictionRespectsBoundAndProtectsCurrentGeneration) {
+  TempDir tmp;
+  const std::string dir = tmp.file("store");
+  const sim::GpuConfig cfg = small_gpu();
+  const auto a = kernel("a", 0.05, 1);
+  const auto b = kernel("b", 0.3, 2);
+  const auto c = kernel("c", 0.15, 3);
+
+  {
+    profile::ProfileCache cache;
+    cache.group_run(cfg,
+                    profile::canonicalize_group(cfg, {a, b}, {}, "static"));
+    cache.group_run(cfg,
+                    profile::canonicalize_group(cfg, {a, c}, {}, "static"));
+    cache.save_store(dir);  // generation 1, both entries stamped gen 1
+  }
+
+  profile::ProfileCache cache;
+  ASSERT_TRUE(cache.load_store_if_exists(dir));  // this run is gen 2
+  EXPECT_EQ(cache.group_count(), 2u);
+  // Touch {a,c}: a hit, and the LRU stamp that shields it this run.
+  cache.group_run(cfg, profile::canonicalize_group(cfg, {a, c}, {}, "static"));
+  EXPECT_EQ(cache.group_hits(), 1u);
+  EXPECT_EQ(cache.group_misses(), 0u);
+
+  // A bound far below one entry: everything evictable goes, but the
+  // entry touched this generation survives regardless.
+  cache.set_group_byte_limit(1);
+  cache.save_store(dir);
+  const auto ls = cache.lifecycle_stats();
+  EXPECT_EQ(ls.evicted_groups, 1u);
+  EXPECT_EQ(cache.group_count(), 1u);
+
+  profile::ProfileCache warm;
+  ASSERT_TRUE(warm.load_store_if_exists(dir));
+  EXPECT_EQ(warm.group_count(), 1u);
+  warm.group_run(cfg, profile::canonicalize_group(cfg, {a, c}, {}, "static"));
+  EXPECT_EQ(warm.group_hits(), 1u) << "the touched entry must survive";
+  warm.group_run(cfg, profile::canonicalize_group(cfg, {a, b}, {}, "static"));
+  EXPECT_EQ(warm.group_misses(), 1u) << "the stale entry must be gone";
+  EXPECT_GE(warm.lifecycle_stats().generation, 3u);
+}
+
+// ---------------------------------------------------------------------
+// The orchestrate binary (ORCHESTRATE_BIN) against scripted fake benches.
+// Worker argv is fixed: BENCH --shard I/N --dump-results DUMP --resume
+// --profile-cache STORE ..., so "$4" is the shard's dump path.
+
+std::string orchestrate_cmd(const TempDir& tmp, const std::string& bench,
+                            const std::string& extra) {
+  return std::string(ORCHESTRATE_BIN) + " --bench " + bench +
+         " --shards 2 --workdir " + tmp.file("work") +
+         " --backoff-ms 1 --backoff-max-ms 2 --poll-ms 10 " + extra;
+}
+
+// One synthetic single-repetition scenario rendered through the real
+// serializer, so scripted fake benches can emit valid v3 records.
+std::string record_line(const std::string& name, int index) {
+  exp::ScenarioResult result;
+  result.name = name;
+  sched::RunReport report;
+  report.total_cycles = 1000 + static_cast<uint64_t>(index);
+  report.total_thread_insns = 2000;
+  result.reps.push_back(report);
+  return exp::result_io::to_string(result, /*batch=*/0, index);
+}
+
+TEST(OrchestrateTest, RetriesCrashedWorkersUntilTheyComplete) {
+  TempDir tmp;
+  const std::string bench = tmp.file("bench.sh");
+  // Every shard crashes on its first attempt (the taxonomy's injected-
+  // crash code) and writes its slice of the run on the second.
+  const std::string rec0 = record_line("s0", 0);
+  const std::string rec1 = record_line("s1", 1);
+  write_file(tmp.file("rec.0"), rec0);
+  write_file(tmp.file("rec.1"), rec1);
+  write_script(bench,
+               "dump=\"$4\"\n"
+               "shard=\"${2%%/*}\"\n"
+               "if [ ! -e \"$dump.tried\" ]; then\n"
+               "  touch \"$dump.tried\"\n"
+               "  exit 42\n"
+               "fi\n"
+               "cp \"" +
+                   tmp.path +
+                   "/rec.$shard\" \"$dump\"\n"
+                   "exit 0\n");
+  const CmdRun r = run_cmd(orchestrate_cmd(
+      tmp, bench, "--retries 2 --merged " + tmp.file("merged.txt")));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("retrying in"), std::string::npos) << r.output;
+  EXPECT_FALSE(fs::exists(tmp.file("work/partial-failure.txt")));
+  // The merged dump is the declaration-order union of the shard slices —
+  // byte-identical to what one unsharded run would have dumped.
+  EXPECT_EQ(read_file(tmp.file("merged.txt")), rec0 + rec1);
+}
+
+TEST(OrchestrateTest, PermanentFailureIsNeverRetried) {
+  TempDir tmp;
+  const std::string bench = tmp.file("bench.sh");
+  write_script(bench, "exit 2\n");  // taxonomy: invalid — retry cannot help
+  const CmdRun r = run_cmd(orchestrate_cmd(tmp, bench, "--retries 5"));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("failed permanently"), std::string::npos)
+      << r.output;
+  EXPECT_EQ(r.output.find("retrying in"), std::string::npos) << r.output;
+  const std::string report = read_file(tmp.file("work/partial-failure.txt"));
+  EXPECT_NE(report.find("1 attempt,"), std::string::npos) << report;
+  EXPECT_NE(report.find("exit 2"), std::string::npos) << report;
+}
+
+TEST(OrchestrateTest, HungWorkerIsKilledByTheJournalProbe) {
+  TempDir tmp;
+  const std::string bench = tmp.file("bench.sh");
+  write_script(bench, "sleep 30\n");  // never writes its journal
+  const CmdRun r = run_cmd(orchestrate_cmd(
+      tmp, bench, "--retries 0 --hang-timeout-ms 300"));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("hung"), std::string::npos) << r.output;
+  const std::string report = read_file(tmp.file("work/partial-failure.txt"));
+  EXPECT_NE(report.find("journal stalled"), std::string::npos) << report;
+}
+
+TEST(OrchestrateTest, BadFlagsExitInvalid) {
+  EXPECT_EQ(run_cmd(std::string(ORCHESTRATE_BIN) + " --no-such-flag")
+                .exit_code,
+            2);
+  EXPECT_EQ(run_cmd(std::string(ORCHESTRATE_BIN) + " --shards 2").exit_code,
+            2);  // missing --bench/--workdir
+}
+
+TEST(OrchestrateTest, UnspawnableBenchExitsInvalid) {
+  TempDir tmp;
+  const CmdRun r =
+      run_cmd(orchestrate_cmd(tmp, "/no/such/bench-binary", "--retries 3"));
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+  EXPECT_NE(r.output.find("spawn failed"), std::string::npos) << r.output;
+}
+
+// ---------------------------------------------------------------------
+// merge-results shares the taxonomy: 0 complete, 1 partial, 2 invalid.
+
+// One synthetic scenario with `reps` repetitions, rendered through the
+// real serializer so the records are valid v3 lines.
+std::string dump_records(const std::string& name, int reps) {
+  exp::ScenarioResult result;
+  result.name = name;
+  for (int i = 0; i < reps; ++i) {
+    sched::RunReport report;
+    report.total_cycles = 1000 + static_cast<uint64_t>(i);
+    report.total_thread_insns = 2000;
+    result.reps.push_back(report);
+  }
+  return exp::result_io::to_string(result, /*batch=*/0, /*index=*/0);
+}
+
+TEST(MergeResultsTest, ExitTaxonomy) {
+  TempDir tmp;
+  const std::string merge = MERGE_RESULTS_BIN;
+
+  // 2: flag and file errors — the invocation can never succeed.
+  EXPECT_EQ(run_cmd(merge).exit_code, 2);
+  EXPECT_EQ(run_cmd(merge + " " + tmp.file("missing.txt")).exit_code, 2);
+
+  // 0: a complete dump renders.
+  const std::string complete = tmp.file("complete.txt");
+  write_file(complete, dump_records("solo", 2));
+  EXPECT_EQ(run_cmd(merge + " " + complete).exit_code, 0);
+
+  // 1: valid records, incomplete coverage (a repetition is missing) —
+  // supplying the missing shard fixes it, so the exit says "partial".
+  const std::string full = dump_records("solo", 2);
+  const std::string partial = tmp.file("partial.txt");
+  write_file(partial, full.substr(0, full.find('\n') + 1));
+  const CmdRun p = run_cmd(merge + " " + partial);
+  EXPECT_EQ(p.exit_code, 1) << p.output;
+
+  // 2: a malformed record — no retry can help.
+  const std::string corrupt = tmp.file("corrupt.txt");
+  write_file(corrupt, "result v=3 this-is-not-a-record\n");
+  EXPECT_EQ(run_cmd(merge + " " + corrupt).exit_code, 2);
+}
+
+}  // namespace
+}  // namespace gpumas

@@ -37,6 +37,16 @@
 // exits non-zero without printing a table. When the records carry the v2
 // simulator-efficiency counters, a `[merge-results] simulated ...` summary
 // (ticked/skipped cycles and sampled-mode windows) also goes to stderr.
+//
+// Exit codes follow the orchestrator taxonomy (bench/bench_common.h):
+//   0  merged and rendered every requested table
+//   1  partial — the dumps are valid but incomplete (a shard is missing
+//      or truncated: result_io::IncompleteDumps), or the merged --output
+//      file could not be written; supplying the missing shard or
+//      retrying can fix it
+//   2  invalid input — malformed flags, unreadable dump files, malformed
+//      or mutually inconsistent records, --batch/--table requests the
+//      data cannot satisfy; the same invocation can never succeed
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -60,7 +70,7 @@ using namespace gpumas;
   std::cerr << "merge-results: " << why << "\n"
             << "usage: merge-results [--table auto|grid|per-app] [--batch N]"
                " [--output FILE] DUMP [DUMP...]\n";
-  std::exit(2);
+  std::exit(bench::kExitInvalid);
 }
 
 // The run_policy_grid() layout recovered from scenario names: names[d*P+p]
@@ -137,7 +147,7 @@ int main(int argc, char** argv) {
     std::ifstream in(path);
     if (!in.good()) {
       std::cerr << "merge-results: cannot read " << path << "\n";
-      return 2;
+      return bench::kExitInvalid;
     }
     std::ostringstream text;
     text << in.rdbuf();
@@ -147,9 +157,14 @@ int main(int argc, char** argv) {
   std::vector<exp::result_io::MergedBatch> batches;
   try {
     batches = exp::result_io::merge_dumps(dumps);
+  } catch (const exp::result_io::IncompleteDumps& e) {
+    // Valid shards, incomplete coverage: the retryable case — re-run or
+    // supply the missing shard and this exact invocation succeeds.
+    std::cerr << "merge-results: " << e.what() << "\n";
+    return bench::kExitPartial;
   } catch (const std::logic_error& e) {
     std::cerr << "merge-results: " << e.what() << "\n";
-    return 1;
+    return bench::kExitInvalid;
   }
 
   int scenarios = 0;
@@ -197,7 +212,7 @@ int main(int argc, char** argv) {
     } catch (const std::exception& e) {
       std::cerr << "merge-results: cannot write --output file: " << e.what()
                 << "\n";
-      return 1;
+      return bench::kExitPartial;  // the merge itself succeeded; retryable
     }
     std::cerr << "[merge-results] wrote merged dump to " << output_path
               << "\n";
@@ -211,7 +226,7 @@ int main(int argc, char** argv) {
     if (kept.empty()) {
       std::cerr << "merge-results: the dumps contain no batch " << *only_batch
                 << " (batches 0.." << batches.back().batch << ")\n";
-      return 1;
+      return bench::kExitInvalid;  // the data can never satisfy this --batch
     }
     batches = std::move(kept);
   }
@@ -224,7 +239,7 @@ int main(int argc, char** argv) {
       std::cerr << "merge-results: batch " << batches[b].batch
                 << " does not have the \"<row>/<col>\" grid layout; use "
                    "--table per-app\n";
-      return 1;
+      return bench::kExitInvalid;  // the data can never satisfy --table grid
     }
     if (shape && mode != "per-app") {
       int reps = 1;
@@ -243,5 +258,5 @@ int main(int argc, char** argv) {
       bench::render_per_app_table(results, rows, /*show_class=*/false);
     }
   }
-  return 0;
+  return bench::kExitOk;
 }

@@ -1,0 +1,557 @@
+// orchestrate: fault-tolerant driver for sharded bench runs.
+//
+//   orchestrate --bench PATH --shards N --workdir DIR
+//               [--merged FILE] [--store DIR] [--store-group-bytes N]
+//               [--retries K] [--backoff-ms N] [--backoff-max-ms N]
+//               [--seed S] [--hang-timeout-ms N] [--poll-ms N]
+//               [--worker-faults I:SPEC]... [-- BENCH_ARGS...]
+//
+// Splits one bench invocation into N shard worker subprocesses, each
+// running the bench's own `--shard I/N --dump-results FILE --resume`
+// path, and supervises them: exit codes are classified against the
+// shared taxonomy (bench/bench_common.h), workers whose checkpoint
+// journal stops growing past --hang-timeout-ms are killed and counted
+// as hung, and every retryable failure is restarted after a bounded
+// seeded-jitter exponential backoff (common/retry.h). Because workers
+// always run with --resume, a retried worker re-simulates nothing its
+// journal already holds — the chaos CI job asserts "0 measured this
+// run" in retried workers' logs.
+//
+// Worker classification:
+//   exit 0                done
+//   exit 2                permanent: the same argv can never succeed
+//                         (bad flags, corrupt journal) — no retry
+//   anything else         retryable: exit 1, an injected crash
+//                         (FaultInjector::kCrashExitCode), a real
+//                         signal death, or a hang kill
+//
+// After every shard lands, the shard dumps are merged via
+// exp::result_io::merge_dumps into a dump byte-identical to the
+// unsharded run's (--merged), and the per-worker stores are folded into
+// the shared store (--store): a union with conflict checking, where two
+// renderings for one content-addressed key mean corruption and the
+// conflict is quarantined, never silently overwritten. The shared
+// store's group layer is then compacted under --store-group-bytes
+// (generation-stamped LRU eviction) by the save.
+//
+// Exit codes follow the same taxonomy the workers use:
+//   0  every shard completed; merge and store sync succeeded
+//   1  partial — a shard exhausted its retries or failed permanently
+//      (see <workdir>/partial-failure.txt), or the merged output could
+//      not be written; completed shards' stores are still synced, so a
+//      re-run resumes instead of re-simulating
+//   2  invalid input — malformed flags, an unspawnable worker binary,
+//      or mutually inconsistent shard dumps; retrying cannot help
+//
+// This is the one translation unit that legitimately reads the wall
+// clock and sleeps (poll intervals, hang deadlines, backoff waits):
+// it supervises processes, it never computes results. detlint's
+// wall-clock rule path-exempts exactly `tools/orchestrate.cc`; the
+// simulation layers stay clock-free.
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/atomic_file.h"
+#include "common/fault_inject.h"
+#include "common/retry.h"
+#include "common/subprocess.h"
+#include "common/text.h"
+#include "exp/result_io.h"
+#include "profile/profile_cache.h"
+
+namespace {
+
+using namespace gpumas;
+namespace fs = std::filesystem;
+using Clock = std::chrono::steady_clock;
+
+struct Options {
+  std::string bench;
+  int shards = 0;
+  std::string workdir;
+  std::string merged;
+  std::string store;
+  uint64_t store_group_bytes = 0;
+  int retries = 2;             // retries after the first attempt
+  uint64_t backoff_ms = 200;   // base delay
+  uint64_t backoff_max_ms = 10000;
+  uint64_t seed = 1;
+  uint64_t hang_timeout_ms = 30000;  // 0 disables the liveness probe
+  uint64_t poll_ms = 50;
+  std::vector<std::pair<int, std::string>> worker_faults;  // (shard, spec)
+  std::vector<std::string> passthrough;  // after "--", handed to workers
+};
+
+[[noreturn]] void usage(const std::string& why) {
+  std::cerr << "orchestrate: " << why << "\n"
+            << "usage: orchestrate --bench PATH --shards N --workdir DIR"
+               " [--merged FILE]\n"
+               "                   [--store DIR] [--store-group-bytes N]"
+               " [--retries K]\n"
+               "                   [--backoff-ms N] [--backoff-max-ms N]"
+               " [--seed S]\n"
+               "                   [--hang-timeout-ms N] [--poll-ms N]\n"
+               "                   [--worker-faults I:SPEC]..."
+               " [-- BENCH_ARGS...]\n";
+  std::exit(bench::kExitInvalid);
+}
+
+Options parse_args(int argc, char** argv) {
+  Options opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) usage(std::string("missing value for ") + flag);
+      return argv[++i];
+    };
+    const auto u64_value = [&](const char* flag) -> uint64_t {
+      const std::string v = value(flag);
+      const auto parsed = text::parse_u64_strict(v);
+      if (!parsed) {
+        usage(std::string(flag) + " wants an unsigned integer, got " + v);
+      }
+      return *parsed;
+    };
+    if (arg == "--bench") {
+      opts.bench = value("--bench");
+    } else if (arg == "--shards") {
+      const std::string v = value("--shards");
+      const auto n = text::parse_int_strict(v);
+      if (!n || *n < 1) usage("--shards wants an integer >= 1, got " + v);
+      opts.shards = *n;
+    } else if (arg == "--workdir") {
+      opts.workdir = value("--workdir");
+    } else if (arg == "--merged") {
+      opts.merged = value("--merged");
+    } else if (arg == "--store") {
+      opts.store = value("--store");
+    } else if (arg == "--store-group-bytes") {
+      opts.store_group_bytes = u64_value("--store-group-bytes");
+    } else if (arg == "--retries") {
+      const std::string v = value("--retries");
+      const auto n = text::parse_int_strict(v);
+      if (!n || *n < 0) usage("--retries wants an integer >= 0, got " + v);
+      opts.retries = *n;
+    } else if (arg == "--backoff-ms") {
+      opts.backoff_ms = u64_value("--backoff-ms");
+    } else if (arg == "--backoff-max-ms") {
+      opts.backoff_max_ms = u64_value("--backoff-max-ms");
+    } else if (arg == "--seed") {
+      opts.seed = u64_value("--seed");
+    } else if (arg == "--hang-timeout-ms") {
+      opts.hang_timeout_ms = u64_value("--hang-timeout-ms");
+    } else if (arg == "--poll-ms") {
+      const uint64_t v = u64_value("--poll-ms");
+      if (v == 0) usage("--poll-ms wants an integer >= 1");
+      opts.poll_ms = v;
+    } else if (arg == "--worker-faults") {
+      const std::string v = value("--worker-faults");
+      const size_t colon = v.find(':');
+      const auto idx = colon == std::string::npos
+                           ? std::nullopt
+                           : text::parse_int_strict(v.substr(0, colon));
+      if (!idx || *idx < 0) {
+        usage("--worker-faults wants I:SPEC with a shard index, got " + v);
+      }
+      opts.worker_faults.emplace_back(*idx, v.substr(colon + 1));
+    } else if (arg == "--help" || arg == "-h") {
+      usage("help");
+    } else if (arg == "--") {
+      for (++i; i < argc; ++i) opts.passthrough.emplace_back(argv[i]);
+    } else {
+      usage("unknown argument " + arg + " (worker args go after --)");
+    }
+  }
+  if (opts.bench.empty()) usage("--bench PATH is required");
+  if (opts.shards < 1) usage("--shards N is required");
+  if (opts.workdir.empty()) usage("--workdir DIR is required");
+  for (const auto& [idx, spec] : opts.worker_faults) {
+    if (idx >= opts.shards) {
+      usage("--worker-faults shard " + std::to_string(idx) +
+            " is out of range for --shards " + std::to_string(opts.shards));
+    }
+    (void)spec;
+  }
+  return opts;
+}
+
+// Everything the supervisor knows about one shard worker.
+struct Shard {
+  int index = 0;
+  std::string dump_path;     // <workdir>/shard.<i>
+  std::string journal_path;  // dump_path + ".journal"
+  std::string store_path;    // <workdir>/store.<i>
+  std::string log_path;      // <workdir>/shard.<i>.log
+
+  common::Subprocess proc;
+  bool running = false;
+  bool done = false;
+  bool failed = false;        // permanently: no further attempts
+  int attempts = 0;           // attempts started so far
+  std::string last_status;    // human description of the last outcome
+  // Backoff deadline gating the next (re)start. Starts due — the epoch
+  // deadline with restart_pending set is what launches attempt 1.
+  Clock::time_point restart_at{};
+  bool restart_pending = true;
+
+  // Journal-growth liveness probe state.
+  uint64_t journal_size = 0;
+  Clock::time_point last_progress{};
+};
+
+uint64_t journal_size_of(const std::string& path) {
+  std::error_code ec;
+  const auto size = fs::file_size(path, ec);
+  return ec ? 0 : static_cast<uint64_t>(size);
+}
+
+// Copies the shared store's three files into the worker's private store
+// directory so every worker starts warm; absent files are simply absent.
+void seed_worker_store(const std::string& shared, const Shard& shard) {
+  fs::create_directories(shard.store_path);
+  for (const char* name : {"profiles.txt", "models.txt", "groups.txt"}) {
+    std::error_code ec;
+    fs::copy_file(fs::path(shared) / name, fs::path(shard.store_path) / name,
+                  fs::copy_options::overwrite_existing, ec);
+    // A missing source file just means the layer is empty so far.
+  }
+}
+
+std::vector<std::string> worker_argv(const Options& opts, const Shard& shard,
+                                     bool first_attempt) {
+  std::vector<std::string> argv = {
+      opts.bench,
+      "--shard",
+      std::to_string(shard.index) + "/" + std::to_string(opts.shards),
+      "--dump-results",
+      shard.dump_path,
+      // Always resume: a fresh worker finds no journal and starts from
+      // scratch; a retried worker replays its journal and re-simulates
+      // nothing already checkpointed.
+      "--resume",
+      "--profile-cache",
+      shard.store_path,
+  };
+  if (first_attempt) {
+    // Injected chaos hits the first attempt only — retries run clean, so
+    // the orchestrator converges instead of re-crashing forever. (Faults
+    // meant to survive retries, the retries-exhausted CI case, arrive via
+    // the inherited GPUMAS_FAULTS environment instead.)
+    for (const auto& [idx, spec] : opts.worker_faults) {
+      if (idx == shard.index) {
+        argv.push_back("--faults");
+        argv.push_back(spec);
+      }
+    }
+  }
+  for (const auto& a : opts.passthrough) argv.push_back(a);
+  return argv;
+}
+
+bool start_worker(const Options& opts, Shard& shard) {
+  const bool first = shard.attempts == 0;
+  ++shard.attempts;
+  common::Subprocess::Options sp;
+  sp.output_path = shard.log_path;
+  if (!shard.proc.spawn(worker_argv(opts, shard, first), sp)) {
+    shard.last_status = "spawn failed: " + shard.proc.error();
+    return false;
+  }
+  shard.running = true;
+  shard.journal_size = journal_size_of(shard.journal_path);
+  shard.last_progress = Clock::now();
+  std::cerr << "[orchestrate] shard " << shard.index << " attempt "
+            << shard.attempts << " started (pid " << shard.proc.pid()
+            << ")\n";
+  return true;
+}
+
+// True when the worker outcome can be fixed by running the same argv
+// again: transient exits, injected crashes, signal deaths, hang kills.
+// Exit 2 is the taxonomy's "this invocation can never succeed".
+bool retryable(const common::ExitStatus& status) {
+  return !(status.exited && status.code == bench::kExitInvalid);
+}
+
+int run(const Options& opts) {
+  fs::create_directories(opts.workdir);
+
+  std::vector<Shard> shards(static_cast<size_t>(opts.shards));
+  for (int i = 0; i < opts.shards; ++i) {
+    auto& s = shards[static_cast<size_t>(i)];
+    s.index = i;
+    const std::string base =
+        (fs::path(opts.workdir) / ("shard." + std::to_string(i))).string();
+    s.dump_path = base;
+    s.journal_path = base + ".journal";
+    s.log_path = base + ".log";
+    s.store_path =
+        (fs::path(opts.workdir) / ("store." + std::to_string(i))).string();
+    if (!opts.store.empty()) seed_worker_store(opts.store, s);
+  }
+
+  common::BackoffPolicy policy;
+  policy.max_attempts = opts.retries + 1;
+  policy.base_delay_ms = opts.backoff_ms;
+  policy.max_delay_ms = opts.backoff_max_ms;
+
+  bool spawn_error = false;
+  size_t open = shards.size();  // shards neither done nor failed
+  while (open > 0 && !spawn_error) {
+    for (auto& shard : shards) {
+      if (shard.done || shard.failed) continue;
+      const auto now = Clock::now();
+
+      if (!shard.running) {
+        if (!shard.restart_pending || now < shard.restart_at) continue;
+        shard.restart_pending = false;
+        if (!start_worker(opts, shard)) {
+          // fork/exec failure is an orchestrator-side configuration
+          // problem (typo'd --bench, exhausted PIDs), not a worker
+          // fault — retrying other shards against the same binary is
+          // pointless, so stop the run.
+          std::cerr << "[orchestrate] shard " << shard.index << ": "
+                    << shard.last_status << "\n";
+          shard.failed = true;
+          --open;
+          spawn_error = true;
+          break;
+        }
+        continue;
+      }
+
+      std::optional<common::ExitStatus> status = shard.proc.poll();
+      if (!status && opts.hang_timeout_ms > 0) {
+        // Liveness probe: the checkpoint journal grows with every
+        // completed repetition; a worker whose journal stops growing
+        // past the deadline is wedged, not slow.
+        const uint64_t size = journal_size_of(shard.journal_path);
+        if (size != shard.journal_size) {
+          shard.journal_size = size;
+          shard.last_progress = now;
+        } else if (now - shard.last_progress >
+                   std::chrono::milliseconds(opts.hang_timeout_ms)) {
+          std::cerr << "[orchestrate] shard " << shard.index
+                    << " hung (journal stalled " << opts.hang_timeout_ms
+                    << " ms), killing pid " << shard.proc.pid() << "\n";
+          shard.proc.kill();
+          status = shard.proc.wait();
+          shard.last_status = "hung (killed after journal stalled)";
+        }
+      }
+      if (!status) continue;
+
+      shard.running = false;
+      if (shard.last_status.empty() || status->exited) {
+        shard.last_status = status->describe();
+      }
+      if (status->ok()) {
+        shard.done = true;
+        --open;
+        std::cerr << "[orchestrate] shard " << shard.index << " done ("
+                  << shard.attempts << (shard.attempts == 1 ? " attempt"
+                                                            : " attempts")
+                  << ")\n";
+        shard.last_status.clear();
+        continue;
+      }
+
+      const int failures = shard.attempts;
+      common::RetrySchedule schedule(policy, opts.seed,
+                                     static_cast<uint64_t>(shard.index));
+      if (!retryable(*status)) {
+        std::cerr << "[orchestrate] shard " << shard.index
+                  << " failed permanently (" << shard.last_status
+                  << "); see " << shard.log_path << "\n";
+        shard.failed = true;
+        --open;
+      } else if (!schedule.should_retry(failures)) {
+        std::cerr << "[orchestrate] shard " << shard.index
+                  << " exhausted its " << policy.max_attempts
+                  << " attempts (last: " << shard.last_status << "); see "
+                  << shard.log_path << "\n";
+        shard.failed = true;
+        --open;
+      } else {
+        const uint64_t delay = schedule.delay_ms(failures - 1);
+        std::cerr << "[orchestrate] shard " << shard.index << " attempt "
+                  << shard.attempts << " failed (" << shard.last_status
+                  << "); retrying in " << delay << " ms\n";
+        shard.restart_at = now + std::chrono::milliseconds(delay);
+        shard.restart_pending = true;
+        shard.last_status.clear();
+      }
+    }
+    if (open > 0 && !spawn_error) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(opts.poll_ms));
+    }
+  }
+  for (auto& shard : shards) {
+    if (shard.running) {
+      shard.proc.kill();
+      shard.proc.wait();
+      shard.running = false;
+    }
+  }
+
+  // The named partial-failure report: which shards are missing, how hard
+  // we tried, and why the last attempt died — the file a re-run (same
+  // workdir, workers resume) or a human starts from.
+  std::vector<const Shard*> failed;
+  for (const auto& s : shards) {
+    if (s.failed) failed.push_back(&s);
+  }
+  if (!failed.empty()) {
+    std::ostringstream report;
+    report << "# orchestrate partial-failure report\n"
+           << "# " << failed.size() << " of " << opts.shards
+           << " shards did not complete; completed shards' dumps and\n"
+           << "# stores are intact, so re-running the same command resumes\n"
+           << "# instead of re-simulating.\n";
+    for (const auto* s : failed) {
+      report << "shard " << s->index << ": " << s->attempts
+             << (s->attempts == 1 ? " attempt" : " attempts")
+             << ", last outcome: " << s->last_status << ", log: "
+             << s->log_path << "\n";
+    }
+    const std::string path =
+        (fs::path(opts.workdir) / "partial-failure.txt").string();
+    try {
+      common::atomic_write_file(path, report.str());
+      std::cerr << "[orchestrate] wrote partial-failure report to " << path
+                << "\n";
+    } catch (const std::exception& e) {
+      std::cerr << "[orchestrate] cannot write partial-failure report: "
+                << e.what() << "\n";
+    }
+    std::cerr << report.str();
+  }
+
+  // Store synchronization runs for every *completed* shard even when the
+  // run is partial: their measurements are valid, and folding them in now
+  // is what makes the next attempt warm.
+  bool store_synced_ok = true;
+  if (!opts.store.empty()) {
+    profile::ProfileCache cache;
+    cache.load_store_if_exists(opts.store);
+    size_t conflicts = 0;
+    size_t merged_workers = 0;
+    for (const auto& s : shards) {
+      if (!s.done) continue;
+      try {
+        conflicts += cache.merge_store(s.store_path);
+        ++merged_workers;
+      } catch (const std::exception& e) {
+        // A worker store too corrupt to even scan: report and move on —
+        // the shard's results live in its dump, only its cache is lost.
+        std::cerr << "[orchestrate] cannot merge worker store "
+                  << s.store_path << ": " << e.what() << "\n";
+        store_synced_ok = false;
+      }
+    }
+    if (opts.store_group_bytes > 0) {
+      cache.set_group_byte_limit(opts.store_group_bytes);
+    }
+    try {
+      cache.save_store(opts.store);
+    } catch (const std::exception& e) {
+      std::cerr << "[orchestrate] cannot save shared store: " << e.what()
+                << "\n";
+      store_synced_ok = false;
+    }
+    const auto q = cache.quarantine_stats();
+    const auto ls = cache.lifecycle_stats();
+    std::cerr << "[orchestrate] store sync: merged " << merged_workers
+              << (merged_workers == 1 ? " worker store, " : " worker stores, ")
+              << conflicts << " conflicts, " << q.total()
+              << " quarantined, " << ls.evicted_groups
+              << " groups evicted; generation " << ls.generation << "\n";
+  }
+
+  if (spawn_error) return bench::kExitInvalid;
+  if (!failed.empty()) return bench::kExitPartial;
+
+  // Merge the shard dumps into the unsharded run's byte-identical dump.
+  std::vector<std::pair<std::string, std::string>> dumps;
+  for (const auto& s : shards) {
+    std::ifstream in(s.dump_path);
+    if (!in.good()) {
+      std::cerr << "[orchestrate] shard " << s.index
+                << " completed but its dump " << s.dump_path
+                << " is unreadable\n";
+      return bench::kExitPartial;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    dumps.emplace_back(s.dump_path, text.str());
+  }
+  std::vector<exp::result_io::MergedBatch> batches;
+  try {
+    batches = exp::result_io::merge_dumps(dumps);
+  } catch (const exp::result_io::IncompleteDumps& e) {
+    std::cerr << "[orchestrate] merged dumps are incomplete: " << e.what()
+              << "\n";
+    return bench::kExitPartial;
+  } catch (const std::logic_error& e) {
+    std::cerr << "[orchestrate] shard dumps are inconsistent: " << e.what()
+              << "\n";
+    return bench::kExitInvalid;
+  }
+  size_t records = 0;
+  for (const auto& mb : batches) {
+    for (const auto& r : mb.results) records += r.reps.size();
+  }
+  std::cerr << "[orchestrate] merged " << records << " records from "
+            << opts.shards << " shards\n";
+  if (!opts.merged.empty()) {
+    std::string text;
+    for (const auto& mb : batches) {
+      for (size_t i = 0; i < mb.results.size(); ++i) {
+        text += exp::result_io::to_string(mb.results[i], mb.batch,
+                                          static_cast<int>(i));
+      }
+    }
+    try {
+      common::atomic_write_file(opts.merged, text);
+    } catch (const std::exception& e) {
+      std::cerr << "[orchestrate] cannot write --merged file: " << e.what()
+                << "\n";
+      return bench::kExitPartial;  // the shards are all fine; retryable
+    }
+    std::cerr << "[orchestrate] wrote merged dump to " << opts.merged << "\n";
+  }
+  return store_synced_ok ? bench::kExitOk : bench::kExitPartial;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opts = parse_args(argc, argv);
+  // The orchestrator must not trip over chaos meant for its workers: a
+  // GPUMAS_FAULTS in the environment is inherited by every child (that is
+  // the retries-exhausted CI case), but this process disarms its own
+  // injector so supervision itself never crashes.
+  try {
+    common::FaultInjector::instance().configure("");
+  } catch (const std::logic_error& e) {
+    std::cerr << "orchestrate: malformed GPUMAS_FAULTS (workers will "
+                 "reject it too): "
+              << e.what() << "\n";
+  }
+  try {
+    return run(opts);
+  } catch (const std::exception& e) {
+    std::cerr << "orchestrate: " << e.what() << "\n";
+    return bench::kExitInvalid;
+  }
+}
